@@ -1,0 +1,90 @@
+// Ablation (paper §2.5, Figure 3): input-format processing cost — parsing
+// the human-editable text format live vs decoding the pre-processed
+// length-prefixed binary stream vs full pcap parsing.
+//
+// LDplayer pre-converts traces to the binary form precisely because text
+// parsing at replay time would bound the query rate; this measures that
+// gap with google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "trace/binary.h"
+#include "trace/pcap.h"
+#include "trace/text.h"
+#include "workload/traces.h"
+
+using namespace ldp;
+
+namespace {
+
+std::vector<trace::QueryRecord> SampleRecords(size_t n) {
+  workload::FixedIntervalConfig config;
+  config.interarrival = Micros(100);
+  config.duration = static_cast<NanoDuration>(n) * Micros(100);
+  return workload::MakeFixedIntervalTrace(config);
+}
+
+void BM_TextParse(benchmark::State& state) {
+  auto records = SampleRecords(1000);
+  std::vector<std::string> lines;
+  lines.reserve(records.size());
+  for (const auto& r : records) lines.push_back(trace::FormatQueryLine(r));
+  size_t i = 0;
+  for (auto _ : state) {
+    auto record = trace::ParseQueryLine(lines[i % lines.size()]);
+    benchmark::DoNotOptimize(record);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TextParse);
+
+void BM_BinaryDecode(benchmark::State& state) {
+  auto records = SampleRecords(1000);
+  Bytes stream = trace::EncodeBinaryTrace(records);
+  ByteReader reader(stream);
+  for (auto _ : state) {
+    if (reader.AtEnd()) {
+      auto seek_ok = reader.Seek(0);
+      benchmark::DoNotOptimize(seek_ok);
+    }
+    auto record = trace::DecodeBinaryRecord(reader);
+    benchmark::DoNotOptimize(record);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BinaryDecode);
+
+void BM_PcapParse(benchmark::State& state) {
+  auto records = SampleRecords(256);
+  std::vector<trace::PacketRecord> packets;
+  for (const auto& r : records) {
+    packets.push_back(trace::MessageToPacket(r.ToMessage(), r.timestamp,
+                                             r.src, r.src_port, r.dst,
+                                             r.dst_port, r.protocol));
+  }
+  Bytes file = trace::WritePcap(packets);
+  for (auto _ : state) {
+    auto parsed = trace::ReadPcap(file);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * packets.size()));
+}
+BENCHMARK(BM_PcapParse);
+
+void BM_BinaryEncode(benchmark::State& state) {
+  auto records = SampleRecords(1000);
+  size_t i = 0;
+  for (auto _ : state) {
+    ByteWriter writer;
+    trace::EncodeBinaryRecord(records[i % records.size()], writer);
+    benchmark::DoNotOptimize(writer.data());
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BinaryEncode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Ablation: the ΔT = Δt̄ − Δt compensated scheduler (paper §2.6) vs a naive
+// scheduler that sleeps the raw inter-arrival gap between consecutive
+// queries.
+//
+// Input processing is not smooth: batch loads, queue hand-offs, and GC-ish
+// stalls inject occasional multi-millisecond delays. A naive scheduler that
+// paces by "previous send + inter-arrival gap" carries every stall forward
+// — its absolute error is a staircase that only ever grows. The ΔT rule
+// subtracts accumulated real-time lag from the ideal offset, so it sends
+// immediately until caught up and then re-locks onto the trace schedule.
+// This isolates the paper's timing design without sockets: both schedulers
+// see the same virtual clock, per-query costs, jitter, and stalls.
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "replay/timing.h"
+
+using namespace ldp;
+
+namespace {
+
+struct SchedulerResult {
+  stats::Distribution error_ms;
+  double final_error_ms;
+};
+
+SchedulerResult Simulate(bool compensated, size_t n_queries,
+                         NanoDuration gap, NanoDuration per_query_cost,
+                         NanoDuration jitter_amplitude, uint64_t seed) {
+  Rng rng(seed);
+  replay::ReplayScheduler scheduler;
+  scheduler.Synchronize(0, 0);
+
+  // Input stalls: every ~1000 queries the input path hiccups for 2-8 ms
+  // (batch read, queue contention, scheduler preemption).
+  constexpr size_t kStallEvery = 1000;
+
+  NanoTime clock = 0;  // virtual "real time"
+  stats::Summary errors;
+  double final_error = 0;
+  NanoTime last_send = 0;
+
+  for (size_t i = 0; i < n_queries; ++i) {
+    NanoTime trace_time = static_cast<NanoTime>(i) * gap;
+    clock += per_query_cost +
+             static_cast<NanoDuration>(rng.NextBelow(
+                 static_cast<uint64_t>(jitter_amplitude)));
+    if (i > 0 && i % kStallEvery == 0) {
+      clock += Millis(2) + static_cast<NanoDuration>(
+                               rng.NextBelow(Millis(6)));
+    }
+
+    NanoTime send_at;
+    if (compensated) {
+      send_at = clock + scheduler.DelayFor(trace_time, clock);
+    } else {
+      // Naive: pace by "previous send + trace gap". Any lag becomes a
+      // permanent offset; stalls stack.
+      send_at = i == 0 ? clock : std::max(clock, last_send + gap);
+    }
+    clock = send_at;
+    last_send = send_at;
+
+    double error = ToMillis(send_at - trace_time);
+    errors.Add(error);
+    final_error = error;
+  }
+  return SchedulerResult{errors.Summarize(), final_error};
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablation: timing compensation",
+                     "deltaT = (trace offset) - (elapsed) vs naive "
+                     "inter-arrival sleeping",
+                     "compensation keeps absolute error flat; naive drift "
+                     "grows with query count");
+
+  stats::Table table({"scheduler", "queries", "gap", "median err ms",
+                      "p95 err ms", "final err ms"});
+  for (auto [n, gap] : {std::pair<size_t, NanoDuration>{10000, Millis(1)},
+                        {100000, Millis(1)},
+                        {100000, Micros(100)}}) {
+    for (bool compensated : {true, false}) {
+      auto r = Simulate(compensated, n, gap, /*per_query_cost=*/Micros(5),
+                        /*jitter_amplitude=*/Micros(20), /*seed=*/7);
+      table.AddRow({compensated ? "compensated" : "naive",
+                    std::to_string(n),
+                    FormatDouble(ToMillis(gap), 1) + "ms",
+                    FormatDouble(r.error_ms.p50, 3),
+                    FormatDouble(r.error_ms.p95, 3),
+                    FormatDouble(r.final_error_ms, 3)});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("every input stall becomes a permanent offset for the naive "
+              "scheduler (final error ~= sum of all stalls); the "
+              "compensated scheduler re-locks onto the trace schedule after "
+              "each one — how the paper replays an hour of B-Root with "
+              "+-0.1%% rate error.\n");
+  return 0;
+}

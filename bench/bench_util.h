@@ -1,0 +1,92 @@
+// Shared plumbing for the experiment harnesses in bench/: every binary
+// regenerates one table or figure of the paper (see DESIGN.md §4) at
+// laptop scale and prints the same rows/series the paper reports.
+//
+// Scaling: the paper replays 1-hour B-Root traces at a median 38k q/s on a
+// DETER testbed. The benches replay the same *models* at 1/10 rate over
+// shorter windows; rates are reported raw, and the comparisons the paper
+// makes (ratios, crossovers, who-wins) are scale-free.
+#ifndef LDPLAYER_BENCH_BENCH_UTIL_H
+#define LDPLAYER_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/strings.h"
+#include "server/sim_server.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+#include "workload/hierarchy.h"
+#include "workload/traces.h"
+#include "zone/dnssec.h"
+
+namespace ldp::bench {
+
+inline void PrintHeader(const std::string& id, const std::string& title,
+                        const std::string& paper_result) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("paper: %s\n", paper_result.c_str());
+  std::printf("================================================================\n");
+}
+
+// The default laptop-scale B-Root model (1/10 of the paper's rate).
+inline workload::BRootConfig ScaledBRootConfig(NanoDuration duration,
+                                               uint64_t seed = 1) {
+  workload::BRootConfig config;
+  config.median_rate_qps = 3800;
+  config.duration = duration;
+  config.n_clients = 20000;
+  config.seed = seed;
+  return config;
+}
+
+struct RootServerWorld {
+  std::unique_ptr<sim::Simulator> simulator;
+  std::unique_ptr<sim::SimNetwork> net;
+  std::shared_ptr<server::AuthServerEngine> engine;
+  std::unique_ptr<server::SimDnsServer> server;
+  IpAddress address{10, 0, 0, 1};
+};
+
+// A simulated root server (optionally DNSSEC-signed) ready for replay.
+inline RootServerWorld MakeRootServer(bool sign,
+                                      const zone::DnssecConfig& dnssec,
+                                      NanoDuration tcp_idle_timeout,
+                                      size_t n_tlds = 100) {
+  RootServerWorld world;
+  world.simulator = std::make_unique<sim::Simulator>();
+  world.net = std::make_unique<sim::SimNetwork>(*world.simulator);
+  world.net->SetDefaultOneWayDelay(Micros(400));  // <1 ms RTT, like Fig 5
+
+  auto hierarchy = workload::BuildRootHierarchy(n_tlds, sign, dnssec);
+  zone::ZoneSet zones;
+  auto add_ok = zones.AddZone(hierarchy.root);
+  (void)add_ok;
+  zone::ViewTable views;
+  views.SetDefaultView(std::move(zones));
+  world.engine =
+      std::make_shared<server::AuthServerEngine>(std::move(views));
+
+  server::SimDnsServer::Config config;
+  config.address = world.address;
+  config.tcp_idle_timeout = tcp_idle_timeout;
+  world.server = std::make_unique<server::SimDnsServer>(*world.net,
+                                                        world.engine, config);
+  auto start_ok = world.server->Start();
+  (void)start_ok;
+  return world;
+}
+
+inline std::string Gb(uint64_t bytes) {
+  return FormatDouble(static_cast<double>(bytes) / (1ull << 30), 2) + " GB";
+}
+
+inline std::string Mbps(double bits_per_second) {
+  return FormatDouble(bits_per_second / 1e6, 1) + " Mb/s";
+}
+
+}  // namespace ldp::bench
+
+#endif  // LDPLAYER_BENCH_BENCH_UTIL_H

@@ -1,0 +1,114 @@
+// Figure 10 (§5.1): bandwidth of all root-server responses under different
+// DNSSEC ZSK sizes (1024 / 2048 / 2048-during-rollover) and DO-bit
+// fractions (72.3% = 2016 reality, 100% = what-if).
+//
+// Paper results (at 38k q/s): 225 Mb/s median with 72.3% DO + 2048-bit ZSK;
+// 296 Mb/s with 100% DO + 2048-bit ZSK (+31%); upgrading 1024->2048 adds
+// +32%. This harness replays the B-Root-16 model at 1/10 rate, so absolute
+// numbers are ~1/10; the ratios are the result.
+#include "bench/bench_util.h"
+#include "mutate/mutate.h"
+#include "replay/sim_engine.h"
+
+using namespace ldp;
+
+namespace {
+
+struct Scenario {
+  const char* group;
+  const char* zsk;
+  double do_fraction;
+  int zsk_bits;
+  bool rollover;
+};
+
+stats::Distribution MeasureBandwidth(const Scenario& scenario) {
+  zone::DnssecConfig dnssec;
+  dnssec.zsk_bits = scenario.zsk_bits;
+  dnssec.zsk_rollover = scenario.rollover;
+  auto world = bench::MakeRootServer(/*sign=*/true, dnssec, Seconds(20));
+
+  auto trace_config = bench::ScaledBRootConfig(Seconds(30), /*seed=*/2016);
+  trace_config.server = world.address;
+  auto records = workload::MakeBRootTrace(trace_config);
+  mutate::MutationPipeline pipeline;
+  pipeline.Add(mutate::SetDnssecOk(scenario.do_fraction));
+  pipeline.Apply(records);
+
+  // Sample the server's cumulative sent bytes every second; the per-second
+  // deltas are the response bandwidth series the figure summarizes.
+  std::vector<uint64_t> samples;
+  sim::NodeMeters& meters = world.server->meters();
+  std::function<void()> sample = [&]() {
+    samples.push_back(meters.bytes_sent());
+    if (world.simulator->Now() <
+        records.back().timestamp + Seconds(1)) {
+      world.simulator->Schedule(Seconds(1), sample);
+    }
+  };
+  world.simulator->Schedule(Seconds(1), sample);
+
+  replay::SimReplayConfig replay_config;
+  replay_config.server = Endpoint{world.address, 53};
+  replay_config.gauge_interval = 0;
+  replay::SimReplayEngine engine(*world.net, replay_config, &meters);
+  engine.Load(records);
+  engine.Finish();
+
+  stats::Summary bandwidth;
+  for (size_t i = 1; i < samples.size(); ++i) {
+    bandwidth.Add(static_cast<double>(samples[i] - samples[i - 1]) * 8.0 /
+                  1e6);  // Mb/s
+  }
+  return bandwidth.Summarize();
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Figure 10", "bandwidth of root responses vs ZSK size and DO fraction",
+      "225 Mb/s @72.3% DO/2048 ZSK -> 296 Mb/s @100% DO (+31%); "
+      "1024->2048 ZSK adds +32%");
+
+  const Scenario scenarios[] = {
+      {"72.3% DO (current)", "1024", 0.723, 1024, false},
+      {"72.3% DO (current)", "2048", 0.723, 2048, false},
+      {"72.3% DO (current)", "2048 rollover", 0.723, 2048, true},
+      {"All queries DO", "1024", 1.0, 1024, false},
+      {"All queries DO", "2048", 1.0, 2048, false},
+      {"All queries DO", "2048 rollover", 1.0, 2048, true},
+      // The paper's stated future work (§5.1): 4096-bit ZSK.
+      {"72.3% DO (current)", "4096 (future)", 0.723, 4096, false},
+      {"All queries DO", "4096 (future)", 1.0, 4096, false},
+  };
+
+  stats::Table table({"group", "ZSK", "p5", "p25", "median", "p75", "p95"});
+  double current_2048 = 0, all_do_2048 = 0, current_1024 = 0;
+  for (const auto& scenario : scenarios) {
+    auto d = MeasureBandwidth(scenario);
+    table.AddRow({scenario.group, scenario.zsk, FormatDouble(d.p5, 1),
+                  FormatDouble(d.p25, 1), FormatDouble(d.p50, 1),
+                  FormatDouble(d.p75, 1), FormatDouble(d.p95, 1)});
+    if (scenario.do_fraction < 1 && scenario.zsk_bits == 2048 &&
+        !scenario.rollover) {
+      current_2048 = d.p50;
+    }
+    if (scenario.do_fraction < 1 && scenario.zsk_bits == 1024) {
+      current_1024 = d.p50;
+    }
+    if (scenario.do_fraction == 1.0 && scenario.zsk_bits == 2048 &&
+        !scenario.rollover) {
+      all_do_2048 = d.p50;
+    }
+  }
+  std::printf("%s  (all columns Mb/s at 1/10 of B-Root rate)\n\n",
+              table.Render().c_str());
+
+  std::printf("headline ratios (medians):\n");
+  std::printf("  72.3%% DO -> 100%% DO at 2048-bit ZSK: %+.0f%%   (paper: +31%%)\n",
+              100.0 * (all_do_2048 / current_2048 - 1.0));
+  std::printf("  ZSK 1024 -> 2048 at 72.3%% DO:        %+.0f%%   (paper: +32%%)\n",
+              100.0 * (current_2048 / current_1024 - 1.0));
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 8: per-second query-rate difference between replayed and original
+// B-Root trace, five trials.
+//
+// Paper result: almost all seconds (4 trials 98-99%, 1 trial 95%) within
+// ±0.1% rate difference at a median 38k q/s.
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "bench/realtime_util.h"
+#include "workload/traces.h"
+
+using namespace ldp;
+
+int main() {
+  bench::PrintHeader("Figure 8",
+                     "per-second rate error of B-Root replay (5 trials)",
+                     ">=95% of seconds within +-0.1% rate difference");
+
+  auto server = bench::LoopbackServer::Start();
+  if (server == nullptr) return 1;
+
+  auto trace_config = bench::ScaledBRootConfig(Seconds(12));
+  auto records = workload::MakeBRootTrace(trace_config);
+  server->Target(records);
+
+  stats::Table table({"trial", "seconds", "median err %", "p5 %", "p95 %",
+                      "within +-0.1%", "within +-1%"});
+  for (int trial = 1; trial <= 5; ++trial) {
+    replay::RealtimeConfig config;
+    config.server = server->endpoint();
+    config.n_distributors = 2;
+    config.queriers_per_distributor = 3;
+    config.seed = 99 + static_cast<uint64_t>(trial);
+    auto report = replay::RunRealtimeReplay(records, config);
+    if (!report.ok()) {
+      std::fprintf(stderr, "trial %d: %s\n", trial,
+                   report.error().ToString().c_str());
+      continue;
+    }
+    auto errors = report->RateErrors();
+    stats::Summary summary;
+    size_t tight = 0, loose = 0;
+    for (double e : errors) {
+      summary.Add(e * 100.0);
+      if (std::abs(e) <= 0.001) ++tight;
+      if (std::abs(e) <= 0.01) ++loose;
+    }
+    auto d = summary.Summarize();
+    table.AddRow({std::to_string(trial), std::to_string(errors.size()),
+                  FormatDouble(d.p50, 3), FormatDouble(d.p5, 3),
+                  FormatDouble(d.p95, 3),
+                  FormatDouble(100.0 * tight / errors.size(), 1) + "%",
+                  FormatDouble(100.0 * loose / errors.size(), 1) + "%"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("note: at 1/10 rate each second holds ~3.8k queries, so one "
+              "displaced query = 0.03%% — the +-0.1%% band is coarser here "
+              "than at the paper's 38k q/s.\n");
+  return 0;
+}

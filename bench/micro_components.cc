@@ -1,0 +1,155 @@
+// Component microbenchmarks (google-benchmark): the per-query costs that
+// bound single-host replay throughput (Fig 9's 87k q/s) and server answer
+// rates — message codec, name compression, zone lookup, full engine
+// wire-to-wire, and the simulator's event throughput.
+#include <benchmark/benchmark.h>
+
+#include "server/engine.h"
+#include "sim/simulator.h"
+#include "workload/hierarchy.h"
+#include "zone/dnssec.h"
+#include "zone/lookup.h"
+
+using namespace ldp;
+
+namespace {
+
+dns::Message SampleResponse() {
+  dns::Message msg;
+  msg.id = 4242;
+  msg.qr = true;
+  msg.aa = true;
+  msg.questions.push_back(dns::Question{*dns::Name::Parse("www.example.com"),
+                                        dns::RRType::kA, dns::RRClass::kIN});
+  for (int i = 0; i < 4; ++i) {
+    msg.answers.push_back(dns::ResourceRecord{
+        *dns::Name::Parse("www.example.com"), dns::RRType::kA,
+        dns::RRClass::kIN, 300,
+        dns::ARdata{IpAddress(192, 0, 2, static_cast<uint8_t>(i))}});
+  }
+  msg.authorities.push_back(dns::ResourceRecord{
+      *dns::Name::Parse("example.com"), dns::RRType::kNS, dns::RRClass::kIN,
+      86400, dns::NsRdata{*dns::Name::Parse("ns1.example.com")}});
+  msg.additionals.push_back(dns::ResourceRecord{
+      *dns::Name::Parse("ns1.example.com"), dns::RRType::kA,
+      dns::RRClass::kIN, 86400, dns::ARdata{IpAddress(192, 0, 2, 53)}});
+  return msg;
+}
+
+void BM_MessageEncode(benchmark::State& state) {
+  dns::Message msg = SampleResponse();
+  for (auto _ : state) {
+    Bytes wire = msg.Encode();
+    benchmark::DoNotOptimize(wire);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MessageEncode);
+
+void BM_MessageDecode(benchmark::State& state) {
+  Bytes wire = SampleResponse().Encode();
+  for (auto _ : state) {
+    auto msg = dns::Message::Decode(wire);
+    benchmark::DoNotOptimize(msg);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MessageDecode);
+
+void BM_QueryEncode(benchmark::State& state) {
+  auto query = dns::Message::MakeQuery(*dns::Name::Parse("www.example.com"),
+                                       dns::RRType::kA, false);
+  for (auto _ : state) {
+    Bytes wire = query.Encode();
+    benchmark::DoNotOptimize(wire);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_QueryEncode);
+
+void BM_ZoneLookup(benchmark::State& state) {
+  auto hierarchy = workload::BuildRootHierarchy(
+      static_cast<size_t>(state.range(0)), /*sign=*/true,
+      zone::DnssecConfig{});
+  auto qname = *dns::Name::Parse("domain5.com");
+  for (auto _ : state) {
+    auto result = zone::Lookup(*hierarchy.root, qname, dns::RRType::kA);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ZoneLookup)->Arg(100)->Arg(1000);
+
+void BM_EngineWireToWire(benchmark::State& state) {
+  auto hierarchy = workload::BuildRootHierarchy(100, /*sign=*/true,
+                                                zone::DnssecConfig{});
+  zone::ZoneSet zones;
+  auto add_ok = zones.AddZone(hierarchy.root);
+  benchmark::DoNotOptimize(add_ok);
+  zone::ViewTable views;
+  views.SetDefaultView(std::move(zones));
+  server::AuthServerEngine engine(std::move(views));
+
+  auto query = dns::Message::MakeQuery(*dns::Name::Parse("domain3.com"),
+                                       dns::RRType::kA, false);
+  query.edns = dns::Edns{.udp_payload_size = 4096, .do_bit = true};
+  Bytes wire = query.Encode();
+  for (auto _ : state) {
+    auto response = engine.HandleWire(wire, IpAddress(10, 0, 0, 9), 65535);
+    benchmark::DoNotOptimize(response);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EngineWireToWire);
+
+void BM_EngineNxDomainDnssec(benchmark::State& state) {
+  auto hierarchy = workload::BuildRootHierarchy(100, /*sign=*/true,
+                                                zone::DnssecConfig{});
+  zone::ZoneSet zones;
+  auto add_ok = zones.AddZone(hierarchy.root);
+  benchmark::DoNotOptimize(add_ok);
+  zone::ViewTable views;
+  views.SetDefaultView(std::move(zones));
+  server::AuthServerEngine engine(std::move(views));
+
+  auto query = dns::Message::MakeQuery(
+      *dns::Name::Parse("no-such-tld-zzzz"), dns::RRType::kA, false);
+  query.edns = dns::Edns{.udp_payload_size = 4096, .do_bit = true};
+  Bytes wire = query.Encode();
+  for (auto _ : state) {
+    auto response = engine.HandleWire(wire, IpAddress(10, 0, 0, 9), 65535);
+    benchmark::DoNotOptimize(response);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EngineNxDomainDnssec);
+
+void BM_SimulatorEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator simulator;
+    constexpr int kEvents = 10000;
+    int fired = 0;
+    for (int i = 0; i < kEvents; ++i) {
+      simulator.Schedule(i, [&fired] { ++fired; });
+    }
+    state.ResumeTiming();
+    simulator.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_SimulatorEvents);
+
+void BM_NameParse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto name = dns::Name::Parse("www.subdomain.example.com");
+    benchmark::DoNotOptimize(name);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NameParse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Helpers for the real-socket fidelity benches (Figs 6-9): a loopback
+// authoritative server with a wildcard zone (answers every unique replayed
+// name, paper §4.1) running on its own thread.
+#ifndef LDPLAYER_BENCH_REALTIME_UTIL_H
+#define LDPLAYER_BENCH_REALTIME_UTIL_H
+
+#include <memory>
+#include <thread>
+
+#include "replay/realtime.h"
+#include "server/socket_server.h"
+#include "zone/masterfile.h"
+
+namespace ldp::bench {
+
+class LoopbackServer {
+ public:
+  static std::unique_ptr<LoopbackServer> Start() {
+    auto zone = zone::ParseMasterFile(
+        "$ORIGIN example.com.\n"
+        "@ 3600 IN SOA ns1 admin 1 2 3 4 300\n"
+        "@ IN NS ns1\n"
+        "ns1 IN A 192.0.2.53\n"
+        "* IN A 192.0.2.200\n",
+        zone::MasterFileOptions{});
+    if (!zone.ok()) return nullptr;
+    zone::ZoneSet zones;
+    if (!zones.AddZone(std::make_shared<zone::Zone>(std::move(*zone))).ok()) {
+      return nullptr;
+    }
+    zone::ViewTable views;
+    views.SetDefaultView(std::move(zones));
+    auto engine =
+        std::make_shared<server::AuthServerEngine>(std::move(views));
+
+    auto loop = net::EventLoop::Create();
+    if (!loop.ok()) return nullptr;
+    server::SocketDnsServer::Config config;
+    config.listen = Endpoint{IpAddress::Loopback(), 0};
+    auto server = server::SocketDnsServer::Start(**loop, engine, config);
+    if (!server.ok()) return nullptr;
+
+    auto out = std::unique_ptr<LoopbackServer>(new LoopbackServer);
+    out->loop_ = std::move(*loop);
+    out->server_ = std::move(*server);
+    out->engine_ = std::move(engine);
+    out->thread_ = std::thread([raw = out.get()]() { raw->loop_->Run(); });
+    return out;
+  }
+
+  ~LoopbackServer() {
+    loop_->ScheduleAfter(0, [this]() { loop_->Stop(); });
+    thread_.join();
+  }
+
+  Endpoint endpoint() const { return server_->endpoint(); }
+  const server::AuthServerEngine& engine() const { return *engine_; }
+
+  // Points a trace at this server.
+  void Target(std::vector<trace::QueryRecord>& records) const {
+    for (auto& r : records) {
+      r.dst = endpoint().addr;
+      r.dst_port = endpoint().port;
+    }
+  }
+
+ private:
+  LoopbackServer() = default;
+  std::unique_ptr<net::EventLoop> loop_;
+  std::unique_ptr<server::SocketDnsServer> server_;
+  std::shared_ptr<server::AuthServerEngine> engine_;
+  std::thread thread_;
+};
+
+}  // namespace ldp::bench
+
+#endif  // LDPLAYER_BENCH_REALTIME_UTIL_H

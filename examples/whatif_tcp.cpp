@@ -1,0 +1,127 @@
+// What-if study (paper §5.2 in miniature): take a B-Root-style trace and
+// ask "what if every query used TCP or TLS instead of UDP?"
+//
+// Replays the same trace three ways (original mix, all-TCP, all-TLS)
+// against a simulated root server at several client RTTs and prints the
+// latency and server-resource consequences.
+//
+//   ./build/examples/whatif_tcp
+#include <cstdio>
+
+#include "common/strings.h"
+#include "mutate/mutate.h"
+#include "replay/sim_engine.h"
+#include "server/sim_server.h"
+#include "stats/table.h"
+#include "workload/hierarchy.h"
+#include "workload/traces.h"
+
+using namespace ldp;
+
+namespace {
+
+struct RunResult {
+  stats::Distribution latency_ms;
+  uint64_t peak_established = 0;
+  uint64_t peak_memory = 0;
+  uint64_t fresh = 0;
+  uint64_t reused = 0;
+};
+
+RunResult RunOnce(const std::vector<trace::QueryRecord>& records,
+                  NanoDuration client_extra_delay) {
+  sim::Simulator simulator;
+  sim::SimNetwork net(simulator);
+  net.SetDefaultOneWayDelay(Micros(500));
+
+  // A root zone answers the trace (referrals + NXDOMAINs).
+  auto hierarchy =
+      workload::BuildRootHierarchy(100, /*sign=*/true, zone::DnssecConfig{});
+  zone::ZoneSet zones;
+  if (!zones.AddZone(hierarchy.root).ok()) return {};
+  zone::ViewTable views;
+  views.SetDefaultView(std::move(zones));
+  auto engine = std::make_shared<server::AuthServerEngine>(std::move(views));
+
+  server::SimDnsServer::Config sconfig;
+  sconfig.address = IpAddress(10, 0, 0, 1);
+  sconfig.tcp_idle_timeout = Seconds(20);
+  server::SimDnsServer server(net, engine, sconfig);
+  if (!server.Start().ok()) return {};
+
+  // All clients sit `client_extra_delay` away from the IXP.
+  for (const auto& record : records) {
+    net.SetHostExtraDelay(record.src, client_extra_delay);
+  }
+
+  replay::SimReplayConfig rconfig;
+  rconfig.server = Endpoint{sconfig.address, 53};
+  rconfig.gauge_interval = Seconds(5);
+  replay::SimReplayEngine replayer(net, rconfig, &server.meters());
+  replayer.Load(records);
+  auto report = replayer.Finish();
+
+  RunResult result;
+  result.latency_ms = report.LatencySummary();
+  result.fresh = report.fresh_connections;
+  result.reused = report.reused_connections;
+  for (const auto& [when, value] : report.established_samples) {
+    result.peak_established = std::max(result.peak_established, value);
+  }
+  for (const auto& [when, value] : report.memory_samples) {
+    result.peak_memory = std::max(result.peak_memory, value);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  workload::BRootConfig tconfig;
+  tconfig.median_rate_qps = 500;  // laptop-scale replica of 38k q/s
+  tconfig.duration = Seconds(60);
+  tconfig.n_clients = 3000;
+  auto base = workload::MakeBRootTrace(tconfig);
+  std::printf("trace: %zu queries over %lds (B-Root model, 3%% TCP)\n\n",
+              base.size(),
+              static_cast<long>(tconfig.duration / kNanosPerSecond));
+
+  stats::Table table({"scenario", "RTT", "p25 ms", "median ms", "p75 ms",
+                      "p95 ms", "fresh conns", "reused", "peak conns",
+                      "peak mem"});
+
+  for (NanoDuration rtt : {Millis(10), Millis(40), Millis(160)}) {
+    NanoDuration extra = rtt / 2 - Micros(500);
+    for (const char* scenario : {"original", "all-TCP", "all-TLS"}) {
+      auto records = base;
+      mutate::MutationPipeline pipeline;
+      if (std::string(scenario) == "all-TCP") {
+        pipeline.Add(mutate::ForceProtocol(trace::Protocol::kTcp));
+      } else if (std::string(scenario) == "all-TLS") {
+        pipeline.Add(mutate::ForceProtocol(trace::Protocol::kTls));
+      }
+      pipeline.Apply(records);
+
+      RunResult result = RunOnce(records, extra);
+      char rtt_text[16], mem_text[32];
+      std::snprintf(rtt_text, sizeof(rtt_text), "%ldms",
+                    static_cast<long>(ToMillis(rtt)));
+      std::snprintf(mem_text, sizeof(mem_text), "%.2f GB",
+                    static_cast<double>(result.peak_memory) / (1 << 30));
+      table.AddRow({scenario, rtt_text,
+                    FormatDouble(result.latency_ms.p25, 1),
+                    FormatDouble(result.latency_ms.p50, 1),
+                    FormatDouble(result.latency_ms.p75, 1),
+                    FormatDouble(result.latency_ms.p95, 1),
+                    std::to_string(result.fresh),
+                    std::to_string(result.reused),
+                    std::to_string(result.peak_established), mem_text});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Reading the table: UDP latency is flat at ~1 RTT; fresh TCP costs\n"
+      "2 RTT and fresh TLS 4 RTT, but connection reuse pulls busy-client\n"
+      "medians toward 1 RTT — the paper's §5.2.4 observation.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+#include "common/base64.h"
+
+#include <array>
+
+namespace ldp {
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+constexpr std::array<int8_t, 256> BuildDecodeTable() {
+  std::array<int8_t, 256> table{};
+  for (auto& v : table) v = -1;
+  for (int i = 0; i < 64; ++i) {
+    table[static_cast<unsigned char>(kAlphabet[i])] = static_cast<int8_t>(i);
+  }
+  return table;
+}
+
+constexpr auto kDecodeTable = BuildDecodeTable();
+
+}  // namespace
+
+std::string Base64Encode(std::span<const uint8_t> data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  size_t i = 0;
+  while (i + 3 <= data.size()) {
+    uint32_t triple = (uint32_t{data[i]} << 16) | (uint32_t{data[i + 1]} << 8) |
+                      uint32_t{data[i + 2]};
+    out.push_back(kAlphabet[(triple >> 18) & 0x3f]);
+    out.push_back(kAlphabet[(triple >> 12) & 0x3f]);
+    out.push_back(kAlphabet[(triple >> 6) & 0x3f]);
+    out.push_back(kAlphabet[triple & 0x3f]);
+    i += 3;
+  }
+  size_t rest = data.size() - i;
+  if (rest == 1) {
+    uint32_t v = uint32_t{data[i]} << 16;
+    out.push_back(kAlphabet[(v >> 18) & 0x3f]);
+    out.push_back(kAlphabet[(v >> 12) & 0x3f]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rest == 2) {
+    uint32_t v = (uint32_t{data[i]} << 16) | (uint32_t{data[i + 1]} << 8);
+    out.push_back(kAlphabet[(v >> 18) & 0x3f]);
+    out.push_back(kAlphabet[(v >> 12) & 0x3f]);
+    out.push_back(kAlphabet[(v >> 6) & 0x3f]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+Result<Bytes> Base64Decode(std::string_view text) {
+  if (text.size() % 4 != 0) {
+    return Error(ErrorCode::kParseError, "base64 length not a multiple of 4");
+  }
+  Bytes out;
+  out.reserve(text.size() / 4 * 3);
+  for (size_t i = 0; i < text.size(); i += 4) {
+    int pad = 0;
+    uint32_t v = 0;
+    for (int j = 0; j < 4; ++j) {
+      char c = text[i + j];
+      if (c == '=') {
+        // Padding is only legal in the last two positions of the last group.
+        if (i + 4 != text.size() || j < 2) {
+          return Error(ErrorCode::kParseError, "misplaced base64 padding");
+        }
+        ++pad;
+        v <<= 6;
+        continue;
+      }
+      if (pad > 0) {
+        return Error(ErrorCode::kParseError, "data after base64 padding");
+      }
+      int8_t d = kDecodeTable[static_cast<unsigned char>(c)];
+      if (d < 0) {
+        return Error(ErrorCode::kParseError,
+                     std::string("bad base64 character: ") + c);
+      }
+      v = (v << 6) | static_cast<uint32_t>(d);
+    }
+    out.push_back(static_cast<uint8_t>(v >> 16));
+    if (pad < 2) out.push_back(static_cast<uint8_t>(v >> 8));
+    if (pad < 1) out.push_back(static_cast<uint8_t>(v));
+  }
+  return out;
+}
+
+}  // namespace ldp

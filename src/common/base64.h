@@ -1,0 +1,23 @@
+// Base64 codec (RFC 4648) for DNSSEC key / signature material in master
+// files (DNSKEY public keys, RRSIG signatures).
+#ifndef LDPLAYER_COMMON_BASE64_H
+#define LDPLAYER_COMMON_BASE64_H
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace ldp {
+
+std::string Base64Encode(std::span<const uint8_t> data);
+
+// Rejects invalid characters and bad padding; ignores nothing (callers strip
+// whitespace beforehand).
+Result<Bytes> Base64Decode(std::string_view text);
+
+}  // namespace ldp
+
+#endif  // LDPLAYER_COMMON_BASE64_H

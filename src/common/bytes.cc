@@ -1,0 +1,116 @@
+#include "common/bytes.h"
+
+#include <cstdio>
+
+namespace ldp {
+
+Result<uint8_t> ByteReader::ReadU8() {
+  if (remaining() < 1) return Error(ErrorCode::kTruncated, "need 1 byte");
+  return data_[offset_++];
+}
+
+Result<uint16_t> ByteReader::ReadU16() {
+  if (remaining() < 2) return Error(ErrorCode::kTruncated, "need 2 bytes");
+  uint16_t v = static_cast<uint16_t>(data_[offset_] << 8) |
+               static_cast<uint16_t>(data_[offset_ + 1]);
+  offset_ += 2;
+  return v;
+}
+
+Result<uint32_t> ByteReader::ReadU32() {
+  if (remaining() < 4) return Error(ErrorCode::kTruncated, "need 4 bytes");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[offset_ + i];
+  offset_ += 4;
+  return v;
+}
+
+Result<uint64_t> ByteReader::ReadU64() {
+  if (remaining() < 8) return Error(ErrorCode::kTruncated, "need 8 bytes");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | data_[offset_ + i];
+  offset_ += 8;
+  return v;
+}
+
+Result<Bytes> ByteReader::ReadBytes(size_t n) {
+  if (remaining() < n) {
+    return Error(ErrorCode::kTruncated,
+                 "need " + std::to_string(n) + " bytes, have " +
+                     std::to_string(remaining()));
+  }
+  Bytes out(data_.begin() + offset_, data_.begin() + offset_ + n);
+  offset_ += n;
+  return out;
+}
+
+Result<std::span<const uint8_t>> ByteReader::ReadSpan(size_t n) {
+  if (remaining() < n) {
+    return Error(ErrorCode::kTruncated,
+                 "need " + std::to_string(n) + " bytes, have " +
+                     std::to_string(remaining()));
+  }
+  auto out = data_.subspan(offset_, n);
+  offset_ += n;
+  return out;
+}
+
+Status ByteReader::Skip(size_t n) {
+  if (remaining() < n) {
+    return Error(ErrorCode::kTruncated, "skip past end");
+  }
+  offset_ += n;
+  return Status::Ok();
+}
+
+Status ByteReader::Seek(size_t offset) {
+  if (offset > data_.size()) {
+    return Error(ErrorCode::kOutOfRange, "seek past end");
+  }
+  offset_ = offset;
+  return Status::Ok();
+}
+
+void ByteWriter::WriteU16(uint16_t v) {
+  buf_.push_back(static_cast<uint8_t>(v >> 8));
+  buf_.push_back(static_cast<uint8_t>(v));
+}
+
+void ByteWriter::WriteU32(uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    buf_.push_back(static_cast<uint8_t>(v >> shift));
+  }
+}
+
+void ByteWriter::WriteU64(uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    buf_.push_back(static_cast<uint8_t>(v >> shift));
+  }
+}
+
+void ByteWriter::WriteBytes(std::span<const uint8_t> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteWriter::WriteString(std::string_view s) {
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::PatchU16(size_t offset, uint16_t v) {
+  buf_.at(offset) = static_cast<uint8_t>(v >> 8);
+  buf_.at(offset + 1) = static_cast<uint8_t>(v);
+}
+
+std::string HexDump(std::span<const uint8_t> data) {
+  std::string out;
+  out.reserve(data.size() * 3);
+  char tmp[4];
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::snprintf(tmp, sizeof(tmp), "%02x", data[i]);
+    if (i != 0) out += ' ';
+    out += tmp;
+  }
+  return out;
+}
+
+}  // namespace ldp

@@ -1,0 +1,155 @@
+#include "common/ip.h"
+
+#include <charconv>
+#include <cstdio>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace ldp {
+
+Result<IpAddress> IpAddress::Parse(std::string_view text) {
+  uint32_t addr = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    unsigned value = 0;
+    auto [next, ec] = std::from_chars(p, end, value);
+    if (ec != std::errc() || next == p || value > 255) {
+      return Error(ErrorCode::kParseError,
+                   "bad IPv4 address: " + std::string(text));
+    }
+    addr = (addr << 8) | value;
+    p = next;
+    if (octet < 3) {
+      if (p == end || *p != '.') {
+        return Error(ErrorCode::kParseError,
+                     "bad IPv4 address: " + std::string(text));
+      }
+      ++p;
+    }
+  }
+  if (p != end) {
+    return Error(ErrorCode::kParseError,
+                 "trailing characters in IPv4 address: " + std::string(text));
+  }
+  return IpAddress(addr);
+}
+
+std::string IpAddress::ToString() const {
+  return std::to_string((addr_ >> 24) & 0xff) + "." +
+         std::to_string((addr_ >> 16) & 0xff) + "." +
+         std::to_string((addr_ >> 8) & 0xff) + "." +
+         std::to_string(addr_ & 0xff);
+}
+
+Result<Ipv6Address> Ipv6Address::Parse(std::string_view text) {
+  // Split into at most two halves around "::".
+  size_t gap = text.find("::");
+  std::array<uint16_t, 8> groups{};
+  auto parse_groups = [](std::string_view part,
+                         std::vector<uint16_t>& out) -> Status {
+    if (part.empty()) return Status::Ok();
+    for (std::string_view field : Split(part, ':')) {
+      if (field.empty() || field.size() > 4) {
+        return Error(ErrorCode::kParseError, "bad IPv6 group");
+      }
+      unsigned value = 0;
+      for (char c : field) {
+        int digit;
+        if (c >= '0' && c <= '9') digit = c - '0';
+        else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+        else return Error(ErrorCode::kParseError, "bad IPv6 hex digit");
+        value = value * 16 + static_cast<unsigned>(digit);
+      }
+      out.push_back(static_cast<uint16_t>(value));
+    }
+    return Status::Ok();
+  };
+
+  std::vector<uint16_t> head, tail;
+  if (gap == std::string_view::npos) {
+    LDP_RETURN_IF_ERROR(parse_groups(text, head));
+    if (head.size() != 8) {
+      return Error(ErrorCode::kParseError,
+                   "IPv6 address needs 8 groups: " + std::string(text));
+    }
+  } else {
+    LDP_RETURN_IF_ERROR(parse_groups(text.substr(0, gap), head));
+    LDP_RETURN_IF_ERROR(parse_groups(text.substr(gap + 2), tail));
+    if (head.size() + tail.size() > 7) {
+      return Error(ErrorCode::kParseError,
+                   "IPv6 '::' must compress at least one group");
+    }
+  }
+  for (size_t i = 0; i < head.size(); ++i) groups[i] = head[i];
+  for (size_t i = 0; i < tail.size(); ++i) {
+    groups[8 - tail.size() + i] = tail[i];
+  }
+  std::array<uint8_t, 16> octets{};
+  for (size_t i = 0; i < 8; ++i) {
+    octets[i * 2] = static_cast<uint8_t>(groups[i] >> 8);
+    octets[i * 2 + 1] = static_cast<uint8_t>(groups[i]);
+  }
+  return Ipv6Address(octets);
+}
+
+std::string Ipv6Address::ToString() const {
+  std::array<uint16_t, 8> groups{};
+  for (size_t i = 0; i < 8; ++i) {
+    groups[i] = static_cast<uint16_t>((octets_[i * 2] << 8) | octets_[i * 2 + 1]);
+  }
+  // Find the longest run of zero groups (length >= 2) to compress.
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[i] != 0) { ++i; continue; }
+    int j = i;
+    while (j < 8 && groups[j] == 0) ++j;
+    if (j - i > best_len) { best_start = i; best_len = j - i; }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  char buf[8];
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      // Preceding groups suppressed their trailing ':', so always emit "::".
+      out += "::";
+      i += best_len;
+      if (i == 8) return out;
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf), "%x", groups[i]);
+    out += buf;
+    ++i;
+    if (i < 8 && i != best_start) out += ":";
+  }
+  return out;
+}
+
+std::string Endpoint::ToString() const {
+  return addr.ToString() + ":" + std::to_string(port);
+}
+
+Result<Endpoint> Endpoint::Parse(std::string_view text) {
+  size_t colon = text.rfind(':');
+  if (colon == std::string_view::npos) {
+    return Error(ErrorCode::kParseError,
+                 "endpoint missing ':port': " + std::string(text));
+  }
+  LDP_ASSIGN_OR_RETURN(IpAddress addr, IpAddress::Parse(text.substr(0, colon)));
+  std::string_view port_text = text.substr(colon + 1);
+  unsigned port = 0;
+  auto [next, ec] =
+      std::from_chars(port_text.data(), port_text.data() + port_text.size(), port);
+  if (ec != std::errc() || next != port_text.data() + port_text.size() ||
+      port > 65535) {
+    return Error(ErrorCode::kParseError,
+                 "bad port in endpoint: " + std::string(text));
+  }
+  return Endpoint{addr, static_cast<uint16_t>(port)};
+}
+
+}  // namespace ldp

@@ -1,0 +1,91 @@
+// IPv4 address / endpoint value types shared by the simulator, the real
+// socket layer, trace records, and the proxy rewrite algebra.
+#ifndef LDPLAYER_COMMON_IP_H
+#define LDPLAYER_COMMON_IP_H
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace ldp {
+
+// An IPv4 address stored host-order for cheap comparison and hashing.
+class IpAddress {
+ public:
+  constexpr IpAddress() = default;
+  constexpr explicit IpAddress(uint32_t host_order) : addr_(host_order) {}
+  constexpr IpAddress(uint8_t a, uint8_t b, uint8_t c, uint8_t d)
+      : addr_((uint32_t{a} << 24) | (uint32_t{b} << 16) | (uint32_t{c} << 8) |
+              uint32_t{d}) {}
+
+  static Result<IpAddress> Parse(std::string_view text);
+  static constexpr IpAddress Any() { return IpAddress(0); }
+  static constexpr IpAddress Loopback() { return IpAddress(127, 0, 0, 1); }
+
+  constexpr uint32_t value() const { return addr_; }
+  bool IsUnspecified() const { return addr_ == 0; }
+
+  std::string ToString() const;
+
+  auto operator<=>(const IpAddress&) const = default;
+
+ private:
+  uint32_t addr_ = 0;
+};
+
+// An IPv6 address (16 octets, network order). Used only as record payload
+// (AAAA); the simulated and real transports in this project are IPv4.
+class Ipv6Address {
+ public:
+  Ipv6Address() : octets_{} {}
+  explicit Ipv6Address(const std::array<uint8_t, 16>& octets)
+      : octets_(octets) {}
+
+  // Parses full and "::"-compressed textual forms (RFC 4291 §2.2), without
+  // the embedded-IPv4 dotted form.
+  static Result<Ipv6Address> Parse(std::string_view text);
+
+  const std::array<uint8_t, 16>& octets() const { return octets_; }
+
+  // Canonical lowercase text form with the longest zero run compressed.
+  std::string ToString() const;
+
+  auto operator<=>(const Ipv6Address&) const = default;
+
+ private:
+  std::array<uint8_t, 16> octets_;
+};
+
+// Transport endpoint: address + port.
+struct Endpoint {
+  IpAddress addr;
+  uint16_t port = 0;
+
+  std::string ToString() const;  // "192.0.2.1:53"
+  static Result<Endpoint> Parse(std::string_view text);
+
+  auto operator<=>(const Endpoint&) const = default;
+};
+
+}  // namespace ldp
+
+template <>
+struct std::hash<ldp::IpAddress> {
+  size_t operator()(const ldp::IpAddress& a) const noexcept {
+    return std::hash<uint32_t>()(a.value());
+  }
+};
+
+template <>
+struct std::hash<ldp::Endpoint> {
+  size_t operator()(const ldp::Endpoint& e) const noexcept {
+    return std::hash<uint64_t>()((uint64_t{e.addr.value()} << 16) | e.port);
+  }
+};
+
+#endif  // LDPLAYER_COMMON_IP_H

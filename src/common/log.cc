@@ -1,0 +1,39 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace ldp {
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_emit_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+namespace internal {
+void Emit(LogLevel level, std::string_view file, int line,
+          std::string_view message) {
+  // Basename only: full paths are noise in terminal output.
+  size_t slash = file.rfind('/');
+  if (slash != std::string_view::npos) file = file.substr(slash + 1);
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s %.*s:%d] %.*s\n", LevelName(level),
+               static_cast<int>(file.size()), file.data(), line,
+               static_cast<int>(message.size()), message.data());
+}
+}  // namespace internal
+
+}  // namespace ldp

@@ -1,0 +1,53 @@
+// Minimal leveled logger. Experiments print their results on stdout; logging
+// goes to stderr so harness output stays machine-parsable.
+#ifndef LDPLAYER_COMMON_LOG_H
+#define LDPLAYER_COMMON_LOG_H
+
+#include <sstream>
+#include <string_view>
+
+namespace ldp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global threshold; messages below it are dropped. Default: kWarn (quiet).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void Emit(LogLevel level, std::string_view file, int line,
+          std::string_view message);
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogLine() { Emit(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define LDP_LOG(level)                                          \
+  if (::ldp::GetLogLevel() > ::ldp::LogLevel::level) {          \
+  } else                                                        \
+    ::ldp::internal::LogLine(::ldp::LogLevel::level, __FILE__, __LINE__)
+
+#define LDP_DEBUG LDP_LOG(kDebug)
+#define LDP_INFO LDP_LOG(kInfo)
+#define LDP_WARN LDP_LOG(kWarn)
+#define LDP_ERROR LDP_LOG(kError)
+
+}  // namespace ldp
+
+#endif  // LDPLAYER_COMMON_LOG_H

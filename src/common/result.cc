@@ -1,0 +1,38 @@
+#include "common/result.h"
+
+namespace ldp {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kParseError: return "PARSE_ERROR";
+    case ErrorCode::kTruncated: return "TRUNCATED";
+    case ErrorCode::kOutOfRange: return "OUT_OF_RANGE";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kIoError: return "IO_ERROR";
+    case ErrorCode::kWouldBlock: return "WOULD_BLOCK";
+    case ErrorCode::kConnectionClosed: return "CONNECTION_CLOSED";
+    case ErrorCode::kTimeout: return "TIMEOUT";
+    case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kUnsupported: return "UNSUPPORTED";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Error::ToString() const {
+  std::string out(ErrorCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Error Error::WithContext(std::string_view context) const {
+  std::string combined(context);
+  combined += ": ";
+  combined += message_;
+  return Error(code_, std::move(combined));
+}
+
+}  // namespace ldp

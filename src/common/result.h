@@ -1,0 +1,141 @@
+// Result<T>: lightweight expected-style error handling for recoverable
+// failures (parse errors, I/O errors, lookup misses). Exceptions are reserved
+// for programming errors; anything a caller is expected to handle flows
+// through Result.
+#ifndef LDPLAYER_COMMON_RESULT_H
+#define LDPLAYER_COMMON_RESULT_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace ldp {
+
+// Broad failure categories; the human-readable message carries the detail.
+enum class ErrorCode {
+  kInvalidArgument,
+  kParseError,
+  kTruncated,      // input ended before a complete value was decoded
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kIoError,
+  kWouldBlock,
+  kConnectionClosed,
+  kTimeout,
+  kResourceExhausted,
+  kUnsupported,
+  kInternal,
+};
+
+std::string_view ErrorCodeName(ErrorCode code);
+
+// An error with a category and a contextual message.
+class Error {
+ public:
+  Error(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "PARSE_ERROR: bad label length" style rendering for logs.
+  std::string ToString() const;
+
+  // Returns a new error with `context + ": "` prepended to the message,
+  // preserving the code. Useful when propagating errors up a parse stack.
+  Error WithContext(std::string_view context) const;
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}         // NOLINT: implicit by design
+  Result(Error error) : rep_(std::move(error)) {}     // NOLINT: implicit by design
+  Result(ErrorCode code, std::string message)
+      : rep_(Error(code, std::move(message))) {}
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(rep_);
+  }
+
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Error> rep_;
+};
+
+// Result<void> analogue.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // success
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT: implicit by design
+  Status(ErrorCode code, std::string message)
+      : error_(Error(code, std::move(message))) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+// Propagate an error from an expression returning Result/Status.
+#define LDP_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    auto _ldp_status = (expr);                     \
+    if (!_ldp_status.ok()) return _ldp_status.error(); \
+  } while (0)
+
+// Evaluate a Result-returning expression; on success bind the value to `lhs`,
+// otherwise return the error from the enclosing function.
+#define LDP_ASSIGN_OR_RETURN(lhs, expr)            \
+  LDP_ASSIGN_OR_RETURN_IMPL_(                      \
+      LDP_RESULT_CONCAT_(_ldp_result_, __LINE__), lhs, expr)
+
+#define LDP_RESULT_CONCAT_INNER_(a, b) a##b
+#define LDP_RESULT_CONCAT_(a, b) LDP_RESULT_CONCAT_INNER_(a, b)
+#define LDP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.error();               \
+  lhs = std::move(tmp).value()
+
+}  // namespace ldp
+
+#endif  // LDPLAYER_COMMON_RESULT_H

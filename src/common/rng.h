@@ -1,0 +1,102 @@
+// Deterministic random number generation. Every stochastic component
+// (workload generators, simulator jitter, sampling mutators) takes an
+// explicit Rng so experiments are reproducible from a single seed — a core
+// LDplayer requirement (paper §2.1 "Repeatability of experiments").
+#ifndef LDPLAYER_COMMON_RNG_H
+#define LDPLAYER_COMMON_RNG_H
+
+#include <cstdint>
+#include <cmath>
+
+namespace ldp {
+
+// xoshiro256** — fast, high-quality, and stable across platforms (unlike
+// std::mt19937_64 distributions, whose outputs vary by standard library).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // splitmix64 expansion of the seed into the full state.
+    for (auto& word : state_) {
+      seed += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t NextU64() {
+    uint64_t* s = state_;
+    uint64_t result = Rotl(s[1] * 5, 7) * 9;
+    uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = Rotl(s[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) {
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (0 - bound) % bound;
+    while (true) {
+      uint64_t r = NextU64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  bool NextBool(double probability_true) {
+    return NextDouble() < probability_true;
+  }
+
+  // Exponentially distributed with the given mean (Poisson inter-arrivals).
+  double NextExponential(double mean) {
+    double u = NextDouble();
+    // Guard against log(0).
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  // Pareto (Lomax-free classic form): xm * U^{-1/alpha}. Heavy-tailed
+  // per-client query loads in the B-Root model use this.
+  double NextPareto(double xm, double alpha) {
+    double u = NextDouble();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return xm * std::pow(u, -1.0 / alpha);
+  }
+
+  // Normal via Box–Muller (no cached second value: simplicity over speed).
+  double NextNormal(double mean, double stddev) {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.28318530717958647692 * u2);
+    return mean + stddev * z;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace ldp
+
+#endif  // LDPLAYER_COMMON_RNG_H

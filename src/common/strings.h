@@ -1,0 +1,39 @@
+// Small string helpers used by the master-file parser, trace text format,
+// and CLI argument handling.
+#ifndef LDPLAYER_COMMON_STRINGS_H
+#define LDPLAYER_COMMON_STRINGS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ldp {
+
+// Splits on a single delimiter; keeps empty fields.
+std::vector<std::string_view> Split(std::string_view text, char delim);
+
+// Splits on runs of spaces/tabs; drops empty fields. The workhorse tokenizer
+// for column-oriented text formats.
+std::vector<std::string_view> SplitWhitespace(std::string_view text);
+
+std::string_view TrimWhitespace(std::string_view text);
+
+std::string ToLower(std::string_view text);
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+Result<int64_t> ParseInt64(std::string_view text);
+Result<uint64_t> ParseUint64(std::string_view text);
+Result<double> ParseDouble(std::string_view text);
+
+// Formats a double with fixed precision without locale surprises.
+std::string FormatDouble(double value, int precision);
+
+}  // namespace ldp
+
+#endif  // LDPLAYER_COMMON_STRINGS_H

@@ -1,0 +1,41 @@
+#include "dns/framing.h"
+
+#include <optional>
+
+namespace ldp::dns {
+
+Bytes FrameMessage(std::span<const uint8_t> wire) {
+  Bytes out;
+  out.reserve(wire.size() + 2);
+  out.push_back(static_cast<uint8_t>(wire.size() >> 8));
+  out.push_back(static_cast<uint8_t>(wire.size()));
+  out.insert(out.end(), wire.begin(), wire.end());
+  return out;
+}
+
+Status StreamAssembler::Feed(std::span<const uint8_t> chunk) {
+  buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
+  size_t cursor = 0;
+  while (buffer_.size() - cursor >= 2) {
+    size_t len = (static_cast<size_t>(buffer_[cursor]) << 8) |
+                 buffer_[cursor + 1];
+    if (len == 0) {
+      return Error(ErrorCode::kParseError, "zero-length DNS frame");
+    }
+    if (buffer_.size() - cursor - 2 < len) break;
+    ready_.emplace_back(buffer_.begin() + cursor + 2,
+                        buffer_.begin() + cursor + 2 + len);
+    cursor += 2 + len;
+  }
+  buffer_.erase(buffer_.begin(), buffer_.begin() + cursor);
+  return Status::Ok();
+}
+
+std::optional<Bytes> StreamAssembler::NextMessage() {
+  if (ready_.empty()) return std::nullopt;
+  Bytes out = std::move(ready_.front());
+  ready_.pop_front();
+  return out;
+}
+
+}  // namespace ldp::dns

@@ -1,0 +1,41 @@
+// DNS-over-stream framing (RFC 1035 §4.2.2): each message is preceded by a
+// two-octet big-endian length. StreamAssembler incrementally reassembles
+// messages from arbitrary chunk boundaries — the core of TCP/TLS replay.
+#ifndef LDPLAYER_DNS_FRAMING_H
+#define LDPLAYER_DNS_FRAMING_H
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace ldp::dns {
+
+// Prepends the 2-byte length prefix.
+Bytes FrameMessage(std::span<const uint8_t> wire);
+
+class StreamAssembler {
+ public:
+  // Feeds a chunk of stream bytes. Complete messages become available via
+  // NextMessage(). Returns an error if a frame declares length 0.
+  Status Feed(std::span<const uint8_t> chunk);
+
+  // Pops the next complete message payload (without the length prefix), or
+  // nullopt when none is buffered.
+  std::optional<Bytes> NextMessage();
+
+  // Bytes currently buffered but not yet forming a complete message.
+  size_t pending_bytes() const { return buffer_.size(); }
+  size_t ready_messages() const { return ready_.size(); }
+
+ private:
+  Bytes buffer_;
+  std::deque<Bytes> ready_;
+};
+
+}  // namespace ldp::dns
+
+#endif  // LDPLAYER_DNS_FRAMING_H

@@ -1,0 +1,262 @@
+#include "dns/message.h"
+
+#include <algorithm>
+
+namespace ldp::dns {
+namespace {
+
+constexpr uint16_t kFlagQr = 0x8000;
+constexpr uint16_t kFlagAa = 0x0400;
+constexpr uint16_t kFlagTc = 0x0200;
+constexpr uint16_t kFlagRd = 0x0100;
+constexpr uint16_t kFlagRa = 0x0080;
+constexpr uint16_t kFlagAd = 0x0020;
+constexpr uint16_t kFlagCd = 0x0010;
+
+// Encodes one RR, returning false (and rolling back) if the result would
+// exceed max_size.
+bool EncodeRecord(const ResourceRecord& rr, NameCompressor& compressor,
+                  ByteWriter& writer, size_t max_size) {
+  compressor.Encode(rr.name, writer);
+  writer.WriteU16(static_cast<uint16_t>(rr.type));
+  writer.WriteU16(static_cast<uint16_t>(rr.klass));
+  writer.WriteU32(rr.ttl);
+  size_t rdlength_offset = writer.size();
+  writer.WriteU16(0);
+  EncodeRdata(rr.rdata, compressor, writer);
+  writer.PatchU16(rdlength_offset,
+                  static_cast<uint16_t>(writer.size() - rdlength_offset - 2));
+  // On overflow the caller discards the partial bytes. The compressor may
+  // retain offsets into the discarded region, which is safe only because
+  // encoding stops entirely once a record fails to fit.
+  return writer.size() <= max_size;
+}
+
+ResourceRecord MakeOptRecord(const Edns& edns, Rcode rcode) {
+  ResourceRecord opt;
+  opt.name = Name::Root();
+  opt.type = RRType::kOPT;
+  opt.klass = static_cast<RRClass>(edns.udp_payload_size);
+  uint32_t ttl = (static_cast<uint32_t>(edns.extended_rcode_high) << 24) |
+                 (static_cast<uint32_t>(edns.version) << 16) |
+                 (edns.do_bit ? 0x8000u : 0u);
+  (void)rcode;
+  opt.ttl = ttl;
+  opt.rdata = GenericRdata{edns.options};
+  return opt;
+}
+
+}  // namespace
+
+std::string Question::ToText() const {
+  return name.ToString() + " " + RRClassToString(klass) + " " +
+         RRTypeToString(type);
+}
+
+Message Message::MakeQuery(Name name, RRType type, bool recursion_desired) {
+  Message msg;
+  msg.rd = recursion_desired;
+  msg.questions.push_back(Question{std::move(name), type, RRClass::kIN});
+  return msg;
+}
+
+Bytes Message::Encode(size_t max_size) const {
+  // Truncation strategy: encode greedily; on the first record that does not
+  // fit, stop, set TC, and re-encode the header. We build the body first and
+  // patch counts afterwards.
+  ByteWriter writer(512);
+  NameCompressor compressor;
+
+  uint16_t flags = 0;
+  if (qr) flags |= kFlagQr;
+  flags |= static_cast<uint16_t>((static_cast<uint16_t>(opcode) & 0xf) << 11);
+  if (aa) flags |= kFlagAa;
+  if (tc) flags |= kFlagTc;
+  if (rd) flags |= kFlagRd;
+  if (ra) flags |= kFlagRa;
+  if (ad) flags |= kFlagAd;
+  if (cd) flags |= kFlagCd;
+  flags |= static_cast<uint16_t>(rcode) & 0xf;
+
+  writer.WriteU16(id);
+  size_t flags_offset = writer.size();
+  writer.WriteU16(flags);
+  writer.WriteU16(static_cast<uint16_t>(questions.size()));
+  size_t ancount_offset = writer.size();
+  writer.WriteU16(0);
+  size_t nscount_offset = writer.size();
+  writer.WriteU16(0);
+  size_t arcount_offset = writer.size();
+  writer.WriteU16(0);
+
+  for (const auto& q : questions) {
+    compressor.Encode(q.name, writer);
+    writer.WriteU16(static_cast<uint16_t>(q.type));
+    writer.WriteU16(static_cast<uint16_t>(q.klass));
+  }
+
+  bool truncated = false;
+  uint16_t ancount = 0, nscount = 0, arcount = 0;
+
+  // Reserve room for the OPT RR so truncation never drops EDNS itself.
+  size_t opt_reserve = 0;
+  ResourceRecord opt_rr;
+  if (edns.has_value()) {
+    opt_rr = MakeOptRecord(*edns, rcode);
+    opt_reserve = 1 + 2 + 2 + 4 + 2 + edns->options.size();  // root + fixed
+  }
+  size_t body_limit = max_size > opt_reserve ? max_size - opt_reserve : 0;
+
+  auto encode_section = [&](const std::vector<ResourceRecord>& section,
+                            uint16_t& count) {
+    for (const auto& rr : section) {
+      if (truncated) return;
+      size_t before = writer.size();
+      if (!EncodeRecord(rr, compressor, writer, body_limit)) {
+        truncated = true;
+        // Drop the partial record by re-encoding everything up to `before`.
+        Bytes kept(writer.data().begin(), writer.data().begin() + before);
+        writer = ByteWriter(kept.size());
+        writer.WriteBytes(kept);
+        return;
+      }
+      ++count;
+    }
+  };
+
+  encode_section(answers, ancount);
+  encode_section(authorities, nscount);
+  encode_section(additionals, arcount);
+
+  if (edns.has_value()) {
+    NameCompressor opt_compressor;  // OPT owner is root; no compression value
+    EncodeRecord(opt_rr, opt_compressor, writer, max_size);
+    ++arcount;
+  }
+
+  writer.PatchU16(ancount_offset, ancount);
+  writer.PatchU16(nscount_offset, nscount);
+  writer.PatchU16(arcount_offset, arcount);
+  if (truncated) {
+    writer.PatchU16(flags_offset, flags | kFlagTc);
+  }
+  return std::move(writer).Take();
+}
+
+Result<Message> Message::Decode(std::span<const uint8_t> wire) {
+  ByteReader reader(wire);
+  Message msg;
+
+  LDP_ASSIGN_OR_RETURN(msg.id, reader.ReadU16());
+  LDP_ASSIGN_OR_RETURN(uint16_t flags, reader.ReadU16());
+  msg.qr = flags & kFlagQr;
+  msg.opcode = static_cast<Opcode>((flags >> 11) & 0xf);
+  msg.aa = flags & kFlagAa;
+  msg.tc = flags & kFlagTc;
+  msg.rd = flags & kFlagRd;
+  msg.ra = flags & kFlagRa;
+  msg.ad = flags & kFlagAd;
+  msg.cd = flags & kFlagCd;
+  uint8_t rcode_low = flags & 0xf;
+  msg.rcode = static_cast<Rcode>(rcode_low);
+
+  LDP_ASSIGN_OR_RETURN(uint16_t qdcount, reader.ReadU16());
+  LDP_ASSIGN_OR_RETURN(uint16_t ancount, reader.ReadU16());
+  LDP_ASSIGN_OR_RETURN(uint16_t nscount, reader.ReadU16());
+  LDP_ASSIGN_OR_RETURN(uint16_t arcount, reader.ReadU16());
+
+  for (uint16_t i = 0; i < qdcount; ++i) {
+    Question q;
+    LDP_ASSIGN_OR_RETURN(q.name, DecodeName(reader));
+    LDP_ASSIGN_OR_RETURN(uint16_t type, reader.ReadU16());
+    LDP_ASSIGN_OR_RETURN(uint16_t klass, reader.ReadU16());
+    q.type = static_cast<RRType>(type);
+    q.klass = static_cast<RRClass>(klass);
+    msg.questions.push_back(std::move(q));
+  }
+
+  auto decode_records = [&](uint16_t count, std::vector<ResourceRecord>& out,
+                            bool allow_opt) -> Status {
+    for (uint16_t i = 0; i < count; ++i) {
+      ResourceRecord rr;
+      LDP_ASSIGN_OR_RETURN(rr.name, DecodeName(reader));
+      LDP_ASSIGN_OR_RETURN(uint16_t type, reader.ReadU16());
+      LDP_ASSIGN_OR_RETURN(uint16_t klass, reader.ReadU16());
+      LDP_ASSIGN_OR_RETURN(rr.ttl, reader.ReadU32());
+      LDP_ASSIGN_OR_RETURN(uint16_t rdlength, reader.ReadU16());
+      rr.type = static_cast<RRType>(type);
+      rr.klass = static_cast<RRClass>(klass);
+
+      if (rr.type == RRType::kOPT) {
+        if (!allow_opt) {
+          return Error(ErrorCode::kParseError, "OPT outside additional section");
+        }
+        Edns edns;
+        edns.udp_payload_size = klass;
+        edns.extended_rcode_high = static_cast<uint8_t>(rr.ttl >> 24);
+        edns.version = static_cast<uint8_t>(rr.ttl >> 16);
+        edns.do_bit = (rr.ttl & 0x8000) != 0;
+        LDP_ASSIGN_OR_RETURN(edns.options, reader.ReadBytes(rdlength));
+        msg.edns = std::move(edns);
+        continue;
+      }
+      LDP_ASSIGN_OR_RETURN(rr.rdata, DecodeRdata(rr.type, rdlength, reader));
+      out.push_back(std::move(rr));
+    }
+    return Status::Ok();
+  };
+
+  LDP_RETURN_IF_ERROR(decode_records(ancount, msg.answers, false));
+  LDP_RETURN_IF_ERROR(decode_records(nscount, msg.authorities, false));
+  LDP_RETURN_IF_ERROR(decode_records(arcount, msg.additionals, true));
+
+  if (msg.edns.has_value()) {
+    msg.rcode = static_cast<Rcode>(
+        (static_cast<uint16_t>(msg.edns->extended_rcode_high) << 4) |
+        rcode_low);
+  }
+  return msg;
+}
+
+bool Message::Matches(const Message& query) const {
+  if (!qr || id != query.id) return false;
+  if (questions.empty() || query.questions.empty()) {
+    // Responses may omit the question only in rare cases; accept on id.
+    return true;
+  }
+  return questions[0] == query.questions[0];
+}
+
+std::string Message::ToText() const {
+  std::string out;
+  out += ";; " + std::string(qr ? "response" : "query") + " id=" +
+         std::to_string(id) + " " + std::string(OpcodeToString(opcode)) + " " +
+         std::string(RcodeToString(rcode));
+  out += " flags=";
+  if (aa) out += " aa";
+  if (tc) out += " tc";
+  if (rd) out += " rd";
+  if (ra) out += " ra";
+  if (ad) out += " ad";
+  if (cd) out += " cd";
+  out += "\n";
+  if (edns.has_value()) {
+    out += ";; EDNS v" + std::to_string(edns->version) + " udp=" +
+           std::to_string(edns->udp_payload_size) +
+           (edns->do_bit ? " do" : "") + "\n";
+  }
+  out += ";; QUESTION (" + std::to_string(questions.size()) + ")\n";
+  for (const auto& q : questions) out += ";  " + q.ToText() + "\n";
+  auto section = [&](const char* label,
+                     const std::vector<ResourceRecord>& records) {
+    out += ";; " + std::string(label) + " (" +
+           std::to_string(records.size()) + ")\n";
+    for (const auto& rr : records) out += rr.ToText() + "\n";
+  };
+  section("ANSWER", answers);
+  section("AUTHORITY", authorities);
+  section("ADDITIONAL", additionals);
+  return out;
+}
+
+}  // namespace ldp::dns

@@ -1,0 +1,149 @@
+// Typed RDATA payloads (RFC 1035 §3.3, RFC 4034) with wire and presentation
+// codecs. Unknown types round-trip losslessly through GenericRdata using the
+// RFC 3597 \# convention.
+#ifndef LDPLAYER_DNS_RDATA_H
+#define LDPLAYER_DNS_RDATA_H
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/ip.h"
+#include "common/result.h"
+#include "dns/name.h"
+#include "dns/types.h"
+
+namespace ldp::dns {
+
+struct ARdata {
+  IpAddress address;
+  bool operator==(const ARdata&) const = default;
+};
+
+struct AaaaRdata {
+  Ipv6Address address;
+  bool operator==(const AaaaRdata&) const = default;
+};
+
+struct NsRdata {
+  Name nsdname;
+  bool operator==(const NsRdata&) const = default;
+};
+
+struct CnameRdata {
+  Name target;
+  bool operator==(const CnameRdata&) const = default;
+};
+
+struct PtrRdata {
+  Name target;
+  bool operator==(const PtrRdata&) const = default;
+};
+
+struct SoaRdata {
+  Name mname;     // primary nameserver
+  Name rname;     // responsible mailbox
+  uint32_t serial = 0;
+  uint32_t refresh = 0;
+  uint32_t retry = 0;
+  uint32_t expire = 0;
+  uint32_t minimum = 0;  // negative-caching TTL (RFC 2308)
+  bool operator==(const SoaRdata&) const = default;
+};
+
+struct MxRdata {
+  uint16_t preference = 0;
+  Name exchange;
+  bool operator==(const MxRdata&) const = default;
+};
+
+struct TxtRdata {
+  // One or more <character-string>s, each <= 255 octets on the wire.
+  std::vector<std::string> strings;
+  bool operator==(const TxtRdata&) const = default;
+};
+
+struct SrvRdata {
+  uint16_t priority = 0;
+  uint16_t weight = 0;
+  uint16_t port = 0;
+  Name target;
+  bool operator==(const SrvRdata&) const = default;
+};
+
+struct DsRdata {
+  uint16_t key_tag = 0;
+  uint8_t algorithm = 0;
+  uint8_t digest_type = 0;
+  Bytes digest;
+  bool operator==(const DsRdata&) const = default;
+};
+
+struct DnskeyRdata {
+  uint16_t flags = 0;      // 256 = ZSK, 257 = KSK
+  uint8_t protocol = 3;    // always 3 (RFC 4034 §2.1.2)
+  uint8_t algorithm = 0;   // 8 = RSASHA256 in our synthetic zones
+  Bytes public_key;
+  bool operator==(const DnskeyRdata&) const = default;
+};
+
+struct RrsigRdata {
+  RRType type_covered = RRType::kA;
+  uint8_t algorithm = 0;
+  uint8_t labels = 0;
+  uint32_t original_ttl = 0;
+  uint32_t expiration = 0;  // seconds since epoch
+  uint32_t inception = 0;
+  uint16_t key_tag = 0;
+  Name signer;
+  Bytes signature;
+  bool operator==(const RrsigRdata&) const = default;
+};
+
+struct NsecRdata {
+  Name next;
+  std::vector<RRType> types;  // kept sorted by numeric value
+  bool operator==(const NsecRdata&) const = default;
+};
+
+// Fallback for types without a dedicated struct; also used for OPT options.
+struct GenericRdata {
+  Bytes data;
+  bool operator==(const GenericRdata&) const = default;
+};
+
+using Rdata = std::variant<ARdata, AaaaRdata, NsRdata, CnameRdata, PtrRdata,
+                           SoaRdata, MxRdata, TxtRdata, SrvRdata, DsRdata,
+                           DnskeyRdata, RrsigRdata, NsecRdata, GenericRdata>;
+
+// Appends the RDATA wire form (without the RDLENGTH prefix). Names inside
+// RDATA are compressed only for the types where RFC 1035/3597 permit it
+// (NS, CNAME, PTR, SOA, MX); DNSSEC types always encode uncompressed.
+void EncodeRdata(const Rdata& rdata, NameCompressor& compressor,
+                 ByteWriter& writer);
+
+// Decodes RDLENGTH octets at the reader's cursor into a typed payload.
+// `reader` must be positioned inside the full message buffer so that
+// compression pointers resolve.
+Result<Rdata> DecodeRdata(RRType type, uint16_t rdlength, ByteReader& reader);
+
+// Presentation format (master-file RHS), e.g. "10 mail.example.com." for MX.
+std::string RdataToText(const Rdata& rdata);
+
+// Parses master-file tokens into a typed payload for the given RRType.
+Result<Rdata> RdataFromText(RRType type,
+                            const std::vector<std::string_view>& tokens);
+
+// The RRType a typed payload corresponds to (GenericRdata needs the caller
+// to track its type; this returns kANY for it).
+RRType RdataType(const Rdata& rdata);
+
+// Wire length of the encoded RDATA with no compression (used for response
+// size accounting).
+size_t RdataWireLength(const Rdata& rdata);
+
+}  // namespace ldp::dns
+
+#endif  // LDPLAYER_DNS_RDATA_H

@@ -1,0 +1,20 @@
+#include "dns/rr.h"
+
+namespace ldp::dns {
+
+std::string ResourceRecord::ToText() const {
+  return name.ToString() + " " + std::to_string(ttl) + " " +
+         RRClassToString(klass) + " " + RRTypeToString(type) + " " +
+         RdataToText(rdata);
+}
+
+std::vector<ResourceRecord> RRset::ToRecords() const {
+  std::vector<ResourceRecord> records;
+  records.reserve(rdatas.size());
+  for (const auto& rdata : rdatas) {
+    records.push_back(ResourceRecord{name, type, klass, ttl, rdata});
+  }
+  return records;
+}
+
+}  // namespace ldp::dns

@@ -1,0 +1,48 @@
+// ResourceRecord and RRset containers.
+#ifndef LDPLAYER_DNS_RR_H
+#define LDPLAYER_DNS_RR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/rdata.h"
+#include "dns/types.h"
+
+namespace ldp::dns {
+
+struct ResourceRecord {
+  Name name;
+  RRType type = RRType::kA;
+  RRClass klass = RRClass::kIN;
+  uint32_t ttl = 0;
+  Rdata rdata = GenericRdata{};
+
+  // One-line master-file rendering: "name ttl class type rdata".
+  std::string ToText() const;
+
+  bool operator==(const ResourceRecord&) const = default;
+};
+
+// All records sharing (name, type, class); the unit of DNS responses and of
+// DNSSEC signing.
+struct RRset {
+  Name name;
+  RRType type = RRType::kA;
+  RRClass klass = RRClass::kIN;
+  uint32_t ttl = 0;
+  std::vector<Rdata> rdatas;
+
+  bool empty() const { return rdatas.empty(); }
+  size_t size() const { return rdatas.size(); }
+
+  // Expands into individual records (shared TTL).
+  std::vector<ResourceRecord> ToRecords() const;
+
+  bool operator==(const RRset&) const = default;
+};
+
+}  // namespace ldp::dns
+
+#endif  // LDPLAYER_DNS_RR_H

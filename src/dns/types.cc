@@ -1,0 +1,108 @@
+#include "dns/types.h"
+
+#include "common/strings.h"
+
+namespace ldp::dns {
+namespace {
+
+struct TypeName {
+  RRType type;
+  std::string_view name;
+};
+
+constexpr TypeName kTypeNames[] = {
+    {RRType::kA, "A"},         {RRType::kNS, "NS"},
+    {RRType::kCNAME, "CNAME"}, {RRType::kSOA, "SOA"},
+    {RRType::kPTR, "PTR"},     {RRType::kMX, "MX"},
+    {RRType::kTXT, "TXT"},     {RRType::kAAAA, "AAAA"},
+    {RRType::kSRV, "SRV"},     {RRType::kOPT, "OPT"},
+    {RRType::kDS, "DS"},       {RRType::kRRSIG, "RRSIG"},
+    {RRType::kNSEC, "NSEC"},   {RRType::kDNSKEY, "DNSKEY"},
+    {RRType::kCAA, "CAA"},     {RRType::kANY, "ANY"},
+    {RRType::kAXFR, "AXFR"},
+};
+
+struct ClassName {
+  RRClass klass;
+  std::string_view name;
+};
+
+constexpr ClassName kClassNames[] = {
+    {RRClass::kIN, "IN"},     {RRClass::kCH, "CH"},
+    {RRClass::kHS, "HS"},     {RRClass::kNone, "NONE"},
+    {RRClass::kAny, "ANY"},
+};
+
+}  // namespace
+
+std::string RRTypeToString(RRType type) {
+  for (const auto& entry : kTypeNames) {
+    if (entry.type == type) return std::string(entry.name);
+  }
+  return "TYPE" + std::to_string(static_cast<uint16_t>(type));
+}
+
+Result<RRType> RRTypeFromString(std::string_view text) {
+  for (const auto& entry : kTypeNames) {
+    if (EqualsIgnoreCase(text, entry.name)) return entry.type;
+  }
+  if (StartsWith(text, "TYPE") || StartsWith(text, "type")) {
+    LDP_ASSIGN_OR_RETURN(uint64_t value, ParseUint64(text.substr(4)));
+    if (value > 0xffff) {
+      return Error(ErrorCode::kOutOfRange, "RR type > 65535");
+    }
+    return static_cast<RRType>(value);
+  }
+  return Error(ErrorCode::kParseError,
+               "unknown RR type: " + std::string(text));
+}
+
+std::string RRClassToString(RRClass klass) {
+  for (const auto& entry : kClassNames) {
+    if (entry.klass == klass) return std::string(entry.name);
+  }
+  return "CLASS" + std::to_string(static_cast<uint16_t>(klass));
+}
+
+Result<RRClass> RRClassFromString(std::string_view text) {
+  for (const auto& entry : kClassNames) {
+    if (EqualsIgnoreCase(text, entry.name)) return entry.klass;
+  }
+  if (StartsWith(text, "CLASS") || StartsWith(text, "class")) {
+    LDP_ASSIGN_OR_RETURN(uint64_t value, ParseUint64(text.substr(5)));
+    if (value > 0xffff) {
+      return Error(ErrorCode::kOutOfRange, "RR class > 65535");
+    }
+    return static_cast<RRClass>(value);
+  }
+  return Error(ErrorCode::kParseError,
+               "unknown RR class: " + std::string(text));
+}
+
+std::string_view RcodeToString(Rcode rcode) {
+  switch (rcode) {
+    case Rcode::kNoError: return "NOERROR";
+    case Rcode::kFormErr: return "FORMERR";
+    case Rcode::kServFail: return "SERVFAIL";
+    case Rcode::kNxDomain: return "NXDOMAIN";
+    case Rcode::kNotImp: return "NOTIMP";
+    case Rcode::kRefused: return "REFUSED";
+    case Rcode::kYXDomain: return "YXDOMAIN";
+    case Rcode::kNotAuth: return "NOTAUTH";
+    case Rcode::kNotZone: return "NOTZONE";
+  }
+  return "RCODE?";
+}
+
+std::string_view OpcodeToString(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kQuery: return "QUERY";
+    case Opcode::kIQuery: return "IQUERY";
+    case Opcode::kStatus: return "STATUS";
+    case Opcode::kNotify: return "NOTIFY";
+    case Opcode::kUpdate: return "UPDATE";
+  }
+  return "OPCODE?";
+}
+
+}  // namespace ldp::dns

@@ -1,0 +1,75 @@
+// DNS enumerations: record types, classes, opcodes, response codes
+// (RFC 1035 §3.2, RFC 2136, RFC 4034, RFC 6891).
+#ifndef LDPLAYER_DNS_TYPES_H
+#define LDPLAYER_DNS_TYPES_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace ldp::dns {
+
+enum class RRType : uint16_t {
+  kA = 1,
+  kNS = 2,
+  kCNAME = 5,
+  kSOA = 6,
+  kPTR = 12,
+  kMX = 15,
+  kTXT = 16,
+  kAAAA = 28,
+  kSRV = 33,
+  kOPT = 41,    // EDNS0 pseudo-RR (RFC 6891)
+  kDS = 43,     // RFC 4034
+  kRRSIG = 46,  // RFC 4034
+  kNSEC = 47,   // RFC 4034
+  kDNSKEY = 48, // RFC 4034
+  kCAA = 257,
+  kAXFR = 252,  // zone-transfer QTYPE (RFC 5936); stream transports only
+  kANY = 255,
+};
+
+enum class RRClass : uint16_t {
+  kIN = 1,
+  kCH = 3,
+  kHS = 4,
+  kNone = 254,
+  kAny = 255,
+};
+
+enum class Opcode : uint8_t {
+  kQuery = 0,
+  kIQuery = 1,
+  kStatus = 2,
+  kNotify = 4,
+  kUpdate = 5,
+};
+
+enum class Rcode : uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+  kNotImp = 4,
+  kRefused = 5,
+  kYXDomain = 6,
+  kNotAuth = 9,
+  kNotZone = 10,
+};
+
+// Mnemonic <-> value conversions. Unknown types render/parse using the
+// RFC 3597 "TYPE12345" convention, so the codec never loses information.
+std::string RRTypeToString(RRType type);
+Result<RRType> RRTypeFromString(std::string_view text);
+
+std::string RRClassToString(RRClass klass);
+Result<RRClass> RRClassFromString(std::string_view text);
+
+std::string_view RcodeToString(Rcode rcode);
+std::string_view OpcodeToString(Opcode opcode);
+
+}  // namespace ldp::dns
+
+#endif  // LDPLAYER_DNS_TYPES_H

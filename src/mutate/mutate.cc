@@ -1,0 +1,114 @@
+#include "mutate/mutate.h"
+
+#include <cmath>
+
+namespace ldp::mutate {
+namespace {
+
+// splitmix64: index+seed -> uniform u64, for deterministic per-record coins.
+uint64_t HashIndex(uint64_t index, uint64_t seed) {
+  uint64_t z = index + seed * 0x9e3779b97f4a7c15ULL + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+bool Coin(uint64_t index, uint64_t seed, double probability) {
+  return static_cast<double>(HashIndex(index, seed) >> 11) * 0x1.0p-53 <
+         probability;
+}
+
+}  // namespace
+
+void MutationPipeline::Apply(std::vector<trace::QueryRecord>& records) const {
+  size_t write = 0;
+  for (size_t read = 0; read < records.size(); ++read) {
+    trace::QueryRecord& record = records[read];
+    if (ApplyOne(record, read)) {
+      if (write != read) records[write] = std::move(record);
+      ++write;
+    }
+  }
+  records.resize(write);
+}
+
+bool MutationPipeline::ApplyOne(trace::QueryRecord& record,
+                                size_t index) const {
+  for (const auto& pass : passes_) {
+    if (!pass(record, index)) return false;
+  }
+  return true;
+}
+
+Mutation ForceProtocol(trace::Protocol protocol) {
+  return [protocol](trace::QueryRecord& record, size_t) {
+    record.protocol = protocol;
+    return true;
+  };
+}
+
+Mutation SetDnssecOk(double fraction, uint64_t seed) {
+  return [fraction, seed](trace::QueryRecord& record, size_t index) {
+    bool want = fraction >= 1.0 || Coin(index, seed, fraction);
+    record.do_bit = want;
+    if (want) {
+      record.edns = true;
+      if (record.udp_payload_size == 0) record.udp_payload_size = 4096;
+    }
+    return true;
+  };
+}
+
+Mutation SetEdnsSize(uint16_t size) {
+  return [size](trace::QueryRecord& record, size_t) {
+    if (record.edns) record.udp_payload_size = size;
+    return true;
+  };
+}
+
+Mutation PrependUniqueLabel(std::string prefix) {
+  return [prefix = std::move(prefix)](trace::QueryRecord& record,
+                                      size_t index) {
+    auto child = record.qname.Child(prefix + std::to_string(index));
+    if (child.ok()) record.qname = std::move(*child);
+    // Names already at the 255-octet limit keep their original qname: the
+    // replay still works, the query just cannot be uniquely matched.
+    return true;
+  };
+}
+
+Mutation TimeScale(double factor) {
+  return [factor](trace::QueryRecord& record, size_t) {
+    record.timestamp = static_cast<NanoTime>(
+        std::llround(static_cast<double>(record.timestamp) * factor));
+    return true;
+  };
+}
+
+Mutation TimeShift(NanoDuration delta) {
+  return [delta](trace::QueryRecord& record, size_t) {
+    record.timestamp += delta;
+    return true;
+  };
+}
+
+Mutation RebaseToZero(NanoTime first_timestamp) {
+  return [first_timestamp](trace::QueryRecord& record, size_t) {
+    record.timestamp -= first_timestamp;
+    return true;
+  };
+}
+
+Mutation Sample(double fraction, uint64_t seed) {
+  return [fraction, seed](trace::QueryRecord&, size_t index) {
+    return Coin(index, seed, fraction);
+  };
+}
+
+Mutation KeepOnlyProtocol(trace::Protocol protocol) {
+  return [protocol](trace::QueryRecord& record, size_t) {
+    return record.protocol == protocol;
+  };
+}
+
+}  // namespace ldp::mutate

@@ -1,0 +1,81 @@
+// Query mutation (paper §2.5): composable passes that transform a trace
+// into a "what-if" variant — all-TCP, all-TLS, 100% DNSSEC, scaled time,
+// sampled load. A pass sees each record (with its index) and returns
+// whether to keep it, so rewrites and filters compose in one pipeline.
+//
+// Passes run over the in-memory record vector (the pre-processing lane of
+// Figure 3); MutationPipeline::ApplyOne supports streaming use at lower
+// rates ("in principle ... manipulate a live query stream", §2.2).
+#ifndef LDPLAYER_MUTATE_MUTATE_H
+#define LDPLAYER_MUTATE_MUTATE_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "trace/record.h"
+
+namespace ldp::mutate {
+
+// Returns true to keep the record, false to drop it from the trace.
+using Mutation = std::function<bool(trace::QueryRecord&, size_t index)>;
+
+class MutationPipeline {
+ public:
+  MutationPipeline& Add(Mutation mutation) {
+    passes_.push_back(std::move(mutation));
+    return *this;
+  }
+
+  // In-place transformation of a whole trace.
+  void Apply(std::vector<trace::QueryRecord>& records) const;
+
+  // Streaming: mutate one record; false means the record was dropped.
+  bool ApplyOne(trace::QueryRecord& record, size_t index) const;
+
+  size_t pass_count() const { return passes_.size(); }
+
+ private:
+  std::vector<Mutation> passes_;
+};
+
+// --- Protocol & DNSSEC what-ifs (paper §5) ---
+
+// Rewrites every query's transport: the §5.2 all-TCP / all-TLS experiments.
+Mutation ForceProtocol(trace::Protocol protocol);
+
+// Sets the DO bit (and EDNS) on a deterministic `fraction` of queries;
+// 1.0 = the §5.1 "all queries with DO bit" scenario. Selection is by a
+// seeded hash of the index so re-runs are identical.
+Mutation SetDnssecOk(double fraction, uint64_t seed = 0xd0);
+
+// Forces an EDNS payload size on queries that carry EDNS.
+Mutation SetEdnsSize(uint16_t size);
+
+// --- Replay bookkeeping ---
+
+// Prepends "<prefix><index>." to each qname, the paper's §4.2 technique for
+// matching replayed queries with responses after the fact.
+Mutation PrependUniqueLabel(std::string prefix);
+
+// --- Time manipulation ---
+
+// Multiplies timestamps by `factor` (2.0 = half speed, 0.5 = double rate).
+Mutation TimeScale(double factor);
+// Adds a constant offset.
+Mutation TimeShift(NanoDuration delta);
+// Rebases the trace so the first record is at t=0 (index-order aware).
+Mutation RebaseToZero(NanoTime first_timestamp);
+
+// --- Load shaping ---
+
+// Keeps a deterministic `fraction` of queries.
+Mutation Sample(double fraction, uint64_t seed = 0x5a);
+
+// Drops queries not using `protocol`.
+Mutation KeepOnlyProtocol(trace::Protocol protocol);
+
+}  // namespace ldp::mutate
+
+#endif  // LDPLAYER_MUTATE_MUTATE_H

@@ -1,0 +1,128 @@
+// Event-driven I/O for the real-socket lane (paper §3: "processes use
+// event-driven programming to minimize state and scale to a large number of
+// concurrent TCP connections"). epoll readiness callbacks plus a nanosecond
+// timer heap; timer resolution uses epoll_pwait2 when available so replay
+// scheduling error stays well under a millisecond (§4.2).
+#ifndef LDPLAYER_NET_EVENT_LOOP_H
+#define LDPLAYER_NET_EVENT_LOOP_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+
+namespace ldp::net {
+
+// RAII file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { Reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release();
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+// Bitmask passed to I/O handlers.
+struct IoEvents {
+  bool readable = false;
+  bool writable = false;
+  bool error = false;
+  bool hangup = false;
+};
+
+using IoHandler = std::function<void(IoEvents)>;
+
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+  void Cancel();
+  bool active() const;
+
+ private:
+  friend class EventLoop;
+  struct Flag {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit TimerHandle(std::shared_ptr<Flag> flag) : flag_(std::move(flag)) {}
+  std::shared_ptr<Flag> flag_;
+};
+
+class EventLoop {
+ public:
+  static Result<std::unique_ptr<EventLoop>> Create();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Registers fd with the given interest; the handler fires on readiness.
+  Status Add(int fd, bool want_read, bool want_write, IoHandler handler);
+  Status Modify(int fd, bool want_read, bool want_write);
+  void Remove(int fd);
+
+  // One-shot timer on CLOCK_MONOTONIC.
+  TimerHandle ScheduleAt(NanoTime deadline, std::function<void()> fn);
+  TimerHandle ScheduleAfter(NanoDuration delay, std::function<void()> fn) {
+    return ScheduleAt(MonotonicNow() + delay, std::move(fn));
+  }
+
+  // Runs until Stop() is called AND no registered fds remain... in practice
+  // callers call Stop() explicitly; Run returns after Stop.
+  void Run();
+  void Stop() { stopped_ = true; }
+
+  // Processes due timers and at most one epoll batch; `wait` bounds the
+  // blocking time (<=0: poll without blocking).
+  Status RunOnce(NanoDuration wait);
+
+  size_t registered_fds() const { return handlers_.size(); }
+  size_t pending_timers() const { return timers_.size(); }
+
+ private:
+  explicit EventLoop(int epoll_fd) : epoll_fd_(epoll_fd) {}
+
+  struct Timer {
+    NanoTime deadline;
+    uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<TimerHandle::Flag> flag;
+  };
+  struct TimerLater {
+    bool operator()(const Timer& a, const Timer& b) const {
+      if (a.deadline != b.deadline) return a.deadline > b.deadline;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Fires all due timers; returns the delay until the next one (or `cap`).
+  NanoDuration FireDueTimers(NanoDuration cap);
+
+  Fd epoll_fd_;
+  bool stopped_ = false;
+  uint64_t next_timer_seq_ = 0;
+  std::unordered_map<int, std::shared_ptr<IoHandler>> handlers_;
+  std::priority_queue<Timer, std::vector<Timer>, TimerLater> timers_;
+};
+
+// Makes a socket non-blocking; returns the error from fcntl if any.
+Status SetNonBlocking(int fd);
+
+}  // namespace ldp::net
+
+#endif  // LDPLAYER_NET_EVENT_LOOP_H

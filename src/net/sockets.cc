@@ -1,0 +1,305 @@
+#include "net/sockets.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace ldp::net {
+namespace {
+
+sockaddr_in ToSockaddr(Endpoint endpoint) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port);
+  addr.sin_addr.s_addr = htonl(endpoint.addr.value());
+  return addr;
+}
+
+Endpoint FromSockaddr(const sockaddr_in& addr) {
+  return Endpoint{IpAddress(ntohl(addr.sin_addr.s_addr)),
+                  ntohs(addr.sin_port)};
+}
+
+Result<Endpoint> LocalEndpoint(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Error(ErrorCode::kIoError,
+                 std::string("getsockname: ") + std::strerror(errno));
+  }
+  return FromSockaddr(addr);
+}
+
+Error Errno(const char* what) {
+  return Error(ErrorCode::kIoError, std::string(what) + ": " +
+                                        std::strerror(errno));
+}
+
+}  // namespace
+
+// --- UdpSocket ---
+
+Result<std::unique_ptr<UdpSocket>> UdpSocket::Bind(
+    EventLoop& loop, Endpoint local, DatagramHandler on_datagram) {
+  Fd fd(::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Errno("socket(UDP)");
+
+  sockaddr_in addr = ToSockaddr(local);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno(("bind " + local.ToString()).c_str());
+  }
+  LDP_ASSIGN_OR_RETURN(Endpoint bound, LocalEndpoint(fd.get()));
+
+  auto socket = std::unique_ptr<UdpSocket>(
+      new UdpSocket(loop, std::move(fd), bound, std::move(on_datagram)));
+  UdpSocket* raw = socket.get();
+  LDP_RETURN_IF_ERROR(loop.Add(raw->fd_.get(), /*want_read=*/true,
+                               /*want_write=*/false,
+                               [raw](IoEvents) { raw->OnReadable(); }));
+  return socket;
+}
+
+UdpSocket::~UdpSocket() {
+  if (fd_.valid()) loop_.Remove(fd_.get());
+}
+
+Status UdpSocket::SendTo(std::span<const uint8_t> payload, Endpoint to) {
+  sockaddr_in addr = ToSockaddr(to);
+  ssize_t sent =
+      ::sendto(fd_.get(), payload.data(), payload.size(), 0,
+               reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (sent < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // UDP send buffer full: datagram lost, as it would be on the wire.
+      return Error(ErrorCode::kWouldBlock, "UDP send buffer full");
+    }
+    return Errno("sendto");
+  }
+  return Status::Ok();
+}
+
+void UdpSocket::OnReadable() {
+  // Drain the socket: edge cases with level-triggered epoll are fine, but
+  // draining cuts wakeups at high rates.
+  uint8_t buffer[65536];
+  for (int i = 0; i < 64; ++i) {
+    sockaddr_in from{};
+    socklen_t from_len = sizeof(from);
+    ssize_t got = ::recvfrom(fd_.get(), buffer, sizeof(buffer), 0,
+                             reinterpret_cast<sockaddr*>(&from), &from_len);
+    if (got < 0) return;  // EAGAIN or error: stop draining
+    if (on_datagram_) {
+      on_datagram_(std::span<const uint8_t>(buffer, static_cast<size_t>(got)),
+                   FromSockaddr(from));
+    }
+  }
+}
+
+// --- TcpConnection ---
+
+Result<std::unique_ptr<TcpConnection>> TcpConnection::Connect(
+    EventLoop& loop, Endpoint remote, ConnectHandler on_connected,
+    DataHandler on_data, CloseHandler on_close) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Errno("socket(TCP)");
+
+  // The paper disables Nagle at the client (§5.2.1).
+  int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr = ToSockaddr(remote);
+  int rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    return Errno(("connect " + remote.ToString()).c_str());
+  }
+
+  auto conn =
+      std::unique_ptr<TcpConnection>(new TcpConnection(loop, std::move(fd)));
+  conn->remote_ = remote;
+  conn->on_connected_ = std::move(on_connected);
+  conn->on_data_ = std::move(on_data);
+  conn->on_close_ = std::move(on_close);
+  LDP_RETURN_IF_ERROR(conn->Register(/*connecting=*/true));
+  return conn;
+}
+
+TcpConnection::~TcpConnection() {
+  if (fd_.valid()) loop_.Remove(fd_.get());
+}
+
+Status TcpConnection::Register(bool connecting) {
+  want_write_ = connecting;
+  return loop_.Add(fd_.get(), /*want_read=*/true, /*want_write=*/connecting,
+                   [this](IoEvents events) { OnIo(events); });
+}
+
+Status TcpConnection::Send(std::span<const uint8_t> data) {
+  if (closed_) return Error(ErrorCode::kConnectionClosed, "send after close");
+  if (!send_queue_.empty() || !connected_) {
+    send_queue_.insert(send_queue_.end(), data.begin(), data.end());
+    return Status::Ok();
+  }
+  ssize_t sent = ::send(fd_.get(), data.data(), data.size(), MSG_NOSIGNAL);
+  if (sent < 0) {
+    if (errno != EAGAIN && errno != EWOULDBLOCK) return Errno("send");
+    sent = 0;
+  }
+  if (static_cast<size_t>(sent) < data.size()) {
+    send_queue_.insert(send_queue_.end(), data.begin() + sent, data.end());
+    if (!want_write_) {
+      want_write_ = true;
+      return loop_.Modify(fd_.get(), true, true);
+    }
+  }
+  return Status::Ok();
+}
+
+size_t TcpConnection::queued_bytes() const { return send_queue_.size(); }
+
+void TcpConnection::OnIo(IoEvents events) {
+  if (!connected_) {
+    // Connect completion (or failure).
+    int error = 0;
+    socklen_t len = sizeof(error);
+    ::getsockopt(fd_.get(), SOL_SOCKET, SO_ERROR, &error, &len);
+    if (events.error || error != 0) {
+      closed_ = true;
+      if (on_connected_) {
+        on_connected_(Error(ErrorCode::kIoError,
+                            std::string("connect: ") + std::strerror(error)));
+      }
+      return;
+    }
+    if (events.writable || events.readable) {
+      connected_ = true;
+      auto local = LocalEndpoint(fd_.get());
+      if (local.ok()) local_ = *local;
+      want_write_ = !send_queue_.empty();
+      auto status = loop_.Modify(fd_.get(), true, want_write_);
+      (void)status;
+      if (on_connected_) on_connected_(Status::Ok());
+      FlushSendQueue();
+    }
+    if (!events.readable) return;
+  }
+
+  if (events.readable) {
+    uint8_t buffer[65536];
+    while (true) {
+      ssize_t got = ::recv(fd_.get(), buffer, sizeof(buffer), 0);
+      if (got > 0) {
+        if (on_data_) {
+          on_data_(std::span<const uint8_t>(buffer,
+                                            static_cast<size_t>(got)));
+        }
+        if (closed_) return;
+        continue;
+      }
+      if (got == 0) {
+        HandleClose();
+        return;
+      }
+      break;  // EAGAIN or error
+    }
+  }
+  if (events.writable && connected_) FlushSendQueue();
+  if (events.hangup || events.error) HandleClose();
+}
+
+void TcpConnection::FlushSendQueue() {
+  while (!send_queue_.empty()) {
+    // deque is not contiguous: send in bounded contiguous chunks.
+    uint8_t chunk[16384];
+    size_t n = std::min(send_queue_.size(), sizeof(chunk));
+    std::copy(send_queue_.begin(),
+              send_queue_.begin() + static_cast<ptrdiff_t>(n), chunk);
+    ssize_t sent = ::send(fd_.get(), chunk, n, MSG_NOSIGNAL);
+    if (sent <= 0) break;
+    send_queue_.erase(send_queue_.begin(),
+                      send_queue_.begin() + sent);
+  }
+  bool need_write = !send_queue_.empty();
+  if (need_write != want_write_) {
+    want_write_ = need_write;
+    auto status = loop_.Modify(fd_.get(), true, want_write_);
+    (void)status;
+  }
+}
+
+void TcpConnection::HandleClose() {
+  if (closed_) return;
+  closed_ = true;
+  loop_.Remove(fd_.get());
+  fd_.Reset();
+  if (on_close_) on_close_();
+}
+
+// --- TcpListener ---
+
+Result<std::unique_ptr<TcpListener>> TcpListener::Listen(
+    EventLoop& loop, Endpoint local, AcceptHandler on_accept) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Errno("socket(TCP listener)");
+
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr = ToSockaddr(local);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno(("bind " + local.ToString()).c_str());
+  }
+  if (::listen(fd.get(), 1024) != 0) return Errno("listen");
+  LDP_ASSIGN_OR_RETURN(Endpoint bound, LocalEndpoint(fd.get()));
+
+  auto listener = std::unique_ptr<TcpListener>(
+      new TcpListener(loop, std::move(fd), bound, std::move(on_accept)));
+  TcpListener* raw = listener.get();
+  LDP_RETURN_IF_ERROR(loop.Add(raw->fd_.get(), true, false,
+                               [raw](IoEvents) { raw->OnReadable(); }));
+  return listener;
+}
+
+TcpListener::~TcpListener() {
+  if (fd_.valid()) loop_.Remove(fd_.get());
+}
+
+void TcpListener::OnReadable() {
+  while (true) {
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    int client = ::accept4(fd_.get(), reinterpret_cast<sockaddr*>(&addr),
+                           &len, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (client < 0) return;  // EAGAIN or transient error
+
+    int one = 1;
+    ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::unique_ptr<TcpConnection>(
+        new TcpConnection(loop_, Fd(client)));
+    conn->connected_ = true;
+    conn->remote_ = FromSockaddr(addr);
+    auto local = LocalEndpoint(client);
+    if (local.ok()) conn->local_ = *local;
+    if (on_accept_) on_accept_(std::move(conn));
+  }
+}
+
+Status TcpListener::AdoptHandlers(TcpConnection& conn,
+                                  TcpConnection::DataHandler on_data,
+                                  TcpConnection::CloseHandler on_close) {
+  conn.on_data_ = std::move(on_data);
+  conn.on_close_ = std::move(on_close);
+  return conn.Register(/*connecting=*/false);
+}
+
+}  // namespace ldp::net

@@ -1,0 +1,130 @@
+// Non-blocking UDP and TCP sockets over the event loop. IPv4 only (the
+// testbed address plan is IPv4, like the paper's).
+#ifndef LDPLAYER_NET_SOCKETS_H
+#define LDPLAYER_NET_SOCKETS_H
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "common/bytes.h"
+#include "common/ip.h"
+#include "common/result.h"
+#include "net/event_loop.h"
+
+namespace ldp::net {
+
+// --- UDP ---
+
+class UdpSocket {
+ public:
+  using DatagramHandler =
+      std::function<void(std::span<const uint8_t>, Endpoint from)>;
+
+  // Binds to `local` (port 0 = ephemeral) and registers with the loop.
+  static Result<std::unique_ptr<UdpSocket>> Bind(EventLoop& loop,
+                                                 Endpoint local,
+                                                 DatagramHandler on_datagram);
+  ~UdpSocket();
+
+  Status SendTo(std::span<const uint8_t> payload, Endpoint to);
+  Endpoint local() const { return local_; }
+
+ private:
+  UdpSocket(EventLoop& loop, Fd fd, Endpoint local,
+            DatagramHandler on_datagram)
+      : loop_(loop),
+        fd_(std::move(fd)),
+        local_(local),
+        on_datagram_(std::move(on_datagram)) {}
+  void OnReadable();
+
+  EventLoop& loop_;
+  Fd fd_;
+  Endpoint local_;
+  DatagramHandler on_datagram_;
+};
+
+// --- TCP ---
+
+class TcpConnection {
+ public:
+  using DataHandler = std::function<void(std::span<const uint8_t>)>;
+  using CloseHandler = std::function<void()>;
+  using ConnectHandler = std::function<void(Status)>;
+
+  // Asynchronous connect; `on_connected` fires once with the outcome.
+  static Result<std::unique_ptr<TcpConnection>> Connect(
+      EventLoop& loop, Endpoint remote, ConnectHandler on_connected,
+      DataHandler on_data, CloseHandler on_close);
+
+  ~TcpConnection();
+
+  // Buffered write: queues what the kernel will not take immediately.
+  Status Send(std::span<const uint8_t> data);
+
+  bool connected() const { return connected_; }
+  Endpoint local() const { return local_; }
+  Endpoint remote() const { return remote_; }
+  size_t queued_bytes() const;
+
+ private:
+  friend class TcpListener;
+  TcpConnection(EventLoop& loop, Fd fd) : loop_(loop), fd_(std::move(fd)) {}
+
+  Status Register(bool connecting);
+  void OnIo(IoEvents events);
+  void FlushSendQueue();
+  void HandleClose();
+
+  EventLoop& loop_;
+  Fd fd_;
+  Endpoint local_;
+  Endpoint remote_;
+  bool connected_ = false;
+  bool closed_ = false;
+  bool want_write_ = false;
+  ConnectHandler on_connected_;
+  DataHandler on_data_;
+  CloseHandler on_close_;
+  std::deque<uint8_t> send_queue_;
+};
+
+class TcpListener {
+ public:
+  using AcceptHandler = std::function<void(std::unique_ptr<TcpConnection>)>;
+
+  // The accepted connection is delivered unregistered for data; the callee
+  // assigns handlers via AdoptHandlers and the listener registers it.
+  static Result<std::unique_ptr<TcpListener>> Listen(EventLoop& loop,
+                                                     Endpoint local,
+                                                     AcceptHandler on_accept);
+  ~TcpListener();
+
+  Endpoint local() const { return local_; }
+
+  // Completes setup of an accepted connection: installs handlers and
+  // registers it with the loop.
+  static Status AdoptHandlers(TcpConnection& conn,
+                              TcpConnection::DataHandler on_data,
+                              TcpConnection::CloseHandler on_close);
+
+ private:
+  TcpListener(EventLoop& loop, Fd fd, Endpoint local,
+              AcceptHandler on_accept)
+      : loop_(loop),
+        fd_(std::move(fd)),
+        local_(local),
+        on_accept_(std::move(on_accept)) {}
+  void OnReadable();
+
+  EventLoop& loop_;
+  Fd fd_;
+  Endpoint local_;
+  AcceptHandler on_accept_;
+};
+
+}  // namespace ldp::net
+
+#endif  // LDPLAYER_NET_SOCKETS_H

@@ -1,0 +1,393 @@
+#include "replay/realtime.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "common/log.h"
+#include "dns/framing.h"
+#include "net/sockets.h"
+#include "replay/queue.h"
+#include "replay/sticky.h"
+#include "replay/timing.h"
+#include "stats/timeseries.h"
+
+namespace ldp::replay {
+namespace {
+
+struct QueryJob {
+  uint64_t trace_index;
+  NanoTime trace_time;  // rebased: first query = 0
+  trace::QueryRecord record;
+};
+
+// One logical querier: a UDP socket plus per-source TCP connections.
+class Querier {
+ public:
+  Querier(net::EventLoop& loop, Endpoint server,
+          std::vector<SendOutcome>& sends, std::atomic<uint64_t>& replies)
+      : loop_(loop), server_(server), sends_(sends), replies_(replies) {}
+
+  Status Init() {
+    LDP_ASSIGN_OR_RETURN(
+        udp_, net::UdpSocket::Bind(
+                  loop_, Endpoint{IpAddress::Loopback(), 0},
+                  [this](std::span<const uint8_t> payload, Endpoint) {
+                    OnUdpReply(payload);
+                  }));
+    return Status::Ok();
+  }
+
+  void Send(const QueryJob& job, NanoTime epoch_mono) {
+    epoch_mono_ = epoch_mono;  // reply timestamps share the send epoch
+    dns::Message query = job.record.ToMessage();
+    query.id = next_id_++;
+
+    SendOutcome& outcome = sends_[job.trace_index];
+    outcome.trace_index = job.trace_index;
+    outcome.trace_time = job.trace_time;
+    outcome.sent = MonotonicNow() - epoch_mono;
+
+    if (job.record.protocol == trace::Protocol::kUdp) {
+      udp_inflight_[query.id] = job.trace_index;
+      auto status = udp_->SendTo(query.Encode(), server_);
+      if (!status.ok()) {
+        LDP_DEBUG << "UDP send failed: " << status.error().ToString();
+      }
+      return;
+    }
+    SendTcp(job, query, epoch_mono);
+  }
+
+ private:
+  struct TcpState {
+    std::unique_ptr<net::TcpConnection> conn;
+    dns::StreamAssembler assembler;
+    bool connected = false;
+    std::vector<Bytes> backlog;  // frames awaiting connect completion
+    std::unordered_map<uint16_t, uint64_t> inflight;
+  };
+
+  void OnUdpReply(std::span<const uint8_t> payload) {
+    if (payload.size() < 2) return;
+    uint16_t id = static_cast<uint16_t>((payload[0] << 8) | payload[1]);
+    auto it = udp_inflight_.find(id);
+    if (it == udp_inflight_.end()) return;
+    RecordReply(it->second);
+    udp_inflight_.erase(it);
+  }
+
+  void RecordReply(uint64_t trace_index) {
+    SendOutcome& outcome = sends_[trace_index];
+    if (outcome.replied == 0) {
+      outcome.replied = MonotonicNow() - epoch_mono_;
+      replies_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void SendTcp(const QueryJob& job, const dns::Message& query,
+               NanoTime /*epoch_mono: already latched in Send*/) {
+    IpAddress source = job.record.src;
+    auto it = tcp_.find(source);
+    if (it == tcp_.end()) {
+      it = tcp_.emplace(source, std::make_unique<TcpState>()).first;
+      TcpState* state = it->second.get();
+      auto conn = net::TcpConnection::Connect(
+          loop_, server_,
+          [this, source, state](Status status) {
+            if (!status.ok()) {
+              tcp_.erase(source);
+              return;
+            }
+            state->connected = true;
+            for (auto& frame : state->backlog) {
+              auto send_ok = state->conn->Send(frame);
+              (void)send_ok;
+            }
+            state->backlog.clear();
+          },
+          [this, state](std::span<const uint8_t> data) {
+            OnTcpData(*state, data);
+          },
+          [this, source]() { tcp_.erase(source); });
+      if (!conn.ok()) {
+        tcp_.erase(source);
+        return;
+      }
+      state->conn = std::move(*conn);
+    }
+    TcpState& state = *it->second;
+    state.inflight[query.id] = job.trace_index;
+    Bytes frame = dns::FrameMessage(query.Encode());
+    if (state.connected) {
+      auto status = state.conn->Send(frame);
+      (void)status;
+    } else {
+      state.backlog.push_back(std::move(frame));
+    }
+  }
+
+  void OnTcpData(TcpState& state, std::span<const uint8_t> data) {
+    if (!state.assembler.Feed(data).ok()) return;
+    while (auto wire = state.assembler.NextMessage()) {
+      if (wire->size() < 2) continue;
+      uint16_t id = static_cast<uint16_t>(((*wire)[0] << 8) | (*wire)[1]);
+      auto it = state.inflight.find(id);
+      if (it == state.inflight.end()) continue;
+      RecordReply(it->second);
+      state.inflight.erase(it);
+    }
+  }
+
+  net::EventLoop& loop_;
+  Endpoint server_;
+  std::vector<SendOutcome>& sends_;
+  std::atomic<uint64_t>& replies_;
+  std::unique_ptr<net::UdpSocket> udp_;
+  std::unordered_map<uint16_t, uint64_t> udp_inflight_;
+  std::unordered_map<IpAddress, std::unique_ptr<TcpState>> tcp_;
+  uint16_t next_id_ = 1;
+  NanoTime epoch_mono_ = 0;
+};
+
+// A distributor thread: event loop + sticky querier assignment + the
+// ΔT scheduler.
+class Distributor {
+ public:
+  Distributor(const RealtimeConfig& config, NanoTime trace_epoch_rebased,
+              NanoTime epoch_mono, std::vector<SendOutcome>& sends,
+              std::atomic<uint64_t>& sent, std::atomic<uint64_t>& replies,
+              uint64_t seed)
+      : config_(config),
+        epoch_mono_(epoch_mono),
+        sends_(sends),
+        sent_(sent),
+        replies_(replies),
+        assigner_(config.queriers_per_distributor, seed) {
+    scheduler_.Synchronize(trace_epoch_rebased, epoch_mono);
+  }
+
+  NotifyQueue<QueryJob>& queue() { return queue_; }
+
+  void Start() {
+    thread_ = std::thread([this]() { ThreadMain(); });
+  }
+  void Join() {
+    if (thread_.joinable()) thread_.join();
+  }
+  Status status() const { return status_; }
+
+ private:
+  void ThreadMain() {
+    auto loop = net::EventLoop::Create();
+    if (!loop.ok()) {
+      status_ = loop.error();
+      return;
+    }
+    loop_ = std::move(*loop);
+
+    for (size_t i = 0; i < config_.queriers_per_distributor; ++i) {
+      queriers_.push_back(std::make_unique<Querier>(
+          *loop_, config_.server, sends_, replies_));
+      auto status = queriers_.back()->Init();
+      if (!status.ok()) {
+        status_ = status;
+        return;
+      }
+    }
+
+    auto status = loop_->Add(queue_.event_fd(), true, false,
+                             [this](net::IoEvents) { OnQueue(); });
+    if (!status.ok()) {
+      status_ = status;
+      return;
+    }
+    loop_->Run();
+  }
+
+  void OnQueue() {
+    auto drained = queue_.Drain();
+    for (auto& job : drained.items) {
+      ++outstanding_;
+      size_t querier = assigner_.Assign(job.record.src);
+      if (config_.fast_mode) {
+        Dispatch(querier, std::move(job));
+        continue;
+      }
+      NanoDuration delay = scheduler_.DelayFor(
+          job.trace_time, MonotonicNow());
+      if (delay <= 0) {
+        Dispatch(querier, std::move(job));
+      } else {
+        loop_->ScheduleAfter(delay,
+                             [this, querier, job = std::move(job)]() {
+                               Dispatch(querier, job);
+                             });
+      }
+    }
+    if (drained.closed) input_closed_ = true;
+    MaybeFinish();
+  }
+
+  void Dispatch(size_t querier, const QueryJob& job) {
+    queriers_[querier]->Send(job, epoch_mono_);
+    sent_.fetch_add(1, std::memory_order_relaxed);
+    --outstanding_;
+    MaybeFinish();
+  }
+
+  void MaybeFinish() {
+    if (!input_closed_ || outstanding_ != 0 || stopping_) return;
+    stopping_ = true;
+    loop_->ScheduleAfter(config_.drain_grace, [this]() { loop_->Stop(); });
+  }
+
+  RealtimeConfig config_;
+  NanoTime epoch_mono_;
+  std::vector<SendOutcome>& sends_;
+  std::atomic<uint64_t>& sent_;
+  std::atomic<uint64_t>& replies_;
+  StickyAssigner assigner_;
+  ReplayScheduler scheduler_;
+  NotifyQueue<QueryJob> queue_;
+  std::unique_ptr<net::EventLoop> loop_;
+  std::vector<std::unique_ptr<Querier>> queriers_;
+  std::thread thread_;
+  Status status_;
+  size_t outstanding_ = 0;
+  bool input_closed_ = false;
+  bool stopping_ = false;
+};
+
+}  // namespace
+
+std::vector<double> RealtimeReport::TimingErrorsMs(size_t skip_first) const {
+  std::vector<double> errors;
+  // Baseline: the first *sent* query anchors both clocks.
+  const SendOutcome* first = nullptr;
+  for (const auto& send : sends) {
+    if (send.sent != 0 || send.trace_time == 0) {
+      first = &send;
+      break;
+    }
+  }
+  if (first == nullptr) return errors;
+  for (size_t i = 0; i < sends.size(); ++i) {
+    if (i < skip_first) continue;
+    const auto& send = sends[i];
+    double replay_offset = ToMillis(send.sent - first->sent);
+    double trace_offset = ToMillis(send.trace_time - first->trace_time);
+    errors.push_back(replay_offset - trace_offset);
+  }
+  return errors;
+}
+
+std::vector<double> RealtimeReport::ReplayInterarrivalsS() const {
+  std::vector<NanoTime> times;
+  times.reserve(sends.size());
+  for (const auto& send : sends) times.push_back(send.sent);
+  std::sort(times.begin(), times.end());
+  std::vector<double> gaps;
+  gaps.reserve(times.size());
+  for (size_t i = 1; i < times.size(); ++i) {
+    gaps.push_back(ToSeconds(times[i] - times[i - 1]));
+  }
+  return gaps;
+}
+
+std::vector<double> RealtimeReport::RateErrors() const {
+  stats::RateCounter original, replayed;
+  for (const auto& send : sends) {
+    original.Record(send.trace_time);
+    replayed.Record(send.sent);
+  }
+  auto orig = original.BucketCounts();
+  auto replay = replayed.BucketCounts();
+  std::vector<double> errors;
+  size_t n = std::min(orig.size(), replay.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (orig[i] == 0) continue;
+    errors.push_back((static_cast<double>(replay[i]) -
+                      static_cast<double>(orig[i])) /
+                     static_cast<double>(orig[i]));
+  }
+  return errors;
+}
+
+Result<RealtimeReport> RunRealtimeReplay(
+    const std::vector<trace::QueryRecord>& records,
+    const RealtimeConfig& config) {
+  if (records.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "empty trace");
+  }
+  RealtimeReport report;
+  report.sends.resize(records.size());
+
+  std::atomic<uint64_t> sent{0};
+  std::atomic<uint64_t> replies{0};
+  NanoTime trace_epoch = records.front().timestamp;
+  NanoTime epoch_mono = MonotonicNow() + config.start_delay;
+
+  // Postman: sticky same-source assignment of queries to distributors.
+  std::vector<std::unique_ptr<Distributor>> distributors;
+  StickyAssigner postman(config.n_distributors, config.seed);
+  for (size_t i = 0; i < config.n_distributors; ++i) {
+    distributors.push_back(std::make_unique<Distributor>(
+        config, 0, epoch_mono, report.sends, sent, replies,
+        config.seed + 1 + i));
+    distributors.back()->Start();
+  }
+
+  // Reader: stream the trace in look-ahead windows.
+  NanoTime wall_start = MonotonicNow();
+  size_t cursor = 0;
+  std::vector<std::vector<QueryJob>> batches(config.n_distributors);
+  while (cursor < records.size()) {
+    NanoTime window_end;
+    if (config.fast_mode) {
+      window_end = INT64_MAX;
+    } else {
+      window_end = (MonotonicNow() - epoch_mono) + config.lookahead;
+    }
+    while (cursor < records.size() &&
+           records[cursor].timestamp - trace_epoch <= window_end) {
+      QueryJob job;
+      job.trace_index = cursor;
+      job.trace_time = records[cursor].timestamp - trace_epoch;
+      job.record = records[cursor];
+      size_t target = postman.Assign(job.record.src);
+      batches[target].push_back(std::move(job));
+      ++cursor;
+    }
+    for (size_t i = 0; i < distributors.size(); ++i) {
+      distributors[i]->queue().PushBatch(std::move(batches[i]));
+      batches[i].clear();
+    }
+    if (cursor < records.size() && !config.fast_mode) {
+      NanoTime next_due =
+          epoch_mono + (records[cursor].timestamp - trace_epoch);
+      NanoDuration sleep_for =
+          std::min<NanoDuration>(next_due - MonotonicNow() -
+                                     config.lookahead / 2,
+                                 Millis(50));
+      if (sleep_for > 0) {
+        timespec ts{};
+        ts.tv_sec = sleep_for / kNanosPerSecond;
+        ts.tv_nsec = sleep_for % kNanosPerSecond;
+        nanosleep(&ts, nullptr);
+      }
+    }
+  }
+  for (auto& distributor : distributors) distributor->queue().CloseInput();
+  for (auto& distributor : distributors) distributor->Join();
+  for (auto& distributor : distributors) {
+    if (!distributor->status().ok()) return distributor->status().error();
+  }
+
+  report.queries_sent = sent.load();
+  report.replies = replies.load();
+  report.wall_duration = MonotonicNow() - wall_start;
+  return report;
+}
+
+}  // namespace ldp::replay

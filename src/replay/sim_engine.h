@@ -1,0 +1,115 @@
+// Trace replay inside the simulator: each original source IP becomes a
+// simulated client host that sends its queries at trace time over its
+// recorded (or mutated) protocol, reusing one TCP/TLS connection per source
+// while the server keeps it open (paper §2.6).
+//
+// This lane drives the what-if experiments (§5): the server under test is a
+// SimDnsServer whose meters report memory / connections / CPU, and the
+// engine reports per-query latency with the client's RTT configured on the
+// network.
+#ifndef LDPLAYER_REPLAY_SIM_ENGINE_H
+#define LDPLAYER_REPLAY_SIM_ENGINE_H
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/framing.h"
+#include "sim/network.h"
+#include "sim/tcp.h"
+#include "stats/summary.h"
+#include "trace/record.h"
+
+namespace ldp::replay {
+
+struct SimReplayConfig {
+  Endpoint server;          // UDP + TCP
+  uint16_t tls_port = 853;
+  // Stop issuing queries after this trace time (0 = whole trace).
+  NanoTime time_limit = 0;
+  // Sample server gauges (memory/connections) every so often (0 = off).
+  NanoDuration gauge_interval = Seconds(60);
+};
+
+struct QueryOutcome {
+  size_t trace_index = 0;
+  IpAddress source;
+  trace::Protocol protocol = trace::Protocol::kUdp;
+  NanoTime sent = 0;       // sim time the query left the client
+  NanoTime replied = 0;    // sim time the response arrived (0 = none)
+  uint32_t response_bytes = 0;
+  bool fresh_connection = false;  // TCP/TLS: query opened a new connection
+
+  bool answered() const { return replied != 0; }
+  NanoDuration latency() const { return replied - sent; }
+};
+
+struct SimReplayReport {
+  std::vector<QueryOutcome> outcomes;
+  uint64_t queries_sent = 0;
+  uint64_t responses = 0;
+  uint64_t fresh_connections = 0;
+  uint64_t reused_connections = 0;
+  // Server gauge samples over the run.
+  std::vector<std::pair<NanoTime, uint64_t>> memory_samples;
+  std::vector<std::pair<NanoTime, uint64_t>> established_samples;
+  std::vector<std::pair<NanoTime, uint64_t>> time_wait_samples;
+
+  // Latency summary over answered queries, optionally restricted to
+  // sources with at most `max_source_queries` queries (Fig 15b's
+  // "non-busy clients"; 0 = everyone).
+  stats::Distribution LatencySummary(size_t max_source_queries = 0) const;
+  // Per-source query counts (Fig 15c).
+  std::unordered_map<IpAddress, size_t> SourceLoads() const;
+};
+
+class SimReplayEngine {
+ public:
+  // `meters` (optional) is the server's meter block to sample gauges from.
+  SimReplayEngine(sim::SimNetwork& net, SimReplayConfig config,
+                  sim::NodeMeters* server_meters = nullptr);
+  ~SimReplayEngine();
+
+  // Schedules the whole trace onto the simulator. Call before Run().
+  void Load(const std::vector<trace::QueryRecord>& records);
+
+  // Runs the simulation to completion and returns the report.
+  SimReplayReport Finish();
+
+ private:
+  struct SourceState {
+    std::unique_ptr<sim::SimTcpStack> tcp;           // lazily created
+    sim::SimTcpConnection* conn = nullptr;           // open server conn
+    bool connecting = false;
+    trace::Protocol conn_protocol = trace::Protocol::kTcp;
+    std::vector<size_t> backlog;  // outcome indices awaiting the connect
+    std::shared_ptr<dns::StreamAssembler> assembler;
+    // In-flight queries by DNS message id (shared across protocols).
+    std::unordered_map<uint16_t, size_t> inflight;
+    uint16_t udp_port = 0;  // this source's UDP socket
+  };
+
+  void SendQuery(size_t outcome_index, const trace::QueryRecord& record);
+  void SendUdpQuery(SourceState& state, size_t outcome_index,
+                    const trace::QueryRecord& record);
+  void SendStreamQuery(SourceState& state, size_t outcome_index,
+                       const trace::QueryRecord& record);
+  void OnStreamData(IpAddress source, std::span<const uint8_t> data);
+  void RecordResponse(SourceState& state, const dns::Message& message,
+                      size_t wire_size);
+  SourceState& StateFor(IpAddress source);
+  void SampleGauges();
+
+  sim::SimNetwork& net_;
+  SimReplayConfig config_;
+  sim::NodeMeters* server_meters_;
+  SimReplayReport report_;
+  std::vector<trace::QueryRecord> records_;
+  std::unordered_map<IpAddress, SourceState> sources_;
+  uint16_t next_id_ = 1;
+  bool gauge_sampling_armed_ = false;
+};
+
+}  // namespace ldp::replay
+
+#endif  // LDPLAYER_REPLAY_SIM_ENGINE_H

@@ -1,0 +1,47 @@
+// Sticky same-source assignment (paper §2.6 "Emulating queries from the
+// same source"): every level of the distribution tree routes all queries
+// from one original source IP to the same downstream entity, so the end
+// querier can reuse one socket per source — the prerequisite for TCP/TLS
+// connection-reuse emulation. New sources pick a downstream uniformly at
+// random (seeded; reproducible).
+#ifndef LDPLAYER_REPLAY_STICKY_H
+#define LDPLAYER_REPLAY_STICKY_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/ip.h"
+#include "common/rng.h"
+
+namespace ldp::replay {
+
+class StickyAssigner {
+ public:
+  StickyAssigner(size_t n_downstream, uint64_t seed)
+      : n_(n_downstream), rng_(seed), counts_(n_downstream, 0) {}
+
+  // Stable downstream index for `source`.
+  size_t Assign(IpAddress source) {
+    auto [it, inserted] = table_.emplace(source, 0);
+    if (inserted) {
+      it->second = rng_.NextBelow(n_);
+      ++counts_[it->second];
+    }
+    return it->second;
+  }
+
+  size_t downstream_count() const { return n_; }
+  size_t known_sources() const { return table_.size(); }
+  // Sources assigned to each downstream (balance diagnostics).
+  const std::vector<size_t>& source_counts() const { return counts_; }
+
+ private:
+  size_t n_;
+  ldp::Rng rng_;
+  std::unordered_map<IpAddress, size_t> table_;
+  std::vector<size_t> counts_;
+};
+
+}  // namespace ldp::replay
+
+#endif  // LDPLAYER_REPLAY_STICKY_H

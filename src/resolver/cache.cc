@@ -1,0 +1,73 @@
+#include "resolver/cache.h"
+
+#include <vector>
+
+namespace ldp::resolver {
+
+void ResolverCache::Put(const dns::RRset& rrset, NanoTime now) {
+  Key key{rrset.name, rrset.type};
+  NanoTime expires = now + Seconds(rrset.ttl);
+  positive_[key] = PositiveEntry{rrset, expires};
+}
+
+std::optional<dns::RRset> ResolverCache::Get(const dns::Name& name,
+                                             dns::RRType type, NanoTime now) {
+  auto it = positive_.find(Key{name, type});
+  if (it == positive_.end()) return std::nullopt;
+  if (it->second.expires <= now) {
+    positive_.erase(it);
+    return std::nullopt;
+  }
+  return it->second.rrset;
+}
+
+void ResolverCache::PutNegative(const dns::Name& name, dns::RRType type,
+                                bool nxdomain, uint32_t ttl, NanoTime now) {
+  // NXDOMAIN denies every type at the name; key it on kANY.
+  Key key{name, nxdomain ? dns::RRType::kANY : type};
+  negative_[key] = NegativeEntry{nxdomain, now + Seconds(ttl)};
+}
+
+std::optional<NegativeEntry> ResolverCache::GetNegative(const dns::Name& name,
+                                                        dns::RRType type,
+                                                        NanoTime now) {
+  // NXDOMAIN entry first, then type-specific NODATA.
+  for (dns::RRType key_type : {dns::RRType::kANY, type}) {
+    auto it = negative_.find(Key{name, key_type});
+    if (it == negative_.end()) continue;
+    if (it->second.expires <= now) {
+      negative_.erase(it);
+      continue;
+    }
+    if (key_type == dns::RRType::kANY && !it->second.nxdomain) continue;
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+std::optional<dns::RRset> ResolverCache::DeepestNs(const dns::Name& name,
+                                                   NanoTime now) {
+  dns::Name current = name;
+  while (true) {
+    auto ns = Get(current, dns::RRType::kNS, now);
+    if (ns.has_value()) return ns;
+    if (current.IsRoot()) return std::nullopt;
+    current = *current.Parent();
+  }
+}
+
+void ResolverCache::Clear() {
+  positive_.clear();
+  negative_.clear();
+}
+
+void ResolverCache::Evict(NanoTime now) {
+  for (auto it = positive_.begin(); it != positive_.end();) {
+    it = it->second.expires <= now ? positive_.erase(it) : std::next(it);
+  }
+  for (auto it = negative_.begin(); it != negative_.end();) {
+    it = it->second.expires <= now ? negative_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace ldp::resolver

@@ -1,0 +1,68 @@
+// Resolver cache: positive RRset cache and negative (NXDOMAIN/NODATA)
+// cache with TTL expiry against an externally supplied clock, so the same
+// cache works under simulated and wall time.
+//
+// Caching is half of why LDplayer's hierarchy emulation must be faithful:
+// a recursive with a warm cache skips upper levels of the hierarchy, and
+// the paper's experiments depend on reproducing exactly that interplay.
+#ifndef LDPLAYER_RESOLVER_CACHE_H
+#define LDPLAYER_RESOLVER_CACHE_H
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "common/clock.h"
+#include "dns/rr.h"
+
+namespace ldp::resolver {
+
+struct NegativeEntry {
+  bool nxdomain = false;  // false = NODATA
+  NanoTime expires = 0;
+};
+
+class ResolverCache {
+ public:
+  void Put(const dns::RRset& rrset, NanoTime now);
+  std::optional<dns::RRset> Get(const dns::Name& name, dns::RRType type,
+                                NanoTime now);
+
+  void PutNegative(const dns::Name& name, dns::RRType type, bool nxdomain,
+                   uint32_t ttl, NanoTime now);
+  std::optional<NegativeEntry> GetNegative(const dns::Name& name,
+                                           dns::RRType type, NanoTime now);
+
+  // The deepest cached NS RRset at or above `name` (with its owner), used
+  // to resume iteration below the highest warm zone cut.
+  std::optional<dns::RRset> DeepestNs(const dns::Name& name, NanoTime now);
+
+  size_t entry_count() const { return positive_.size() + negative_.size(); }
+  void Clear();
+
+  // Drops expired entries (the caches otherwise clean lazily on access).
+  void Evict(NanoTime now);
+
+ private:
+  struct Key {
+    dns::Name name;
+    dns::RRType type;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return k.name.Hash() * 31 + static_cast<uint16_t>(k.type);
+    }
+  };
+  struct PositiveEntry {
+    dns::RRset rrset;
+    NanoTime expires;
+  };
+
+  std::unordered_map<Key, PositiveEntry, KeyHash> positive_;
+  std::unordered_map<Key, NegativeEntry, KeyHash> negative_;
+};
+
+}  // namespace ldp::resolver
+
+#endif  // LDPLAYER_RESOLVER_CACHE_H

@@ -1,0 +1,404 @@
+#include "resolver/resolver.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "dns/framing.h"
+
+namespace ldp::resolver {
+
+SimResolver::SimResolver(sim::SimNetwork& net, ResolverConfig config)
+    : net_(net), config_(std::move(config)) {}
+
+Status SimResolver::Start() {
+  return net_.ListenUdp(Endpoint{config_.address, config_.port},
+                        [this](const sim::SimPacket& packet) {
+                          OnStubQuery(packet);
+                        });
+}
+
+void SimResolver::OnStubQuery(const sim::SimPacket& packet) {
+  auto query = dns::Message::Decode(packet.payload);
+  if (!query.ok() || query->questions.empty()) return;
+  ++stats_.stub_queries;
+
+  // Capture what the reply needs.
+  dns::Message query_copy = *query;
+  Endpoint stub{packet.src, packet.src_port};
+  Endpoint self{packet.dst, packet.dst_port};
+
+  Resolve(query->questions[0].name, query->questions[0].type,
+          [this, query_copy, stub, self](const dns::Message& result) {
+            dns::Message reply = result;
+            reply.id = query_copy.id;
+            reply.qr = true;
+            reply.rd = query_copy.rd;
+            reply.ra = true;
+            reply.aa = false;
+            reply.questions = query_copy.questions;
+            net_.SendUdp(self, stub, reply.Encode());
+          });
+}
+
+void SimResolver::Resolve(const dns::Name& qname, dns::RRType qtype,
+                          ResolveCallback callback) {
+  auto task = std::make_shared<Task>();
+  task->qname = qname;
+  task->qtype = qtype;
+  task->callback = std::move(callback);
+  task->referrals_left = config_.max_referrals;
+  task->cname_left = config_.max_cname_chain;
+  StartTask(std::move(task));
+}
+
+bool SimResolver::TryCache(const TaskPtr& task) {
+  NanoTime now = net_.simulator().Now();
+  auto negative = cache_.GetNegative(task->qname, task->qtype, now);
+  if (negative.has_value()) {
+    ++stats_.cache_hits;
+    Finish(task, negative->nxdomain ? dns::Rcode::kNxDomain
+                                    : dns::Rcode::kNoError,
+           {});
+    return true;
+  }
+  auto positive = cache_.Get(task->qname, task->qtype, now);
+  if (positive.has_value()) {
+    ++stats_.cache_hits;
+    FinishFromCache(task, *positive);
+    return true;
+  }
+  // Cached CNAME at the name redirects the chase.
+  auto cname = cache_.Get(task->qname, dns::RRType::kCNAME, now);
+  if (cname.has_value() && task->qtype != dns::RRType::kCNAME) {
+    ++stats_.cache_hits;
+    if (--task->cname_left < 0) {
+      Finish(task, dns::Rcode::kServFail, {});
+      return true;
+    }
+    for (auto& record : cname->ToRecords()) {
+      task->answer_prefix.push_back(std::move(record));
+    }
+    task->qname = std::get<dns::CnameRdata>(cname->rdatas.front()).target;
+    StartTask(task);
+    return true;
+  }
+  return false;
+}
+
+void SimResolver::StartTask(TaskPtr task) {
+  if (TryCache(task)) return;
+
+  // Iteration resumes below the deepest cached delegation; with a cold
+  // cache that is the root hints.
+  NanoTime now = net_.simulator().Now();
+  std::vector<IpAddress> servers;
+  auto cached_ns = cache_.DeepestNs(task->qname, now);
+  if (cached_ns.has_value()) {
+    for (const auto& rdata : cached_ns->rdatas) {
+      const auto& ns = std::get<dns::NsRdata>(rdata);
+      auto glue = cache_.Get(ns.nsdname, dns::RRType::kA, now);
+      if (glue.has_value()) {
+        for (const auto& a : glue->rdatas) {
+          servers.push_back(std::get<dns::ARdata>(a).address);
+        }
+      }
+    }
+  }
+  if (servers.empty()) servers = config_.root_hints;
+  if (servers.empty()) {
+    Finish(task, dns::Rcode::kServFail, {});
+    return;
+  }
+  task->servers = std::move(servers);
+  task->server_index = 0;
+  task->retries_left = config_.max_retries;
+  SendUpstream(std::move(task));
+}
+
+void SimResolver::SendUpstream(TaskPtr task) {
+  if (task->port == 0) {
+    // One ephemeral port per in-flight task: responses route back uniquely.
+    for (int attempts = 0; attempts < 55000; ++attempts) {
+      uint16_t candidate = next_port_;
+      next_port_ = next_port_ >= 65000 ? 10000 : next_port_ + 1;
+      Endpoint local{config_.address, candidate};
+      TaskPtr self = task;
+      auto status = net_.ListenUdp(local, [this, self](
+                                              const sim::SimPacket& packet) {
+        OnUpstreamResponse(self, packet);
+      });
+      if (status.ok()) {
+        task->port = candidate;
+        break;
+      }
+    }
+    if (task->port == 0) {
+      Finish(task, dns::Rcode::kServFail, {});
+      return;
+    }
+  }
+
+  IpAddress server = task->servers[task->server_index % task->servers.size()];
+  task->query_id = next_id_++;
+  dns::Message query =
+      dns::Message::MakeQuery(task->qname, task->qtype, /*rd=*/false);
+  query.id = task->query_id;
+  query.edns = dns::Edns{.udp_payload_size = 4096};
+
+  ++stats_.upstream_queries;
+  net_.SendUdp(Endpoint{config_.address, task->port},
+               Endpoint{server, 53}, query.Encode());
+
+  task->timeout.Cancel();
+  TaskPtr self = task;
+  task->timeout = net_.simulator().Schedule(
+      config_.query_timeout, [this, self]() { OnTimeout(self); });
+}
+
+void SimResolver::OnTimeout(TaskPtr task) {
+  ++task->server_index;
+  if (task->server_index >= task->servers.size()) {
+    if (--task->retries_left <= 0) {
+      Finish(task, dns::Rcode::kServFail, {});
+      return;
+    }
+    task->server_index = 0;
+  }
+  SendUpstream(std::move(task));
+}
+
+void SimResolver::OnUpstreamResponse(TaskPtr task,
+                                     const sim::SimPacket& packet) {
+  auto response = dns::Message::Decode(packet.payload);
+  if (!response.ok() || !response->qr || response->id != task->query_id) {
+    return;  // stale or bogus; the timeout will advance the task
+  }
+  task->timeout.Cancel();
+  if (response->tc) {
+    // Truncated over UDP: retry this exchange over TCP (RFC 7766).
+    RetryOverTcp(std::move(task), packet.src);
+    return;
+  }
+  ProcessResponse(std::move(task), *response);
+}
+
+void SimResolver::RetryOverTcp(TaskPtr task, IpAddress server) {
+  ++stats_.tcp_fallbacks;
+  if (tcp_stack_ == nullptr) {
+    tcp_stack_ = std::make_unique<sim::SimTcpStack>(net_, config_.address);
+  }
+
+  auto assembler = std::make_shared<dns::StreamAssembler>();
+  sim::ConnCallbacks callbacks;
+  callbacks.on_established = [this, task](sim::SimTcpConnection& conn) {
+    dns::Message query =
+        dns::Message::MakeQuery(task->qname, task->qtype, /*rd=*/false);
+    query.id = task->query_id;
+    query.edns = dns::Edns{.udp_payload_size = 4096};
+    conn.Send(dns::FrameMessage(query.Encode()));
+  };
+  callbacks.on_data = [this, task, assembler](
+                          sim::SimTcpConnection& conn,
+                          std::span<const uint8_t> data) {
+    if (!assembler->Feed(data).ok()) {
+      conn.Close();
+      Finish(task, dns::Rcode::kServFail, {});
+      return;
+    }
+    if (auto wire = assembler->NextMessage()) {
+      auto response = dns::Message::Decode(*wire);
+      conn.Close();
+      if (!response.ok() || response->id != task->query_id) {
+        Finish(task, dns::Rcode::kServFail, {});
+        return;
+      }
+      task->timeout.Cancel();
+      ProcessResponse(task, *response);
+    }
+  };
+  auto conn = tcp_stack_->Connect(Endpoint{server, 53}, callbacks,
+                                  /*tls=*/false);
+  if (!conn.ok()) {
+    Finish(std::move(task), dns::Rcode::kServFail, {});
+    return;
+  }
+  // Re-arm the task timeout to cover the TCP exchange.
+  TaskPtr self = task;
+  task->timeout = net_.simulator().Schedule(
+      config_.query_timeout, [this, self]() { OnTimeout(self); });
+}
+
+void SimResolver::ProcessResponse(TaskPtr task, const dns::Message& message) {
+  const dns::Message* response = &message;
+  NanoTime now = net_.simulator().Now();
+
+  // Cache everything the response teaches us.
+  auto cache_records = [&](const std::vector<dns::ResourceRecord>& records) {
+    // Group into RRsets first so TTLs attach to whole sets.
+    for (const auto& record : records) {
+      auto existing = cache_.Get(record.name, record.type, now);
+      dns::RRset rrset;
+      if (existing.has_value()) {
+        rrset = *existing;
+        if (std::find(rrset.rdatas.begin(), rrset.rdatas.end(),
+                      record.rdata) == rrset.rdatas.end()) {
+          rrset.rdatas.push_back(record.rdata);
+        }
+      } else {
+        rrset.name = record.name;
+        rrset.type = record.type;
+        rrset.klass = record.klass;
+        rrset.ttl = record.ttl;
+        rrset.rdatas.push_back(record.rdata);
+      }
+      cache_.Put(rrset, now);
+    }
+  };
+  cache_records(response->answers);
+  cache_records(response->authorities);
+  cache_records(response->additionals);
+
+  if (response->rcode == dns::Rcode::kNxDomain) {
+    uint32_t ttl = 300;
+    for (const auto& rr : response->authorities) {
+      if (rr.type == dns::RRType::kSOA) {
+        ttl = std::min(rr.ttl,
+                       std::get<dns::SoaRdata>(rr.rdata).minimum);
+      }
+    }
+    cache_.PutNegative(task->qname, task->qtype, /*nxdomain=*/true, ttl, now);
+    ++stats_.nxdomains;
+    Finish(task, dns::Rcode::kNxDomain, {});
+    return;
+  }
+  if (response->rcode != dns::Rcode::kNoError) {
+    Finish(task, response->rcode, {});
+    return;
+  }
+
+  if (!response->answers.empty()) {
+    // Answer or CNAME chain. Collect answers for our qname; follow a CNAME
+    // if the chain does not already include the target type.
+    std::vector<dns::ResourceRecord> matching;
+    dns::Name final_target = task->qname;
+    bool has_final_answer = false;
+    for (const auto& rr : response->answers) {
+      matching.push_back(rr);
+      if (rr.type == dns::RRType::kCNAME) {
+        final_target = std::get<dns::CnameRdata>(rr.rdata).target;
+      }
+      if (rr.type == task->qtype) has_final_answer = true;
+    }
+    if (!has_final_answer && task->qtype != dns::RRType::kCNAME &&
+        !(final_target == task->qname)) {
+      // Chase the CNAME.
+      if (--task->cname_left < 0) {
+        Finish(task, dns::Rcode::kServFail, {});
+        return;
+      }
+      for (auto& rr : matching) task->answer_prefix.push_back(std::move(rr));
+      task->qname = final_target;
+      ReleaseTaskPort(*task);
+      StartTask(task);
+      return;
+    }
+    Finish(task, dns::Rcode::kNoError, std::move(matching));
+    return;
+  }
+
+  // Referral?
+  const dns::ResourceRecord* ns_record = nullptr;
+  for (const auto& rr : response->authorities) {
+    if (rr.type == dns::RRType::kNS) {
+      ns_record = &rr;
+      break;
+    }
+  }
+  if (ns_record != nullptr && !response->aa) {
+    if (--task->referrals_left < 0) {
+      Finish(task, dns::Rcode::kServFail, {});
+      return;
+    }
+    // Next servers: glue for the NS names (answers were cached above).
+    std::vector<IpAddress> next;
+    for (const auto& rr : response->authorities) {
+      if (rr.type != dns::RRType::kNS) continue;
+      const auto& ns = std::get<dns::NsRdata>(rr.rdata);
+      auto glue = cache_.Get(ns.nsdname, dns::RRType::kA, now);
+      if (glue.has_value()) {
+        for (const auto& a : glue->rdatas) {
+          next.push_back(std::get<dns::ARdata>(a).address);
+        }
+      }
+    }
+    if (next.empty()) {
+      // Glueless delegation: resolve the first NS name, then continue.
+      const auto& ns_name =
+          std::get<dns::NsRdata>(ns_record->rdata).nsdname;
+      TaskPtr self = task;
+      Resolve(ns_name, dns::RRType::kA,
+              [this, self](const dns::Message& ns_response) {
+                std::vector<IpAddress> servers;
+                for (const auto& rr : ns_response.answers) {
+                  if (rr.type == dns::RRType::kA) {
+                    servers.push_back(std::get<dns::ARdata>(rr.rdata).address);
+                  }
+                }
+                if (servers.empty()) {
+                  Finish(self, dns::Rcode::kServFail, {});
+                  return;
+                }
+                self->servers = std::move(servers);
+                self->server_index = 0;
+                self->retries_left = config_.max_retries;
+                SendUpstream(self);
+              });
+      return;
+    }
+    task->servers = std::move(next);
+    task->server_index = 0;
+    task->retries_left = config_.max_retries;
+    SendUpstream(std::move(task));
+    return;
+  }
+
+  // Authoritative NODATA.
+  uint32_t ttl = 300;
+  for (const auto& rr : response->authorities) {
+    if (rr.type == dns::RRType::kSOA) {
+      ttl = std::min(rr.ttl, std::get<dns::SoaRdata>(rr.rdata).minimum);
+    }
+  }
+  cache_.PutNegative(task->qname, task->qtype, /*nxdomain=*/false, ttl, now);
+  Finish(task, dns::Rcode::kNoError, {});
+}
+
+void SimResolver::Finish(TaskPtr task, dns::Rcode rcode,
+                         std::vector<dns::ResourceRecord> answers) {
+  task->timeout.Cancel();
+  ReleaseTaskPort(*task);
+  if (rcode == dns::Rcode::kServFail) ++stats_.servfails;
+
+  dns::Message response;
+  response.qr = true;
+  response.rcode = rcode;
+  response.answers = std::move(task->answer_prefix);
+  response.answers.insert(response.answers.end(),
+                          std::make_move_iterator(answers.begin()),
+                          std::make_move_iterator(answers.end()));
+  if (task->callback) task->callback(response);
+}
+
+void SimResolver::FinishFromCache(TaskPtr task, const dns::RRset& rrset) {
+  std::vector<dns::ResourceRecord> answers = rrset.ToRecords();
+  Finish(std::move(task), dns::Rcode::kNoError, std::move(answers));
+}
+
+void SimResolver::ReleaseTaskPort(Task& task) {
+  if (task.port != 0) {
+    net_.CloseUdp(Endpoint{config_.address, task.port});
+    task.port = 0;
+  }
+}
+
+}  // namespace ldp::resolver

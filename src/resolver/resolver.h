@@ -1,0 +1,105 @@
+// Iterative recursive resolver over the simulated network. Given a stub
+// query it walks the hierarchy from the root hints (or the deepest cached
+// zone cut), following referrals and CNAMEs, caching everything it learns,
+// and answering the stub.
+//
+// The resolver is what makes hierarchy-emulation experiments meaningful:
+// with a cold cache it emits the exact root → TLD → SLD query sequence
+// that the meta-DNS-server + proxies must answer correctly (paper §2.4),
+// and its upstream traffic is what the zone constructor harvests (§2.3).
+#ifndef LDPLAYER_RESOLVER_RESOLVER_H
+#define LDPLAYER_RESOLVER_RESOLVER_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dns/message.h"
+#include "resolver/cache.h"
+#include "sim/network.h"
+#include "sim/tcp.h"
+
+namespace ldp::resolver {
+
+struct ResolverConfig {
+  IpAddress address;
+  uint16_t port = 53;
+  std::vector<IpAddress> root_hints;
+  NanoDuration query_timeout = Seconds(2);
+  int max_retries = 2;     // per nameserver set
+  int max_referrals = 16;  // hierarchy depth bound
+  int max_cname_chain = 8;
+};
+
+struct ResolverStats {
+  uint64_t stub_queries = 0;
+  uint64_t upstream_queries = 0;
+  uint64_t cache_hits = 0;
+  uint64_t servfails = 0;
+  uint64_t nxdomains = 0;
+  uint64_t tcp_fallbacks = 0;  // truncated UDP answers retried over TCP
+};
+
+class SimResolver {
+ public:
+  using ResolveCallback = std::function<void(const dns::Message& response)>;
+
+  SimResolver(sim::SimNetwork& net, ResolverConfig config);
+
+  // Starts the stub-facing UDP listener on address:port.
+  Status Start();
+
+  // Programmatic resolution (used by the zone constructor and tests).
+  void Resolve(const dns::Name& qname, dns::RRType qtype,
+               ResolveCallback callback);
+
+  ResolverCache& cache() { return cache_; }
+  const ResolverStats& stats() const { return stats_; }
+
+ private:
+  struct Task : std::enable_shared_from_this<Task> {
+    dns::Name qname;
+    dns::RRType qtype;
+    ResolveCallback callback;
+    std::vector<IpAddress> servers;   // current nameserver candidates
+    size_t server_index = 0;
+    int retries_left = 0;
+    int referrals_left = 0;
+    int cname_left = 0;
+    uint16_t port = 0;                // our ephemeral upstream port
+    uint16_t query_id = 0;
+    std::vector<dns::ResourceRecord> answer_prefix;  // chased CNAMEs
+    sim::EventHandle timeout;
+  };
+  using TaskPtr = std::shared_ptr<Task>;
+
+  void OnStubQuery(const sim::SimPacket& packet);
+  void StartTask(TaskPtr task);
+  void SendUpstream(TaskPtr task);
+  void OnUpstreamResponse(TaskPtr task, const sim::SimPacket& packet);
+  // Shared continuation for UDP and TCP-fallback responses.
+  void ProcessResponse(TaskPtr task, const dns::Message& response);
+  // TC-bit handling (RFC 7766): retry the same question over TCP against
+  // the truncating server.
+  void RetryOverTcp(TaskPtr task, IpAddress server);
+  void OnTimeout(TaskPtr task);
+  void Finish(TaskPtr task, dns::Rcode rcode,
+              std::vector<dns::ResourceRecord> answers);
+  void FinishFromCache(TaskPtr task, const dns::RRset& rrset);
+  void ReleaseTaskPort(Task& task);
+
+  // Consults the cache; true if the task was answered without upstream I/O.
+  bool TryCache(const TaskPtr& task);
+
+  sim::SimNetwork& net_;
+  ResolverConfig config_;
+  ResolverCache cache_;
+  ResolverStats stats_;
+  std::unique_ptr<sim::SimTcpStack> tcp_stack_;  // lazy: TC fallback only
+  uint16_t next_port_ = 10000;
+  uint16_t next_id_ = 1;
+};
+
+}  // namespace ldp::resolver
+
+#endif  // LDPLAYER_RESOLVER_RESOLVER_H

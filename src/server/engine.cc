@@ -1,0 +1,172 @@
+#include "server/engine.h"
+
+namespace ldp::server {
+namespace {
+
+// Messages in an AXFR stream stay comfortably under the 64 KiB frame cap;
+// real servers batch a few hundred records per message.
+constexpr size_t kAxfrMessageBudget = 32 * 1024;
+
+}  // namespace
+
+dns::Message AuthServerEngine::HandleQuery(const dns::Message& query,
+                                           IpAddress source) {
+  ++stats_.queries;
+
+  const zone::ZoneSet* zones = views_.Match(source);
+  const zone::Zone* zone = nullptr;
+  if (zones != nullptr && !query.questions.empty()) {
+    zone = zones->FindBestZone(query.questions.front().name);
+  }
+
+  dns::Message response;
+  if (zone == nullptr) {
+    // No zone for this name in the matched view: REFUSED, like BIND with
+    // no matching zone clause.
+    response.id = query.id;
+    response.qr = true;
+    response.opcode = query.opcode;
+    response.rd = query.rd;
+    response.questions = query.questions;
+    response.rcode = dns::Rcode::kRefused;
+    if (query.edns.has_value()) {
+      response.edns = dns::Edns{.udp_payload_size = 4096};
+    }
+    ++stats_.refused;
+  } else {
+    bool want_dnssec = query.edns.has_value() && query.edns->do_bit;
+    response = zone::BuildResponse(*zone, query, want_dnssec);
+    if (response.rcode == dns::Rcode::kNxDomain) ++stats_.nxdomain;
+    if (response.rcode == dns::Rcode::kRefused) ++stats_.refused;
+  }
+  ++stats_.responses;
+  return response;
+}
+
+Result<std::vector<Bytes>> AuthServerEngine::HandleAxfr(
+    const dns::Message& query, IpAddress source) {
+  ++stats_.queries;
+  if (query.questions.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "AXFR without a question");
+  }
+  const dns::Name& origin = query.questions.front().name;
+  const zone::ZoneSet* zones = views_.Match(source);
+  zone::ZonePtr zone = zones != nullptr ? zones->FindZone(origin) : nullptr;
+
+  auto make_base = [&]() {
+    dns::Message msg;
+    msg.id = query.id;
+    msg.qr = true;
+    msg.aa = true;
+    msg.questions = query.questions;
+    return msg;
+  };
+
+  if (zone == nullptr || zone->Soa() == nullptr) {
+    // Not authoritative for exactly this origin in this view.
+    dns::Message refused = make_base();
+    refused.aa = false;
+    refused.rcode = dns::Rcode::kNotAuth;
+    ++stats_.refused;
+    ++stats_.responses;
+    return std::vector<Bytes>{refused.Encode()};
+  }
+
+  // SOA, every other record in canonical order, SOA again. Flush a message
+  // whenever the running estimate crosses the per-message budget.
+  std::vector<Bytes> messages;
+  dns::Message current = make_base();
+  size_t current_size = 0;
+  auto flush = [&]() {
+    if (current.answers.empty() && !messages.empty()) return;
+    messages.push_back(current.Encode());
+    stats_.response_bytes += messages.back().size();
+    ++stats_.responses;
+    current = make_base();
+    current.questions.clear();  // only the first message carries it
+    current_size = 0;
+  };
+  auto append = [&](const dns::ResourceRecord& record) {
+    size_t estimate = record.name.WireLength() + 10 +
+                      dns::RdataWireLength(record.rdata);
+    if (current_size + estimate > kAxfrMessageBudget) flush();
+    current.answers.push_back(record);
+    current_size += estimate;
+  };
+
+  const dns::RRset* soa = zone->Soa();
+  dns::ResourceRecord soa_record = soa->ToRecords().front();
+  append(soa_record);
+  zone->ForEachRRset([&](const dns::RRset& rrset) {
+    if (rrset.type == dns::RRType::kSOA && rrset.name == zone->origin()) {
+      return;
+    }
+    for (const auto& record : rrset.ToRecords()) append(record);
+  });
+  append(soa_record);  // terminal SOA
+  flush();
+  return messages;
+}
+
+Result<std::vector<Bytes>> AuthServerEngine::HandleStream(
+    std::span<const uint8_t> wire, IpAddress source) {
+  auto query = dns::Message::Decode(wire);
+  if (!query.ok()) {
+    ++stats_.dropped;
+    return query.error();
+  }
+  if (!query->questions.empty() &&
+      query->questions.front().type == dns::RRType::kAXFR) {
+    return HandleAxfr(*query, source);
+  }
+  dns::Message response = HandleQuery(*query, source);
+  Bytes encoded = response.Encode(dns::kMaxMessageSize);
+  stats_.response_bytes += encoded.size();
+  return std::vector<Bytes>{std::move(encoded)};
+}
+
+Result<Bytes> AuthServerEngine::HandleWire(std::span<const uint8_t> wire,
+                                           IpAddress source,
+                                           size_t udp_limit) {
+  auto query = dns::Message::Decode(wire);
+  if (!query.ok()) {
+    ++stats_.dropped;
+    return query.error();
+  }
+  if (!query->questions.empty() &&
+      query->questions.front().type == dns::RRType::kAXFR) {
+    // AXFR needs a stream; over UDP it is refused (RFC 5936 §4.2). Stream
+    // transports special-case AXFR before calling HandleWire.
+    ++stats_.queries;
+    ++stats_.responses;
+    ++stats_.refused;
+    dns::Message refused;
+    refused.id = query->id;
+    refused.qr = true;
+    refused.questions = query->questions;
+    refused.rcode = dns::Rcode::kRefused;
+    return refused.Encode();
+  }
+  dns::Message response = HandleQuery(*query, source);
+
+  size_t limit = dns::kMaxMessageSize;
+  if (udp_limit > 0) {
+    // The effective UDP ceiling: the client's EDNS advertisement, else the
+    // classic 512 bytes (RFC 1035 §4.2.1), both capped by the transport.
+    size_t advertised = query->edns.has_value()
+                            ? query->edns->udp_payload_size
+                            : dns::kMaxUdpPayloadDefault;
+    if (advertised < dns::kMaxUdpPayloadDefault) {
+      advertised = dns::kMaxUdpPayloadDefault;
+    }
+    limit = std::min(udp_limit, advertised);
+  }
+  Bytes encoded = response.Encode(limit);
+  // TC is patched into the wire during truncation; detect via re-check of
+  // the flags byte rather than re-decoding the whole message.
+  if (encoded.size() >= 4 && (encoded[2] & 0x02)) ++stats_.truncated;
+  stats_.response_bytes += encoded.size();
+  return encoded;
+}
+
+}  // namespace ldp::server

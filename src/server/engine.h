@@ -1,0 +1,71 @@
+// Transport-agnostic authoritative DNS server engine: the meta-DNS-server
+// of paper §2.4. A single engine instance serves many zones; split-horizon
+// views keyed on the query *source address* select which zone answers —
+// after the recursive proxy's OQDA rewrite, that source address is the
+// public address of the nameserver the querier believed it was asking.
+//
+// The same engine runs over the simulator (sim_server.h) and over real
+// sockets (socket_server.h): transports hand it wire bytes + the source
+// address, it hands back wire bytes.
+#ifndef LDPLAYER_SERVER_ENGINE_H
+#define LDPLAYER_SERVER_ENGINE_H
+
+#include <cstdint>
+#include <memory>
+
+#include "common/ip.h"
+#include "common/result.h"
+#include "zone/lookup.h"
+#include "zone/view.h"
+
+namespace ldp::server {
+
+struct EngineStats {
+  uint64_t queries = 0;
+  uint64_t responses = 0;
+  uint64_t dropped = 0;      // undecodable queries
+  uint64_t refused = 0;      // no zone for qname in the matched view
+  uint64_t nxdomain = 0;
+  uint64_t truncated = 0;    // responses that set TC over UDP
+  uint64_t response_bytes = 0;
+};
+
+class AuthServerEngine {
+ public:
+  explicit AuthServerEngine(zone::ViewTable views)
+      : views_(std::move(views)) {}
+
+  // Serves one decoded query. `source` selects the split-horizon view.
+  dns::Message HandleQuery(const dns::Message& query, IpAddress source);
+
+  // Wire-to-wire: decode, serve, encode. `udp_limit` caps the response size
+  // (EDNS-advertised or 512); pass 0 for stream transports (no truncation).
+  // Returns kParseError for undecodable input (transports drop those).
+  Result<Bytes> HandleWire(std::span<const uint8_t> wire, IpAddress source,
+                           size_t udp_limit);
+
+  // Stream-transport entry point: decodes once and routes to HandleAxfr
+  // for AXFR questions or to the normal query path (no truncation)
+  // otherwise. Each returned buffer is one DNS message to frame and send.
+  Result<std::vector<Bytes>> HandleStream(std::span<const uint8_t> wire,
+                                          IpAddress source);
+
+  // AXFR (RFC 5936): the whole zone as a sequence of response messages,
+  // SOA-first and SOA-last, each under the 64 KiB stream-message limit.
+  // Stream transports call this when the question type is AXFR; over UDP
+  // the engine REFUSEs instead. The zone is selected from the view for
+  // `source`, so transfers obey split-horizon boundaries.
+  Result<std::vector<Bytes>> HandleAxfr(const dns::Message& query,
+                                        IpAddress source);
+
+  const EngineStats& stats() const { return stats_; }
+  const zone::ViewTable& views() const { return views_; }
+
+ private:
+  zone::ViewTable views_;
+  EngineStats stats_;
+};
+
+}  // namespace ldp::server
+
+#endif  // LDPLAYER_SERVER_ENGINE_H

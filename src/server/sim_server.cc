@@ -1,0 +1,101 @@
+#include "server/sim_server.h"
+
+#include "common/log.h"
+#include "dns/framing.h"
+
+namespace ldp::server {
+
+SimDnsServer::SimDnsServer(sim::SimNetwork& net,
+                           std::shared_ptr<AuthServerEngine> engine,
+                           const Config& config)
+    : net_(net),
+      engine_(std::move(engine)),
+      config_(config),
+      meters_(config.resources),
+      tcp_stack_(net, config.address) {
+  net_.AttachMeters(config_.address, &meters_);
+}
+
+Status SimDnsServer::Start() {
+  LDP_RETURN_IF_ERROR(net_.ListenUdp(
+      Endpoint{config_.address, config_.udp_tcp_port},
+      [this](const sim::SimPacket& packet) { OnUdp(packet); }));
+  if (config_.serve_tcp) {
+    LDP_RETURN_IF_ERROR(tcp_stack_.Listen(
+        config_.udp_tcp_port,
+        [this](sim::SimTcpConnection&) { return MakeStreamCallbacks(); },
+        /*tls=*/false, config_.tcp_idle_timeout));
+  }
+  if (config_.serve_tls) {
+    LDP_RETURN_IF_ERROR(tcp_stack_.Listen(
+        config_.tls_port,
+        [this](sim::SimTcpConnection&) { return MakeStreamCallbacks(); },
+        /*tls=*/true, config_.tcp_idle_timeout));
+  }
+  return Status::Ok();
+}
+
+void SimDnsServer::OnUdp(const sim::SimPacket& packet) {
+  meters_.AddCpu(meters_.model().udp_query_cpu);
+  auto response =
+      engine_->HandleWire(packet.payload, packet.src, /*udp_limit=*/65535);
+  if (!response.ok()) {
+    LDP_DEBUG << "dropped undecodable UDP query from "
+              << packet.src.ToString();
+    return;
+  }
+  meters_.OnQueryServed();
+  net_.SendUdp(Endpoint{packet.dst, packet.dst_port},
+               Endpoint{packet.src, packet.src_port}, std::move(*response));
+}
+
+sim::ConnCallbacks SimDnsServer::MakeStreamCallbacks() {
+  sim::ConnCallbacks callbacks;
+  callbacks.on_established = [](sim::SimTcpConnection& conn) {
+    conn.set_user_data(std::make_shared<dns::StreamAssembler>());
+  };
+  callbacks.on_data = [this](sim::SimTcpConnection& conn,
+                             std::span<const uint8_t> data) {
+    auto* assembler = conn.user_data<dns::StreamAssembler>();
+    if (assembler == nullptr) {
+      // Data can race establishment when the client pipelines its first
+      // query with the handshake tail; create the assembler on demand.
+      conn.set_user_data(std::make_shared<dns::StreamAssembler>());
+      assembler = conn.user_data<dns::StreamAssembler>();
+    }
+    if (!assembler->Feed(data).ok()) {
+      conn.Close();
+      return;
+    }
+    while (auto wire = assembler->NextMessage()) {
+      meters_.AddCpu(meters_.model().tcp_query_cpu);
+      auto responses = engine_->HandleStream(*wire, conn.remote().addr);
+      if (!responses.ok()) continue;
+      meters_.OnQueryServed();
+      for (const auto& response : *responses) {
+        conn.Send(dns::FrameMessage(response));
+      }
+    }
+  };
+  return callbacks;
+}
+
+std::unique_ptr<SimDnsServer> MakeAuthoritativeNode(sim::SimNetwork& net,
+                                                    IpAddress address,
+                                                    zone::ZoneSet zones) {
+  zone::ViewTable views;
+  views.SetDefaultView(std::move(zones));
+  auto engine = std::make_shared<AuthServerEngine>(std::move(views));
+  SimDnsServer::Config config;
+  config.address = address;
+  auto server = std::make_unique<SimDnsServer>(net, std::move(engine), config);
+  auto status = server->Start();
+  if (!status.ok()) {
+    LDP_ERROR << "authoritative node failed to start: "
+              << status.error().ToString();
+    return nullptr;
+  }
+  return server;
+}
+
+}  // namespace ldp::server

@@ -1,0 +1,115 @@
+#include "server/socket_server.h"
+
+#include "common/log.h"
+
+namespace ldp::server {
+
+Result<std::unique_ptr<SocketDnsServer>> SocketDnsServer::Start(
+    net::EventLoop& loop, std::shared_ptr<AuthServerEngine> engine,
+    const Config& config) {
+  auto server = std::unique_ptr<SocketDnsServer>(
+      new SocketDnsServer(loop, std::move(engine), config));
+  SocketDnsServer* raw = server.get();
+
+  LDP_ASSIGN_OR_RETURN(
+      server->udp_,
+      net::UdpSocket::Bind(loop, config.listen,
+                           [raw](std::span<const uint8_t> payload,
+                                 Endpoint from) { raw->OnUdp(payload, from); }));
+  if (config.serve_tcp) {
+    // TCP binds the same port the UDP socket got (matters for port 0).
+    Endpoint tcp_endpoint{config.listen.addr, server->udp_->local().port};
+    LDP_ASSIGN_OR_RETURN(
+        server->listener_,
+        net::TcpListener::Listen(
+            loop, tcp_endpoint,
+            [raw](std::unique_ptr<net::TcpConnection> conn) {
+              raw->OnAccept(std::move(conn));
+            }));
+  }
+  return server;
+}
+
+void SocketDnsServer::OnUdp(std::span<const uint8_t> payload, Endpoint from) {
+  auto response = engine_->HandleWire(payload, from.addr, /*udp_limit=*/65535);
+  if (!response.ok()) return;
+  auto status = udp_->SendTo(*response, from);
+  if (!status.ok()) {
+    LDP_DEBUG << "UDP reply to " << from.ToString() << " failed: "
+              << status.error().ToString();
+  }
+}
+
+void SocketDnsServer::OnAccept(std::unique_ptr<net::TcpConnection> conn) {
+  net::TcpConnection* key = conn.get();
+  ConnState& state = conns_[key];
+  state.conn = std::move(conn);
+  state.last_activity = MonotonicNow();
+
+  auto status = net::TcpListener::AdoptHandlers(
+      *key,
+      [this, key](std::span<const uint8_t> data) { OnTcpData(key, data); },
+      [this, key]() {
+        auto it = conns_.find(key);
+        if (it != conns_.end()) {
+          it->second.idle_timer.Cancel();
+          conns_.erase(it);
+        }
+      });
+  if (!status.ok()) {
+    conns_.erase(key);
+    return;
+  }
+  if (config_.tcp_idle_timeout > 0) ArmIdleTimer(key);
+}
+
+void SocketDnsServer::OnTcpData(net::TcpConnection* key,
+                                std::span<const uint8_t> data) {
+  auto it = conns_.find(key);
+  if (it == conns_.end()) return;
+  ConnState& state = it->second;
+  state.last_activity = MonotonicNow();
+
+  if (!state.assembler.Feed(data).ok()) {
+    CloseConn(key);
+    return;
+  }
+  while (auto wire = state.assembler.NextMessage()) {
+    auto responses = engine_->HandleStream(*wire, key->remote().addr);
+    if (!responses.ok()) continue;
+    for (const auto& response : *responses) {
+      Bytes framed = dns::FrameMessage(response);
+      auto status = key->Send(framed);
+      if (!status.ok()) {
+        CloseConn(key);
+        return;
+      }
+    }
+  }
+}
+
+void SocketDnsServer::ArmIdleTimer(net::TcpConnection* key) {
+  auto it = conns_.find(key);
+  if (it == conns_.end()) return;
+  it->second.idle_timer = loop_.ScheduleAfter(
+      config_.tcp_idle_timeout, [this, key]() {
+        auto conn_it = conns_.find(key);
+        if (conn_it == conns_.end()) return;
+        NanoTime deadline =
+            conn_it->second.last_activity + config_.tcp_idle_timeout;
+        if (MonotonicNow() >= deadline) {
+          CloseConn(key);
+        } else {
+          ArmIdleTimer(key);  // activity since arming: re-check later
+        }
+      });
+}
+
+void SocketDnsServer::CloseConn(net::TcpConnection* key) {
+  auto it = conns_.find(key);
+  if (it == conns_.end()) return;
+  it->second.idle_timer.Cancel();
+  conns_.erase(it);  // destroys the connection (active close)
+}
+
+}  // namespace ldp::server

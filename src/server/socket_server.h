@@ -1,0 +1,61 @@
+// Authoritative server on real sockets (UDP + TCP over loopback): the
+// server side of the replay-fidelity experiments (§4), sharing the engine
+// with the simulated binding.
+#ifndef LDPLAYER_SERVER_SOCKET_SERVER_H
+#define LDPLAYER_SERVER_SOCKET_SERVER_H
+
+#include <memory>
+#include <unordered_map>
+
+#include "dns/framing.h"
+#include "net/sockets.h"
+#include "server/engine.h"
+
+namespace ldp::server {
+
+class SocketDnsServer {
+ public:
+  struct Config {
+    Endpoint listen;  // port 0 picks an ephemeral port (tests)
+    bool serve_tcp = true;
+    NanoDuration tcp_idle_timeout = Seconds(20);
+  };
+
+  static Result<std::unique_ptr<SocketDnsServer>> Start(
+      net::EventLoop& loop, std::shared_ptr<AuthServerEngine> engine,
+      const Config& config);
+
+  // The actually-bound endpoint (resolves ephemeral ports).
+  Endpoint endpoint() const { return udp_->local(); }
+  const AuthServerEngine& engine() const { return *engine_; }
+  size_t open_tcp_connections() const { return conns_.size(); }
+
+ private:
+  SocketDnsServer(net::EventLoop& loop,
+                  std::shared_ptr<AuthServerEngine> engine, Config config)
+      : loop_(loop), engine_(std::move(engine)), config_(config) {}
+
+  struct ConnState {
+    std::unique_ptr<net::TcpConnection> conn;
+    dns::StreamAssembler assembler;
+    NanoTime last_activity = 0;
+    net::TimerHandle idle_timer;
+  };
+
+  void OnUdp(std::span<const uint8_t> payload, Endpoint from);
+  void OnAccept(std::unique_ptr<net::TcpConnection> conn);
+  void OnTcpData(net::TcpConnection* key, std::span<const uint8_t> data);
+  void ArmIdleTimer(net::TcpConnection* key);
+  void CloseConn(net::TcpConnection* key);
+
+  net::EventLoop& loop_;
+  std::shared_ptr<AuthServerEngine> engine_;
+  Config config_;
+  std::unique_ptr<net::UdpSocket> udp_;
+  std::unique_ptr<net::TcpListener> listener_;
+  std::unordered_map<net::TcpConnection*, ConnState> conns_;
+};
+
+}  // namespace ldp::server
+
+#endif  // LDPLAYER_SERVER_SOCKET_SERVER_H

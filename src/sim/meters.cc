@@ -1,0 +1,41 @@
+#include "sim/meters.h"
+
+#include <algorithm>
+
+namespace ldp::sim {
+
+void NodeMeters::OnConnEstablished() { ++established_; }
+
+void NodeMeters::OnTlsEstablished() { ++tls_sessions_; }
+
+void NodeMeters::OnConnClosed(bool tls_active, bool enters_time_wait) {
+  if (established_ > 0) --established_;
+  if (tls_active && tls_sessions_ > 0) --tls_sessions_;
+  if (enters_time_wait) ++time_wait_;
+}
+
+void NodeMeters::OnTimeWaitExpired() {
+  if (time_wait_ > 0) --time_wait_;
+}
+
+uint64_t NodeMeters::MemoryBytes() const {
+  return model_.base_memory + established_ * model_.tcp_conn_memory +
+         tls_sessions_ * model_.tls_session_memory +
+         time_wait_ * model_.time_wait_memory;
+}
+
+double NodeMeters::CpuUtilization(NanoTime from, NanoTime to) const {
+  if (to <= from) return 0;
+  double capacity = static_cast<double>(to - from) *
+                    static_cast<double>(model_.cores);
+  return std::min(1.0, static_cast<double>(cpu_busy_) / capacity);
+}
+
+void NodeMeters::ResetCounters() {
+  cpu_busy_ = 0;
+  bytes_sent_ = 0;
+  bytes_received_ = 0;
+  queries_served_ = 0;
+}
+
+}  // namespace ldp::sim

@@ -1,0 +1,111 @@
+#include "sim/network.h"
+
+#include "common/log.h"
+
+namespace ldp::sim {
+
+void SimNetwork::SetHostExtraDelay(IpAddress host, NanoDuration extra) {
+  host_extra_delay_[host] = extra;
+}
+
+NanoDuration SimNetwork::OneWayDelay(IpAddress a, IpAddress b) const {
+  NanoDuration delay = default_delay_;
+  auto it = host_extra_delay_.find(a);
+  if (it != host_extra_delay_.end()) delay += it->second;
+  it = host_extra_delay_.find(b);
+  if (it != host_extra_delay_.end()) delay += it->second;
+  return delay;
+}
+
+void SimNetwork::AttachMeters(IpAddress host, NodeMeters* meters) {
+  meters_[host] = meters;
+}
+
+NodeMeters* SimNetwork::MetersFor(IpAddress host) const {
+  auto it = meters_.find(host);
+  return it == meters_.end() ? nullptr : it->second;
+}
+
+Status SimNetwork::ListenUdp(Endpoint local, DatagramHandler handler) {
+  auto [it, inserted] = udp_listeners_.emplace(local, std::move(handler));
+  if (!inserted) {
+    return Error(ErrorCode::kAlreadyExists,
+                 "UDP listener exists on " + local.ToString());
+  }
+  return Status::Ok();
+}
+
+void SimNetwork::CloseUdp(Endpoint local) { udp_listeners_.erase(local); }
+
+void SimNetwork::SendUdp(Endpoint from, Endpoint to, Bytes payload) {
+  SimPacket packet;
+  packet.src = from.addr;
+  packet.src_port = from.port;
+  packet.dst = to.addr;
+  packet.dst_port = to.port;
+  packet.kind = SegmentKind::kUdp;
+  packet.payload = std::move(payload);
+
+  if (NodeMeters* m = MetersFor(packet.src)) {
+    m->OnBytesSent(packet.payload.size());
+  }
+  auto hook_it = egress_hooks_.find(packet.src);
+  if (hook_it != egress_hooks_.end() && hook_it->second(packet)) {
+    return;  // hook consumed (proxy will Inject a rewritten copy)
+  }
+  Deliver(std::move(packet));
+}
+
+void SimNetwork::AttachTcpStack(IpAddress host, SegmentHandler handler) {
+  tcp_stacks_[host] = std::move(handler);
+}
+
+void SimNetwork::DetachTcpStack(IpAddress host) { tcp_stacks_.erase(host); }
+
+void SimNetwork::SendSegment(SimPacket packet) {
+  if (NodeMeters* m = MetersFor(packet.src)) {
+    m->OnBytesSent(packet.payload.size());
+  }
+  auto hook_it = egress_hooks_.find(packet.src);
+  if (hook_it != egress_hooks_.end() && hook_it->second(packet)) {
+    return;
+  }
+  Deliver(std::move(packet));
+}
+
+void SimNetwork::SetEgressHook(IpAddress host, EgressHook hook) {
+  egress_hooks_[host] = std::move(hook);
+}
+
+void SimNetwork::ClearEgressHook(IpAddress host) { egress_hooks_.erase(host); }
+
+void SimNetwork::Inject(SimPacket packet) { Deliver(std::move(packet)); }
+
+void SimNetwork::Deliver(SimPacket packet) {
+  NanoDuration delay = OneWayDelay(packet.src, packet.dst);
+  sim_.Schedule(delay, [this, packet = std::move(packet)]() mutable {
+    ++packets_delivered_;
+    if (NodeMeters* m = MetersFor(packet.dst)) {
+      m->OnBytesReceived(packet.payload.size());
+    }
+    if (packet.kind == SegmentKind::kUdp) {
+      auto it = udp_listeners_.find(Endpoint{packet.dst, packet.dst_port});
+      if (it != udp_listeners_.end()) {
+        it->second(packet);
+      } else {
+        LDP_DEBUG << "dropped UDP to " << packet.dst.ToString() << ":"
+                  << packet.dst_port << " (no listener)";
+      }
+      return;
+    }
+    auto it = tcp_stacks_.find(packet.dst);
+    if (it != tcp_stacks_.end()) {
+      it->second(packet);
+    } else {
+      LDP_DEBUG << "dropped TCP segment to " << packet.dst.ToString()
+                << " (no stack)";
+    }
+  });
+}
+
+}  // namespace ldp::sim

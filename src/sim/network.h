@@ -1,0 +1,112 @@
+// Simulated IP network: nodes addressed by IPv4, point-to-point delivery
+// with configurable per-host one-way delays (the star/IXP topologies of the
+// paper's Figures 5 and 12), UDP datagram service, and egress hooks that
+// reproduce the TUN + iptables port-based packet capture the proxies use
+// (§2.4).
+#ifndef LDPLAYER_SIM_NETWORK_H
+#define LDPLAYER_SIM_NETWORK_H
+
+#include <functional>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/ip.h"
+#include "common/result.h"
+#include "sim/meters.h"
+#include "sim/simulator.h"
+
+namespace ldp::sim {
+
+// Transport-level segment kinds carried by the network. TCP control packets
+// are modeled explicitly so handshakes cost real round trips.
+enum class SegmentKind : uint8_t {
+  kUdp,
+  kTcpSyn,
+  kTcpSynAck,
+  kTcpAck,
+  kTcpData,
+  kTcpFin,
+};
+
+struct SimPacket {
+  IpAddress src;
+  uint16_t src_port = 0;
+  IpAddress dst;
+  uint16_t dst_port = 0;
+  SegmentKind kind = SegmentKind::kUdp;
+  Bytes payload;
+};
+
+// Returns true when the hook consumed the packet (it will not be delivered
+// normally). Hooks may call SimNetwork::Inject to re-send modified packets.
+using EgressHook = std::function<bool(SimPacket&)>;
+
+using DatagramHandler =
+    std::function<void(const SimPacket&)>;
+
+class SimNetwork {
+ public:
+  explicit SimNetwork(Simulator& sim) : sim_(sim) {}
+
+  Simulator& simulator() { return sim_; }
+
+  // --- Topology ---
+  // Default one-way delay between any two hosts (LAN: <1 ms as in Fig 5).
+  void SetDefaultOneWayDelay(NanoDuration delay) { default_delay_ = delay; }
+  // Extra one-way delay attached to a host (both directions), for the
+  // client-RTT sweeps of Fig 15: RTT(client) = 2*(default + host_extra).
+  void SetHostExtraDelay(IpAddress host, NanoDuration extra);
+
+  NanoDuration OneWayDelay(IpAddress a, IpAddress b) const;
+
+  // --- Resource meters ---
+  // Registers meters for a node; the transports charge CPU and byte
+  // counters to them. Nodes without meters are still routable.
+  void AttachMeters(IpAddress host, NodeMeters* meters);
+  NodeMeters* MetersFor(IpAddress host) const;
+
+  // --- UDP ---
+  Status ListenUdp(Endpoint local, DatagramHandler handler);
+  void CloseUdp(Endpoint local);
+  // Sends a datagram; delivery is scheduled after the path delay. Packets
+  // to ports nobody listens on are dropped silently (no ICMP model).
+  void SendUdp(Endpoint from, Endpoint to, Bytes payload);
+
+  // --- Raw segment transport (used by the TCP layer) ---
+  using SegmentHandler = std::function<void(const SimPacket&)>;
+  // All non-UDP segments addressed to `host` are handed to one handler
+  // (the host's TCP stack).
+  void AttachTcpStack(IpAddress host, SegmentHandler handler);
+  void DetachTcpStack(IpAddress host);
+  void SendSegment(SimPacket packet);
+
+  // --- TUN/iptables emulation ---
+  // The hook sees every packet leaving `host` (after the transport built
+  // it, before routing). LDplayer's recursive/authoritative proxies live
+  // here.
+  void SetEgressHook(IpAddress host, EgressHook hook);
+  void ClearEgressHook(IpAddress host);
+
+  // Delivers a packet as-is (bypassing egress hooks) — how a proxy
+  // re-injects a rewritten packet, mirroring TUN re-injection.
+  void Inject(SimPacket packet);
+
+  // --- Introspection ---
+  uint64_t packets_delivered() const { return packets_delivered_; }
+
+ private:
+  void Deliver(SimPacket packet);  // schedules the arrival event
+
+  Simulator& sim_;
+  NanoDuration default_delay_ = Micros(500);  // <1 ms LAN
+  std::unordered_map<IpAddress, NanoDuration> host_extra_delay_;
+  std::unordered_map<Endpoint, DatagramHandler> udp_listeners_;
+  std::unordered_map<IpAddress, SegmentHandler> tcp_stacks_;
+  std::unordered_map<IpAddress, EgressHook> egress_hooks_;
+  std::unordered_map<IpAddress, NodeMeters*> meters_;
+  uint64_t packets_delivered_ = 0;
+};
+
+}  // namespace ldp::sim
+
+#endif  // LDPLAYER_SIM_NETWORK_H

@@ -1,0 +1,52 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace ldp::sim {
+
+void EventHandle::Cancel() {
+  if (flag_ != nullptr) flag_->cancelled = true;
+}
+
+bool EventHandle::active() const {
+  return flag_ != nullptr && !flag_->cancelled && !flag_->fired;
+}
+
+EventHandle Simulator::ScheduleAt(NanoTime when, std::function<void()> fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  auto flag = std::make_shared<EventHandle::Flag>();
+  queue_.push(Event{when, next_seq_++, std::move(fn), flag});
+  return EventHandle(std::move(flag));
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    // Move out of the queue before popping (top() is const because mutating
+    // the key would break heap order; moving fn/flag does not touch the key).
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (event.flag->cancelled) continue;
+    now_ = event.when;
+    event.flag->fired = true;
+    ++events_processed_;
+    event.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(NanoTime deadline) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.when > deadline) break;
+    Step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace ldp::sim

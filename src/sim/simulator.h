@@ -1,0 +1,83 @@
+// Discrete-event simulation core: a virtual clock and an event queue with
+// cancellable timers. Deterministic: ties break by schedule order.
+//
+// This is the testbed substitute (DESIGN.md): where the paper runs DETER
+// hosts on a LAN, we schedule packet deliveries, timeouts, and handshakes
+// against this clock, which lets one process model hours of a loaded root
+// server with hundreds of thousands of connections.
+#ifndef LDPLAYER_SIM_SIMULATOR_H
+#define LDPLAYER_SIM_SIMULATOR_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace ldp::sim {
+
+class Simulator;
+
+// Handle for cancelling a scheduled event. Default-constructed handles are
+// inert. Cancelling an already-fired or cancelled event is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  void Cancel();
+  bool active() const;
+
+ private:
+  friend class Simulator;
+  struct Flag {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<Flag> flag) : flag_(std::move(flag)) {}
+  std::shared_ptr<Flag> flag_;
+};
+
+class Simulator {
+ public:
+  NanoTime Now() const { return now_; }
+
+  EventHandle Schedule(NanoDuration delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+  EventHandle ScheduleAt(NanoTime when, std::function<void()> fn);
+
+  // Runs until the queue is empty.
+  void Run();
+  // Runs events with time <= deadline, then sets the clock to deadline.
+  void RunUntil(NanoTime deadline);
+  // Runs at most one event; false when the queue is empty.
+  bool Step();
+
+  size_t events_processed() const { return events_processed_; }
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    NanoTime when;
+    uint64_t seq;  // FIFO among same-time events
+    std::function<void()> fn;
+    std::shared_ptr<EventHandle::Flag> flag;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  NanoTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  size_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace ldp::sim
+
+#endif  // LDPLAYER_SIM_SIMULATOR_H

@@ -1,0 +1,190 @@
+// Simulated TCP connections with an optional modeled TLS layer.
+//
+// The model keeps exactly the behaviours the paper's §5.2 experiments
+// depend on and nothing more:
+//
+//  * Three-way handshake costing one RTT before client data flows
+//    (a fresh TCP query completes in 2 RTT; the paper's Fig 15b median).
+//  * A modeled TLS 1.2 handshake adding two more RTTs (fresh TLS query
+//    = 4 RTT), with per-record framing overhead (+29 bytes) and CPU costs.
+//  * Nagle-style write coalescing: while a segment is unacknowledged,
+//    further small writes queue and flush together on the ACK. This is the
+//    mechanism behind the multi-RTT tail latencies the paper observed on
+//    busy connections ("many server reply TCP segments ... reassembled into
+//    a large TCP message", §5.2.4). Disable per-connection to model
+//    TCP_NODELAY.
+//  * Active close enters TIME_WAIT and holds the port for 60 s (2*MSL),
+//    reproducing the TIME_WAIT populations of Figs 13c/14c and ephemeral-
+//    port exhaustion on busy client hosts.
+//  * Idle timeout: the server side closes connections idle longer than a
+//    configurable window — the x-axis of Figs 11/13/14.
+//
+// Not modeled: loss, retransmission, congestion/flow control, sequence
+// numbers. The testbed LANs the paper uses are lossless and never
+// bandwidth-bound at DNS message sizes, so these do not affect the
+// reproduced results.
+#ifndef LDPLAYER_SIM_TCP_H
+#define LDPLAYER_SIM_TCP_H
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "sim/network.h"
+
+namespace ldp::sim {
+
+class SimTcpStack;
+class SimTcpConnection;
+
+struct ConnCallbacks {
+  // Fired when the connection is ready for application data (for TLS
+  // connections: after the TLS handshake).
+  std::function<void(SimTcpConnection&)> on_established;
+  // Application bytes (TLS: decrypted payload).
+  std::function<void(SimTcpConnection&, std::span<const uint8_t>)> on_data;
+  // Peer closed (or the idle timeout fired and this side closed).
+  std::function<void(SimTcpConnection&)> on_close;
+};
+
+class SimTcpConnection {
+ public:
+  // Application stream write. On TLS connections the payload is wrapped in
+  // a TLS application-data record (framing + CPU charged).
+  void Send(Bytes data);
+
+  // Active close: FIN to the peer, this side enters TIME_WAIT.
+  void Close();
+
+  Endpoint local() const { return local_; }
+  Endpoint remote() const { return remote_; }
+  bool is_tls() const { return tls_; }
+  bool established() const { return app_established_; }
+  NanoTime last_activity() const { return last_activity_; }
+
+  // Opaque per-connection application state (e.g. the server's stream
+  // assembler). The owner manages lifetime.
+  void set_user_data(std::shared_ptr<void> data) { user_data_ = std::move(data); }
+  template <typename T>
+  T* user_data() const { return static_cast<T*>(user_data_.get()); }
+
+ private:
+  friend class SimTcpStack;
+
+  enum class State { kSynSent, kSynRcvd, kEstablished, kClosed };
+
+  SimTcpStack* stack_ = nullptr;
+  Endpoint local_;
+  Endpoint remote_;
+  State state_ = State::kClosed;
+  bool tls_ = false;
+  bool client_side_ = false;
+  bool app_established_ = false;  // TLS: only after handshake
+  int tls_handshake_step_ = 0;
+  ConnCallbacks callbacks_;
+  NanoTime last_activity_ = 0;
+
+  // Nagle coalescing.
+  bool nagle_ = true;
+  bool segment_in_flight_ = false;
+  Bytes pending_;
+
+  // TLS record reassembly.
+  Bytes record_buffer_;
+
+  // Server-side idle timeout management.
+  NanoDuration idle_timeout_ = 0;  // 0 = none
+  EventHandle idle_timer_;
+
+  std::shared_ptr<void> user_data_;
+};
+
+class SimTcpStack {
+ public:
+  // Attaches this stack to `host` in the network; detaches on destruction.
+  SimTcpStack(SimNetwork& net, IpAddress host);
+  ~SimTcpStack();
+  SimTcpStack(const SimTcpStack&) = delete;
+  SimTcpStack& operator=(const SimTcpStack&) = delete;
+
+  // Accept handler: invoked for each new connection once established;
+  // returns the callbacks for it. `idle_timeout` > 0 makes the server
+  // close connections idle that long (the Fig 11/13/14 knob).
+  using AcceptHandler = std::function<ConnCallbacks(SimTcpConnection&)>;
+  Status Listen(uint16_t port, AcceptHandler handler, bool tls,
+                NanoDuration idle_timeout);
+
+  // Opens a client connection from an ephemeral local port.
+  // kResourceExhausted when no ports are free (the 65k-port limit the
+  // paper works around by spreading queriers across hosts, §2.6).
+  Result<SimTcpConnection*> Connect(Endpoint remote, ConnCallbacks callbacks,
+                                    bool tls, bool nagle = true);
+
+  IpAddress host() const { return host_; }
+  size_t connection_count() const { return conns_.size(); }
+  size_t ports_in_time_wait() const { return time_wait_ports_.size(); }
+
+  // 2*MSL; Linux default 60 s.
+  void set_time_wait_duration(NanoDuration d) { time_wait_duration_ = d; }
+
+ private:
+  friend class SimTcpConnection;
+
+  struct ConnKey {
+    uint16_t local_port;
+    Endpoint remote;
+    bool operator==(const ConnKey&) const = default;
+  };
+  struct ConnKeyHash {
+    size_t operator()(const ConnKey& k) const {
+      return std::hash<Endpoint>()(k.remote) * 31 + k.local_port;
+    }
+  };
+  struct Listener {
+    AcceptHandler handler;
+    bool tls;
+    NanoDuration idle_timeout;
+  };
+
+  void OnSegment(const SimPacket& packet);
+  void SendControl(const SimTcpConnection& conn, SegmentKind kind);
+  void SendData(SimTcpConnection& conn, Bytes data);
+  void FlushOrQueue(SimTcpConnection& conn, Bytes data);
+  void OnAck(SimTcpConnection& conn);
+  void OnDataSegment(SimTcpConnection& conn, const SimPacket& packet);
+  void DeliverAppData(SimTcpConnection& conn, std::span<const uint8_t> data);
+  void TlsHandshakeAdvance(SimTcpConnection& conn, uint8_t message);
+  void MarkEstablished(SimTcpConnection& conn);
+  void MarkAppEstablished(SimTcpConnection& conn);
+  void TouchActivity(SimTcpConnection& conn);
+  void ArmIdleTimer(SimTcpConnection& conn);
+  void CloseActive(SimTcpConnection& conn);
+  void ClosePassive(SimTcpConnection& conn);
+  void EraseDeferred(const SimTcpConnection& conn);
+  Result<uint16_t> AllocatePort();
+  NodeMeters* meters() const { return net_.MetersFor(host_); }
+  void ChargeCpu(NanoDuration cost);
+
+  SimNetwork& net_;
+  IpAddress host_;
+  NanoDuration time_wait_duration_ = Seconds(60);
+  uint16_t next_port_ = 1024;
+  std::unordered_map<uint16_t, Listener> listeners_;
+  std::unordered_map<ConnKey, std::unique_ptr<SimTcpConnection>, ConnKeyHash>
+      conns_;
+  std::set<uint16_t> time_wait_ports_;
+  std::set<uint16_t> used_client_ports_;
+  // Liveness token: timer lambdas (idle timeout, TIME_WAIT expiry,
+  // deferred erase) capture a weak_ptr to it and become no-ops if the
+  // stack is destroyed before they fire.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
+};
+
+}  // namespace ldp::sim
+
+#endif  // LDPLAYER_SIM_TCP_H

@@ -1,0 +1,108 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace ldp::stats {
+
+std::string Distribution::ToString(int precision) const {
+  auto f = [precision](double v) { return ldp::FormatDouble(v, precision); };
+  return "n=" + std::to_string(count) + " min=" + f(min) + " p5=" + f(p5) +
+         " p25=" + f(p25) + " p50=" + f(p50) + " p75=" + f(p75) +
+         " p95=" + f(p95) + " max=" + f(max) + " mean=" + f(mean) +
+         " sd=" + f(stddev);
+}
+
+void Summary::AddAll(const std::vector<double>& samples) {
+  samples_.insert(samples_.end(), samples.begin(), samples.end());
+  sorted_ = false;
+}
+
+double Summary::Mean() const {
+  if (samples_.empty()) return 0;
+  double sum = 0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Summary::Stddev() const {
+  if (samples_.size() < 2) return 0;
+  double mean = Mean();
+  double sq = 0;
+  for (double s : samples_) sq += (s - mean) * (s - mean);
+  return std::sqrt(sq / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::Min() const {
+  if (samples_.empty()) return 0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::Max() const {
+  if (samples_.empty()) return 0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+std::vector<double> Summary::SortedCopy() const {
+  std::vector<double> copy = samples_;
+  std::sort(copy.begin(), copy.end());
+  return copy;
+}
+
+void Summary::Finalize() {
+  std::sort(samples_.begin(), samples_.end());
+  sorted_ = true;
+}
+
+double Summary::Quantile(double q) const {
+  if (samples_.empty()) return 0;
+  if (q <= 0) return sorted_ ? samples_.front() : Min();
+  if (q >= 1) return sorted_ ? samples_.back() : Max();
+
+  const std::vector<double>& sorted =
+      sorted_ ? samples_ : (samples_ = SortedCopy(), sorted_ = true, samples_);
+  // Linear interpolation between closest ranks (type-7 quantile, same as R
+  // and numpy defaults).
+  double rank = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1 - frac) + sorted[lo + 1] * frac;
+}
+
+Distribution Summary::Summarize() const {
+  Distribution d;
+  d.count = samples_.size();
+  if (samples_.empty()) return d;
+  d.mean = Mean();
+  d.stddev = Stddev();
+  d.min = Quantile(0);
+  d.p5 = Quantile(0.05);
+  d.p25 = Quantile(0.25);
+  d.p50 = Quantile(0.50);
+  d.p75 = Quantile(0.75);
+  d.p95 = Quantile(0.95);
+  d.max = Quantile(1);
+  return d;
+}
+
+std::vector<CdfPoint> EmpiricalCdf(std::vector<double> samples,
+                                   size_t max_points) {
+  std::vector<CdfPoint> out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  size_t n = samples.size();
+  size_t step = n <= max_points ? 1 : n / max_points;
+  for (size_t i = 0; i < n; i += step) {
+    out.push_back(CdfPoint{samples[i],
+                           static_cast<double>(i + 1) / static_cast<double>(n)});
+  }
+  if (out.back().fraction < 1.0) {
+    out.push_back(CdfPoint{samples.back(), 1.0});
+  }
+  return out;
+}
+
+}  // namespace ldp::stats

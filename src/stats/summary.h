@@ -1,0 +1,73 @@
+// Sample summaries: exact quantiles, moments, and the five-number summaries
+// (median, quartiles, 5th/95th percentiles) that the paper's box plots use.
+#ifndef LDPLAYER_STATS_SUMMARY_H
+#define LDPLAYER_STATS_SUMMARY_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ldp::stats {
+
+// The statistics every figure in the paper reports.
+struct Distribution {
+  double min = 0;
+  double p5 = 0;
+  double p25 = 0;
+  double p50 = 0;
+  double p75 = 0;
+  double p95 = 0;
+  double max = 0;
+  double mean = 0;
+  double stddev = 0;
+  size_t count = 0;
+
+  std::string ToString(int precision = 3) const;
+};
+
+// Accumulates raw samples; quantiles are exact (computed by sorting a copy,
+// or in place via Finalize). Suits experiment-sized sample counts (≤ 10^8).
+class Summary {
+ public:
+  void Add(double sample) { samples_.push_back(sample); }
+  void AddAll(const std::vector<double>& samples);
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  const std::vector<double>& samples() const { return samples_; }
+
+  double Mean() const;
+  double Stddev() const;
+  double Min() const;
+  double Max() const;
+
+  // Exact quantile with linear interpolation, q in [0,1].
+  double Quantile(double q) const;
+
+  Distribution Summarize() const;
+
+  // Sorts the sample buffer in place so subsequent Quantile calls are O(1)
+  // after O(n log n) once. Adding more samples resets the sorted state.
+  void Finalize();
+
+  void Clear() { samples_.clear(); sorted_ = false; }
+
+ private:
+  std::vector<double> SortedCopy() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+// Points of the empirical CDF, downsampled to at most `max_points` for
+// plotting: (value, cumulative_fraction).
+struct CdfPoint {
+  double value;
+  double fraction;
+};
+std::vector<CdfPoint> EmpiricalCdf(std::vector<double> samples,
+                                   size_t max_points = 200);
+
+}  // namespace ldp::stats
+
+#endif  // LDPLAYER_STATS_SUMMARY_H

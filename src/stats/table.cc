@@ -1,0 +1,51 @@
+#include "stats/table.h"
+
+#include <algorithm>
+
+namespace ldp::stats {
+
+std::string Table::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      line += cell;
+      if (i + 1 < widths.size()) {
+        line += std::string(widths[i] - cell.size() + 2, ' ');
+      }
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out += std::string(total > 2 ? total - 2 : total, '-') + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string Table::RenderCsv() const {
+  std::string out;
+  auto append_row = [&out](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i) out += ',';
+      out += cells[i];
+    }
+    out += '\n';
+  };
+  append_row(headers_);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+}  // namespace ldp::stats

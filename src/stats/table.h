@@ -1,0 +1,34 @@
+// Plain-text table and CSV rendering for benchmark output. Every bench
+// binary prints the paper's rows/series through these helpers so output
+// stays uniform and machine-extractable.
+#ifndef LDPLAYER_STATS_TABLE_H
+#define LDPLAYER_STATS_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace ldp::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  // Column-aligned ASCII rendering with a header separator.
+  std::string Render() const;
+
+  // RFC-4180-ish CSV (no quoting needed for our numeric content).
+  std::string RenderCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ldp::stats
+
+#endif  // LDPLAYER_STATS_TABLE_H

@@ -1,0 +1,58 @@
+#include "stats/timeseries.h"
+
+#include <algorithm>
+
+namespace ldp::stats {
+
+void RateCounter::Record(NanoTime t, uint64_t count) {
+  if (!have_origin_) {
+    origin_ = t;
+    have_origin_ = true;
+  }
+  if (t < origin_) {
+    // Shift the origin down to cover earlier events.
+    int64_t shift_buckets =
+        (origin_ - t + bucket_width_ - 1) / bucket_width_;
+    buckets_.insert(buckets_.begin(), static_cast<size_t>(shift_buckets), 0);
+    origin_ -= shift_buckets * bucket_width_;
+  }
+  size_t index = static_cast<size_t>((t - origin_) / bucket_width_);
+  if (index >= buckets_.size()) buckets_.resize(index + 1, 0);
+  buckets_[index] += count;
+  total_ += count;
+}
+
+std::vector<uint64_t> RateCounter::BucketCounts() const { return buckets_; }
+
+std::vector<double> RateCounter::Rates() const {
+  std::vector<double> rates;
+  rates.reserve(buckets_.size());
+  double scale =
+      static_cast<double>(kNanosPerSecond) / static_cast<double>(bucket_width_);
+  for (uint64_t c : buckets_) {
+    rates.push_back(static_cast<double>(c) * scale);
+  }
+  return rates;
+}
+
+double GaugeSeries::SteadyStateMean(NanoTime from) const {
+  double sum = 0;
+  size_t n = 0;
+  for (const auto& p : points_) {
+    if (p.time >= from) {
+      sum += p.value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0 : sum / static_cast<double>(n);
+}
+
+double GaugeSeries::SteadyStateMax(NanoTime from) const {
+  double best = 0;
+  for (const auto& p : points_) {
+    if (p.time >= from) best = std::max(best, p.value);
+  }
+  return best;
+}
+
+}  // namespace ldp::stats

@@ -1,0 +1,67 @@
+// Time-bucketed metrics: per-second query-rate counters (Fig 8), and sampled
+// gauges over experiment time (memory / connection counts in Fig 13/14).
+#ifndef LDPLAYER_STATS_TIMESERIES_H
+#define LDPLAYER_STATS_TIMESERIES_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace ldp::stats {
+
+// Counts events into fixed-width time buckets starting at a configurable
+// origin. Used to compute per-second query rates of original and replayed
+// traces.
+class RateCounter {
+ public:
+  explicit RateCounter(NanoDuration bucket_width = kNanosPerSecond)
+      : bucket_width_(bucket_width) {}
+
+  void Record(NanoTime t, uint64_t count = 1);
+
+  // Bucket counts from the first to the last non-empty bucket (inclusive).
+  // Empty if nothing was recorded.
+  std::vector<uint64_t> BucketCounts() const;
+
+  // Rates in events/second for each bucket.
+  std::vector<double> Rates() const;
+
+  NanoTime origin() const { return origin_; }
+  NanoDuration bucket_width() const { return bucket_width_; }
+  uint64_t total() const { return total_; }
+
+ private:
+  NanoDuration bucket_width_;
+  NanoTime origin_ = 0;
+  bool have_origin_ = false;
+  std::vector<uint64_t> buckets_;
+  uint64_t total_ = 0;
+};
+
+// A sampled gauge: (time, value) pairs, e.g. bytes of memory over minutes.
+struct GaugePoint {
+  NanoTime time;
+  double value;
+};
+
+class GaugeSeries {
+ public:
+  void Sample(NanoTime t, double value) { points_.push_back({t, value}); }
+  const std::vector<GaugePoint>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  // Last sampled value (0 when empty).
+  double Last() const { return points_.empty() ? 0 : points_.back().value; }
+
+  // Mean of samples at or after `from` — the paper's "steady state" window.
+  double SteadyStateMean(NanoTime from) const;
+  double SteadyStateMax(NanoTime from) const;
+
+ private:
+  std::vector<GaugePoint> points_;
+};
+
+}  // namespace ldp::stats
+
+#endif  // LDPLAYER_STATS_TIMESERIES_H

@@ -1,0 +1,143 @@
+#include "trace/binary.h"
+
+#include <fstream>
+#include <memory>
+
+namespace ldp::trace {
+namespace {
+
+constexpr uint8_t kFlagRd = 0x01;
+constexpr uint8_t kFlagCd = 0x02;
+constexpr uint8_t kFlagDo = 0x04;
+constexpr uint8_t kFlagEdns = 0x08;
+
+void EncodePayload(const QueryRecord& record, ByteWriter& writer) {
+  writer.WriteU64(static_cast<uint64_t>(record.timestamp));
+  writer.WriteU32(record.src.value());
+  writer.WriteU16(record.src_port);
+  writer.WriteU32(record.dst.value());
+  writer.WriteU16(record.dst_port);
+  writer.WriteU8(static_cast<uint8_t>(record.protocol));
+  writer.WriteU16(record.id);
+  uint8_t flags = 0;
+  if (record.rd) flags |= kFlagRd;
+  if (record.cd) flags |= kFlagCd;
+  if (record.do_bit) flags |= kFlagDo;
+  if (record.edns) flags |= kFlagEdns;
+  writer.WriteU8(flags);
+  writer.WriteU16(record.udp_payload_size);
+  writer.WriteU16(static_cast<uint16_t>(record.qtype));
+  writer.WriteU16(static_cast<uint16_t>(record.qclass));
+  dns::EncodeNameUncompressed(record.qname, writer);
+}
+
+Result<QueryRecord> DecodePayload(std::span<const uint8_t> payload) {
+  ByteReader reader(payload);
+  QueryRecord record;
+  LDP_ASSIGN_OR_RETURN(uint64_t ts, reader.ReadU64());
+  record.timestamp = static_cast<NanoTime>(ts);
+  LDP_ASSIGN_OR_RETURN(uint32_t src, reader.ReadU32());
+  record.src = IpAddress(src);
+  LDP_ASSIGN_OR_RETURN(record.src_port, reader.ReadU16());
+  LDP_ASSIGN_OR_RETURN(uint32_t dst, reader.ReadU32());
+  record.dst = IpAddress(dst);
+  LDP_ASSIGN_OR_RETURN(record.dst_port, reader.ReadU16());
+  LDP_ASSIGN_OR_RETURN(uint8_t protocol, reader.ReadU8());
+  if (protocol > static_cast<uint8_t>(Protocol::kTls)) {
+    return Error(ErrorCode::kParseError, "bad protocol byte");
+  }
+  record.protocol = static_cast<Protocol>(protocol);
+  LDP_ASSIGN_OR_RETURN(record.id, reader.ReadU16());
+  LDP_ASSIGN_OR_RETURN(uint8_t flags, reader.ReadU8());
+  record.rd = flags & kFlagRd;
+  record.cd = flags & kFlagCd;
+  record.do_bit = flags & kFlagDo;
+  record.edns = flags & kFlagEdns;
+  LDP_ASSIGN_OR_RETURN(record.udp_payload_size, reader.ReadU16());
+  LDP_ASSIGN_OR_RETURN(uint16_t qtype, reader.ReadU16());
+  record.qtype = static_cast<dns::RRType>(qtype);
+  LDP_ASSIGN_OR_RETURN(uint16_t qclass, reader.ReadU16());
+  record.qclass = static_cast<dns::RRClass>(qclass);
+  LDP_ASSIGN_OR_RETURN(record.qname, dns::DecodeName(reader));
+  if (!reader.AtEnd()) {
+    return Error(ErrorCode::kParseError, "trailing bytes in binary record");
+  }
+  return record;
+}
+
+}  // namespace
+
+void EncodeBinaryRecord(const QueryRecord& record, ByteWriter& writer) {
+  ByteWriter payload;
+  EncodePayload(record, payload);
+  writer.WriteU16(static_cast<uint16_t>(payload.size()));
+  writer.WriteBytes(payload.data());
+}
+
+Result<QueryRecord> DecodeBinaryRecord(ByteReader& reader) {
+  LDP_ASSIGN_OR_RETURN(uint16_t length, reader.ReadU16());
+  LDP_ASSIGN_OR_RETURN(auto payload, reader.ReadSpan(length));
+  return DecodePayload(payload);
+}
+
+Bytes EncodeBinaryTrace(const std::vector<QueryRecord>& records) {
+  ByteWriter writer(records.size() * 48);
+  for (const auto& record : records) EncodeBinaryRecord(record, writer);
+  return std::move(writer).Take();
+}
+
+Result<std::vector<QueryRecord>> DecodeBinaryTrace(
+    std::span<const uint8_t> data) {
+  std::vector<QueryRecord> records;
+  ByteReader reader(data);
+  while (!reader.AtEnd()) {
+    auto record = DecodeBinaryRecord(reader);
+    if (!record.ok()) {
+      return record.error().WithContext(
+          "record " + std::to_string(records.size()));
+    }
+    records.push_back(std::move(*record));
+  }
+  return records;
+}
+
+Status WriteBinaryTraceFile(const std::vector<QueryRecord>& records,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Error(ErrorCode::kIoError, "cannot open " + path);
+  Bytes data = EncodeBinaryTrace(records);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) return Error(ErrorCode::kIoError, "write failed: " + path);
+  return Status::Ok();
+}
+
+Result<BinaryTraceReader> BinaryTraceReader::Open(const std::string& path) {
+  auto in = std::make_unique<std::ifstream>(path, std::ios::binary);
+  if (!*in) return Error(ErrorCode::kIoError, "cannot open " + path);
+  return BinaryTraceReader(std::move(in));
+}
+
+bool BinaryTraceReader::AtEnd() {
+  return in_->peek() == std::ifstream::traits_type::eof();
+}
+
+Result<QueryRecord> BinaryTraceReader::Next() {
+  uint8_t len_buf[2];
+  in_->read(reinterpret_cast<char*>(len_buf), 2);
+  if (in_->gcount() == 0) {
+    return Error(ErrorCode::kNotFound, "end of trace");
+  }
+  if (in_->gcount() != 2) {
+    return Error(ErrorCode::kTruncated, "partial length prefix");
+  }
+  uint16_t length = static_cast<uint16_t>((len_buf[0] << 8) | len_buf[1]);
+  Bytes payload(length);
+  in_->read(reinterpret_cast<char*>(payload.data()), length);
+  if (in_->gcount() != length) {
+    return Error(ErrorCode::kTruncated, "partial record payload");
+  }
+  return DecodePayload(payload);
+}
+
+}  // namespace ldp::trace

@@ -1,0 +1,316 @@
+#include "trace/pcap.h"
+
+#include <fstream>
+
+#include "dns/framing.h"
+
+namespace ldp::trace {
+namespace {
+
+constexpr uint32_t kPcapMagic = 0xa1b2c3d4;  // microsecond timestamps
+constexpr uint32_t kLinkTypeEthernet = 1;
+constexpr uint16_t kEtherTypeIpv4 = 0x0800;
+constexpr uint8_t kIpProtoTcp = 6;
+constexpr uint8_t kIpProtoUdp = 17;
+
+// pcap is host-endian by convention of its writer; we always write
+// little-endian (the near-universal choice) and read both.
+void WriteLE32(Bytes& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void WriteLE16(Bytes& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+class EndianReader {
+ public:
+  EndianReader(std::span<const uint8_t> data, bool swapped)
+      : data_(data), swapped_(swapped) {}
+
+  size_t offset() const { return offset_; }
+  size_t remaining() const { return data_.size() - offset_; }
+
+  Result<uint32_t> ReadU32() {
+    if (remaining() < 4) return Error(ErrorCode::kTruncated, "pcap u32");
+    uint32_t v;
+    if (swapped_) {
+      v = static_cast<uint32_t>(data_[offset_]) |
+          (static_cast<uint32_t>(data_[offset_ + 1]) << 8) |
+          (static_cast<uint32_t>(data_[offset_ + 2]) << 16) |
+          (static_cast<uint32_t>(data_[offset_ + 3]) << 24);
+    } else {
+      v = (static_cast<uint32_t>(data_[offset_]) << 24) |
+          (static_cast<uint32_t>(data_[offset_ + 1]) << 16) |
+          (static_cast<uint32_t>(data_[offset_ + 2]) << 8) |
+          static_cast<uint32_t>(data_[offset_ + 3]);
+    }
+    offset_ += 4;
+    return v;
+  }
+
+  Result<std::span<const uint8_t>> ReadSpan(size_t n) {
+    if (remaining() < n) return Error(ErrorCode::kTruncated, "pcap span");
+    auto out = data_.subspan(offset_, n);
+    offset_ += n;
+    return out;
+  }
+
+  Status Skip(size_t n) {
+    if (remaining() < n) return Error(ErrorCode::kTruncated, "pcap skip");
+    offset_ += n;
+    return Status::Ok();
+  }
+
+ private:
+  std::span<const uint8_t> data_;
+  bool swapped_;
+  size_t offset_ = 0;
+};
+
+// Parses Ethernet/IPv4/UDP|TCP out of one captured frame. Returns kNotFound
+// for frames to skip (non-IP, no payload), other errors for corrupt data.
+Result<PacketRecord> ParseFrame(std::span<const uint8_t> frame,
+                                NanoTime timestamp) {
+  ByteReader reader(frame);
+  // Ethernet: dst(6) src(6) ethertype(2).
+  LDP_RETURN_IF_ERROR(reader.Skip(12));
+  LDP_ASSIGN_OR_RETURN(uint16_t ethertype, reader.ReadU16());
+  if (ethertype != kEtherTypeIpv4) {
+    return Error(ErrorCode::kNotFound, "not IPv4");
+  }
+  // IPv4 header.
+  LDP_ASSIGN_OR_RETURN(uint8_t version_ihl, reader.ReadU8());
+  if ((version_ihl >> 4) != 4) {
+    return Error(ErrorCode::kParseError, "bad IP version");
+  }
+  size_t ihl = static_cast<size_t>(version_ihl & 0x0f) * 4;
+  if (ihl < 20) return Error(ErrorCode::kParseError, "bad IHL");
+  LDP_RETURN_IF_ERROR(reader.Skip(1));  // DSCP/ECN
+  LDP_ASSIGN_OR_RETURN(uint16_t total_length, reader.ReadU16());
+  LDP_RETURN_IF_ERROR(reader.Skip(5));  // id, flags/frag offset, TTL
+  LDP_ASSIGN_OR_RETURN(uint8_t ip_proto, reader.ReadU8());
+  LDP_RETURN_IF_ERROR(reader.Skip(2));  // checksum
+  LDP_ASSIGN_OR_RETURN(uint32_t src, reader.ReadU32());
+  LDP_ASSIGN_OR_RETURN(uint32_t dst, reader.ReadU32());
+  LDP_RETURN_IF_ERROR(reader.Skip(ihl - 20));  // options
+
+  size_t ip_payload_len = total_length >= ihl ? total_length - ihl : 0;
+
+  PacketRecord packet;
+  packet.timestamp = timestamp;
+  packet.src = IpAddress(src);
+  packet.dst = IpAddress(dst);
+
+  if (ip_proto == kIpProtoUdp) {
+    packet.protocol = Protocol::kUdp;
+    LDP_ASSIGN_OR_RETURN(packet.src_port, reader.ReadU16());
+    LDP_ASSIGN_OR_RETURN(packet.dst_port, reader.ReadU16());
+    LDP_ASSIGN_OR_RETURN(uint16_t udp_length, reader.ReadU16());
+    LDP_RETURN_IF_ERROR(reader.Skip(2));  // checksum
+    if (udp_length < 8) return Error(ErrorCode::kParseError, "bad UDP length");
+    size_t payload_len = udp_length - 8;
+    LDP_ASSIGN_OR_RETURN(auto payload, reader.ReadSpan(payload_len));
+    packet.payload.assign(payload.begin(), payload.end());
+    return packet;
+  }
+  if (ip_proto == kIpProtoTcp) {
+    packet.protocol = Protocol::kTcp;
+    LDP_ASSIGN_OR_RETURN(packet.src_port, reader.ReadU16());
+    LDP_ASSIGN_OR_RETURN(packet.dst_port, reader.ReadU16());
+    LDP_RETURN_IF_ERROR(reader.Skip(8));  // seq, ack
+    LDP_ASSIGN_OR_RETURN(uint8_t data_offset, reader.ReadU8());
+    size_t tcp_header = static_cast<size_t>(data_offset >> 4) * 4;
+    if (tcp_header < 20) return Error(ErrorCode::kParseError, "bad TCP offset");
+    LDP_RETURN_IF_ERROR(reader.Skip(tcp_header - 13));  // rest of header
+    if (ip_payload_len < tcp_header) {
+      return Error(ErrorCode::kParseError, "TCP header beyond IP length");
+    }
+    size_t payload_len = ip_payload_len - tcp_header;
+    if (payload_len == 0) {
+      return Error(ErrorCode::kNotFound, "bare ACK");
+    }
+    LDP_ASSIGN_OR_RETURN(auto payload, reader.ReadSpan(payload_len));
+    packet.payload.assign(payload.begin(), payload.end());
+    return packet;
+  }
+  return Error(ErrorCode::kNotFound, "not UDP/TCP");
+}
+
+void AppendFrame(Bytes& out, const PacketRecord& packet) {
+  // Build Ethernet + IPv4 + transport headers around the payload.
+  ByteWriter frame;
+  // Ethernet: synthetic MACs.
+  for (int i = 0; i < 6; ++i) frame.WriteU8(0x02);
+  for (int i = 0; i < 6; ++i) frame.WriteU8(0x04);
+  frame.WriteU16(kEtherTypeIpv4);
+
+  bool tcp = packet.protocol != Protocol::kUdp;
+  size_t transport_header = tcp ? 20 : 8;
+  size_t ip_total = 20 + transport_header + packet.payload.size();
+
+  frame.WriteU8(0x45);  // v4, IHL 5
+  frame.WriteU8(0);
+  frame.WriteU16(static_cast<uint16_t>(ip_total));
+  frame.WriteU16(0);       // id
+  frame.WriteU16(0x4000);  // DF
+  frame.WriteU8(64);       // TTL
+  frame.WriteU8(tcp ? kIpProtoTcp : kIpProtoUdp);
+  frame.WriteU16(0);  // checksum: readers we target do not verify
+  frame.WriteU32(packet.src.value());
+  frame.WriteU32(packet.dst.value());
+
+  if (tcp) {
+    frame.WriteU16(packet.src_port);
+    frame.WriteU16(packet.dst_port);
+    frame.WriteU32(1);        // seq
+    frame.WriteU32(1);        // ack
+    frame.WriteU8(5 << 4);    // data offset 5 words
+    frame.WriteU8(0x18);      // PSH|ACK
+    frame.WriteU16(65535);    // window
+    frame.WriteU16(0);        // checksum
+    frame.WriteU16(0);        // urgent
+  } else {
+    frame.WriteU16(packet.src_port);
+    frame.WriteU16(packet.dst_port);
+    frame.WriteU16(static_cast<uint16_t>(8 + packet.payload.size()));
+    frame.WriteU16(0);  // checksum
+  }
+  frame.WriteBytes(packet.payload);
+
+  // pcap per-packet header.
+  uint64_t abs = static_cast<uint64_t>(packet.timestamp);
+  WriteLE32(out, static_cast<uint32_t>(abs / kNanosPerSecond));
+  WriteLE32(out, static_cast<uint32_t>((abs % kNanosPerSecond) / 1000));
+  WriteLE32(out, static_cast<uint32_t>(frame.size()));
+  WriteLE32(out, static_cast<uint32_t>(frame.size()));
+  out.insert(out.end(), frame.data().begin(), frame.data().end());
+}
+
+}  // namespace
+
+Bytes WritePcap(const std::vector<PacketRecord>& packets) {
+  Bytes out;
+  WriteLE32(out, kPcapMagic);
+  WriteLE16(out, 2);   // version major
+  WriteLE16(out, 4);   // version minor
+  WriteLE32(out, 0);   // thiszone
+  WriteLE32(out, 0);   // sigfigs
+  WriteLE32(out, 65535);  // snaplen
+  WriteLE32(out, kLinkTypeEthernet);
+  for (const auto& packet : packets) AppendFrame(out, packet);
+  return out;
+}
+
+Status WritePcapFile(const std::vector<PacketRecord>& packets,
+                     const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Error(ErrorCode::kIoError, "cannot open " + path);
+  Bytes data = WritePcap(packets);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) return Error(ErrorCode::kIoError, "write failed: " + path);
+  return Status::Ok();
+}
+
+Result<std::vector<PacketRecord>> ReadPcap(std::span<const uint8_t> data) {
+  if (data.size() < 24) {
+    return Error(ErrorCode::kTruncated, "pcap shorter than global header");
+  }
+  uint32_t magic_le = static_cast<uint32_t>(data[0]) |
+                      (static_cast<uint32_t>(data[1]) << 8) |
+                      (static_cast<uint32_t>(data[2]) << 16) |
+                      (static_cast<uint32_t>(data[3]) << 24);
+  bool swapped;  // true: file is little-endian
+  if (magic_le == kPcapMagic) {
+    swapped = true;
+  } else if (magic_le == 0xd4c3b2a1) {
+    swapped = false;
+  } else {
+    return Error(ErrorCode::kParseError, "bad pcap magic");
+  }
+
+  EndianReader reader(data, swapped);
+  LDP_RETURN_IF_ERROR(reader.Skip(20));  // rest of global header
+  LDP_ASSIGN_OR_RETURN(uint32_t linktype, reader.ReadU32());
+  if (linktype != kLinkTypeEthernet) {
+    return Error(ErrorCode::kUnsupported,
+                 "only Ethernet linktype supported, got " +
+                     std::to_string(linktype));
+  }
+
+  std::vector<PacketRecord> packets;
+  while (reader.remaining() > 0) {
+    LDP_ASSIGN_OR_RETURN(uint32_t ts_sec, reader.ReadU32());
+    LDP_ASSIGN_OR_RETURN(uint32_t ts_usec, reader.ReadU32());
+    LDP_ASSIGN_OR_RETURN(uint32_t incl_len, reader.ReadU32());
+    LDP_ASSIGN_OR_RETURN(uint32_t orig_len, reader.ReadU32());
+    (void)orig_len;  // snaplen is 65535; incl_len is authoritative here
+    LDP_ASSIGN_OR_RETURN(auto frame, reader.ReadSpan(incl_len));
+    NanoTime timestamp = static_cast<NanoTime>(ts_sec) * kNanosPerSecond +
+                         static_cast<NanoTime>(ts_usec) * 1000;
+    auto packet = ParseFrame(frame, timestamp);
+    if (packet.ok()) {
+      packets.push_back(std::move(*packet));
+    } else if (packet.error().code() != ErrorCode::kNotFound) {
+      return packet.error().WithContext(
+          "packet " + std::to_string(packets.size()));
+    }
+  }
+  return packets;
+}
+
+Result<std::vector<PacketRecord>> ReadPcapFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error(ErrorCode::kIoError, "cannot open " + path);
+  Bytes data((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  return ReadPcap(data);
+}
+
+Result<QueryRecord> PacketToQuery(const PacketRecord& packet) {
+  LDP_ASSIGN_OR_RETURN(dns::Message message, PacketToMessage(packet));
+  if (message.qr) {
+    return Error(ErrorCode::kInvalidArgument, "packet is a response");
+  }
+  return QueryRecord::FromMessage(message, packet.timestamp, packet.src,
+                                  packet.src_port, packet.dst,
+                                  packet.dst_port, packet.protocol);
+}
+
+Result<dns::Message> PacketToMessage(const PacketRecord& packet) {
+  if (packet.protocol == Protocol::kUdp) {
+    return dns::Message::Decode(packet.payload);
+  }
+  // TCP/TLS payloads carry 2-byte framing; expect exactly one message.
+  dns::StreamAssembler assembler;
+  LDP_RETURN_IF_ERROR(assembler.Feed(packet.payload));
+  auto wire = assembler.NextMessage();
+  if (!wire.has_value()) {
+    return Error(ErrorCode::kUnsupported,
+                 "TCP segment does not hold a complete framed message");
+  }
+  return dns::Message::Decode(*wire);
+}
+
+PacketRecord MessageToPacket(const dns::Message& message, NanoTime time,
+                             IpAddress src, uint16_t src_port, IpAddress dst,
+                             uint16_t dst_port, Protocol protocol) {
+  PacketRecord packet;
+  packet.timestamp = time;
+  packet.src = src;
+  packet.src_port = src_port;
+  packet.dst = dst;
+  packet.dst_port = dst_port;
+  packet.protocol = protocol;
+  Bytes wire = message.Encode();
+  packet.payload =
+      protocol == Protocol::kUdp ? std::move(wire) : dns::FrameMessage(wire);
+  return packet;
+}
+
+}  // namespace ldp::trace

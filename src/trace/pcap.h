@@ -1,0 +1,62 @@
+// Minimal pcap (libpcap classic format, magic 0xa1b2c3d4) reader/writer with
+// Ethernet → IPv4 → UDP/TCP parsing, enough to ingest captured DNS traffic
+// and to emit synthetic captures other tools can open. This is the
+// "network trace" input lane of the paper's Figure 3.
+//
+// TCP handling is packet-scoped: payloads are extracted per segment without
+// cross-segment reassembly (the writer emits one whole framed DNS message
+// per segment, so writer→reader round-trips are lossless; foreign captures
+// with split segments surface as kUnsupported records that callers skip).
+#ifndef LDPLAYER_TRACE_PCAP_H
+#define LDPLAYER_TRACE_PCAP_H
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/ip.h"
+#include "common/result.h"
+#include "trace/record.h"
+
+namespace ldp::trace {
+
+// One captured packet with transport metadata and raw L7 payload.
+struct PacketRecord {
+  NanoTime timestamp = 0;
+  IpAddress src;
+  uint16_t src_port = 0;
+  IpAddress dst;
+  uint16_t dst_port = 0;
+  Protocol protocol = Protocol::kUdp;  // kTcp payloads carry 2-byte framing
+  Bytes payload;
+
+  bool operator==(const PacketRecord&) const = default;
+};
+
+// Serializes packets into a pcap byte stream (Ethernet linktype).
+Bytes WritePcap(const std::vector<PacketRecord>& packets);
+Status WritePcapFile(const std::vector<PacketRecord>& packets,
+                     const std::string& path);
+
+// Parses a pcap byte stream, keeping only IPv4 UDP/TCP packets that carry a
+// payload; other packets (ARP, bare ACKs, non-IP) are skipped silently.
+Result<std::vector<PacketRecord>> ReadPcap(std::span<const uint8_t> data);
+Result<std::vector<PacketRecord>> ReadPcapFile(const std::string& path);
+
+// Interprets a packet's payload as a DNS query and builds a QueryRecord.
+// TCP payloads are expected to carry the 2-byte length framing.
+Result<QueryRecord> PacketToQuery(const PacketRecord& packet);
+
+// Decodes the DNS message in a packet (response harvesting path). TCP
+// framing is stripped.
+Result<dns::Message> PacketToMessage(const PacketRecord& packet);
+
+// Builds a packet from a DNS message (framing added for TCP).
+PacketRecord MessageToPacket(const dns::Message& message, NanoTime time,
+                             IpAddress src, uint16_t src_port, IpAddress dst,
+                             uint16_t dst_port, Protocol protocol);
+
+}  // namespace ldp::trace
+
+#endif  // LDPLAYER_TRACE_PCAP_H

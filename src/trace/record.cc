@@ -1,0 +1,61 @@
+#include "trace/record.h"
+
+namespace ldp::trace {
+
+std::string_view ProtocolName(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kUdp: return "udp";
+    case Protocol::kTcp: return "tcp";
+    case Protocol::kTls: return "tls";
+  }
+  return "?";
+}
+
+Result<Protocol> ProtocolFromString(std::string_view text) {
+  if (text == "udp") return Protocol::kUdp;
+  if (text == "tcp") return Protocol::kTcp;
+  if (text == "tls") return Protocol::kTls;
+  return Error(ErrorCode::kParseError, "unknown protocol: " + std::string(text));
+}
+
+dns::Message QueryRecord::ToMessage() const {
+  dns::Message msg;
+  msg.id = id;
+  msg.rd = rd;
+  msg.cd = cd;
+  msg.questions.push_back(dns::Question{qname, qtype, qclass});
+  if (edns) {
+    msg.edns = dns::Edns{.udp_payload_size = udp_payload_size,
+                         .do_bit = do_bit};
+  }
+  return msg;
+}
+
+QueryRecord QueryRecord::FromMessage(const dns::Message& message,
+                                     NanoTime time, IpAddress src,
+                                     uint16_t src_port, IpAddress dst,
+                                     uint16_t dst_port, Protocol protocol) {
+  QueryRecord record;
+  record.timestamp = time;
+  record.src = src;
+  record.src_port = src_port;
+  record.dst = dst;
+  record.dst_port = dst_port;
+  record.protocol = protocol;
+  record.id = message.id;
+  if (!message.questions.empty()) {
+    record.qname = message.questions[0].name;
+    record.qtype = message.questions[0].type;
+    record.qclass = message.questions[0].klass;
+  }
+  record.rd = message.rd;
+  record.cd = message.cd;
+  if (message.edns.has_value()) {
+    record.edns = true;
+    record.udp_payload_size = message.edns->udp_payload_size;
+    record.do_bit = message.edns->do_bit;
+  }
+  return record;
+}
+
+}  // namespace ldp::trace

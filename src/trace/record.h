@@ -1,0 +1,57 @@
+// Trace records: the replayable essence of one captured DNS query (paper
+// Fig 3). A QueryRecord carries timing, addressing, transport, and the
+// question — everything the query engine needs to rebuild and schedule the
+// query — while PacketRecord (packet.h) keeps raw payloads for the zone
+// constructor, which needs full responses.
+#ifndef LDPLAYER_TRACE_RECORD_H
+#define LDPLAYER_TRACE_RECORD_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "common/ip.h"
+#include "common/result.h"
+#include "dns/message.h"
+
+namespace ldp::trace {
+
+enum class Protocol : uint8_t { kUdp = 0, kTcp = 1, kTls = 2 };
+
+std::string_view ProtocolName(Protocol protocol);
+Result<Protocol> ProtocolFromString(std::string_view text);
+
+struct QueryRecord {
+  NanoTime timestamp = 0;  // nanoseconds since trace epoch
+  IpAddress src;
+  uint16_t src_port = 0;
+  IpAddress dst;           // original query destination address (OQDA)
+  uint16_t dst_port = 53;
+  Protocol protocol = Protocol::kUdp;
+
+  uint16_t id = 0;
+  dns::Name qname;
+  dns::RRType qtype = dns::RRType::kA;
+  dns::RRClass qclass = dns::RRClass::kIN;
+  bool rd = false;
+  bool cd = false;
+
+  bool edns = false;
+  uint16_t udp_payload_size = 0;
+  bool do_bit = false;
+
+  bool operator==(const QueryRecord&) const = default;
+
+  // Builds the wire-ready DNS query message this record describes.
+  dns::Message ToMessage() const;
+
+  // Extracts a record from a decoded query message plus transport metadata.
+  static QueryRecord FromMessage(const dns::Message& message, NanoTime time,
+                                 IpAddress src, uint16_t src_port,
+                                 IpAddress dst, uint16_t dst_port,
+                                 Protocol protocol);
+};
+
+}  // namespace ldp::trace
+
+#endif  // LDPLAYER_TRACE_RECORD_H

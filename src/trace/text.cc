@@ -1,0 +1,142 @@
+#include "trace/text.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace ldp::trace {
+
+std::string FormatQueryLine(const QueryRecord& record) {
+  std::string flags;
+  if (record.rd) flags += "rd,";
+  if (record.cd) flags += "cd,";
+  if (record.do_bit) flags += "do,";
+  if (flags.empty()) {
+    flags = "-";
+  } else {
+    flags.pop_back();  // trailing comma
+  }
+  return FormatSeconds(record.timestamp) + " " +
+         Endpoint{record.src, record.src_port}.ToString() + " " +
+         Endpoint{record.dst, record.dst_port}.ToString() + " " +
+         std::string(ProtocolName(record.protocol)) + " " +
+         record.qname.ToString() + " " + dns::RRClassToString(record.qclass) +
+         " " + dns::RRTypeToString(record.qtype) + " " +
+         std::to_string(record.id) + " " + flags + " " +
+         std::to_string(record.edns ? record.udp_payload_size : 0);
+}
+
+Result<QueryRecord> ParseQueryLine(std::string_view line) {
+  auto fields = SplitWhitespace(line);
+  if (fields.size() != 10) {
+    return Error(ErrorCode::kParseError,
+                 "expected 10 fields, got " + std::to_string(fields.size()) +
+                     ": " + std::string(line));
+  }
+  QueryRecord record;
+
+  // Timestamp "sec.nanos".
+  {
+    auto parts = Split(fields[0], '.');
+    if (parts.size() > 2) {
+      return Error(ErrorCode::kParseError, "bad timestamp");
+    }
+    LDP_ASSIGN_OR_RETURN(int64_t secs, ParseInt64(parts[0]));
+    int64_t nanos = 0;
+    if (parts.size() == 2) {
+      std::string frac(parts[1]);
+      if (frac.size() > 9) {
+        return Error(ErrorCode::kParseError, "timestamp beyond ns precision");
+      }
+      frac.append(9 - frac.size(), '0');
+      LDP_ASSIGN_OR_RETURN(nanos, ParseInt64(frac));
+    }
+    bool negative = !fields[0].empty() && fields[0][0] == '-';
+    record.timestamp =
+        negative ? secs * kNanosPerSecond - nanos : secs * kNanosPerSecond + nanos;
+  }
+
+  LDP_ASSIGN_OR_RETURN(Endpoint src, Endpoint::Parse(fields[1]));
+  record.src = src.addr;
+  record.src_port = src.port;
+  LDP_ASSIGN_OR_RETURN(Endpoint dst, Endpoint::Parse(fields[2]));
+  record.dst = dst.addr;
+  record.dst_port = dst.port;
+  LDP_ASSIGN_OR_RETURN(record.protocol, ProtocolFromString(fields[3]));
+  LDP_ASSIGN_OR_RETURN(record.qname, dns::Name::Parse(fields[4]));
+  LDP_ASSIGN_OR_RETURN(record.qclass, dns::RRClassFromString(fields[5]));
+  LDP_ASSIGN_OR_RETURN(record.qtype, dns::RRTypeFromString(fields[6]));
+  LDP_ASSIGN_OR_RETURN(uint64_t id, ParseUint64(fields[7]));
+  if (id > 0xffff) {
+    return Error(ErrorCode::kOutOfRange, "query id > 65535");
+  }
+  record.id = static_cast<uint16_t>(id);
+
+  if (fields[8] != "-") {
+    for (auto flag : Split(fields[8], ',')) {
+      if (flag == "rd") record.rd = true;
+      else if (flag == "cd") record.cd = true;
+      else if (flag == "do") record.do_bit = true;
+      else {
+        return Error(ErrorCode::kParseError,
+                     "unknown flag: " + std::string(flag));
+      }
+    }
+  }
+
+  LDP_ASSIGN_OR_RETURN(uint64_t edns_size, ParseUint64(fields[9]));
+  if (edns_size > 0xffff) {
+    return Error(ErrorCode::kOutOfRange, "EDNS size > 65535");
+  }
+  if (edns_size > 0 || record.do_bit) {
+    record.edns = true;
+    record.udp_payload_size =
+        static_cast<uint16_t>(edns_size > 0 ? edns_size : 4096);
+  }
+  return record;
+}
+
+Status WriteTextTrace(const std::vector<QueryRecord>& records,
+                      std::ostream& out) {
+  out << "# time src dst proto qname qclass qtype id flags edns\n";
+  for (const auto& record : records) {
+    out << FormatQueryLine(record) << "\n";
+  }
+  if (!out) return Error(ErrorCode::kIoError, "text trace write failed");
+  return Status::Ok();
+}
+
+Status WriteTextTraceFile(const std::vector<QueryRecord>& records,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Error(ErrorCode::kIoError, "cannot open " + path);
+  return WriteTextTrace(records, out);
+}
+
+Result<std::vector<QueryRecord>> ReadTextTrace(std::istream& in) {
+  std::vector<QueryRecord> records;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    auto record = ParseQueryLine(trimmed);
+    if (!record.ok()) {
+      return record.error().WithContext("line " + std::to_string(line_no));
+    }
+    records.push_back(std::move(*record));
+  }
+  return records;
+}
+
+Result<std::vector<QueryRecord>> ReadTextTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Error(ErrorCode::kIoError, "cannot open " + path);
+  return ReadTextTrace(in);
+}
+
+}  // namespace ldp::trace

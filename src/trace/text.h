@@ -1,0 +1,35 @@
+// Column-oriented plain-text trace format (paper §2.5): one line per query,
+// human-readable and editable with standard tools. This is the mutation
+// surface — the query mutator reads and writes exactly this.
+//
+//   <time> <src>:<sport> <dst>:<dport> <proto> <qname> <qclass> <qtype>
+//   <id> <flags> <edns-size>
+//
+// flags is a comma-joined subset of {rd,cd,do} or "-"; edns-size is 0 when
+// the query carries no OPT record. Lines starting with '#' are comments.
+#ifndef LDPLAYER_TRACE_TEXT_H
+#define LDPLAYER_TRACE_TEXT_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "trace/record.h"
+
+namespace ldp::trace {
+
+std::string FormatQueryLine(const QueryRecord& record);
+Result<QueryRecord> ParseQueryLine(std::string_view line);
+
+// Whole-file helpers.
+Status WriteTextTrace(const std::vector<QueryRecord>& records,
+                      std::ostream& out);
+Status WriteTextTraceFile(const std::vector<QueryRecord>& records,
+                          const std::string& path);
+Result<std::vector<QueryRecord>> ReadTextTrace(std::istream& in);
+Result<std::vector<QueryRecord>> ReadTextTraceFile(const std::string& path);
+
+}  // namespace ldp::trace
+
+#endif  // LDPLAYER_TRACE_TEXT_H

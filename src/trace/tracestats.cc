@@ -1,0 +1,51 @@
+#include "trace/tracestats.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace ldp::trace {
+
+TraceStats ComputeTraceStats(const std::vector<QueryRecord>& records) {
+  TraceStats stats;
+  stats.records = records.size();
+  if (records.empty()) return stats;
+
+  std::unordered_set<IpAddress> clients;
+  size_t do_count = 0;
+  size_t tcp_count = 0;
+  for (const auto& record : records) {
+    clients.insert(record.src);
+    if (record.do_bit) ++do_count;
+    if (record.protocol != Protocol::kUdp) ++tcp_count;
+  }
+  stats.unique_clients = clients.size();
+  stats.fraction_do = static_cast<double>(do_count) /
+                      static_cast<double>(records.size());
+  stats.fraction_tcp = static_cast<double>(tcp_count) /
+                       static_cast<double>(records.size());
+  stats.duration = records.back().timestamp - records.front().timestamp;
+  if (stats.duration > 0) {
+    stats.mean_rate_qps = static_cast<double>(records.size()) /
+                          ToSeconds(stats.duration);
+  }
+
+  if (records.size() >= 2) {
+    // Single pass over inter-arrivals (traces are timestamp-sorted).
+    double sum = 0, sq = 0;
+    size_t n = records.size() - 1;
+    for (size_t i = 1; i < records.size(); ++i) {
+      double gap = ToSeconds(records[i].timestamp - records[i - 1].timestamp);
+      sum += gap;
+      sq += gap * gap;
+    }
+    double mean = sum / static_cast<double>(n);
+    stats.interarrival_mean_s = mean;
+    if (n >= 2) {
+      double var = (sq - sum * mean) / static_cast<double>(n - 1);
+      stats.interarrival_stddev_s = var > 0 ? std::sqrt(var) : 0;
+    }
+  }
+  return stats;
+}
+
+}  // namespace ldp::trace

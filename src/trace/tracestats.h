@@ -1,0 +1,28 @@
+// Per-trace inventory statistics — the columns of the paper's Table 1.
+#ifndef LDPLAYER_TRACE_TRACESTATS_H
+#define LDPLAYER_TRACE_TRACESTATS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/clock.h"
+#include "trace/record.h"
+
+namespace ldp::trace {
+
+struct TraceStats {
+  size_t records = 0;
+  size_t unique_clients = 0;        // distinct source IPs
+  NanoDuration duration = 0;        // last - first timestamp
+  double interarrival_mean_s = 0;   // seconds, mean
+  double interarrival_stddev_s = 0; // seconds, sample stddev
+  double mean_rate_qps = 0;         // records / duration
+  double fraction_do = 0;           // queries with the DO bit
+  double fraction_tcp = 0;          // queries over TCP (or TLS)
+};
+
+TraceStats ComputeTraceStats(const std::vector<QueryRecord>& records);
+
+}  // namespace ldp::trace
+
+#endif  // LDPLAYER_TRACE_TRACESTATS_H

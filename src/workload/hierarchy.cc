@@ -1,0 +1,246 @@
+#include "workload/hierarchy.h"
+
+#include <cassert>
+
+#include "common/log.h"
+
+namespace ldp::workload {
+namespace {
+
+// Hands out unique public-looking addresses: nameservers from 198.51.0.0/16
+// onward, hosts from 203.0.0.0/16 onward (TEST-NET-ish, never real targets).
+class AddressAllocator {
+ public:
+  explicit AddressAllocator(uint32_t base) : next_(base) {}
+  IpAddress Next() { return IpAddress(next_++); }
+
+ private:
+  uint32_t next_;
+};
+
+dns::ResourceRecord MakeSoa(const dns::Name& origin, const dns::Name& mname) {
+  dns::SoaRdata soa;
+  soa.mname = mname;
+  soa.rname = *origin.Child("hostmaster");
+  soa.serial = 2016040601;
+  soa.refresh = 7200;
+  soa.retry = 3600;
+  soa.expire = 1209600;
+  soa.minimum = 3600;
+  return dns::ResourceRecord{origin, dns::RRType::kSOA, dns::RRClass::kIN,
+                             86400, std::move(soa)};
+}
+
+const char* kHostLabels[] = {"www", "mail", "api", "cdn", "ns-ext", "ftp",
+                             "vpn", "db"};
+
+}  // namespace
+
+// Well-known-looking TLD labels first, then generated ones.
+std::string TldLabel(size_t index) {
+  static const char* kCommon[] = {"com",  "net",  "org", "edu",  "gov",
+                                  "io",   "info", "biz", "name", "dev",
+                                  "app",  "uk",   "de",  "jp",   "fr",
+                                  "nl",   "br",   "au",  "cn",   "ru"};
+  if (index < sizeof(kCommon) / sizeof(kCommon[0])) return kCommon[index];
+  return "tld" + std::to_string(index);
+}
+
+std::vector<zone::ZonePtr> Hierarchy::AllZones() const {
+  std::vector<zone::ZonePtr> all;
+  all.reserve(1 + tlds.size() + slds.size());
+  all.push_back(root);
+  all.insert(all.end(), tlds.begin(), tlds.end());
+  all.insert(all.end(), slds.begin(), slds.end());
+  return all;
+}
+
+Hierarchy BuildHierarchy(const HierarchyConfig& config) {
+  Hierarchy h;
+  AddressAllocator ns_addrs(IpAddress(198, 51, 0, 4).value());
+  AddressAllocator host_addrs(IpAddress(203, 0, 0, 10).value());
+
+  auto register_zone = [&](const zone::ZonePtr& zone,
+                           const std::vector<IpAddress>& addrs) {
+    h.nameservers[zone->origin()] = addrs;
+    for (const IpAddress& addr : addrs) {
+      h.address_to_zone[addr] = zone->origin();
+    }
+  };
+
+  // Synthesizes a stable AAAA companion for a v4 nameserver address
+  // (2001:db8::<v4>), so referrals carry dual-stack glue like real ones.
+  auto companion_v6 = [](IpAddress v4) {
+    std::array<uint8_t, 16> octets{};
+    octets[0] = 0x20;
+    octets[1] = 0x01;
+    octets[2] = 0x0d;
+    octets[3] = 0xb8;
+    uint32_t v = v4.value();
+    octets[12] = static_cast<uint8_t>(v >> 24);
+    octets[13] = static_cast<uint8_t>(v >> 16);
+    octets[14] = static_cast<uint8_t>(v >> 8);
+    octets[15] = static_cast<uint8_t>(v);
+    return Ipv6Address(octets);
+  };
+
+  // Adds apex NS records + in-zone A/AAAA glue; returns the addresses.
+  auto add_nameservers = [&](zone::Zone& zone, const dns::Name& ns_parent) {
+    std::vector<IpAddress> addrs;
+    for (size_t k = 0; k < config.ns_per_zone; ++k) {
+      dns::Name ns_name = *ns_parent.Child(
+          (k == 0 ? std::string("ns1") : "ns" + std::to_string(k + 1)));
+      IpAddress addr = ns_addrs.Next();
+      addrs.push_back(addr);
+      auto status = zone.AddRecord(dns::ResourceRecord{
+          zone.origin(), dns::RRType::kNS, dns::RRClass::kIN, 86400,
+          dns::NsRdata{ns_name}});
+      assert(status.ok());
+      if (ns_name.IsSubdomainOf(zone.origin())) {
+        status = zone.AddRecord(dns::ResourceRecord{
+            ns_name, dns::RRType::kA, dns::RRClass::kIN, 86400,
+            dns::ARdata{addr}});
+        assert(status.ok());
+        status = zone.AddRecord(dns::ResourceRecord{
+            ns_name, dns::RRType::kAAAA, dns::RRClass::kIN, 86400,
+            dns::AaaaRdata{companion_v6(addr)}});
+        assert(status.ok());
+      }
+      (void)status;
+    }
+    return addrs;
+  };
+
+  // Delegates `child_origin` (served by `child_ns` at `child_addrs`) from
+  // `parent` with glue.
+  auto delegate = [&](zone::Zone& parent, const zone::Zone& child,
+                      const std::vector<IpAddress>& child_addrs) {
+    const dns::RRset* child_ns = child.ApexNs();
+    assert(child_ns != nullptr);
+    size_t k = 0;
+    for (const auto& rdata : child_ns->rdatas) {
+      const auto& ns = std::get<dns::NsRdata>(rdata);
+      auto status = parent.AddRecord(dns::ResourceRecord{
+          child.origin(), dns::RRType::kNS, dns::RRClass::kIN, 172800,
+          dns::NsRdata{ns.nsdname}});
+      assert(status.ok());
+      // Glue: required because the nameserver names live inside the child.
+      if (ns.nsdname.IsSubdomainOf(child.origin()) &&
+          k < child_addrs.size()) {
+        status = parent.AddRecord(dns::ResourceRecord{
+            ns.nsdname, dns::RRType::kA, dns::RRClass::kIN, 172800,
+            dns::ARdata{child_addrs[k]}});
+        assert(status.ok());
+        status = parent.AddRecord(dns::ResourceRecord{
+            ns.nsdname, dns::RRType::kAAAA, dns::RRClass::kIN, 172800,
+            dns::AaaaRdata{companion_v6(child_addrs[k])}});
+        assert(status.ok());
+      }
+      (void)status;
+      ++k;
+    }
+  };
+
+  // --- Root zone ---
+  h.root = std::make_shared<zone::Zone>(dns::Name::Root());
+  {
+    // Root nameservers use the classic <letter>.root-servers.net naming.
+    std::vector<IpAddress> root_addrs;
+    dns::Name rs_net = *dns::Name::Parse("root-servers.net");
+    auto soa_ok = h.root->AddRecord(
+        MakeSoa(dns::Name::Root(), *rs_net.Child("a")));
+    assert(soa_ok.ok());
+    (void)soa_ok;
+    for (size_t k = 0; k < std::max<size_t>(config.ns_per_zone, 2); ++k) {
+      dns::Name ns_name =
+          *rs_net.Child(std::string(1, static_cast<char>('a' + k)));
+      IpAddress addr = ns_addrs.Next();
+      root_addrs.push_back(addr);
+      auto s1 = h.root->AddRecord(dns::ResourceRecord{
+          dns::Name::Root(), dns::RRType::kNS, dns::RRClass::kIN, 518400,
+          dns::NsRdata{ns_name}});
+      auto s2 = h.root->AddRecord(dns::ResourceRecord{
+          ns_name, dns::RRType::kA, dns::RRClass::kIN, 518400,
+          dns::ARdata{addr}});
+      auto s3 = h.root->AddRecord(dns::ResourceRecord{
+          ns_name, dns::RRType::kAAAA, dns::RRClass::kIN, 518400,
+          dns::AaaaRdata{companion_v6(addr)}});
+      assert(s1.ok() && s2.ok() && s3.ok());
+      (void)s1;
+      (void)s2;
+      (void)s3;
+    }
+    register_zone(h.root, root_addrs);
+  }
+
+  // --- TLD and SLD zones ---
+  for (size_t t = 0; t < config.n_tlds; ++t) {
+    dns::Name tld_origin = *dns::Name::Root().Child(TldLabel(t));
+    auto tld = std::make_shared<zone::Zone>(tld_origin);
+    auto soa_ok = tld->AddRecord(MakeSoa(tld_origin, *tld_origin.Child("ns1")));
+    assert(soa_ok.ok());
+    (void)soa_ok;
+    auto tld_addrs = add_nameservers(*tld, tld_origin);
+    register_zone(tld, tld_addrs);
+    delegate(*h.root, *tld, tld_addrs);
+
+    for (size_t s = 0; s < config.n_slds_per_tld; ++s) {
+      dns::Name sld_origin =
+          *tld_origin.Child("domain" + std::to_string(s));
+      auto sld = std::make_shared<zone::Zone>(sld_origin);
+      auto sld_soa_ok =
+          sld->AddRecord(MakeSoa(sld_origin, *sld_origin.Child("ns1")));
+      assert(sld_soa_ok.ok());
+      (void)sld_soa_ok;
+      auto sld_addrs = add_nameservers(*sld, sld_origin);
+      register_zone(sld, sld_addrs);
+      delegate(*tld, *sld, sld_addrs);
+
+      size_t hosts = std::min(config.n_hosts_per_sld,
+                              sizeof(kHostLabels) / sizeof(kHostLabels[0]));
+      for (size_t hidx = 0; hidx < hosts; ++hidx) {
+        dns::Name host = *sld_origin.Child(kHostLabels[hidx]);
+        auto st = sld->AddRecord(dns::ResourceRecord{
+            host, dns::RRType::kA, dns::RRClass::kIN, 3600,
+            dns::ARdata{host_addrs.Next()}});
+        assert(st.ok());
+        (void)st;
+        h.hostnames.push_back(host);
+      }
+      // Apex MX pointing at mail, to exercise additional processing.
+      if (hosts >= 2) {
+        auto st = sld->AddRecord(dns::ResourceRecord{
+            sld_origin, dns::RRType::kMX, dns::RRClass::kIN, 3600,
+            dns::MxRdata{10, *sld_origin.Child("mail")}});
+        assert(st.ok());
+        (void)st;
+      }
+      h.slds.push_back(std::move(sld));
+    }
+    h.tlds.push_back(std::move(tld));
+  }
+
+  if (config.sign_root) {
+    auto status = zone::SignZone(*h.root, config.dnssec);
+    if (!status.ok()) {
+      LDP_ERROR << "failed to sign root: " << status.error().ToString();
+    }
+  }
+  return h;
+}
+
+Hierarchy BuildRootHierarchy(size_t n_tlds, bool sign,
+                             const zone::DnssecConfig& dnssec, uint64_t seed) {
+  HierarchyConfig config;
+  config.n_tlds = n_tlds;
+  config.n_slds_per_tld = 0;
+  // Typical TLDs publish several nameservers; the referral's unsigned NS +
+  // glue bulk relative to its signatures shapes the Fig 10 ratios.
+  config.ns_per_zone = 4;
+  config.seed = seed;
+  config.sign_root = sign;
+  config.dnssec = dnssec;
+  return BuildHierarchy(config);
+}
+
+}  // namespace ldp::workload

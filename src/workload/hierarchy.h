@@ -1,0 +1,66 @@
+// Ground-truth DNS hierarchy synthesis: a root zone, TLD zones, and SLD
+// zones with consistent delegations, glue, and public nameserver addresses.
+//
+// This stands in for the real Internet's hierarchy (DESIGN.md substitution
+// table): the zone constructor replays queries against a simulated Internet
+// built from these zones, and the hierarchy-emulation experiments serve
+// them from the meta-DNS-server.
+#ifndef LDPLAYER_WORKLOAD_HIERARCHY_H
+#define LDPLAYER_WORKLOAD_HIERARCHY_H
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ip.h"
+#include "zone/dnssec.h"
+#include "zone/zone.h"
+
+namespace ldp::workload {
+
+struct HierarchyConfig {
+  size_t n_tlds = 20;
+  size_t n_slds_per_tld = 25;
+  size_t n_hosts_per_sld = 4;   // www, mail, api, ...
+  size_t ns_per_zone = 2;
+  uint64_t seed = 42;
+  bool sign_root = false;       // DNSSEC-sign the root zone
+  zone::DnssecConfig dnssec;    // used when sign_root is set
+};
+
+struct Hierarchy {
+  zone::ZonePtr root;
+  std::vector<zone::ZonePtr> tlds;
+  std::vector<zone::ZonePtr> slds;
+
+  // Public addresses of each zone's authoritative nameservers — the
+  // match-clients lists for split-horizon views and the listener addresses
+  // of the simulated Internet.
+  std::unordered_map<dns::Name, std::vector<IpAddress>> nameservers;
+
+  // Reverse index: which zone origin an authoritative address serves.
+  std::unordered_map<IpAddress, dns::Name> address_to_zone;
+
+  std::vector<zone::ZonePtr> AllZones() const;
+
+  // All existing "leaf" hostnames (for positive-query workloads).
+  std::vector<dns::Name> hostnames;
+};
+
+// Deterministic for a given config.
+Hierarchy BuildHierarchy(const HierarchyConfig& config);
+
+// The label of the index-th synthetic TLD ("com", "net", ... then "tldN").
+// Workload generators use this to emit queries for TLDs that exist in the
+// generated root zone.
+std::string TldLabel(size_t index);
+
+// A root-only hierarchy (delegations but no child zones built), sized for
+// B-Root replay experiments.
+Hierarchy BuildRootHierarchy(size_t n_tlds, bool sign,
+                             const zone::DnssecConfig& dnssec,
+                             uint64_t seed = 42);
+
+}  // namespace ldp::workload
+
+#endif  // LDPLAYER_WORKLOAD_HIERARCHY_H

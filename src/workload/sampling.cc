@@ -1,0 +1,121 @@
+#include "workload/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ldp::workload {
+
+Result<DiscreteSampler> DiscreteSampler::Build(
+    const std::vector<double>& weights) {
+  if (weights.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "no weights");
+  }
+  double sum = 0;
+  for (double w : weights) {
+    if (w < 0 || !std::isfinite(w)) {
+      return Error(ErrorCode::kInvalidArgument, "negative or non-finite weight");
+    }
+    sum += w;
+  }
+  if (sum <= 0) {
+    return Error(ErrorCode::kInvalidArgument, "weights sum to zero");
+  }
+
+  size_t n = weights.size();
+  DiscreteSampler sampler;
+  sampler.prob_.resize(n);
+  sampler.alias_.resize(n);
+
+  // Scaled probabilities; partition into small (<1) and large (>=1).
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / sum;
+  }
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    sampler.prob_[s] = scaled[s];
+    sampler.alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (uint32_t i : large) {
+    sampler.prob_[i] = 1.0;
+    sampler.alias_[i] = i;
+  }
+  for (uint32_t i : small) {  // numerical leftovers
+    sampler.prob_[i] = 1.0;
+    sampler.alias_[i] = i;
+  }
+  return sampler;
+}
+
+size_t DiscreteSampler::Sample(Rng& rng) const {
+  size_t column = rng.NextBelow(prob_.size());
+  return rng.NextDouble() < prob_[column] ? column : alias_[column];
+}
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  cdf_.resize(n);
+  double acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = acc;
+  }
+  for (auto& v : cdf_) v /= acc;
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+std::vector<double> HeavyTailClientWeights(size_t n_clients,
+                                           double top_fraction,
+                                           double top_share, uint64_t seed) {
+  // Two-tier construction so finite samples actually meet the calibration
+  // (a pure Pareto's asymptotic share formula under-delivers at n ~ 10^4):
+  // a `top_fraction` of clients ("busy resolvers") split `top_share` of the
+  // total weight, the rest split the remainder, each tier Pareto-shaped so
+  // the within-tier distribution is itself skewed and the overall per-client
+  // count CDF looks like the paper's Fig 15c.
+  Rng rng(seed);
+  size_t n_heavy = std::max<size_t>(1, static_cast<size_t>(
+                                           static_cast<double>(n_clients) *
+                                           top_fraction));
+  if (n_heavy >= n_clients) n_heavy = n_clients;
+
+  std::vector<double> weights(n_clients);
+  double heavy_raw = 0, light_raw = 0;
+  for (size_t i = 0; i < n_clients; ++i) {
+    weights[i] = rng.NextPareto(1.0, 1.3);
+    if (i < n_heavy) {
+      heavy_raw += weights[i];
+    } else {
+      light_raw += weights[i];
+    }
+  }
+  // Scale the tiers to their target shares. (Clients are later addressed by
+  // index, so making the first n_heavy indices the heavy tier is fine.)
+  double heavy_scale = heavy_raw > 0 ? top_share / heavy_raw : 0;
+  double light_scale =
+      light_raw > 0 ? (1.0 - top_share) / light_raw : 0;
+  for (size_t i = 0; i < n_clients; ++i) {
+    weights[i] *= i < n_heavy ? heavy_scale : light_scale;
+  }
+  return weights;
+}
+
+}  // namespace ldp::workload

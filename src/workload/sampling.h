@@ -1,0 +1,52 @@
+// Discrete distributions for workload synthesis: Walker alias sampling for
+// arbitrary weights (client skew) and Zipf over ranked items (name
+// popularity).
+#ifndef LDPLAYER_WORKLOAD_SAMPLING_H
+#define LDPLAYER_WORKLOAD_SAMPLING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace ldp::workload {
+
+// Walker's alias method: O(n) build, O(1) sample. The workhorse for picking
+// "which client sends this query" under heavy-tailed per-client load.
+class DiscreteSampler {
+ public:
+  // Weights must be non-negative with a positive sum.
+  static Result<DiscreteSampler> Build(const std::vector<double>& weights);
+
+  size_t Sample(Rng& rng) const;
+  size_t size() const { return prob_.size(); }
+
+ private:
+  DiscreteSampler() = default;
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+// Zipf with parameter s over ranks 1..n (rank 0 returned = most popular).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+  size_t Sample(Rng& rng) const;
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+// Heavy-tailed client weights calibrated so that roughly `top_share` of the
+// total load comes from `top_fraction` of clients (the paper observes 1% of
+// clients sending 75% of B-Root load, §5.2.4). Pareto-distributed weights,
+// deterministically generated.
+std::vector<double> HeavyTailClientWeights(size_t n_clients,
+                                           double top_fraction,
+                                           double top_share, uint64_t seed);
+
+}  // namespace ldp::workload
+
+#endif  // LDPLAYER_WORKLOAD_SAMPLING_H

@@ -1,0 +1,190 @@
+#include "workload/traces.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workload/sampling.h"
+
+namespace ldp::workload {
+namespace {
+
+// Client address pool: 172.16.0.0/12-style private space, skipping .0/.255.
+IpAddress ClientAddress(size_t index) {
+  uint32_t base = IpAddress(172, 16, 0, 0).value();
+  // Spread across the space; avoid .0 and .255 host bytes for realism.
+  uint32_t offset = static_cast<uint32_t>(index);
+  uint32_t addr = base + (offset / 254) * 256 + (offset % 254) + 1;
+  return IpAddress(addr);
+}
+
+uint16_t EphemeralPort(Rng& rng) {
+  return static_cast<uint16_t>(1024 + rng.NextBelow(64512));
+}
+
+dns::RRType SampleQtype(Rng& rng) {
+  double u = rng.NextDouble();
+  if (u < 0.58) return dns::RRType::kA;
+  if (u < 0.82) return dns::RRType::kAAAA;
+  if (u < 0.88) return dns::RRType::kNS;
+  if (u < 0.92) return dns::RRType::kMX;
+  if (u < 0.95) return dns::RRType::kDS;
+  if (u < 0.98) return dns::RRType::kSOA;
+  return dns::RRType::kTXT;
+}
+
+std::string RandomLabel(Rng& rng, size_t min_len, size_t max_len) {
+  size_t len = min_len + rng.NextBelow(max_len - min_len + 1);
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>('a' + rng.NextBelow(26)));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<trace::QueryRecord> MakeFixedIntervalTrace(
+    const FixedIntervalConfig& config) {
+  Rng rng(config.seed);
+  dns::Name base = config.base_name.IsRoot()
+                       ? *dns::Name::Parse("example.com")
+                       : config.base_name;
+  size_t n = config.interarrival > 0
+                 ? static_cast<size_t>(config.duration / config.interarrival)
+                 : 0;
+  std::vector<trace::QueryRecord> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    trace::QueryRecord record;
+    record.timestamp = static_cast<NanoTime>(i) * config.interarrival;
+    record.src = ClientAddress(i % config.n_clients);
+    record.src_port = EphemeralPort(rng);
+    record.dst = config.server;
+    record.dst_port = 53;
+    record.protocol = trace::Protocol::kUdp;
+    record.id = static_cast<uint16_t>(rng.NextU64());
+    record.qname = *base.Child("q" + std::to_string(i));
+    record.qtype = dns::RRType::kA;
+    record.rd = false;
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+std::vector<trace::QueryRecord> MakeBRootTrace(const BRootConfig& config) {
+  Rng rng(config.seed);
+
+  // Heavy-tailed per-client weights -> alias sampler.
+  auto weights = HeavyTailClientWeights(config.n_clients, config.top_fraction,
+                                        config.top_share, config.seed ^ 0xc11);
+  auto sampler = DiscreteSampler::Build(weights);
+
+  // Popularity of existing TLDs (zipf: com dominates, like reality).
+  ZipfSampler tld_popularity(config.n_tlds, 1.1);
+
+  std::vector<trace::QueryRecord> records;
+  records.reserve(static_cast<size_t>(
+      config.median_rate_qps * ToSeconds(config.duration) * 1.1));
+
+  // Per-second nonhomogeneous Poisson arrivals. The rate follows a slow
+  // sinusoid (roots see diurnal-ish variation; over an hour the paper's
+  // Fig 8 rate curve wobbles a few percent) plus white noise.
+  int64_t n_seconds = config.duration / kNanosPerSecond;
+  for (int64_t sec = 0; sec < n_seconds; ++sec) {
+    double phase = 2.0 * 3.14159265358979 * static_cast<double>(sec) / 600.0;
+    double rate = config.median_rate_qps *
+                  (1.0 + config.rate_wobble * std::sin(phase));
+    // Poisson(rate) ≈ Normal(rate, sqrt(rate)) at these sizes.
+    double sampled = rate + std::sqrt(std::max(rate, 1.0)) * rng.NextNormal(0, 1);
+    int64_t count = std::max<int64_t>(0, std::llround(sampled));
+
+    // Uniform offsets within the second, sorted.
+    std::vector<NanoDuration> offsets(static_cast<size_t>(count));
+    for (auto& off : offsets) {
+      off = static_cast<NanoDuration>(rng.NextBelow(kNanosPerSecond));
+    }
+    std::sort(offsets.begin(), offsets.end());
+
+    for (NanoDuration off : offsets) {
+      trace::QueryRecord record;
+      record.timestamp = sec * kNanosPerSecond + off;
+      size_t client = sampler.ok() ? sampler->Sample(rng) : 0;
+      record.src = ClientAddress(client);
+      record.src_port = EphemeralPort(rng);
+      record.dst = config.server;
+      record.dst_port = 53;
+      record.protocol = rng.NextBool(config.tcp_fraction)
+                            ? trace::Protocol::kTcp
+                            : trace::Protocol::kUdp;
+      record.id = static_cast<uint16_t>(rng.NextU64());
+      record.qtype = SampleQtype(rng);
+      record.rd = rng.NextBool(0.2);  // some resolvers leak RD to the root
+
+      if (rng.NextBool(config.nxdomain_fraction)) {
+        // Junk: random non-existent TLD or hostname-as-TLD typo traffic.
+        auto junk = dns::Name::Root().Child(RandomLabel(rng, 6, 16));
+        record.qname = junk.ok() ? *junk : dns::Name::Root();
+        record.qtype = dns::RRType::kA;
+      } else {
+        // Existing TLD: ask about the TLD itself or a name below it
+        // (both produce referrals from the root).
+        size_t tld_index = tld_popularity.Sample(rng);
+        dns::Name tld_name = *dns::Name::Root().Child(TldLabel(tld_index));
+        if (rng.NextBool(0.8)) {
+          auto below = tld_name.Child("domain" + std::to_string(
+                                          rng.NextBelow(1000)));
+          record.qname = below.ok() ? *below : tld_name;
+        } else {
+          record.qname = tld_name;
+        }
+      }
+
+      if (rng.NextBool(config.do_fraction)) {
+        record.edns = true;
+        record.do_bit = true;
+        record.udp_payload_size = 4096;
+      } else if (rng.NextBool(0.3)) {
+        record.edns = true;
+        record.udp_payload_size = 1232;
+      }
+      records.push_back(std::move(record));
+    }
+  }
+  return records;
+}
+
+std::vector<trace::QueryRecord> MakeRecursiveTrace(
+    const RecConfig& config, const Hierarchy& hierarchy) {
+  Rng rng(config.seed);
+  std::vector<trace::QueryRecord> records;
+  records.reserve(config.n_records);
+  if (hierarchy.hostnames.empty()) return records;
+
+  ZipfSampler popularity(hierarchy.hostnames.size(), config.zipf_s);
+  // Clients have mildly skewed activity as well.
+  auto weights =
+      HeavyTailClientWeights(config.n_clients, 0.2, 0.6, config.seed ^ 0xabc);
+  auto client_sampler = DiscreteSampler::Build(weights);
+
+  NanoTime now = 0;
+  for (size_t i = 0; i < config.n_records; ++i) {
+    now += SecondsF(rng.NextExponential(config.mean_interarrival_s));
+    trace::QueryRecord record;
+    record.timestamp = now;
+    size_t client = client_sampler.ok() ? client_sampler->Sample(rng) : 0;
+    record.src = ClientAddress(client);
+    record.src_port = EphemeralPort(rng);
+    record.dst = config.server;
+    record.dst_port = 53;
+    record.protocol = trace::Protocol::kUdp;
+    record.id = static_cast<uint16_t>(rng.NextU64());
+    record.qname = hierarchy.hostnames[popularity.Sample(rng)];
+    record.qtype = rng.NextBool(0.75) ? dns::RRType::kA : dns::RRType::kAAAA;
+    record.rd = true;  // stub -> recursive queries request recursion
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace ldp::workload

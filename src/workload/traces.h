@@ -1,0 +1,77 @@
+// Trace synthesis calibrated to the paper's Table 1:
+//
+//  * Fixed-interval synthetic traces (syn-0 … syn-4): one query every
+//    1 s … 0.1 ms with unique query names.
+//  * B-Root model: Poisson arrivals around a wobbling per-second rate,
+//    heavy-tailed per-client load (1% of clients ≈ 75% of queries, 81%
+//    of clients < 10 queries), 72.3% DO, 3% TCP, and a root-realistic
+//    qname mix (existing-TLD referrals + junk NXDOMAIN names).
+//  * Recursive-trace model (Rec-17): a department-level recursive's
+//    clients querying hostnames across ~549 zones.
+//
+// All generators are deterministic in their seed.
+#ifndef LDPLAYER_WORKLOAD_TRACES_H
+#define LDPLAYER_WORKLOAD_TRACES_H
+
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ip.h"
+#include "trace/record.h"
+#include "workload/hierarchy.h"
+
+namespace ldp::workload {
+
+struct FixedIntervalConfig {
+  NanoDuration interarrival = Millis(1);
+  NanoDuration duration = Seconds(60);
+  size_t n_clients = 10000;
+  dns::Name base_name;            // default example.com
+  IpAddress server = IpAddress(10, 0, 0, 1);
+  uint64_t seed = 7;
+};
+
+// syn-N traces: every query gets a unique name q<i>.<base> so replayed
+// queries can be matched with responses after the fact (paper §4.1).
+std::vector<trace::QueryRecord> MakeFixedIntervalTrace(
+    const FixedIntervalConfig& config);
+
+struct BRootConfig {
+  double median_rate_qps = 3800;   // paper measured 38k; default is a
+                                   // laptop-scale 1/10 replica
+  NanoDuration duration = Seconds(60);
+  size_t n_clients = 20000;
+  double do_fraction = 0.723;      // §5.1 "72.3% queries with DO bit"
+  double tcp_fraction = 0.03;      // §5.2 "3% queries over TCP"
+  // Junk names that NXDOMAIN at the root. DITL-era root traffic was
+  // majority junk (Castro et al. 2008 put legitimate traffic around a
+  // third); signed negative answers are also what makes the all-DNSSEC
+  // what-if expensive (Fig 10).
+  double nxdomain_fraction = 0.55;
+  size_t n_tlds = 100;             // existing TLDs referenced by queries
+  double top_fraction = 0.01;      // client skew calibration:
+  double top_share = 0.75;         //   1% of clients -> 75% of load
+  double rate_wobble = 0.15;       // sinusoidal per-second rate modulation
+  IpAddress server = IpAddress(10, 0, 0, 1);
+  uint64_t seed = 1;
+};
+
+std::vector<trace::QueryRecord> MakeBRootTrace(const BRootConfig& config);
+
+struct RecConfig {
+  size_t n_clients = 91;
+  size_t n_records = 20000;
+  double mean_interarrival_s = 0.18;
+  double zipf_s = 1.0;             // name popularity skew
+  IpAddress server = IpAddress(10, 0, 0, 2);
+  uint64_t seed = 17;
+};
+
+// Queries a stub population would send to a recursive, drawn from the
+// hierarchy's existing hostnames (plus their TLD/SLD intermediates).
+std::vector<trace::QueryRecord> MakeRecursiveTrace(const RecConfig& config,
+                                                   const Hierarchy& hierarchy);
+
+}  // namespace ldp::workload
+
+#endif  // LDPLAYER_WORKLOAD_TRACES_H

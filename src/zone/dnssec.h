@@ -1,0 +1,49 @@
+// Synthetic DNSSEC signing (paper §5.1): adds DNSKEY, NSEC, and RRSIG
+// records whose *sizes* match real RSA signing at a configurable ZSK key
+// size. Signatures are deterministic pseudo-random bytes — cryptographically
+// meaningless but byte-for-byte the size a real signer would emit, which is
+// all the bandwidth experiments of Figure 10 depend on.
+//
+// Authoritative-only data is signed; delegation NS sets and glue below zone
+// cuts are not (RFC 4035 §2.2), and DS records at cuts are.
+#ifndef LDPLAYER_ZONE_DNSSEC_H
+#define LDPLAYER_ZONE_DNSSEC_H
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "zone/zone.h"
+
+namespace ldp::zone {
+
+struct DnssecConfig {
+  int zsk_bits = 1024;       // zone-signing key modulus size
+  int ksk_bits = 2048;       // key-signing key (signs the DNSKEY RRset)
+  uint8_t algorithm = 8;     // RSASHA256
+  uint32_t signature_validity_seconds = 30 * 24 * 3600;
+  uint32_t inception = 1460000000;  // fixed epoch for reproducibility
+  // ZSK rollover (pre-publish + double-signature phase): two ZSKs in the
+  // DNSKEY set and two signatures on every RRset — the paper's "rollover"
+  // bars in Figure 10.
+  bool zsk_rollover = false;
+  uint64_t seed = 0x5eed;    // drives deterministic key/signature bytes
+};
+
+// Signs `zone` in place. Idempotent signing is not supported: signing an
+// already-signed zone is an error.
+Status SignZone(Zone& zone, const DnssecConfig& config);
+
+// RSA signature size for a given modulus size, in bytes.
+constexpr size_t SignatureSize(int key_bits) {
+  return static_cast<size_t>(key_bits) / 8;
+}
+
+// DNSKEY public-key RDATA size for RSA: exponent length byte + 3-byte
+// exponent + modulus.
+constexpr size_t PublicKeySize(int key_bits) {
+  return 4 + static_cast<size_t>(key_bits) / 8;
+}
+
+}  // namespace ldp::zone
+
+#endif  // LDPLAYER_ZONE_DNSSEC_H

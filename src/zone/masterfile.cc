@@ -1,0 +1,292 @@
+#include "zone/masterfile.h"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace ldp::zone {
+namespace {
+
+// Tokenizes one logical line, respecting quoted strings and stripping
+// comments. Returns whether the line ends inside an open parenthesis group.
+struct LineTokens {
+  std::vector<std::string> tokens;
+  bool continues = false;        // '(' seen without matching ')'
+  bool owner_inherited = false;  // first physical line began with whitespace
+};
+
+void TokenizeInto(std::string_view line, LineTokens& out) {
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (c == ';') break;  // comment to end of line
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '(') {
+      out.continues = true;
+      ++i;
+      continue;
+    }
+    if (c == ')') {
+      out.continues = false;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      std::string token = "\"";
+      ++i;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          token.push_back('\\');
+          token.push_back(line[i + 1]);
+          i += 2;
+          continue;
+        }
+        token.push_back(line[i]);
+        ++i;
+      }
+      ++i;  // closing quote
+      token.push_back('"');
+      out.tokens.push_back(std::move(token));
+      continue;
+    }
+    std::string token;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+           line[i] != ';' && line[i] != '(' && line[i] != ')' &&
+           line[i] != '\r') {
+      token.push_back(line[i]);
+      ++i;
+    }
+    out.tokens.push_back(std::move(token));
+  }
+}
+
+// A name token: absolute if it ends with '.', otherwise relative to origin;
+// '@' is the origin itself.
+Result<dns::Name> ParseNameToken(std::string_view token,
+                                 const dns::Name& origin) {
+  if (token == "@") return origin;
+  if (!token.empty() && token.back() == '.') {
+    return dns::Name::Parse(token);
+  }
+  LDP_ASSIGN_OR_RETURN(dns::Name relative, dns::Name::Parse(token));
+  // Append origin's labels.
+  std::vector<std::string> labels = relative.labels();
+  labels.insert(labels.end(), origin.labels().begin(), origin.labels().end());
+  return dns::Name::FromLabels(std::move(labels));
+}
+
+bool IsTtlToken(std::string_view token) {
+  if (token.empty()) return false;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Zone> ParseMasterFile(std::string_view text,
+                             const MasterFileOptions& options) {
+  dns::Name origin = options.default_origin;
+  uint32_t default_ttl = options.default_ttl;
+  std::optional<Zone> zone;
+  std::optional<dns::Name> last_owner;
+
+  std::vector<LineTokens> logical_lines;
+  {
+    LineTokens current;
+    size_t start = 0;
+    while (start <= text.size()) {
+      size_t nl = text.find('\n', start);
+      std::string_view line = text.substr(
+          start, nl == std::string_view::npos ? text.size() - start
+                                              : nl - start);
+      // The owner-inheritance decision belongs to the first physical line
+      // that contributes tokens to this logical line.
+      bool group_start = !current.continues && current.tokens.empty();
+      TokenizeInto(line, current);
+      if (group_start && !current.tokens.empty()) {
+        current.owner_inherited =
+            !line.empty() && (line[0] == ' ' || line[0] == '\t');
+      }
+      if (!current.continues) {
+        if (!current.tokens.empty()) {
+          logical_lines.push_back(std::move(current));
+        }
+        current = LineTokens{};
+      }
+      if (nl == std::string_view::npos) break;
+      start = nl + 1;
+    }
+  }
+
+  for (auto& line : logical_lines) {
+    auto& tokens = line.tokens;
+    const bool owner_inherited = line.owner_inherited;
+
+    if (tokens[0] == "$ORIGIN") {
+      if (tokens.size() != 2) {
+        return Error(ErrorCode::kParseError, "$ORIGIN needs one argument");
+      }
+      LDP_ASSIGN_OR_RETURN(origin, dns::Name::Parse(tokens[1]));
+      continue;
+    }
+    if (tokens[0] == "$TTL") {
+      if (tokens.size() != 2) {
+        return Error(ErrorCode::kParseError, "$TTL needs one argument");
+      }
+      LDP_ASSIGN_OR_RETURN(uint64_t ttl, ParseUint64(tokens[1]));
+      default_ttl = static_cast<uint32_t>(ttl);
+      continue;
+    }
+    if (tokens[0].size() > 1 && tokens[0][0] == '$') {
+      return Error(ErrorCode::kUnsupported,
+                   "unsupported directive: " + tokens[0]);
+    }
+
+    size_t cursor = 0;
+    dns::Name owner;
+    if (owner_inherited) {
+      if (!last_owner.has_value()) {
+        return Error(ErrorCode::kParseError,
+                     "record with inherited owner before any owner");
+      }
+      owner = *last_owner;
+    } else {
+      LDP_ASSIGN_OR_RETURN(owner, ParseNameToken(tokens[cursor], origin));
+      ++cursor;
+    }
+    last_owner = owner;
+
+    // [TTL] [class] type — TTL and class may appear in either order.
+    uint32_t ttl = default_ttl;
+    dns::RRClass klass = dns::RRClass::kIN;
+    for (int pass = 0; pass < 2 && cursor < tokens.size(); ++pass) {
+      if (IsTtlToken(tokens[cursor])) {
+        LDP_ASSIGN_OR_RETURN(uint64_t value, ParseUint64(tokens[cursor]));
+        ttl = static_cast<uint32_t>(value);
+        ++cursor;
+      } else if (dns::RRClassFromString(tokens[cursor]).ok()) {
+        klass = dns::RRClassFromString(tokens[cursor]).value();
+        ++cursor;
+      }
+    }
+    if (cursor >= tokens.size()) {
+      return Error(ErrorCode::kParseError, "record missing type");
+    }
+    LDP_ASSIGN_OR_RETURN(dns::RRType type, dns::RRTypeFromString(tokens[cursor]));
+    ++cursor;
+
+    // Remaining tokens are rdata. Relative names inside rdata are resolved
+    // against the origin by pre-qualifying name-ish fields: we rely on
+    // RdataFromText for typed parsing, so qualify tokens that look like
+    // relative names for the name-bearing types.
+    std::vector<std::string> qualified;
+    std::vector<std::string_view> rdata_tokens;
+    qualified.reserve(tokens.size() - cursor);
+    auto qualify_indices = [&]() -> std::vector<size_t> {
+      switch (type) {
+        case dns::RRType::kNS:
+        case dns::RRType::kCNAME:
+        case dns::RRType::kPTR:
+          return {0};
+        case dns::RRType::kMX:
+          return {1};
+        case dns::RRType::kSOA:
+          return {0, 1};
+        case dns::RRType::kSRV:
+          return {3};
+        case dns::RRType::kRRSIG:
+          return {7};
+        case dns::RRType::kNSEC:
+          return {0};
+        default:
+          return {};
+      }
+    }();
+    for (size_t i = cursor; i < tokens.size(); ++i) {
+      std::string token = tokens[i];
+      for (size_t qi : qualify_indices) {
+        if (i - cursor == qi && !token.empty() && token.back() != '.' &&
+            token[0] != '"') {
+          if (token == "@") {
+            token = origin.ToString();
+          } else {
+            auto name = ParseNameToken(token, origin);
+            if (name.ok()) token = name->ToString();
+          }
+        }
+      }
+      qualified.push_back(std::move(token));
+    }
+    for (const auto& t : qualified) rdata_tokens.push_back(t);
+
+    auto rdata = dns::RdataFromText(type, rdata_tokens);
+    if (!rdata.ok()) {
+      return rdata.error().WithContext("owner " + owner.ToString());
+    }
+
+    if (!zone.has_value()) {
+      // Zone origin: the SOA owner if this is the first record, else the
+      // current $ORIGIN.
+      zone.emplace(type == dns::RRType::kSOA ? owner : origin);
+    }
+    dns::ResourceRecord record{owner, type, klass, ttl, std::move(*rdata)};
+    LDP_RETURN_IF_ERROR(zone->AddRecord(record));
+  }
+
+  if (!zone.has_value()) {
+    return Error(ErrorCode::kParseError, "master file contains no records");
+  }
+  return std::move(*zone);
+}
+
+Result<Zone> LoadMasterFile(const std::string& path,
+                            const MasterFileOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Error(ErrorCode::kIoError, "cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseMasterFile(buffer.str(), options);
+}
+
+std::string SerializeZone(const Zone& zone) {
+  std::string out = "$ORIGIN " + zone.origin().ToString() + "\n";
+  const dns::RRset* soa = zone.Soa();
+  if (soa != nullptr) {
+    for (const auto& record : soa->ToRecords()) {
+      out += record.ToText() + "\n";
+    }
+  }
+  zone.ForEachRRset([&](const dns::RRset& rrset) {
+    if (rrset.type == dns::RRType::kSOA && rrset.name == zone.origin()) {
+      return;  // already emitted first
+    }
+    for (const auto& record : rrset.ToRecords()) {
+      out += record.ToText() + "\n";
+    }
+  });
+  return out;
+}
+
+Status SaveMasterFile(const Zone& zone, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Error(ErrorCode::kIoError, "cannot open " + path + " for writing");
+  }
+  out << SerializeZone(zone);
+  if (!out) {
+    return Error(ErrorCode::kIoError, "write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace ldp::zone

@@ -1,0 +1,39 @@
+// Master-file (RFC 1035 §5) parser and serializer: $ORIGIN/$TTL directives,
+// '@', relative names, parenthesized continuations, ';' comments, inherited
+// owner names and TTLs. The zone constructor emits this format and the
+// server loads it, mirroring LDplayer's reusable zone-file workflow (§2.3).
+#ifndef LDPLAYER_ZONE_MASTERFILE_H
+#define LDPLAYER_ZONE_MASTERFILE_H
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "zone/zone.h"
+
+namespace ldp::zone {
+
+struct MasterFileOptions {
+  // Origin used when the file has no $ORIGIN directive.
+  dns::Name default_origin;
+  // TTL used when neither $TTL nor an explicit TTL is present.
+  uint32_t default_ttl = 3600;
+};
+
+// Parses a whole master file into a Zone rooted at the (first) origin.
+Result<Zone> ParseMasterFile(std::string_view text,
+                             const MasterFileOptions& options);
+
+// Convenience: read from disk.
+Result<Zone> LoadMasterFile(const std::string& path,
+                            const MasterFileOptions& options);
+
+// Serializes a zone as a master file ($ORIGIN + fully-qualified records in
+// canonical order; SOA first).
+std::string SerializeZone(const Zone& zone);
+
+Status SaveMasterFile(const Zone& zone, const std::string& path);
+
+}  // namespace ldp::zone
+
+#endif  // LDPLAYER_ZONE_MASTERFILE_H

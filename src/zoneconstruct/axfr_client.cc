@@ -1,0 +1,119 @@
+#include "zoneconstruct/axfr_client.h"
+
+#include <memory>
+
+#include "dns/framing.h"
+#include "dns/message.h"
+#include "sim/tcp.h"
+
+namespace ldp::zoneconstruct {
+namespace {
+
+struct TransferState {
+  std::unique_ptr<sim::SimTcpStack> stack;
+  dns::StreamAssembler assembler;
+  std::optional<zone::Zone> zone;
+  dns::Name origin;
+  uint16_t query_id = 0;
+  size_t soa_seen = 0;  // transfer completes on the second SOA
+  bool done = false;
+  TransferCallback callback;
+
+  void Finish(Result<zone::Zone> result) {
+    if (done) return;
+    done = true;
+    if (callback) callback(std::move(result));
+  }
+};
+
+}  // namespace
+
+void TransferZone(sim::SimNetwork& net, IpAddress client, Endpoint server,
+                  const dns::Name& origin, TransferCallback callback) {
+  auto state = std::make_shared<TransferState>();
+  state->origin = origin;
+  state->callback = std::move(callback);
+  state->stack = std::make_unique<sim::SimTcpStack>(net, client);
+  state->query_id = 0xabcd;
+
+  sim::ConnCallbacks callbacks;
+  callbacks.on_established = [state](sim::SimTcpConnection& conn) {
+    dns::Message query;
+    query.id = state->query_id;
+    query.questions.push_back(dns::Question{state->origin,
+                                            dns::RRType::kAXFR,
+                                            dns::RRClass::kIN});
+    conn.Send(dns::FrameMessage(query.Encode()));
+  };
+  callbacks.on_data = [state](sim::SimTcpConnection& conn,
+                              std::span<const uint8_t> data) {
+    if (state->done) return;
+    if (!state->assembler.Feed(data).ok()) {
+      state->Finish(Error(ErrorCode::kParseError, "bad AXFR framing"));
+      conn.Close();
+      return;
+    }
+    while (auto wire = state->assembler.NextMessage()) {
+      auto message = dns::Message::Decode(*wire);
+      if (!message.ok()) {
+        state->Finish(message.error().WithContext("AXFR message"));
+        conn.Close();
+        return;
+      }
+      if (message->rcode != dns::Rcode::kNoError) {
+        state->Finish(Error(
+            ErrorCode::kNotFound,
+            "AXFR refused: " +
+                std::string(dns::RcodeToString(message->rcode))));
+        conn.Close();
+        return;
+      }
+      for (const auto& record : message->answers) {
+        if (record.type == dns::RRType::kSOA &&
+            record.name == state->origin) {
+          ++state->soa_seen;
+          if (state->soa_seen == 2) {
+            conn.Close();
+            state->Finish(std::move(*state->zone));
+            return;
+          }
+        }
+        if (!state->zone.has_value()) {
+          state->zone.emplace(state->origin);
+        }
+        auto added = state->zone->AddRecord(record);
+        if (!added.ok()) {
+          state->Finish(added.error().WithContext("AXFR record"));
+          conn.Close();
+          return;
+        }
+      }
+    }
+  };
+  callbacks.on_close = [state](sim::SimTcpConnection&) {
+    state->Finish(
+        Error(ErrorCode::kConnectionClosed, "transfer connection closed"));
+  };
+
+  auto conn = state->stack->Connect(server, callbacks, /*tls=*/false);
+  if (!conn.ok()) {
+    state->Finish(conn.error());
+  }
+}
+
+Result<zone::Zone> TransferZoneSync(sim::SimNetwork& net, IpAddress client,
+                                    Endpoint server,
+                                    const dns::Name& origin) {
+  std::optional<Result<zone::Zone>> result;
+  TransferZone(net, client, server, origin,
+               [&result](Result<zone::Zone> outcome) {
+                 result = std::move(outcome);
+               });
+  net.simulator().Run();
+  if (!result.has_value()) {
+    return Error(ErrorCode::kTimeout, "transfer never completed");
+  }
+  return std::move(*result);
+}
+
+}  // namespace ldp::zoneconstruct

@@ -1,0 +1,30 @@
+// AXFR client over the simulated network: "when emulating an authoritative
+// server, we can often acquire the zone from its manager" (paper §2.3) —
+// this is that acquisition path. Opens a TCP connection, requests the zone,
+// reassembles the SOA-to-SOA record stream, and builds a Zone.
+#ifndef LDPLAYER_ZONECONSTRUCT_AXFR_CLIENT_H
+#define LDPLAYER_ZONECONSTRUCT_AXFR_CLIENT_H
+
+#include <functional>
+
+#include "sim/network.h"
+#include "zone/zone.h"
+
+namespace ldp::zoneconstruct {
+
+using TransferCallback = std::function<void(Result<zone::Zone>)>;
+
+// Starts an asynchronous zone transfer; the callback fires when the
+// terminal SOA arrives (or on refusal/connection loss). The caller runs
+// the simulator. `client` must be a host address not already running a
+// TCP stack in this network.
+void TransferZone(sim::SimNetwork& net, IpAddress client, Endpoint server,
+                  const dns::Name& origin, TransferCallback callback);
+
+// Convenience: runs the simulation to completion and returns the zone.
+Result<zone::Zone> TransferZoneSync(sim::SimNetwork& net, IpAddress client,
+                                    Endpoint server, const dns::Name& origin);
+
+}  // namespace ldp::zoneconstruct
+
+#endif  // LDPLAYER_ZONECONSTRUCT_AXFR_CLIENT_H

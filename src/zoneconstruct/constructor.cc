@@ -1,0 +1,252 @@
+#include "zoneconstruct/constructor.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace ldp::zoneconstruct {
+namespace {
+
+// A deterministic fake-but-valid SOA for zones whose traces never exposed
+// one (regular resolution rarely asks for SOA, paper §2.3 "Recover Missing
+// Data").
+dns::ResourceRecord SynthesizeSoa(const dns::Name& origin) {
+  dns::SoaRdata soa;
+  soa.mname = origin.IsRoot() ? *dns::Name::Parse("ns.synthesized")
+                              : *origin.Child("ns-synth");
+  soa.rname = origin.IsRoot() ? *dns::Name::Parse("hostmaster.synthesized")
+                              : *origin.Child("hostmaster");
+  soa.serial = 1;
+  soa.refresh = 7200;
+  soa.retry = 3600;
+  soa.expire = 1209600;
+  soa.minimum = 300;
+  return dns::ResourceRecord{origin, dns::RRType::kSOA, dns::RRClass::kIN,
+                             3600, std::move(soa)};
+}
+
+}  // namespace
+
+Result<zone::ViewTable> ConstructionResult::BuildViews() const {
+  zone::ViewTable views;
+  for (const auto& zone : zones) {
+    auto ns_it = zone_nameservers.find(zone->origin());
+    if (ns_it == zone_nameservers.end() || ns_it->second.empty()) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "no nameserver addresses for zone " +
+                       zone->origin().ToString());
+    }
+    zone::ZoneSet set;
+    LDP_RETURN_IF_ERROR(set.AddZone(zone));
+    LDP_RETURN_IF_ERROR(views.AddView(zone->origin().ToString(),
+                                      ns_it->second, std::move(set)));
+  }
+  return views;
+}
+
+void ZoneConstructor::AddResponse(IpAddress server,
+                                  const dns::Message& response) {
+  size_t response_id = response_count_++;
+  auto harvest = [&](const std::vector<dns::ResourceRecord>& section) {
+    for (const auto& record : section) {
+      if (record.type == dns::RRType::kOPT) continue;
+      records_.push_back(SourcedRecord{record, server, response_id});
+    }
+  };
+  harvest(response.answers);
+  harvest(response.authorities);
+  harvest(response.additionals);
+}
+
+Result<ConstructionResult> ZoneConstructor::Build() {
+  ConstructionResult result;
+  result.responses_harvested = response_count_;
+
+  // --- Step 1: scan for NS records and nameserver addresses. ---
+  // domain -> nameserver names (zone cuts, including apexes)
+  std::map<dns::Name, std::unordered_set<std::string>> domain_ns;
+  // nameserver name -> addresses
+  std::unordered_map<dns::Name, std::unordered_set<IpAddress>> ns_addresses;
+  for (const auto& sourced : records_) {
+    const auto& record = sourced.record;
+    if (record.type == dns::RRType::kNS) {
+      const auto& ns = std::get<dns::NsRdata>(record.rdata);
+      domain_ns[record.name].insert(ns.nsdname.CanonicalKey());
+      // Remember the name for address mapping below.
+      ns_addresses.try_emplace(ns.nsdname);
+    }
+  }
+  for (const auto& sourced : records_) {
+    const auto& record = sourced.record;
+    if (record.type == dns::RRType::kA) {
+      auto it = ns_addresses.find(record.name);
+      if (it != ns_addresses.end()) {
+        it->second.insert(std::get<dns::ARdata>(record.rdata).address);
+      }
+    }
+  }
+  if (domain_ns.empty()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "no NS records in harvested responses; cannot identify zones");
+  }
+
+  // --- Step 2: group nameservers per domain; the group's addresses are
+  // the servers whose responses belong to that zone's data. ---
+  // zone origin -> the set of addresses serving it
+  std::map<dns::Name, std::unordered_set<IpAddress>> zone_servers;
+  for (const auto& [domain, ns_names] : domain_ns) {
+    auto& servers = zone_servers[domain];
+    for (const auto& [ns_name, addrs] : ns_addresses) {
+      if (ns_names.count(ns_name.CanonicalKey())) {
+        servers.insert(addrs.begin(), addrs.end());
+      }
+    }
+  }
+
+  // --- Step 3: split records to zones at zone cuts. A record from server
+  // S belongs to the deepest known cut Z above it with S in Z's group. ---
+  std::map<dns::Name, zone::ZonePtr> zones;
+  auto get_zone = [&](const dns::Name& origin) -> zone::Zone& {
+    auto it = zones.find(origin);
+    if (it == zones.end()) {
+      it = zones.emplace(origin, std::make_shared<zone::Zone>(origin)).first;
+    }
+    return *it->second;
+  };
+
+  // First-answer-wins: remember which response first defined (name, type)
+  // and drop differing later data (paper: "choose the first answer").
+  struct OwnerKey {
+    std::string name_key;
+    dns::RRType type;
+    std::string zone_key;
+    bool operator==(const OwnerKey&) const = default;
+  };
+  struct OwnerKeyHash {
+    size_t operator()(const OwnerKey& k) const {
+      return std::hash<std::string>()(k.name_key) * 131 +
+             static_cast<uint16_t>(k.type) * 31 +
+             std::hash<std::string>()(k.zone_key);
+    }
+  };
+  std::unordered_map<OwnerKey, size_t, OwnerKeyHash> first_response;
+
+  auto assign = [&](const SourcedRecord& sourced, const dns::Name& origin) {
+    OwnerKey key{sourced.record.name.CanonicalKey(), sourced.record.type,
+                 origin.CanonicalKey()};
+    auto [it, inserted] = first_response.emplace(key, sourced.response_id);
+    if (!inserted && it->second != sourced.response_id) {
+      // A different response already defined this RRset. Accept only data
+      // identical to what is present (set semantics absorb it); otherwise
+      // count a conflict and keep the first answer.
+      zone::Zone& zone = get_zone(origin);
+      const dns::RRset* existing =
+          zone.FindRRset(sourced.record.name, sourced.record.type);
+      if (existing != nullptr &&
+          std::find(existing->rdatas.begin(), existing->rdatas.end(),
+                    sourced.record.rdata) == existing->rdatas.end()) {
+        ++result.conflicts_dropped;
+        return;
+      }
+      if (existing == nullptr) return;  // first answer chose another zone
+    }
+    auto status = get_zone(origin).AddRecord(sourced.record);
+    if (!status.ok()) {
+      LDP_DEBUG << "record rejected during reconstruction: "
+                << status.error().ToString();
+    }
+  };
+
+  for (const auto& sourced : records_) {
+    const auto& record = sourced.record;
+
+    // Deepest cut at-or-above the owner whose server group includes the
+    // responding server.
+    dns::Name walk = record.name;
+    std::optional<dns::Name> home;
+    while (true) {
+      auto zs = zone_servers.find(walk);
+      if (zs != zone_servers.end() && zs->second.count(sourced.server)) {
+        home = walk;
+        break;
+      }
+      if (walk.IsRoot()) break;
+      walk = *walk.Parent();
+    }
+    if (!home.has_value()) {
+      // The responding server serves no zone above this owner (pure glue
+      // from a parent, e.g. com's servers answering ns1.example.com):
+      // attribute it to the deepest cut above the owner that the server
+      // serves anything under. Fall back: skip.
+      continue;
+    }
+
+    if (record.type == dns::RRType::kNS) {
+      // NS at a cut: delegation in the parent-side zone AND the apex set
+      // of the child zone (the paper's child zones re-use the referral).
+      bool is_cut = domain_ns.count(record.name) > 0;
+      if (is_cut && !(record.name == *home)) {
+        assign(sourced, *home);           // delegation in parent zone
+        assign(sourced, record.name);     // apex NS of the child zone
+        continue;
+      }
+    }
+    assign(sourced, *home);
+
+    // Glue below a cut also seeds the child zone (the nameserver's own
+    // address record inside its zone).
+    if (record.type == dns::RRType::kA || record.type == dns::RRType::kAAAA) {
+      for (const auto& [domain, servers] : zone_servers) {
+        if (!(domain == *home) && record.name.IsSubdomainOf(domain) &&
+            domain.IsSubdomainOf(*home)) {
+          assign(sourced, domain);
+        }
+      }
+    }
+  }
+
+  // --- Step 4: recover missing data (SOA / apex NS). ---
+  for (auto& [origin, zone] : zones) {
+    if (zone->Soa() == nullptr) {
+      auto status = zone->AddRecord(SynthesizeSoa(origin));
+      if (status.ok()) ++result.soa_synthesized;
+    }
+    // Apex NS should exist via referral reuse; synthesize as last resort.
+    if (zone->ApexNs() == nullptr) {
+      auto ns_it = domain_ns.find(origin);
+      if (ns_it != domain_ns.end() && !ns_it->second.empty()) {
+        auto ns_name = dns::Name::Parse(*ns_it->second.begin());
+        if (ns_name.ok()) {
+          auto add_ok = zone->AddRecord(dns::ResourceRecord{
+              origin, dns::RRType::kNS, dns::RRClass::kIN, 86400,
+              dns::NsRdata{*ns_name}});
+          (void)add_ok;
+        }
+      }
+    }
+  }
+
+  // --- Finalize: keep servable zones only. ---
+  for (auto& [origin, zone] : zones) {
+    if (!zone->Validate().ok()) {
+      LDP_DEBUG << "dropping non-servable reconstructed zone "
+                << origin.ToString();
+      continue;
+    }
+    auto servers_it = zone_servers.find(origin);
+    std::vector<IpAddress> addresses;
+    if (servers_it != zone_servers.end()) {
+      addresses.assign(servers_it->second.begin(), servers_it->second.end());
+      std::sort(addresses.begin(), addresses.end());
+    }
+    result.zone_nameservers[origin] = std::move(addresses);
+    result.zones.push_back(zone);
+  }
+  if (result.zones.empty()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "reconstruction produced no servable zones");
+  }
+  return result;
+}
+
+}  // namespace ldp::zoneconstruct

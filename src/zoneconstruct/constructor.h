@@ -1,0 +1,68 @@
+// Zone construction from captured traffic (paper §2.3): replay each unique
+// query once through a cold-cache recursive against the (simulated)
+// Internet, harvest every authoritative response at the recursive's
+// upstream interface, and reverse the responses into reusable zone files:
+//
+//  1. scan responses for NS records and their host addresses,
+//  2. group nameservers serving the same domain and aggregate the response
+//     data of each group into an intermediate zone,
+//  3. split intermediate data at zone cuts into per-zone files,
+//  4. synthesize a fake-but-valid SOA where the traces never showed one,
+//  5. resolve conflicting answers by keeping the first (CDN rotation etc.).
+#ifndef LDPLAYER_ZONECONSTRUCT_CONSTRUCTOR_H
+#define LDPLAYER_ZONECONSTRUCT_CONSTRUCTOR_H
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ip.h"
+#include "common/result.h"
+#include "dns/message.h"
+#include "trace/record.h"
+#include "workload/hierarchy.h"
+#include "zone/view.h"
+#include "zone/zone.h"
+
+namespace ldp::zoneconstruct {
+
+struct ConstructionResult {
+  std::vector<zone::ZonePtr> zones;
+  // Per-zone public nameserver addresses — these become the match-clients
+  // lists of the meta-DNS-server's split-horizon views.
+  std::unordered_map<dns::Name, std::vector<IpAddress>> zone_nameservers;
+  size_t responses_harvested = 0;
+  size_t conflicts_dropped = 0;  // later answers differing from the first
+  size_t soa_synthesized = 0;
+
+  // Builds the meta-DNS-server view table: one view per zone, matched by
+  // that zone's nameserver addresses (the OQDA after proxy rewriting).
+  Result<zone::ViewTable> BuildViews() const;
+};
+
+class ZoneConstructor {
+ public:
+  // Feeds one harvested authoritative response. `server` is the address
+  // the response came from (the authoritative server's public address).
+  void AddResponse(IpAddress server, const dns::Message& response);
+
+  // Reverses everything fed so far into per-zone data.
+  Result<ConstructionResult> Build();
+
+  size_t response_count() const { return response_count_; }
+
+ private:
+  struct SourcedRecord {
+    dns::ResourceRecord record;
+    IpAddress server;
+    size_t response_id;
+  };
+
+  size_t response_count_ = 0;
+  std::vector<SourcedRecord> records_;
+};
+
+}  // namespace ldp::zoneconstruct
+
+#endif  // LDPLAYER_ZONECONSTRUCT_CONSTRUCTOR_H

@@ -1,0 +1,100 @@
+#include "zoneconstruct/harvest.h"
+
+#include <unordered_set>
+
+#include "resolver/resolver.h"
+#include "server/sim_server.h"
+#include "sim/network.h"
+
+namespace ldp::zoneconstruct {
+
+Result<HarvestOutcome> HarvestZonesFromTrace(
+    const std::vector<trace::QueryRecord>& queries,
+    const workload::Hierarchy& internet, const HarvestConfig& config) {
+  sim::Simulator simulator;
+  sim::SimNetwork net(simulator);
+
+  // --- The simulated Internet: one authoritative node per NS address. ---
+  std::vector<std::unique_ptr<server::SimDnsServer>> servers;
+  ZoneConstructor constructor;
+  for (const auto& [address, origin] : internet.address_to_zone) {
+    zone::ZoneSet set;
+    zone::ZonePtr zone;
+    for (const auto& candidate : internet.AllZones()) {
+      if (candidate->origin() == origin) {
+        zone = candidate;
+        break;
+      }
+    }
+    if (zone == nullptr) continue;
+    LDP_RETURN_IF_ERROR(set.AddZone(zone));
+    auto node = server::MakeAuthoritativeNode(net, address, std::move(set));
+    if (node == nullptr) {
+      return Error(ErrorCode::kInternal,
+                   "failed to start authoritative node " + address.ToString());
+    }
+    // Tap at the server's egress = capture at the recursive's upstream
+    // interface (every response crosses exactly this point).
+    net.SetEgressHook(address, [&constructor, address](
+                                   sim::SimPacket& packet) {
+      if (packet.kind == sim::SegmentKind::kUdp && packet.src_port == 53) {
+        auto message = dns::Message::Decode(packet.payload);
+        if (message.ok() && message->qr) {
+          constructor.AddResponse(address, *message);
+        }
+      }
+      return false;  // passive tap: the packet still flows normally
+    });
+    servers.push_back(std::move(node));
+  }
+
+  // --- Cold-cache recursive with root hints from the hierarchy. ---
+  resolver::ResolverConfig resolver_config;
+  resolver_config.address = config.resolver_address;
+  auto hints_it = internet.nameservers.find(dns::Name::Root());
+  if (hints_it == internet.nameservers.end()) {
+    return Error(ErrorCode::kInvalidArgument, "hierarchy has no root servers");
+  }
+  resolver_config.root_hints = hints_it->second;
+  resolver::SimResolver resolver(net, resolver_config);
+  LDP_RETURN_IF_ERROR(resolver.Start());
+
+  // --- Replay unique queries, once each (paper: "all unique queries"). ---
+  HarvestOutcome outcome;
+  std::unordered_set<std::string> seen;
+  size_t scheduled = 0;
+
+  // Explicit NS fetch for the root (paper §2.3 "Recover Missing Data"):
+  // referral traffic teaches every *child* zone's NS set but never the
+  // root's own apex NS, without which the reconstructed hierarchy has no
+  // entry point. Scheduled first so first-answer-wins favours it.
+  simulator.ScheduleAt(0, [&]() {
+    resolver.Resolve(dns::Name::Root(), dns::RRType::kNS,
+                     [](const dns::Message&) {});
+  });
+  for (const auto& record : queries) {
+    std::string key = record.qname.CanonicalKey() + "/" +
+                      dns::RRTypeToString(record.qtype);
+    if (!seen.insert(std::move(key)).second) continue;
+    ++outcome.unique_queries;
+
+    NanoTime when = static_cast<NanoTime>(scheduled++) * config.pacing;
+    simulator.ScheduleAt(when, [&, qname = record.qname,
+                                qtype = record.qtype]() {
+      resolver.Resolve(qname, qtype, [&](const dns::Message& response) {
+        if (response.rcode == dns::Rcode::kServFail) {
+          ++outcome.failed;
+        } else {
+          ++outcome.resolved;
+        }
+      });
+    });
+  }
+
+  simulator.Run();
+
+  LDP_ASSIGN_OR_RETURN(outcome.construction, constructor.Build());
+  return outcome;
+}
+
+}  // namespace ldp::zoneconstruct

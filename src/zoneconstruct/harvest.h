@@ -1,0 +1,36 @@
+// The "one-time queries to the Internet" driver (paper §2.3): stands up a
+// simulated Internet (one authoritative node per nameserver address of the
+// ground-truth hierarchy), replays each unique query from a trace through a
+// cold-cache recursive, taps the recursive's upstream interface, and feeds
+// every harvested response to the ZoneConstructor.
+#ifndef LDPLAYER_ZONECONSTRUCT_HARVEST_H
+#define LDPLAYER_ZONECONSTRUCT_HARVEST_H
+
+#include <vector>
+
+#include "trace/record.h"
+#include "workload/hierarchy.h"
+#include "zoneconstruct/constructor.h"
+
+namespace ldp::zoneconstruct {
+
+struct HarvestConfig {
+  IpAddress resolver_address = IpAddress(10, 0, 0, 2);
+  // Pacing between unique queries; bounds resolver concurrency.
+  NanoDuration pacing = Millis(2);
+};
+
+struct HarvestOutcome {
+  ConstructionResult construction;
+  size_t unique_queries = 0;
+  size_t resolved = 0;
+  size_t failed = 0;  // SERVFAIL during harvesting (hierarchy gaps)
+};
+
+Result<HarvestOutcome> HarvestZonesFromTrace(
+    const std::vector<trace::QueryRecord>& queries,
+    const workload::Hierarchy& internet, const HarvestConfig& config = {});
+
+}  // namespace ldp::zoneconstruct
+
+#endif  // LDPLAYER_ZONECONSTRUCT_HARVEST_H

@@ -1,0 +1,255 @@
+// AXFR zone transfer (RFC 5936) and the resolver's TC→TCP fallback
+// (RFC 7766) — the stream-transport features behind "acquire the zone from
+// its manager" (§2.3) and correct replay of truncation-prone DNSSEC
+// responses.
+#include <gtest/gtest.h>
+
+#include "resolver/resolver.h"
+#include "server/sim_server.h"
+#include "workload/hierarchy.h"
+#include "zone/dnssec.h"
+#include "zone/masterfile.h"
+#include "zoneconstruct/axfr_client.h"
+
+namespace ldp {
+namespace {
+
+zone::ZonePtr BigZone(size_t hosts) {
+  auto zone = std::make_shared<zone::Zone>(*dns::Name::Parse("big.test"));
+  auto add = [&](dns::ResourceRecord record) {
+    auto status = zone->AddRecord(record);
+    ASSERT_TRUE(status.ok());
+  };
+  add(dns::ResourceRecord{*dns::Name::Parse("big.test"), dns::RRType::kSOA,
+                          dns::RRClass::kIN, 3600,
+                          dns::SoaRdata{*dns::Name::Parse("ns1.big.test"),
+                                        *dns::Name::Parse("admin.big.test"),
+                                        7, 2, 3, 4, 5}});
+  add(dns::ResourceRecord{*dns::Name::Parse("big.test"), dns::RRType::kNS,
+                          dns::RRClass::kIN, 3600,
+                          dns::NsRdata{*dns::Name::Parse("ns1.big.test")}});
+  add(dns::ResourceRecord{*dns::Name::Parse("ns1.big.test"), dns::RRType::kA,
+                          dns::RRClass::kIN, 3600,
+                          dns::ARdata{IpAddress(192, 0, 2, 53)}});
+  for (size_t i = 0; i < hosts; ++i) {
+    add(dns::ResourceRecord{
+        *dns::Name::Parse("host" + std::to_string(i) + ".big.test"),
+        dns::RRType::kTXT, dns::RRClass::kIN, 300,
+        dns::TxtRdata{{std::string(180, 'x') + std::to_string(i)}}});
+  }
+  return zone;
+}
+
+class AxfrTest : public ::testing::Test {
+ protected:
+  AxfrTest() : net_(sim_) {
+    net_.SetDefaultOneWayDelay(Millis(1));
+  }
+
+  void Serve(zone::ZonePtr zone) {
+    zone::ZoneSet set;
+    ASSERT_TRUE(set.AddZone(std::move(zone)).ok());
+    zone::ViewTable views;
+    views.SetDefaultView(std::move(set));
+    engine_ = std::make_shared<server::AuthServerEngine>(std::move(views));
+    server::SimDnsServer::Config config;
+    config.address = server_addr_;
+    server_ = std::make_unique<server::SimDnsServer>(net_, engine_, config);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  sim::Simulator sim_;
+  sim::SimNetwork net_;
+  IpAddress server_addr_{10, 0, 0, 1};
+  IpAddress client_addr_{10, 0, 0, 9};
+  std::shared_ptr<server::AuthServerEngine> engine_;
+  std::unique_ptr<server::SimDnsServer> server_;
+};
+
+TEST_F(AxfrTest, TransfersSmallZoneIntact) {
+  auto original = BigZone(10);
+  Serve(original);
+  auto transferred = zoneconstruct::TransferZoneSync(
+      net_, client_addr_, Endpoint{server_addr_, 53},
+      *dns::Name::Parse("big.test"));
+  ASSERT_TRUE(transferred.ok()) << transferred.error().ToString();
+  EXPECT_EQ(transferred->record_count(), original->record_count());
+  EXPECT_EQ(transferred->node_count(), original->node_count());
+  EXPECT_TRUE(transferred->Validate().ok());
+}
+
+TEST_F(AxfrTest, LargeZoneSpansMultipleMessages) {
+  // ~400 TXT records at ~200 bytes each exceed the 32 KiB per-message
+  // budget, forcing a multi-message transfer.
+  auto original = BigZone(400);
+  Serve(original);
+  auto transferred = zoneconstruct::TransferZoneSync(
+      net_, client_addr_, Endpoint{server_addr_, 53},
+      *dns::Name::Parse("big.test"));
+  ASSERT_TRUE(transferred.ok()) << transferred.error().ToString();
+  EXPECT_EQ(transferred->record_count(), original->record_count());
+  // At least three AXFR response messages were needed.
+  EXPECT_GE(engine_->stats().responses, 3u);
+}
+
+TEST_F(AxfrTest, SignedZoneTransfersWithDnssecRecords) {
+  auto original = BigZone(20);
+  ASSERT_TRUE(zone::SignZone(*original, zone::DnssecConfig{}).ok());
+  Serve(original);
+  auto transferred = zoneconstruct::TransferZoneSync(
+      net_, client_addr_, Endpoint{server_addr_, 53},
+      *dns::Name::Parse("big.test"));
+  ASSERT_TRUE(transferred.ok()) << transferred.error().ToString();
+  EXPECT_EQ(transferred->record_count(), original->record_count());
+  EXPECT_NE(transferred->FindRRset(*dns::Name::Parse("big.test"),
+                                   dns::RRType::kDNSKEY),
+            nullptr);
+}
+
+TEST_F(AxfrTest, RefusedForUnknownZone) {
+  Serve(BigZone(5));
+  auto transferred = zoneconstruct::TransferZoneSync(
+      net_, client_addr_, Endpoint{server_addr_, 53},
+      *dns::Name::Parse("other.test"));
+  EXPECT_FALSE(transferred.ok());
+}
+
+TEST_F(AxfrTest, AxfrOverUdpRefused) {
+  Serve(BigZone(5));
+  dns::Message query;
+  query.id = 9;
+  query.questions.push_back(dns::Question{*dns::Name::Parse("big.test"),
+                                          dns::RRType::kAXFR,
+                                          dns::RRClass::kIN});
+  auto wire = engine_->HandleWire(query.Encode(), client_addr_, 65535);
+  ASSERT_TRUE(wire.ok());
+  auto decoded = dns::Message::Decode(*wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->rcode, dns::Rcode::kRefused);
+}
+
+// --- TC bit fallback ---
+
+class TcFallbackTest : public ::testing::Test {
+ protected:
+  TcFallbackTest() : net_(sim_) {}
+
+  void SetUp() override {
+    net_.SetDefaultOneWayDelay(Millis(1));
+    // A zone whose answer for fat.test exceeds 512 bytes: non-EDNS UDP
+    // queries truncate and must fall back to TCP.
+    auto zone = std::make_shared<zone::Zone>(*dns::Name::Parse("fat.test"));
+    auto add_record = [&](dns::ResourceRecord record) {
+      auto status = zone->AddRecord(record);
+      ASSERT_TRUE(status.ok());
+    };
+    add_record(dns::ResourceRecord{
+        *dns::Name::Parse("fat.test"), dns::RRType::kSOA, dns::RRClass::kIN,
+        3600,
+        dns::SoaRdata{*dns::Name::Parse("ns1.fat.test"),
+                      *dns::Name::Parse("admin.fat.test"), 1, 2, 3, 4, 5}});
+    add_record(dns::ResourceRecord{*dns::Name::Parse("fat.test"),
+                                   dns::RRType::kNS, dns::RRClass::kIN, 3600,
+                                   dns::NsRdata{*dns::Name::Parse(
+                                       "ns1.fat.test")}});
+    add_record(dns::ResourceRecord{*dns::Name::Parse("ns1.fat.test"),
+                                   dns::RRType::kA, dns::RRClass::kIN, 3600,
+                                   dns::ARdata{IpAddress(10, 0, 0, 1)}});
+    for (int i = 0; i < 10; ++i) {
+      add_record(dns::ResourceRecord{
+          *dns::Name::Parse("big.fat.test"), dns::RRType::kTXT,
+          dns::RRClass::kIN, 300,
+          dns::TxtRdata{{std::string(100, 'a' + i)}}});
+    }
+
+    zone::ZoneSet set;
+    ASSERT_TRUE(set.AddZone(std::move(zone)).ok());
+    zone::ViewTable views;
+    views.SetDefaultView(std::move(set));
+    engine_ = std::make_shared<server::AuthServerEngine>(std::move(views));
+    server::SimDnsServer::Config config;
+    config.address = server_addr_;
+    server_ = std::make_unique<server::SimDnsServer>(net_, engine_, config);
+    ASSERT_TRUE(server_->Start().ok());
+
+    // The resolver queries this server directly as its "root hint".
+    resolver::ResolverConfig rconfig;
+    rconfig.address = resolver_addr_;
+    rconfig.root_hints = {server_addr_};
+    resolver_ = std::make_unique<resolver::SimResolver>(net_, rconfig);
+    ASSERT_TRUE(resolver_->Start().ok());
+  }
+
+
+  sim::Simulator sim_;
+  sim::SimNetwork net_;
+  IpAddress server_addr_{10, 0, 0, 1};
+  IpAddress resolver_addr_{10, 0, 0, 2};
+  std::shared_ptr<server::AuthServerEngine> engine_;
+  std::unique_ptr<server::SimDnsServer> server_;
+  std::unique_ptr<resolver::SimResolver> resolver_;
+};
+
+TEST_F(TcFallbackTest, NoFallbackWhenAnswerFitsEdns) {
+  // ~1 KB of TXT fits the resolver's EDNS 4096 advertisement: answered
+  // over UDP, no TCP retry.
+  std::optional<dns::Message> small;
+  resolver_->Resolve(*dns::Name::Parse("big.fat.test"), dns::RRType::kTXT,
+                     [&](const dns::Message& m) { small = m; });
+  sim_.Run();
+  ASSERT_TRUE(small.has_value());
+  EXPECT_EQ(small->answers.size(), 10u);
+  EXPECT_EQ(resolver_->stats().tcp_fallbacks, 0u);
+}
+
+TEST_F(TcFallbackTest, OversizeAnswerFallsBackAndCompletes) {
+  // Rebuild with a >4096-byte RRset so even EDNS 4096 truncates.
+  auto zone = std::make_shared<zone::Zone>(*dns::Name::Parse("huge.test"));
+  auto add_record = [&](dns::ResourceRecord record) {
+    ASSERT_TRUE(zone->AddRecord(record).ok());
+  };
+  add_record(dns::ResourceRecord{
+      *dns::Name::Parse("huge.test"), dns::RRType::kSOA, dns::RRClass::kIN,
+      3600,
+      dns::SoaRdata{*dns::Name::Parse("ns1.huge.test"),
+                    *dns::Name::Parse("admin.huge.test"), 1, 2, 3, 4, 5}});
+  add_record(dns::ResourceRecord{
+      *dns::Name::Parse("huge.test"), dns::RRType::kNS, dns::RRClass::kIN,
+      3600, dns::NsRdata{*dns::Name::Parse("ns1.huge.test")}});
+  add_record(dns::ResourceRecord{*dns::Name::Parse("ns1.huge.test"),
+                                 dns::RRType::kA, dns::RRClass::kIN, 3600,
+                                 dns::ARdata{IpAddress(10, 0, 0, 1)}});
+  for (int i = 0; i < 30; ++i) {
+    add_record(dns::ResourceRecord{
+        *dns::Name::Parse("massive.huge.test"), dns::RRType::kTXT,
+        dns::RRClass::kIN, 300,
+        dns::TxtRdata{{std::string(200, 'a') + std::to_string(i)}}});
+  }
+  zone::ZoneSet set;
+  ASSERT_TRUE(set.AddZone(std::move(zone)).ok());
+  zone::ViewTable views;
+  views.SetDefaultView(std::move(set));
+  auto engine = std::make_shared<server::AuthServerEngine>(std::move(views));
+  server::SimDnsServer::Config config;
+  config.address = IpAddress(10, 0, 0, 11);
+  server::SimDnsServer huge_server(net_, engine, config);
+  ASSERT_TRUE(huge_server.Start().ok());
+
+  resolver::ResolverConfig rconfig;
+  rconfig.address = IpAddress(10, 0, 0, 12);
+  rconfig.root_hints = {config.address};
+  resolver::SimResolver resolver(net_, rconfig);
+  ASSERT_TRUE(resolver.Start().ok());
+
+  std::optional<dns::Message> result;
+  resolver.Resolve(*dns::Name::Parse("massive.huge.test"), dns::RRType::kTXT,
+                   [&](const dns::Message& m) { result = m; });
+  sim_.Run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->rcode, dns::Rcode::kNoError);
+  EXPECT_EQ(result->answers.size(), 30u);      // the full >6 KB RRset
+  EXPECT_EQ(resolver.stats().tcp_fallbacks, 1u);
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include "common/base64.h"
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/ip.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace ldp {
+namespace {
+
+TEST(Result, OkAndError) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+
+  Result<int> err = Error(ErrorCode::kNotFound, "nope");
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.error().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(err.error().ToString(), "NOT_FOUND: nope");
+}
+
+TEST(Result, WithContext) {
+  Error e(ErrorCode::kParseError, "bad label");
+  Error wrapped = e.WithContext("zone example.com");
+  EXPECT_EQ(wrapped.message(), "zone example.com: bad label");
+  EXPECT_EQ(wrapped.code(), ErrorCode::kParseError);
+}
+
+TEST(Result, ValueOr) {
+  Result<int> err = Error(ErrorCode::kNotFound, "x");
+  EXPECT_EQ(err.value_or(7), 7);
+  Result<int> ok = 3;
+  EXPECT_EQ(ok.value_or(7), 3);
+}
+
+TEST(Bytes, RoundTripIntegers) {
+  ByteWriter w;
+  w.WriteU8(0xab);
+  w.WriteU16(0x1234);
+  w.WriteU32(0xdeadbeef);
+  w.WriteU64(0x0123456789abcdefULL);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.ReadU8().value(), 0xab);
+  EXPECT_EQ(r.ReadU16().value(), 0x1234);
+  EXPECT_EQ(r.ReadU32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.ReadU64().value(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Bytes, TruncationDetected) {
+  Bytes data{0x01};
+  ByteReader r(data);
+  EXPECT_FALSE(r.ReadU16().ok());
+  EXPECT_EQ(r.ReadU8().value(), 0x01);
+  EXPECT_FALSE(r.ReadU8().ok());
+}
+
+TEST(Bytes, PatchU16) {
+  ByteWriter w;
+  w.WriteU16(0);
+  w.WriteU32(7);
+  w.PatchU16(0, 0xbeef);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.ReadU16().value(), 0xbeef);
+}
+
+TEST(Bytes, SeekAndSkip) {
+  Bytes data{1, 2, 3, 4};
+  ByteReader r(data);
+  EXPECT_TRUE(r.Skip(2).ok());
+  EXPECT_EQ(r.ReadU8().value(), 3);
+  EXPECT_TRUE(r.Seek(0).ok());
+  EXPECT_EQ(r.ReadU8().value(), 1);
+  EXPECT_FALSE(r.Seek(5).ok());
+  EXPECT_FALSE(r.Skip(9).ok());
+}
+
+TEST(Ip, ParseAndFormat) {
+  auto addr = IpAddress::Parse("192.0.2.1");
+  ASSERT_TRUE(addr.ok());
+  EXPECT_EQ(addr->ToString(), "192.0.2.1");
+  EXPECT_EQ(addr->value(), 0xc0000201u);
+
+  EXPECT_FALSE(IpAddress::Parse("256.0.0.1").ok());
+  EXPECT_FALSE(IpAddress::Parse("1.2.3").ok());
+  EXPECT_FALSE(IpAddress::Parse("1.2.3.4.5").ok());
+  EXPECT_FALSE(IpAddress::Parse("a.b.c.d").ok());
+  EXPECT_FALSE(IpAddress::Parse("1.2.3.4 ").ok());
+}
+
+TEST(Ip, Ordering) {
+  EXPECT_LT(IpAddress(10, 0, 0, 1), IpAddress(10, 0, 0, 2));
+  EXPECT_EQ(IpAddress(127, 0, 0, 1), IpAddress::Loopback());
+}
+
+TEST(Ip, EndpointParse) {
+  auto ep = Endpoint::Parse("10.1.2.3:53");
+  ASSERT_TRUE(ep.ok());
+  EXPECT_EQ(ep->addr, IpAddress(10, 1, 2, 3));
+  EXPECT_EQ(ep->port, 53);
+  EXPECT_EQ(ep->ToString(), "10.1.2.3:53");
+  EXPECT_FALSE(Endpoint::Parse("10.1.2.3").ok());
+  EXPECT_FALSE(Endpoint::Parse("10.1.2.3:99999").ok());
+}
+
+TEST(Ipv6, ParseFull) {
+  auto a = Ipv6Address::Parse("2001:db8:0:0:0:0:0:1");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->ToString(), "2001:db8::1");
+}
+
+TEST(Ipv6, ParseCompressed) {
+  auto a = Ipv6Address::Parse("2001:db8::1");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->octets()[0], 0x20);
+  EXPECT_EQ(a->octets()[1], 0x01);
+  EXPECT_EQ(a->octets()[15], 0x01);
+  EXPECT_EQ(a->ToString(), "2001:db8::1");
+}
+
+TEST(Ipv6, RoundTripEdgeCases) {
+  for (const char* text :
+       {"::", "::1", "1::", "2001:db8::", "::ffff:1:2", "1:2:3:4:5:6:7:8",
+        "a:0:0:b::c"}) {
+    auto a = Ipv6Address::Parse(text);
+    ASSERT_TRUE(a.ok()) << text;
+    auto b = Ipv6Address::Parse(a->ToString());
+    ASSERT_TRUE(b.ok()) << a->ToString();
+    EXPECT_EQ(a->octets(), b->octets()) << text << " -> " << a->ToString();
+  }
+}
+
+TEST(Ipv6, Invalid) {
+  EXPECT_FALSE(Ipv6Address::Parse("1:2:3").ok());
+  EXPECT_FALSE(Ipv6Address::Parse("1:2:3:4:5:6:7:8:9").ok());
+  EXPECT_FALSE(Ipv6Address::Parse("12345::").ok());
+  EXPECT_FALSE(Ipv6Address::Parse("g::1").ok());
+}
+
+TEST(Strings, Split) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, SplitWhitespace) {
+  auto parts = SplitWhitespace("  foo\tbar  baz ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[1], "bar");
+  EXPECT_EQ(parts[2], "baz");
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(TrimWhitespace("  x  "), "x");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace(" \t\n"), "");
+}
+
+TEST(Strings, CaseHelpers) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_TRUE(EqualsIgnoreCase("Example.COM", "example.com"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+  EXPECT_TRUE(StartsWith("example.com", "exam"));
+  EXPECT_TRUE(EndsWith("example.com", ".com"));
+}
+
+TEST(Strings, ParseNumbers) {
+  EXPECT_EQ(ParseInt64("-42").value(), -42);
+  EXPECT_EQ(ParseUint64("42").value(), 42u);
+  EXPECT_FALSE(ParseUint64("4x").ok());
+  EXPECT_FALSE(ParseUint64("").ok());
+  EXPECT_DOUBLE_EQ(ParseDouble("3.5").value(), 3.5);
+  EXPECT_FALSE(ParseDouble("3.5x").ok());
+}
+
+TEST(Base64, KnownVectors) {
+  // RFC 4648 test vectors.
+  auto enc = [](std::string_view s) {
+    return Base64Encode(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t*>(s.data()), s.size()));
+  };
+  EXPECT_EQ(enc(""), "");
+  EXPECT_EQ(enc("f"), "Zg==");
+  EXPECT_EQ(enc("fo"), "Zm8=");
+  EXPECT_EQ(enc("foo"), "Zm9v");
+  EXPECT_EQ(enc("foob"), "Zm9vYg==");
+  EXPECT_EQ(enc("fooba"), "Zm9vYmE=");
+  EXPECT_EQ(enc("foobar"), "Zm9vYmFy");
+}
+
+TEST(Base64, DecodeRejectsBadInput) {
+  EXPECT_FALSE(Base64Decode("abc").ok());     // not multiple of 4
+  EXPECT_FALSE(Base64Decode("a=bc").ok());    // misplaced padding
+  EXPECT_FALSE(Base64Decode("ab!c").ok());    // bad char
+  EXPECT_TRUE(Base64Decode("").ok());
+}
+
+TEST(Base64, RoundTripRandom) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    Bytes data(rng.NextBelow(100));
+    for (auto& b : data) b = static_cast<uint8_t>(rng.NextU64());
+    auto decoded = Base64Decode(Base64Encode(data));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, data);
+  }
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    EXPECT_GT(rng.NextExponential(10.0), 0.0);
+    EXPECT_GE(rng.NextPareto(1.0, 1.5), 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(9);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Clock, FormatSeconds) {
+  EXPECT_EQ(FormatSeconds(Seconds(3)), "3.000000000");
+  EXPECT_EQ(FormatSeconds(Seconds(1) + 5), "1.000000005");
+  EXPECT_EQ(FormatSeconds(-Millis(1500)), "-1.500000000");
+}
+
+TEST(Clock, MonotonicAdvances) {
+  NanoTime a = MonotonicNow();
+  NanoTime b = MonotonicNow();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace ldp

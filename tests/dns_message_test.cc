@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "dns/framing.h"
+#include "dns/message.h"
+#include "dns/rdata.h"
+
+namespace ldp::dns {
+namespace {
+
+Message SampleResponse() {
+  Message msg;
+  msg.id = 0x1234;
+  msg.qr = true;
+  msg.aa = true;
+  msg.rd = true;
+  msg.ra = true;
+  msg.rcode = Rcode::kNoError;
+  msg.questions.push_back(
+      Question{*Name::Parse("www.example.com"), RRType::kA, RRClass::kIN});
+  msg.answers.push_back(ResourceRecord{*Name::Parse("www.example.com"),
+                                       RRType::kA, RRClass::kIN, 300,
+                                       ARdata{IpAddress(192, 0, 2, 1)}});
+  msg.authorities.push_back(ResourceRecord{
+      *Name::Parse("example.com"), RRType::kNS, RRClass::kIN, 86400,
+      NsRdata{*Name::Parse("ns1.example.com")}});
+  msg.additionals.push_back(ResourceRecord{*Name::Parse("ns1.example.com"),
+                                           RRType::kA, RRClass::kIN, 86400,
+                                           ARdata{IpAddress(192, 0, 2, 53)}});
+  return msg;
+}
+
+TEST(Message, EncodeDecodeRoundTrip) {
+  Message msg = SampleResponse();
+  Bytes wire = msg.Encode();
+  auto decoded = Message::Decode(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->id, msg.id);
+  EXPECT_TRUE(decoded->qr);
+  EXPECT_TRUE(decoded->aa);
+  EXPECT_EQ(decoded->questions, msg.questions);
+  EXPECT_EQ(decoded->answers, msg.answers);
+  EXPECT_EQ(decoded->authorities, msg.authorities);
+  EXPECT_EQ(decoded->additionals, msg.additionals);
+  EXPECT_FALSE(decoded->edns.has_value());
+}
+
+TEST(Message, QueryHelper) {
+  Message q = Message::MakeQuery(*Name::Parse("example.com"), RRType::kMX,
+                                 /*recursion_desired=*/true);
+  EXPECT_FALSE(q.qr);
+  EXPECT_TRUE(q.rd);
+  ASSERT_EQ(q.questions.size(), 1u);
+  EXPECT_EQ(q.questions[0].type, RRType::kMX);
+}
+
+TEST(Message, EdnsRoundTrip) {
+  Message msg = SampleResponse();
+  msg.edns = Edns{.udp_payload_size = 4096, .do_bit = true};
+  Bytes wire = msg.Encode();
+  auto decoded = Message::Decode(wire);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_TRUE(decoded->edns.has_value());
+  EXPECT_EQ(decoded->edns->udp_payload_size, 4096);
+  EXPECT_TRUE(decoded->edns->do_bit);
+  EXPECT_EQ(decoded->edns->version, 0);
+}
+
+TEST(Message, ExtendedRcode) {
+  Message msg;
+  msg.qr = true;
+  msg.rcode = static_cast<Rcode>(16);  // BADVERS needs the extended bits
+  msg.edns = Edns{};
+  msg.edns->extended_rcode_high = 1;
+  Bytes wire = msg.Encode();
+  auto decoded = Message::Decode(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(static_cast<uint16_t>(decoded->rcode), 16);
+}
+
+TEST(Message, CompressionReducesSize) {
+  Message msg = SampleResponse();
+  Bytes wire = msg.Encode();
+  // Uncompressed lower bound: each of the 4 names spelled out in full.
+  size_t uncompressed = 12;
+  uncompressed += Name::Parse("www.example.com")->WireLength() + 4;
+  uncompressed += Name::Parse("www.example.com")->WireLength() + 10 + 4;
+  uncompressed += Name::Parse("example.com")->WireLength() + 10 +
+                  Name::Parse("ns1.example.com")->WireLength();
+  uncompressed += Name::Parse("ns1.example.com")->WireLength() + 10 + 4;
+  EXPECT_LT(wire.size(), uncompressed);
+}
+
+TEST(Message, TruncationSetsTcAndKeepsQuestion) {
+  Message msg = SampleResponse();
+  // Many answers so that a 512-byte limit overflows.
+  for (int i = 0; i < 60; ++i) {
+    msg.answers.push_back(
+        ResourceRecord{*Name::Parse("www.example.com"), RRType::kTXT,
+                       RRClass::kIN, 60,
+                       TxtRdata{{std::string(40, 'x') + std::to_string(i)}}});
+  }
+  Bytes wire = msg.Encode(512);
+  ASSERT_LE(wire.size(), 512u);
+  auto decoded = Message::Decode(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->tc);
+  ASSERT_EQ(decoded->questions.size(), 1u);
+  EXPECT_LT(decoded->answers.size(), msg.answers.size());
+}
+
+TEST(Message, TruncationKeepsEdns) {
+  Message msg = SampleResponse();
+  msg.edns = Edns{.udp_payload_size = 512, .do_bit = true};
+  for (int i = 0; i < 60; ++i) {
+    msg.answers.push_back(
+        ResourceRecord{*Name::Parse("www.example.com"), RRType::kTXT,
+                       RRClass::kIN, 60, TxtRdata{{std::string(40, 'y')}}});
+  }
+  Bytes wire = msg.Encode(512);
+  ASSERT_LE(wire.size(), 512u);
+  auto decoded = Message::Decode(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->tc);
+  EXPECT_TRUE(decoded->edns.has_value());
+}
+
+TEST(Message, Matches) {
+  Message q = Message::MakeQuery(*Name::Parse("a.example"), RRType::kA, true);
+  q.id = 77;
+  Message r = SampleResponse();
+  r.id = 77;
+  r.questions = q.questions;
+  EXPECT_TRUE(r.Matches(q));
+  r.id = 78;
+  EXPECT_FALSE(r.Matches(q));
+  r.id = 77;
+  r.questions[0].type = RRType::kAAAA;
+  EXPECT_FALSE(r.Matches(q));
+  EXPECT_FALSE(q.Matches(q));  // a query does not match itself (qr unset)
+}
+
+TEST(Message, DecodeRejectsGarbage) {
+  Bytes garbage{0x01, 0x02, 0x03};
+  EXPECT_FALSE(Message::Decode(garbage).ok());
+}
+
+TEST(Message, DecodeEmptyQuery) {
+  Message q = Message::MakeQuery(*Name::Parse("example.com"), RRType::kSOA,
+                                 false);
+  q.id = 9;
+  auto decoded = Message::Decode(q.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->id, 9);
+  EXPECT_FALSE(decoded->rd);
+  EXPECT_TRUE(decoded->answers.empty());
+}
+
+TEST(Rdata, SoaRoundTripText) {
+  SoaRdata soa{*Name::Parse("ns1.example.com"),
+               *Name::Parse("admin.example.com"),
+               2024010101, 7200, 3600, 1209600, 3600};
+  std::string text = RdataToText(soa);
+  std::vector<std::string_view> tokens;
+  auto parts = ldp::SplitWhitespace(text);
+  tokens.assign(parts.begin(), parts.end());
+  auto parsed = RdataFromText(RRType::kSOA, tokens);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(std::get<SoaRdata>(*parsed), soa);
+}
+
+TEST(Rdata, NsecBitmapRoundTrip) {
+  NsecRdata nsec{*Name::Parse("b.example.com"),
+                 {RRType::kA, RRType::kNS, RRType::kRRSIG, RRType::kCAA}};
+  NameCompressor compressor;
+  ByteWriter w;
+  EncodeRdata(nsec, compressor, w);
+  ByteReader r(w.data());
+  auto decoded = DecodeRdata(RRType::kNSEC, static_cast<uint16_t>(w.size()), r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(std::get<NsecRdata>(*decoded), nsec);
+}
+
+TEST(Rdata, GenericRfc3597) {
+  GenericRdata generic{{0xde, 0xad, 0xbe, 0xef}};
+  EXPECT_EQ(RdataToText(generic), "\\# 4 deadbeef");
+  std::vector<std::string_view> tokens{"\\#", "4", "deadbeef"};
+  auto parsed = RdataFromText(static_cast<RRType>(999), tokens);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(std::get<GenericRdata>(*parsed), generic);
+  // Length mismatch rejected.
+  std::vector<std::string_view> bad{"\\#", "3", "deadbeef"};
+  EXPECT_FALSE(RdataFromText(static_cast<RRType>(999), bad).ok());
+}
+
+TEST(Rdata, WireLengths) {
+  EXPECT_EQ(RdataWireLength(ARdata{IpAddress(1, 2, 3, 4)}), 4u);
+  EXPECT_EQ(RdataWireLength(AaaaRdata{}), 16u);
+  EXPECT_EQ(RdataWireLength(MxRdata{10, *Name::Parse("a.b")}),
+            2u + Name::Parse("a.b")->WireLength());
+}
+
+TEST(Framing, FrameAndReassemble) {
+  Message msg = SampleResponse();
+  Bytes wire = msg.Encode();
+  Bytes framed = FrameMessage(wire);
+  EXPECT_EQ(framed.size(), wire.size() + 2);
+
+  StreamAssembler assembler;
+  // Feed byte-by-byte to exercise partial reads.
+  for (uint8_t b : framed) {
+    ASSERT_TRUE(assembler.Feed(std::span<const uint8_t>(&b, 1)).ok());
+  }
+  auto out = assembler.NextMessage();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, wire);
+  EXPECT_FALSE(assembler.NextMessage().has_value());
+  EXPECT_EQ(assembler.pending_bytes(), 0u);
+}
+
+TEST(Framing, MultipleMessagesOneChunk) {
+  Bytes a = SampleResponse().Encode();
+  Message q = Message::MakeQuery(*Name::Parse("x.example"), RRType::kA, true);
+  Bytes b = q.Encode();
+  Bytes stream = FrameMessage(a);
+  Bytes framed_b = FrameMessage(b);
+  stream.insert(stream.end(), framed_b.begin(), framed_b.end());
+
+  StreamAssembler assembler;
+  ASSERT_TRUE(assembler.Feed(stream).ok());
+  EXPECT_EQ(assembler.ready_messages(), 2u);
+  EXPECT_EQ(*assembler.NextMessage(), a);
+  EXPECT_EQ(*assembler.NextMessage(), b);
+}
+
+TEST(Framing, RejectsZeroLengthFrame) {
+  Bytes zero{0x00, 0x00};
+  StreamAssembler assembler;
+  EXPECT_FALSE(assembler.Feed(zero).ok());
+}
+
+// Property test: random messages round-trip through encode/decode.
+class MessageRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MessageRoundTrip, RandomMessages) {
+  ldp::Rng rng(GetParam());
+  auto random_name = [&]() {
+    int labels = 1 + static_cast<int>(rng.NextBelow(4));
+    std::string text;
+    for (int i = 0; i < labels; ++i) {
+      int len = 1 + static_cast<int>(rng.NextBelow(10));
+      for (int j = 0; j < len; ++j) {
+        text += static_cast<char>('a' + rng.NextBelow(26));
+      }
+      text += '.';
+    }
+    return *Name::Parse(text);
+  };
+
+  for (int trial = 0; trial < 20; ++trial) {
+    Message msg;
+    msg.id = static_cast<uint16_t>(rng.NextU64());
+    msg.qr = rng.NextBool(0.5);
+    msg.aa = rng.NextBool(0.5);
+    msg.rd = rng.NextBool(0.5);
+    msg.rcode = rng.NextBool(0.8) ? Rcode::kNoError : Rcode::kNxDomain;
+    msg.questions.push_back(Question{random_name(), RRType::kA, RRClass::kIN});
+    int n_answers = static_cast<int>(rng.NextBelow(5));
+    for (int i = 0; i < n_answers; ++i) {
+      Rdata rdata;
+      switch (rng.NextBelow(5)) {
+        case 0: rdata = ARdata{IpAddress(static_cast<uint32_t>(rng.NextU64()))}; break;
+        case 1: rdata = NsRdata{random_name()}; break;
+        case 2: rdata = CnameRdata{random_name()}; break;
+        case 3: rdata = MxRdata{static_cast<uint16_t>(rng.NextU64()), random_name()}; break;
+        default: rdata = TxtRdata{{"hello world"}}; break;
+      }
+      msg.answers.push_back(ResourceRecord{
+          random_name(), RdataType(rdata), RRClass::kIN,
+          static_cast<uint32_t>(rng.NextBelow(86400)), std::move(rdata)});
+    }
+    if (rng.NextBool(0.5)) {
+      msg.edns = Edns{.udp_payload_size =
+                          static_cast<uint16_t>(512 + rng.NextBelow(4096)),
+                      .do_bit = rng.NextBool(0.5)};
+    }
+
+    Bytes wire = msg.Encode();
+    auto decoded = Message::Decode(wire);
+    ASSERT_TRUE(decoded.ok()) << decoded.error().ToString();
+    EXPECT_EQ(decoded->questions, msg.questions);
+    EXPECT_EQ(decoded->answers, msg.answers);
+    EXPECT_EQ(decoded->edns.has_value(), msg.edns.has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MessageRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 42, 99));
+
+}  // namespace
+}  // namespace ldp::dns

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+
+namespace ldp {
+namespace {
+
+Flags ParseArgs(std::vector<std::string> args,
+                std::vector<std::string> booleans = {}) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  argv.push_back(const_cast<char*>("prog"));
+  for (auto& arg : storage) argv.push_back(arg.data());
+  auto flags = Flags::Parse(static_cast<int>(argv.size()), argv.data(),
+                            booleans);
+  EXPECT_TRUE(flags.ok());
+  return std::move(*flags);
+}
+
+TEST(Flags, KeyValueForms) {
+  Flags flags = ParseArgs({"--rate=500", "--name", "b-root", "file.bin"});
+  EXPECT_EQ(flags.GetInt("rate", 0).value(), 500);
+  EXPECT_EQ(flags.GetString("name", ""), "b-root");
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "file.bin");
+}
+
+TEST(Flags, BooleanDoesNotEatPositional) {
+  Flags flags = ParseArgs({"--verbose", "input.txt"}, {"verbose"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "input.txt");
+}
+
+TEST(Flags, UndeclaredFlagBeforePositionalConsumesIt) {
+  Flags flags = ParseArgs({"--mode", "fast"});
+  EXPECT_EQ(flags.GetString("mode", ""), "fast");
+  EXPECT_TRUE(flags.positional().empty());
+}
+
+TEST(Flags, HelpIsAlwaysBoolean) {
+  Flags flags = ParseArgs({"--help", "cmd"});
+  EXPECT_TRUE(flags.GetBool("help", false));
+  ASSERT_EQ(flags.positional().size(), 1u);
+}
+
+TEST(Flags, TrailingBooleanWithoutValue) {
+  Flags flags = ParseArgs({"--fast"});
+  EXPECT_TRUE(flags.GetBool("fast", false));
+  EXPECT_FALSE(flags.GetBool("slow", false));
+}
+
+TEST(Flags, TypedGettersValidate) {
+  Flags flags = ParseArgs({"--n=abc", "--f=1.5"});
+  EXPECT_FALSE(flags.GetInt("n", 0).ok());
+  EXPECT_DOUBLE_EQ(flags.GetDouble("f", 0).value(), 1.5);
+  EXPECT_EQ(flags.GetInt("missing", 42).value(), 42);
+}
+
+TEST(Flags, RequireKnownCatchesTypos) {
+  Flags flags = ParseArgs({"--rate=5", "--typo=1"});
+  EXPECT_TRUE(flags.RequireKnown({"rate", "typo"}).ok());
+  EXPECT_FALSE(flags.RequireKnown({"rate"}).ok());
+}
+
+}  // namespace
+}  // namespace ldp

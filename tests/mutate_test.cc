@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "mutate/mutate.h"
+#include "workload/traces.h"
+
+namespace ldp::mutate {
+namespace {
+
+std::vector<trace::QueryRecord> SampleTrace(size_t n) {
+  workload::FixedIntervalConfig config;
+  config.interarrival = Millis(1);
+  config.duration = Millis(static_cast<int64_t>(n));
+  return workload::MakeFixedIntervalTrace(config);
+}
+
+TEST(Mutate, ForceProtocol) {
+  auto records = SampleTrace(100);
+  MutationPipeline pipeline;
+  pipeline.Add(ForceProtocol(trace::Protocol::kTls));
+  pipeline.Apply(records);
+  ASSERT_EQ(records.size(), 100u);
+  for (const auto& r : records) {
+    EXPECT_EQ(r.protocol, trace::Protocol::kTls);
+  }
+}
+
+TEST(Mutate, SetDnssecOkAll) {
+  auto records = SampleTrace(200);
+  MutationPipeline pipeline;
+  pipeline.Add(SetDnssecOk(1.0));
+  pipeline.Apply(records);
+  for (const auto& r : records) {
+    EXPECT_TRUE(r.do_bit);
+    EXPECT_TRUE(r.edns);
+    EXPECT_GT(r.udp_payload_size, 0);
+  }
+}
+
+TEST(Mutate, SetDnssecOkFractionIsDeterministic) {
+  auto a = SampleTrace(2000);
+  auto b = SampleTrace(2000);
+  MutationPipeline pipeline;
+  pipeline.Add(SetDnssecOk(0.723));
+  pipeline.Apply(a);
+  pipeline.Apply(b);
+  EXPECT_EQ(a, b);
+  size_t with_do = 0;
+  for (const auto& r : a) with_do += r.do_bit ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(with_do) / a.size(), 0.723, 0.03);
+}
+
+TEST(Mutate, PrependUniqueLabelMakesNamesUnique) {
+  auto records = SampleTrace(50);
+  for (auto& r : records) r.qname = *dns::Name::Parse("same.example.com");
+  MutationPipeline pipeline;
+  pipeline.Add(PrependUniqueLabel("r"));
+  pipeline.Apply(records);
+  std::set<std::string> names;
+  for (const auto& r : records) names.insert(r.qname.CanonicalKey());
+  EXPECT_EQ(names.size(), records.size());
+  EXPECT_TRUE(records[0].qname.ToString().starts_with("r0."));
+}
+
+TEST(Mutate, TimeScaleAndShift) {
+  auto records = SampleTrace(10);
+  MutationPipeline pipeline;
+  pipeline.Add(TimeScale(2.0)).Add(TimeShift(Seconds(1)));
+  pipeline.Apply(records);
+  EXPECT_EQ(records[0].timestamp, Seconds(1));
+  EXPECT_EQ(records[1].timestamp, Seconds(1) + Millis(2));
+}
+
+TEST(Mutate, SampleKeepsApproximateFraction) {
+  auto records = SampleTrace(5000);
+  MutationPipeline pipeline;
+  pipeline.Add(Sample(0.25));
+  pipeline.Apply(records);
+  EXPECT_NEAR(static_cast<double>(records.size()) / 5000.0, 0.25, 0.03);
+}
+
+TEST(Mutate, FilterComposesWithRewrite) {
+  auto records = SampleTrace(100);
+  for (size_t i = 0; i < records.size(); ++i) {
+    records[i].protocol =
+        i % 2 == 0 ? trace::Protocol::kUdp : trace::Protocol::kTcp;
+  }
+  MutationPipeline pipeline;
+  pipeline.Add(KeepOnlyProtocol(trace::Protocol::kTcp))
+      .Add(SetDnssecOk(1.0));
+  pipeline.Apply(records);
+  EXPECT_EQ(records.size(), 50u);
+  for (const auto& r : records) {
+    EXPECT_EQ(r.protocol, trace::Protocol::kTcp);
+    EXPECT_TRUE(r.do_bit);
+  }
+}
+
+TEST(Mutate, RebaseToZero) {
+  auto records = SampleTrace(5);
+  MutationPipeline shift;
+  shift.Add(TimeShift(Seconds(100)));
+  shift.Apply(records);
+  MutationPipeline rebase;
+  rebase.Add(RebaseToZero(records.front().timestamp));
+  rebase.Apply(records);
+  EXPECT_EQ(records.front().timestamp, 0);
+}
+
+TEST(Mutate, StreamingApplyOne) {
+  MutationPipeline pipeline;
+  pipeline.Add(KeepOnlyProtocol(trace::Protocol::kUdp))
+      .Add(ForceProtocol(trace::Protocol::kTcp));
+  trace::QueryRecord udp;
+  udp.protocol = trace::Protocol::kUdp;
+  EXPECT_TRUE(pipeline.ApplyOne(udp, 0));
+  EXPECT_EQ(udp.protocol, trace::Protocol::kTcp);
+  trace::QueryRecord tls;
+  tls.protocol = trace::Protocol::kTls;
+  EXPECT_FALSE(pipeline.ApplyOne(tls, 1));
+}
+
+}  // namespace
+}  // namespace ldp::mutate

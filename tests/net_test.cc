@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "dns/framing.h"
+#include "net/event_loop.h"
+#include "net/sockets.h"
+
+namespace ldp::net {
+namespace {
+
+TEST(EventLoop, TimersFireInOrder) {
+  auto loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+  std::vector<int> order;
+  NanoTime start = MonotonicNow();
+  (*loop)->ScheduleAt(start + Millis(4), [&] { order.push_back(2); });
+  (*loop)->ScheduleAt(start + Millis(1), [&] { order.push_back(1); });
+  (*loop)->ScheduleAt(start + Millis(8), [&] {
+    order.push_back(3);
+    (*loop)->Stop();
+  });
+  (*loop)->Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoop, TimerAccuracySubMillisecond) {
+  auto loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+  NanoTime fired = 0;
+  NanoTime deadline = MonotonicNow() + Millis(5);
+  (*loop)->ScheduleAt(deadline, [&] {
+    fired = MonotonicNow();
+    (*loop)->Stop();
+  });
+  (*loop)->Run();
+  ASSERT_GT(fired, 0);
+  EXPECT_GE(fired, deadline);
+  // Generous bound (loaded CI machines); typical error is < 100 µs with
+  // epoll_pwait2.
+  EXPECT_LT(fired - deadline, Millis(5));
+}
+
+TEST(EventLoop, CancelledTimerDoesNotFire) {
+  auto loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+  bool fired = false;
+  TimerHandle handle =
+      (*loop)->ScheduleAfter(Millis(1), [&] { fired = true; });
+  handle.Cancel();
+  (*loop)->ScheduleAfter(Millis(3), [&] { (*loop)->Stop(); });
+  (*loop)->Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(UdpSockets, EchoOverLoopback) {
+  auto loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+
+  // Server: echoes back.
+  std::unique_ptr<UdpSocket> server;
+  auto server_result = UdpSocket::Bind(
+      **loop, Endpoint{IpAddress::Loopback(), 0},
+      [&server](std::span<const uint8_t> payload, Endpoint from) {
+        auto status = server->SendTo(payload, from);
+        EXPECT_TRUE(status.ok());
+      });
+  ASSERT_TRUE(server_result.ok()) << server_result.error().ToString();
+  server = std::move(*server_result);
+  ASSERT_NE(server->local().port, 0);
+
+  Bytes received;
+  auto client_result = UdpSocket::Bind(
+      **loop, Endpoint{IpAddress::Loopback(), 0},
+      [&](std::span<const uint8_t> payload, Endpoint) {
+        received.assign(payload.begin(), payload.end());
+        (*loop)->Stop();
+      });
+  ASSERT_TRUE(client_result.ok());
+  auto client = std::move(*client_result);
+
+  Bytes message{1, 2, 3, 4};
+  ASSERT_TRUE(client->SendTo(message, server->local()).ok());
+  (*loop)->ScheduleAfter(Seconds(2), [&] { (*loop)->Stop(); });  // safety
+  (*loop)->Run();
+  EXPECT_EQ(received, message);
+}
+
+TEST(TcpSockets, ConnectSendReceiveClose) {
+  auto loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+
+  std::vector<std::unique_ptr<TcpConnection>> server_conns;
+  auto listener_result = TcpListener::Listen(
+      **loop, Endpoint{IpAddress::Loopback(), 0},
+      [&](std::unique_ptr<TcpConnection> conn) {
+        TcpConnection* raw = conn.get();
+        server_conns.push_back(std::move(conn));
+        auto status = TcpListener::AdoptHandlers(
+            *raw,
+            [raw](std::span<const uint8_t> data) {
+              // Echo.
+              auto send_ok = raw->Send(data);
+              EXPECT_TRUE(send_ok.ok());
+            },
+            [] {});
+        EXPECT_TRUE(status.ok());
+      });
+  ASSERT_TRUE(listener_result.ok()) << listener_result.error().ToString();
+  auto listener = std::move(*listener_result);
+
+  Bytes received;
+  bool connected = false;
+  std::unique_ptr<TcpConnection> client;
+  auto client_result = TcpConnection::Connect(
+      **loop, listener->local(),
+      [&](Status status) {
+        ASSERT_TRUE(status.ok());
+        connected = true;
+        Bytes hello{'h', 'i'};
+        auto send_ok = client->Send(hello);
+        EXPECT_TRUE(send_ok.ok());
+      },
+      [&](std::span<const uint8_t> data) {
+        received.insert(received.end(), data.begin(), data.end());
+        if (received.size() >= 2) (*loop)->Stop();
+      },
+      [] {});
+  ASSERT_TRUE(client_result.ok());
+  client = std::move(*client_result);
+
+  (*loop)->ScheduleAfter(Seconds(2), [&] { (*loop)->Stop(); });
+  (*loop)->Run();
+  EXPECT_TRUE(connected);
+  EXPECT_EQ(received, (Bytes{'h', 'i'}));
+}
+
+TEST(TcpSockets, LargeTransferSurvivesBuffering) {
+  auto loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+
+  std::vector<std::unique_ptr<TcpConnection>> server_conns;
+  size_t server_received = 0;
+  const size_t kTotal = 4 * 1024 * 1024;
+  auto listener_result = TcpListener::Listen(
+      **loop, Endpoint{IpAddress::Loopback(), 0},
+      [&](std::unique_ptr<TcpConnection> conn) {
+        TcpConnection* raw = conn.get();
+        server_conns.push_back(std::move(conn));
+        auto status = TcpListener::AdoptHandlers(
+            *raw,
+            [&](std::span<const uint8_t> data) {
+              server_received += data.size();
+              if (server_received >= kTotal) (*loop)->Stop();
+            },
+            [] {});
+        EXPECT_TRUE(status.ok());
+      });
+  ASSERT_TRUE(listener_result.ok());
+  auto listener = std::move(*listener_result);
+
+  std::unique_ptr<TcpConnection> client;
+  Bytes chunk(64 * 1024, 0x5a);
+  auto client_result = TcpConnection::Connect(
+      **loop, listener->local(),
+      [&](Status status) {
+        ASSERT_TRUE(status.ok());
+        for (size_t sent = 0; sent < kTotal; sent += chunk.size()) {
+          auto send_ok = client->Send(chunk);
+          ASSERT_TRUE(send_ok.ok());
+        }
+      },
+      [](std::span<const uint8_t>) {}, [] {});
+  ASSERT_TRUE(client_result.ok());
+  client = std::move(*client_result);
+
+  (*loop)->ScheduleAfter(Seconds(10), [&] { (*loop)->Stop(); });
+  (*loop)->Run();
+  EXPECT_EQ(server_received, kTotal);
+}
+
+TEST(TcpSockets, ConnectRefusedSurfaces) {
+  auto loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+  bool failed = false;
+  std::unique_ptr<TcpConnection> client;
+  // Port 1 on loopback: almost certainly closed.
+  auto result = TcpConnection::Connect(
+      **loop, Endpoint{IpAddress::Loopback(), 1},
+      [&](Status status) {
+        failed = !status.ok();
+        (*loop)->Stop();
+      },
+      [](std::span<const uint8_t>) {}, [] {});
+  ASSERT_TRUE(result.ok());
+  client = std::move(*result);
+  (*loop)->ScheduleAfter(Seconds(2), [&] { (*loop)->Stop(); });
+  (*loop)->Run();
+  EXPECT_TRUE(failed);
+}
+
+}  // namespace
+}  // namespace ldp::net

@@ -1,0 +1,159 @@
+// Unit tests for the OQDA rewrite algebra (paper §2.4, Figure 2) at the
+// packet level, independent of any resolver or server logic.
+#include <gtest/gtest.h>
+
+#include "proxy/proxy.h"
+
+namespace ldp::proxy {
+namespace {
+
+class ProxyTest : public ::testing::Test {
+ protected:
+  ProxyTest() : net_(sim_) { net_.SetDefaultOneWayDelay(Millis(1)); }
+
+  sim::SimPacket Capture(IpAddress at, uint16_t port) {
+    sim::SimPacket captured;
+    auto listen_ok = net_.ListenUdp(
+        Endpoint{at, port},
+        [&captured](const sim::SimPacket& packet) { captured = packet; });
+    EXPECT_TRUE(listen_ok.ok());
+    sim_.Run();
+    return captured;
+  }
+
+  sim::Simulator sim_;
+  sim::SimNetwork net_;
+  IpAddress recursive_{10, 0, 0, 2};
+  IpAddress meta_{10, 0, 0, 50};
+  IpAddress oqda_{198, 41, 0, 4};  // a public nameserver address
+};
+
+TEST_F(ProxyTest, RecursiveProxyRewritesQuery) {
+  RecursiveProxy proxy(net_, recursive_, meta_);
+
+  // The recursive sends a query to the (nonexistent) public address.
+  sim::SimPacket at_meta;
+  auto listen_ok = net_.ListenUdp(Endpoint{meta_, 53},
+                                  [&](const sim::SimPacket& packet) {
+                                    at_meta = packet;
+                                  });
+  ASSERT_TRUE(listen_ok.ok());
+  net_.SendUdp(Endpoint{recursive_, 12345}, Endpoint{oqda_, 53}, {0x42});
+  sim_.Run();
+
+  // Delivered to the meta server with src = OQDA (the zone selector),
+  // ports untouched.
+  EXPECT_EQ(at_meta.src, oqda_);
+  EXPECT_EQ(at_meta.src_port, 12345);
+  EXPECT_EQ(at_meta.dst, meta_);
+  EXPECT_EQ(at_meta.dst_port, 53);
+  EXPECT_EQ(at_meta.payload, Bytes{0x42});
+  EXPECT_EQ(proxy.stats().rewritten, 1u);
+}
+
+TEST_F(ProxyTest, AuthoritativeProxyRestoresReplySource) {
+  AuthoritativeProxy proxy(net_, meta_, recursive_);
+
+  // The meta server replies toward the OQDA (the rewritten query source).
+  sim::SimPacket at_recursive;
+  auto listen_ok = net_.ListenUdp(Endpoint{recursive_, 12345},
+                                  [&](const sim::SimPacket& packet) {
+                                    at_recursive = packet;
+                                  });
+  ASSERT_TRUE(listen_ok.ok());
+  net_.SendUdp(Endpoint{meta_, 53}, Endpoint{oqda_, 12345}, {0x99});
+  sim_.Run();
+
+  // The recursive sees the reply coming *from* the public address it
+  // queried, at its original ephemeral port.
+  EXPECT_EQ(at_recursive.src, oqda_);
+  EXPECT_EQ(at_recursive.src_port, 53);
+  EXPECT_EQ(at_recursive.dst, recursive_);
+  EXPECT_EQ(at_recursive.dst_port, 12345);
+  EXPECT_EQ(proxy.stats().rewritten, 1u);
+}
+
+TEST_F(ProxyTest, RoundTripComposesToIdentityForTheResolver) {
+  // Full loop: query out, echoed reply back. From the resolver's point of
+  // view the pair of rewrites must compose to "I asked X and X answered".
+  RecursiveProxy rproxy(net_, recursive_, meta_);
+  AuthoritativeProxy aproxy(net_, meta_, recursive_);
+
+  auto meta_ok = net_.ListenUdp(
+      Endpoint{meta_, 53}, [&](const sim::SimPacket& packet) {
+        // Echo server: reply to wherever the query claims to come from.
+        net_.SendUdp(Endpoint{packet.dst, packet.dst_port},
+                     Endpoint{packet.src, packet.src_port}, packet.payload);
+      });
+  ASSERT_TRUE(meta_ok.ok());
+
+  std::optional<sim::SimPacket> reply;
+  auto rec_ok = net_.ListenUdp(Endpoint{recursive_, 40000},
+                               [&](const sim::SimPacket& packet) {
+                                 reply = packet;
+                               });
+  ASSERT_TRUE(rec_ok.ok());
+
+  net_.SendUdp(Endpoint{recursive_, 40000}, Endpoint{oqda_, 53}, {1, 2, 3});
+  sim_.Run();
+
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->src, oqda_);       // reply source == query destination
+  EXPECT_EQ(reply->src_port, 53);
+  EXPECT_EQ(reply->payload, (Bytes{1, 2, 3}));
+}
+
+TEST_F(ProxyTest, NonDnsTrafficPassesThrough) {
+  RecursiveProxy proxy(net_, recursive_, meta_);
+  // Port 80 traffic from the recursive is not captured.
+  sim::SimPacket at_target;
+  IpAddress web(203, 0, 113, 80);
+  auto listen_ok = net_.ListenUdp(Endpoint{web, 80},
+                                  [&](const sim::SimPacket& packet) {
+                                    at_target = packet;
+                                  });
+  ASSERT_TRUE(listen_ok.ok());
+  net_.SendUdp(Endpoint{recursive_, 5555}, Endpoint{web, 80}, {7});
+  sim_.Run();
+  EXPECT_EQ(at_target.dst, web);
+  EXPECT_EQ(at_target.src, recursive_);  // unmodified
+  EXPECT_EQ(proxy.stats().rewritten, 0u);
+  EXPECT_EQ(proxy.stats().passed_through, 1u);
+}
+
+TEST_F(ProxyTest, ResponsesFromRecursiveToStubsNotCaptured) {
+  // The recursive's *own* replies to stubs have sport 53, dport=stub-port.
+  // The recursive proxy (dport 53 capture) must leave them alone.
+  RecursiveProxy proxy(net_, recursive_, meta_);
+  IpAddress stub(10, 0, 0, 77);
+  sim::SimPacket at_stub;
+  auto listen_ok = net_.ListenUdp(Endpoint{stub, 6000},
+                                  [&](const sim::SimPacket& packet) {
+                                    at_stub = packet;
+                                  });
+  ASSERT_TRUE(listen_ok.ok());
+  net_.SendUdp(Endpoint{recursive_, 53}, Endpoint{stub, 6000}, {9});
+  sim_.Run();
+  EXPECT_EQ(at_stub.src, recursive_);
+  EXPECT_EQ(proxy.stats().rewritten, 0u);
+}
+
+TEST_F(ProxyTest, ProxyDetachesOnDestruction) {
+  {
+    RecursiveProxy proxy(net_, recursive_, meta_);
+  }
+  // After destruction queries flow (and die) normally: no crash, and the
+  // packet is not redirected to the meta server.
+  bool meta_got = false;
+  auto listen_ok = net_.ListenUdp(Endpoint{meta_, 53},
+                                  [&](const sim::SimPacket&) {
+                                    meta_got = true;
+                                  });
+  ASSERT_TRUE(listen_ok.ok());
+  net_.SendUdp(Endpoint{recursive_, 1111}, Endpoint{oqda_, 53}, {1});
+  sim_.Run();
+  EXPECT_FALSE(meta_got);
+}
+
+}  // namespace
+}  // namespace ldp::proxy

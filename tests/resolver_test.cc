@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "resolver/resolver.h"
+#include "server/sim_server.h"
+#include "workload/hierarchy.h"
+
+namespace ldp::resolver {
+namespace {
+
+// A simulated Internet (root + TLD + SLD authoritative nodes) and a
+// recursive resolver, the substrate for hierarchy experiments.
+class ResolverTest : public ::testing::Test {
+ protected:
+  ResolverTest() : net_(sim_) {
+    net_.SetDefaultOneWayDelay(Millis(1));
+
+    workload::HierarchyConfig config;
+    config.n_tlds = 3;
+    config.n_slds_per_tld = 3;
+    hierarchy_ = workload::BuildHierarchy(config);
+
+    // One authoritative node per nameserver address.
+    for (const auto& [address, origin] : hierarchy_.address_to_zone) {
+      zone::ZoneSet set;
+      for (const auto& zone : hierarchy_.AllZones()) {
+        if (zone->origin() == origin) {
+          EXPECT_TRUE(set.AddZone(zone).ok());
+          break;
+        }
+      }
+      auto node = server::MakeAuthoritativeNode(net_, address, std::move(set));
+      EXPECT_NE(node, nullptr);
+      servers_.push_back(std::move(node));
+    }
+
+    ResolverConfig rconfig;
+    rconfig.address = resolver_addr_;
+    rconfig.root_hints = hierarchy_.nameservers[dns::Name::Root()];
+    resolver_ = std::make_unique<SimResolver>(net_, rconfig);
+    EXPECT_TRUE(resolver_->Start().ok());
+  }
+
+  dns::Message ResolveSync(const std::string& name, dns::RRType type) {
+    std::optional<dns::Message> result;
+    resolver_->Resolve(*dns::Name::Parse(name), type,
+                       [&](const dns::Message& response) {
+                         result = response;
+                       });
+    sim_.Run();
+    EXPECT_TRUE(result.has_value());
+    return result.value_or(dns::Message{});
+  }
+
+  sim::Simulator sim_;
+  sim::SimNetwork net_;
+  IpAddress resolver_addr_{10, 0, 0, 2};
+  workload::Hierarchy hierarchy_;
+  std::vector<std::unique_ptr<server::SimDnsServer>> servers_;
+  std::unique_ptr<SimResolver> resolver_;
+};
+
+TEST_F(ResolverTest, ColdCacheWalksHierarchy) {
+  ASSERT_FALSE(hierarchy_.hostnames.empty());
+  std::string name = hierarchy_.hostnames.front().ToString();
+
+  auto response = ResolveSync(name, dns::RRType::kA);
+  EXPECT_EQ(response.rcode, dns::Rcode::kNoError);
+  ASSERT_FALSE(response.answers.empty());
+  EXPECT_EQ(response.answers[0].type, dns::RRType::kA);
+  // Cold cache: root, TLD, SLD = 3 upstream queries.
+  EXPECT_EQ(resolver_->stats().upstream_queries, 3u);
+  EXPECT_EQ(resolver_->stats().cache_hits, 0u);
+}
+
+TEST_F(ResolverTest, WarmCacheSkipsUpperHierarchy) {
+  std::string first = hierarchy_.hostnames[0].ToString();
+  std::string second = hierarchy_.hostnames[1].ToString();  // same SLD
+
+  ResolveSync(first, dns::RRType::kA);
+  uint64_t after_first = resolver_->stats().upstream_queries;
+
+  // Same name again: answered from cache, zero upstream.
+  ResolveSync(first, dns::RRType::kA);
+  EXPECT_EQ(resolver_->stats().upstream_queries, after_first);
+  EXPECT_GE(resolver_->stats().cache_hits, 1u);
+
+  // A sibling name in the same zone: only the SLD server is asked.
+  ResolveSync(second, dns::RRType::kA);
+  EXPECT_EQ(resolver_->stats().upstream_queries, after_first + 1);
+}
+
+TEST_F(ResolverTest, NxDomainFromRoot) {
+  auto response = ResolveSync("no.such.tld-zzz", dns::RRType::kA);
+  EXPECT_EQ(response.rcode, dns::Rcode::kNxDomain);
+  // Negative caching: repeating costs no upstream queries.
+  uint64_t upstream = resolver_->stats().upstream_queries;
+  auto again = ResolveSync("no.such.tld-zzz", dns::RRType::kA);
+  EXPECT_EQ(again.rcode, dns::Rcode::kNxDomain);
+  EXPECT_EQ(resolver_->stats().upstream_queries, upstream);
+}
+
+TEST_F(ResolverTest, NoDataForMissingType) {
+  std::string name = hierarchy_.hostnames.front().ToString();
+  auto response = ResolveSync(name, dns::RRType::kTXT);
+  EXPECT_EQ(response.rcode, dns::Rcode::kNoError);
+  EXPECT_TRUE(response.answers.empty());
+}
+
+TEST_F(ResolverTest, StubInterfaceAnswersOverUdp) {
+  dns::Message query = dns::Message::MakeQuery(
+      hierarchy_.hostnames.front(), dns::RRType::kA, /*rd=*/true);
+  query.id = 321;
+
+  std::optional<dns::Message> reply;
+  IpAddress stub(10, 0, 0, 77);
+  ASSERT_TRUE(net_.ListenUdp(Endpoint{stub, 5353},
+                             [&](const sim::SimPacket& packet) {
+                               auto decoded =
+                                   dns::Message::Decode(packet.payload);
+                               if (decoded.ok()) reply = *decoded;
+                             })
+                  .ok());
+  net_.SendUdp(Endpoint{stub, 5353}, Endpoint{resolver_addr_, 53},
+               query.Encode());
+  sim_.Run();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->id, 321);
+  EXPECT_TRUE(reply->qr);
+  EXPECT_TRUE(reply->ra);
+  EXPECT_FALSE(reply->answers.empty());
+}
+
+TEST_F(ResolverTest, CacheExpiryForcesRefetch) {
+  std::string name = hierarchy_.hostnames.front().ToString();
+  ResolveSync(name, dns::RRType::kA);
+  uint64_t upstream = resolver_->stats().upstream_queries;
+
+  // Host record TTL is 3600 s; advance past it. NS/glue records have much
+  // longer TTLs (86400+), so only the SLD re-query is needed.
+  sim_.RunUntil(sim_.Now() + Seconds(4000));
+  ResolveSync(name, dns::RRType::kA);
+  EXPECT_EQ(resolver_->stats().upstream_queries, upstream + 1);
+}
+
+TEST(ResolverCacheUnit, PositiveExpiry) {
+  ResolverCache cache;
+  dns::RRset rrset;
+  rrset.name = *dns::Name::Parse("a.test");
+  rrset.type = dns::RRType::kA;
+  rrset.ttl = 60;
+  rrset.rdatas.push_back(dns::ARdata{IpAddress(1, 2, 3, 4)});
+  cache.Put(rrset, Seconds(0));
+  EXPECT_TRUE(cache.Get(rrset.name, rrset.type, Seconds(59)).has_value());
+  EXPECT_FALSE(cache.Get(rrset.name, rrset.type, Seconds(61)).has_value());
+}
+
+TEST(ResolverCacheUnit, NegativeNxdomainCoversAllTypes) {
+  ResolverCache cache;
+  auto name = *dns::Name::Parse("gone.test");
+  cache.PutNegative(name, dns::RRType::kA, /*nxdomain=*/true, 300, 0);
+  EXPECT_TRUE(cache.GetNegative(name, dns::RRType::kAAAA, Seconds(1))
+                  .has_value());
+  EXPECT_FALSE(cache.GetNegative(name, dns::RRType::kAAAA, Seconds(301))
+                   .has_value());
+}
+
+TEST(ResolverCacheUnit, NodataIsTypeSpecific) {
+  ResolverCache cache;
+  auto name = *dns::Name::Parse("half.test");
+  cache.PutNegative(name, dns::RRType::kAAAA, /*nxdomain=*/false, 300, 0);
+  EXPECT_TRUE(cache.GetNegative(name, dns::RRType::kAAAA, 1).has_value());
+  EXPECT_FALSE(cache.GetNegative(name, dns::RRType::kA, 1).has_value());
+}
+
+TEST(ResolverCacheUnit, DeepestNsFindsClosestCut) {
+  ResolverCache cache;
+  auto make_ns = [](const char* owner, const char* target) {
+    dns::RRset rrset;
+    rrset.name = *dns::Name::Parse(owner);
+    rrset.type = dns::RRType::kNS;
+    rrset.ttl = 3600;
+    rrset.rdatas.push_back(dns::NsRdata{*dns::Name::Parse(target)});
+    return rrset;
+  };
+  cache.Put(make_ns("com", "a.gtld.test"), 0);
+  cache.Put(make_ns("example.com", "ns1.example.com"), 0);
+  auto deepest =
+      cache.DeepestNs(*dns::Name::Parse("www.example.com"), Seconds(1));
+  ASSERT_TRUE(deepest.has_value());
+  EXPECT_EQ(deepest->name.ToString(), "example.com.");
+  auto shallow = cache.DeepestNs(*dns::Name::Parse("www.other.com"), 1);
+  ASSERT_TRUE(shallow.has_value());
+  EXPECT_EQ(shallow->name.ToString(), "com.");
+  EXPECT_FALSE(
+      cache.DeepestNs(*dns::Name::Parse("www.example.net"), 1).has_value());
+}
+
+}  // namespace
+}  // namespace ldp::resolver

@@ -1,0 +1,368 @@
+#include <gtest/gtest.h>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "sim/tcp.h"
+
+namespace ldp::sim {
+namespace {
+
+TEST(Simulator, OrderedExecution) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(Millis(5), [&] { order.push_back(2); });
+  sim.Schedule(Millis(1), [&] { order.push_back(1); });
+  sim.Schedule(Millis(9), [&] { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Millis(9));
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(Simulator, SameTimeFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(Millis(1), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, Cancel) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle handle = sim.Schedule(Millis(1), [&] { fired = true; });
+  EXPECT_TRUE(handle.active());
+  handle.Cancel();
+  EXPECT_FALSE(handle.active());
+  sim.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) sim.Schedule(Millis(1), recurse);
+  };
+  sim.Schedule(0, recurse);
+  sim.Run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.Now(), Millis(9));
+}
+
+TEST(Simulator, RunUntilAdvancesClock) {
+  Simulator sim;
+  int count = 0;
+  sim.Schedule(Millis(1), [&] { ++count; });
+  sim.Schedule(Millis(100), [&] { ++count; });
+  sim.RunUntil(Millis(50));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.Now(), Millis(50));
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : net_(sim_) {
+    net_.SetDefaultOneWayDelay(Millis(1));  // RTT = 2 ms
+  }
+  Simulator sim_;
+  SimNetwork net_;
+  IpAddress client_{10, 0, 0, 1};
+  IpAddress server_{10, 0, 0, 2};
+};
+
+TEST_F(NetworkTest, UdpDelivery) {
+  NanoTime arrival = -1;
+  Bytes received;
+  ASSERT_TRUE(net_.ListenUdp(Endpoint{server_, 53},
+                             [&](const SimPacket& packet) {
+                               arrival = sim_.Now();
+                               received = packet.payload;
+                             })
+                  .ok());
+  net_.SendUdp(Endpoint{client_, 1234}, Endpoint{server_, 53}, {1, 2, 3});
+  sim_.Run();
+  EXPECT_EQ(arrival, Millis(1));
+  EXPECT_EQ(received, (Bytes{1, 2, 3}));
+}
+
+TEST_F(NetworkTest, UdpToClosedPortDropped) {
+  net_.SendUdp(Endpoint{client_, 1234}, Endpoint{server_, 53}, {1});
+  sim_.Run();  // must not crash
+  EXPECT_EQ(net_.packets_delivered(), 1u);
+}
+
+TEST_F(NetworkTest, HostExtraDelayShapesRtt) {
+  net_.SetHostExtraDelay(client_, Millis(9));  // one-way 10, RTT 20
+  EXPECT_EQ(net_.OneWayDelay(client_, server_), Millis(10));
+  EXPECT_EQ(net_.OneWayDelay(server_, client_), Millis(10));
+}
+
+TEST_F(NetworkTest, EgressHookInterceptsAndRewrites) {
+  // Reroute packets addressed to 192.0.2.99 to the real server, like the
+  // recursive proxy does.
+  IpAddress phantom(192, 0, 2, 99);
+  net_.SetEgressHook(client_, [&](SimPacket& packet) {
+    if (packet.dst == phantom) {
+      packet.dst = server_;
+      net_.Inject(packet);
+      return true;
+    }
+    return false;
+  });
+  bool got = false;
+  ASSERT_TRUE(net_.ListenUdp(Endpoint{server_, 53},
+                             [&](const SimPacket&) { got = true; })
+                  .ok());
+  net_.SendUdp(Endpoint{client_, 5353}, Endpoint{phantom, 53}, {7});
+  sim_.Run();
+  EXPECT_TRUE(got);
+}
+
+// TCP fixture: echo server at server_:53.
+class TcpTest : public NetworkTest {
+ protected:
+  TcpTest()
+      : client_stack_(net_, client_), server_stack_(net_, server_) {}
+
+  // Starts an echo listener; every received chunk is sent straight back.
+  void StartEchoServer(bool tls, NanoDuration idle_timeout = 0) {
+    ASSERT_TRUE(server_stack_
+                    .Listen(53,
+                            [](SimTcpConnection&) {
+                              ConnCallbacks cb;
+                              cb.on_data = [](SimTcpConnection& c,
+                                              std::span<const uint8_t> d) {
+                                c.Send(Bytes(d.begin(), d.end()));
+                              };
+                              return cb;
+                            },
+                            tls, idle_timeout)
+                    .ok());
+  }
+
+  SimTcpStack client_stack_;
+  SimTcpStack server_stack_;
+};
+
+TEST_F(TcpTest, FreshTcpQueryTakesTwoRtts) {
+  StartEchoServer(false);
+  NanoTime reply_at = -1;
+  ConnCallbacks cb;
+  cb.on_established = [](SimTcpConnection& c) { c.Send({42}); };
+  cb.on_data = [&](SimTcpConnection&, std::span<const uint8_t>) {
+    reply_at = sim_.Now();
+  };
+  auto conn = client_stack_.Connect(Endpoint{server_, 53}, cb, false);
+  ASSERT_TRUE(conn.ok());
+  sim_.Run();
+  // SYN (1ms) + SYN-ACK (1ms) = 1 RTT; data (1ms) + echo (1ms) = 1 RTT.
+  EXPECT_EQ(reply_at, Millis(4));
+}
+
+TEST_F(TcpTest, FreshTlsQueryTakesFourRtts) {
+  StartEchoServer(true);
+  NanoTime reply_at = -1;
+  ConnCallbacks cb;
+  cb.on_established = [](SimTcpConnection& c) { c.Send({42}); };
+  cb.on_data = [&](SimTcpConnection&, std::span<const uint8_t>) {
+    reply_at = sim_.Now();
+  };
+  auto conn = client_stack_.Connect(Endpoint{server_, 53}, cb, true);
+  ASSERT_TRUE(conn.ok());
+  sim_.Run();
+  // 1 RTT TCP + 2 RTT TLS handshake + 1 RTT query/response = 4 RTT = 8 ms.
+  EXPECT_EQ(reply_at, Millis(8));
+}
+
+TEST_F(TcpTest, ReusedConnectionCostsOneRtt) {
+  StartEchoServer(false);
+  std::vector<NanoTime> replies;
+  ConnCallbacks cb;
+  cb.on_established = [](SimTcpConnection& c) { c.Send({1}); };
+  cb.on_data = [&](SimTcpConnection& c, std::span<const uint8_t>) {
+    replies.push_back(sim_.Now());
+    if (replies.size() == 1) {
+      // Second query on the warm connection, after a quiet period.
+      sim_.Schedule(Millis(100), [&c] { c.Send({2}); });
+    }
+  };
+  auto conn = client_stack_.Connect(Endpoint{server_, 53}, cb, false);
+  ASSERT_TRUE(conn.ok());
+  sim_.Run();
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0], Millis(4));  // 2 RTT fresh
+  EXPECT_EQ(replies[1] - (replies[0] + Millis(100)), Millis(2));  // 1 RTT
+}
+
+TEST_F(TcpTest, NagleCoalescesBackToBackWrites) {
+  // Server sends two responses back-to-back; with Nagle the second waits
+  // for the first ACK, arriving as one later segment.
+  ASSERT_TRUE(server_stack_
+                  .Listen(53,
+                          [](SimTcpConnection&) {
+                            ConnCallbacks cb;
+                            cb.on_data = [](SimTcpConnection& c,
+                                            std::span<const uint8_t>) {
+                              c.Send({1});
+                              c.Send({2});  // queued behind the unacked {1}
+                            };
+                            return cb;
+                          },
+                          false, 0)
+                  .ok());
+  std::vector<std::pair<NanoTime, size_t>> deliveries;
+  ConnCallbacks cb;
+  cb.on_established = [](SimTcpConnection& c) { c.Send({9}); };
+  cb.on_data = [&](SimTcpConnection&, std::span<const uint8_t> d) {
+    deliveries.emplace_back(sim_.Now(), d.size());
+  };
+  ASSERT_TRUE(client_stack_.Connect(Endpoint{server_, 53}, cb, false).ok());
+  sim_.Run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0].second, 1u);  // first response alone
+  // Second arrives one RTT later (waited for the ACK round trip).
+  EXPECT_EQ(deliveries[1].first - deliveries[0].first, Millis(2));
+}
+
+TEST_F(TcpTest, NoDelayDisablesCoalescing) {
+  ASSERT_TRUE(server_stack_
+                  .Listen(53,
+                          [](SimTcpConnection&) {
+                            ConnCallbacks cb;
+                            cb.on_data = [](SimTcpConnection& c,
+                                            std::span<const uint8_t>) {
+                              c.Send({1});
+                              c.Send({2});
+                            };
+                            return cb;
+                          },
+                          false, 0)
+                  .ok());
+  // NOTE: Nagle is a property of the *sender* of the coalesced writes — the
+  // server here. Server connections inherit nagle from the stack default
+  // (on), so to test NODELAY we flip the client's own writes instead:
+  // client sends two queries back-to-back with nagle off.
+  std::vector<NanoTime> server_rx;
+  SimTcpStack observer(net_, IpAddress(10, 0, 0, 3));
+  ASSERT_TRUE(observer
+                  .Listen(54,
+                          [&](SimTcpConnection&) {
+                            ConnCallbacks cb;
+                            cb.on_data = [&](SimTcpConnection&,
+                                             std::span<const uint8_t>) {
+                              server_rx.push_back(sim_.Now());
+                            };
+                            return cb;
+                          },
+                          false, 0)
+                  .ok());
+  ConnCallbacks cb;
+  cb.on_established = [](SimTcpConnection& c) {
+    c.Send({1});
+    c.Send({2});
+  };
+  auto conn = client_stack_.Connect(Endpoint{IpAddress(10, 0, 0, 3), 54}, cb,
+                                    false, /*nagle=*/false);
+  ASSERT_TRUE(conn.ok());
+  sim_.Run();
+  ASSERT_EQ(server_rx.size(), 2u);
+  EXPECT_EQ(server_rx[0], server_rx[1]);  // same instant: no coalescing
+}
+
+TEST_F(TcpTest, IdleTimeoutClosesAndCountsTimeWait) {
+  NodeMeters meters;
+  net_.AttachMeters(server_, &meters);
+  StartEchoServer(false, Seconds(5));
+  bool closed = false;
+  ConnCallbacks cb;
+  cb.on_established = [](SimTcpConnection& c) { c.Send({1}); };
+  cb.on_close = [&](SimTcpConnection&) { closed = true; };
+  ASSERT_TRUE(client_stack_.Connect(Endpoint{server_, 53}, cb, false).ok());
+  // The idle timeout fires ~5 s after the last activity; sample the gauges
+  // at 10 s, before the 60 s TIME_WAIT expiry drains them.
+  sim_.RunUntil(Seconds(10));
+  EXPECT_TRUE(closed);
+  EXPECT_EQ(meters.established_connections(), 0u);
+  EXPECT_EQ(meters.time_wait_connections(), 1u);
+}
+
+TEST_F(TcpTest, TimeWaitExpiresAfterTwoMsl) {
+  NodeMeters meters;
+  net_.AttachMeters(server_, &meters);
+  StartEchoServer(false, Seconds(5));
+  ConnCallbacks cb;
+  cb.on_established = [](SimTcpConnection& c) { c.Send({1}); };
+  ASSERT_TRUE(client_stack_.Connect(Endpoint{server_, 53}, cb, false).ok());
+  sim_.RunUntil(Seconds(30));
+  EXPECT_EQ(meters.time_wait_connections(), 1u);
+  sim_.RunUntil(Seconds(90));
+  EXPECT_EQ(meters.time_wait_connections(), 0u);
+}
+
+TEST_F(TcpTest, MetersTrackEstablishment) {
+  NodeMeters meters;
+  net_.AttachMeters(server_, &meters);
+  StartEchoServer(false, 0);
+  ConnCallbacks cb;
+  cb.on_established = [](SimTcpConnection& c) { c.Send({1}); };
+  ASSERT_TRUE(client_stack_.Connect(Endpoint{server_, 53}, cb, false).ok());
+  ASSERT_TRUE(client_stack_.Connect(Endpoint{server_, 53}, cb, false).ok());
+  sim_.Run();
+  EXPECT_EQ(meters.established_connections(), 2u);
+  EXPECT_GT(meters.cpu_busy(), 0);
+  EXPECT_GT(meters.MemoryBytes(), meters.model().base_memory);
+}
+
+TEST_F(TcpTest, TlsSessionMemoryCharged) {
+  NodeMeters meters;
+  net_.AttachMeters(server_, &meters);
+  StartEchoServer(true, 0);
+  ConnCallbacks cb;
+  cb.on_established = [](SimTcpConnection& c) { c.Send({1}); };
+  ASSERT_TRUE(client_stack_.Connect(Endpoint{server_, 53}, cb, true).ok());
+  sim_.Run();
+  EXPECT_EQ(meters.tls_sessions(), 1u);
+  EXPECT_EQ(meters.MemoryBytes(),
+            meters.model().base_memory + meters.model().tcp_conn_memory +
+                meters.model().tls_session_memory);
+}
+
+TEST_F(TcpTest, PortExhaustionSurfaces) {
+  StartEchoServer(false);
+  client_stack_.set_time_wait_duration(Seconds(600));
+  ConnCallbacks cb;
+  // Exhaust: allocate all 64512 ephemeral ports without closing.
+  size_t opened = 0;
+  while (true) {
+    auto conn = client_stack_.Connect(Endpoint{server_, 53}, cb, false);
+    if (!conn.ok()) {
+      EXPECT_EQ(conn.error().code(), ErrorCode::kResourceExhausted);
+      break;
+    }
+    ++opened;
+    ASSERT_LE(opened, 70000u);
+  }
+  EXPECT_EQ(opened, 64512u);
+}
+
+TEST_F(TcpTest, LargePayloadCrossesSegments) {
+  StartEchoServer(true);
+  Bytes big(40000, 0xab);
+  Bytes echoed;
+  ConnCallbacks cb;
+  cb.on_established = [&](SimTcpConnection& c) { c.Send(big); };
+  cb.on_data = [&](SimTcpConnection&, std::span<const uint8_t> d) {
+    echoed.insert(echoed.end(), d.begin(), d.end());
+  };
+  ASSERT_TRUE(client_stack_.Connect(Endpoint{server_, 53}, cb, true).ok());
+  sim_.Run();
+  EXPECT_EQ(echoed, big);
+}
+
+}  // namespace
+}  // namespace ldp::sim

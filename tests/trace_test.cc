@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/rng.h"
+#include "trace/binary.h"
+#include "trace/pcap.h"
+#include "trace/text.h"
+#include "trace/tracestats.h"
+
+namespace ldp::trace {
+namespace {
+
+QueryRecord SampleRecord() {
+  QueryRecord record;
+  record.timestamp = Seconds(12) + 345678901;
+  record.src = IpAddress(172, 16, 0, 5);
+  record.src_port = 33333;
+  record.dst = IpAddress(10, 0, 0, 1);
+  record.dst_port = 53;
+  record.protocol = Protocol::kUdp;
+  record.id = 4242;
+  record.qname = *dns::Name::Parse("www.example.com");
+  record.qtype = dns::RRType::kAAAA;
+  record.rd = true;
+  record.edns = true;
+  record.udp_payload_size = 4096;
+  record.do_bit = true;
+  return record;
+}
+
+TEST(QueryRecord, ToMessageRoundTrip) {
+  QueryRecord record = SampleRecord();
+  dns::Message msg = record.ToMessage();
+  EXPECT_EQ(msg.id, record.id);
+  EXPECT_TRUE(msg.rd);
+  ASSERT_TRUE(msg.edns.has_value());
+  EXPECT_TRUE(msg.edns->do_bit);
+
+  QueryRecord back = QueryRecord::FromMessage(
+      msg, record.timestamp, record.src, record.src_port, record.dst,
+      record.dst_port, record.protocol);
+  EXPECT_EQ(back, record);
+}
+
+TEST(TextFormat, LineRoundTrip) {
+  QueryRecord record = SampleRecord();
+  std::string line = FormatQueryLine(record);
+  auto parsed = ParseQueryLine(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString() << "\n" << line;
+  EXPECT_EQ(*parsed, record);
+}
+
+TEST(TextFormat, MinimalQuery) {
+  QueryRecord record;
+  record.qname = *dns::Name::Parse("a.b");
+  std::string line = FormatQueryLine(record);
+  auto parsed = ParseQueryLine(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  EXPECT_EQ(*parsed, record);
+}
+
+TEST(TextFormat, ParseRejectsBadLines) {
+  EXPECT_FALSE(ParseQueryLine("").ok());
+  EXPECT_FALSE(ParseQueryLine("only three fields here").ok());
+  EXPECT_FALSE(ParseQueryLine("1.0 1.2.3.4:5 6.7.8.9:53 udp a.b IN A 70000 - 0")
+                   .ok());  // id out of range
+  EXPECT_FALSE(
+      ParseQueryLine("1.0 1.2.3.4:5 6.7.8.9:53 xyz a.b IN A 1 - 0").ok());
+  EXPECT_FALSE(
+      ParseQueryLine("1.0 1.2.3.4:5 6.7.8.9:53 udp a.b IN A 1 zz 0").ok());
+}
+
+TEST(TextFormat, FileRoundTrip) {
+  std::vector<QueryRecord> records;
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    QueryRecord r = SampleRecord();
+    r.timestamp = Millis(i * 17);
+    r.id = static_cast<uint16_t>(rng.NextU64());
+    r.protocol = static_cast<Protocol>(rng.NextBelow(3));
+    records.push_back(r);
+  }
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTextTrace(records, out).ok());
+  std::istringstream in(out.str());
+  auto back = ReadTextTrace(in);
+  ASSERT_TRUE(back.ok()) << back.error().ToString();
+  EXPECT_EQ(*back, records);
+}
+
+TEST(BinaryFormat, RecordRoundTrip) {
+  QueryRecord record = SampleRecord();
+  ByteWriter writer;
+  EncodeBinaryRecord(record, writer);
+  ByteReader reader(writer.data());
+  auto back = DecodeBinaryRecord(reader);
+  ASSERT_TRUE(back.ok()) << back.error().ToString();
+  EXPECT_EQ(*back, record);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BinaryFormat, TraceRoundTrip) {
+  std::vector<QueryRecord> records(100, SampleRecord());
+  for (size_t i = 0; i < records.size(); ++i) {
+    records[i].timestamp = static_cast<NanoTime>(i) * Millis(1);
+    records[i].id = static_cast<uint16_t>(i);
+  }
+  Bytes encoded = EncodeBinaryTrace(records);
+  auto back = DecodeBinaryTrace(encoded);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, records);
+}
+
+TEST(BinaryFormat, DecodeRejectsCorruptStream) {
+  QueryRecord record = SampleRecord();
+  ByteWriter writer;
+  EncodeBinaryRecord(record, writer);
+  Bytes data = writer.data();
+  data.resize(data.size() - 3);  // truncate payload
+  EXPECT_FALSE(DecodeBinaryTrace(data).ok());
+}
+
+TEST(BinaryFormat, FileStreaming) {
+  std::vector<QueryRecord> records(10, SampleRecord());
+  for (size_t i = 0; i < records.size(); ++i) {
+    records[i].id = static_cast<uint16_t>(i);
+  }
+  std::string path = ::testing::TempDir() + "/ldp_binary_trace_test.bin";
+  ASSERT_TRUE(WriteBinaryTraceFile(records, path).ok());
+
+  auto reader = BinaryTraceReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  std::vector<QueryRecord> streamed;
+  while (!reader->AtEnd()) {
+    auto record = reader->Next();
+    ASSERT_TRUE(record.ok()) << record.error().ToString();
+    streamed.push_back(std::move(*record));
+  }
+  EXPECT_EQ(streamed, records);
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, UdpRoundTrip) {
+  QueryRecord record = SampleRecord();
+  dns::Message query = record.ToMessage();
+  PacketRecord packet = MessageToPacket(
+      query, record.timestamp, record.src, record.src_port, record.dst,
+      record.dst_port, Protocol::kUdp);
+
+  Bytes file = WritePcap({packet});
+  auto parsed = ReadPcap(file);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  ASSERT_EQ(parsed->size(), 1u);
+  const PacketRecord& got = (*parsed)[0];
+  EXPECT_EQ(got.src, packet.src);
+  EXPECT_EQ(got.dst, packet.dst);
+  EXPECT_EQ(got.src_port, packet.src_port);
+  EXPECT_EQ(got.protocol, Protocol::kUdp);
+  // Timestamps survive at microsecond granularity.
+  EXPECT_NEAR(static_cast<double>(got.timestamp),
+              static_cast<double>(packet.timestamp), 1000.0);
+
+  auto back = PacketToQuery(got);
+  ASSERT_TRUE(back.ok()) << back.error().ToString();
+  EXPECT_EQ(back->qname, record.qname);
+  EXPECT_EQ(back->qtype, record.qtype);
+  EXPECT_EQ(back->do_bit, record.do_bit);
+}
+
+TEST(Pcap, TcpRoundTrip) {
+  QueryRecord record = SampleRecord();
+  record.protocol = Protocol::kTcp;
+  PacketRecord packet = MessageToPacket(
+      record.ToMessage(), record.timestamp, record.src, record.src_port,
+      record.dst, record.dst_port, Protocol::kTcp);
+  Bytes file = WritePcap({packet});
+  auto parsed = ReadPcap(file);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].protocol, Protocol::kTcp);
+  auto query = PacketToQuery((*parsed)[0]);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->qname, record.qname);
+}
+
+TEST(Pcap, ResponseMessageExtraction) {
+  dns::Message response;
+  response.qr = true;
+  response.id = 7;
+  response.answers.push_back(dns::ResourceRecord{
+      *dns::Name::Parse("x.test"), dns::RRType::kA, dns::RRClass::kIN, 60,
+      dns::ARdata{IpAddress(1, 2, 3, 4)}});
+  PacketRecord packet =
+      MessageToPacket(response, 0, IpAddress(9, 9, 9, 9), 53,
+                      IpAddress(10, 0, 0, 2), 5555, Protocol::kUdp);
+  auto message = PacketToMessage(packet);
+  ASSERT_TRUE(message.ok());
+  EXPECT_TRUE(message->qr);
+  ASSERT_EQ(message->answers.size(), 1u);
+  // A response must not parse as a query.
+  EXPECT_FALSE(PacketToQuery(packet).ok());
+}
+
+TEST(Pcap, RejectsGarbage) {
+  Bytes garbage{1, 2, 3, 4, 5};
+  EXPECT_FALSE(ReadPcap(garbage).ok());
+}
+
+TEST(TraceStats, ComputesTableOneColumns) {
+  std::vector<QueryRecord> records;
+  for (int i = 0; i < 100; ++i) {
+    QueryRecord r = SampleRecord();
+    r.timestamp = static_cast<NanoTime>(i) * Millis(10);  // 10ms apart
+    r.src = IpAddress(172, 16, 0, static_cast<uint8_t>(i % 10));
+    r.do_bit = i % 2 == 0;
+    r.protocol = i % 25 == 0 ? Protocol::kTcp : Protocol::kUdp;
+    records.push_back(r);
+  }
+  TraceStats stats = ComputeTraceStats(records);
+  EXPECT_EQ(stats.records, 100u);
+  EXPECT_EQ(stats.unique_clients, 10u);
+  EXPECT_NEAR(stats.interarrival_mean_s, 0.010, 1e-9);
+  EXPECT_NEAR(stats.interarrival_stddev_s, 0.0, 1e-9);
+  EXPECT_NEAR(stats.fraction_do, 0.5, 1e-9);
+  EXPECT_NEAR(stats.fraction_tcp, 0.04, 1e-9);
+  EXPECT_EQ(stats.duration, Millis(990));
+}
+
+TEST(TraceStats, EmptyAndSingle) {
+  EXPECT_EQ(ComputeTraceStats({}).records, 0u);
+  TraceStats one = ComputeTraceStats({SampleRecord()});
+  EXPECT_EQ(one.records, 1u);
+  EXPECT_EQ(one.unique_clients, 1u);
+  EXPECT_EQ(one.duration, 0);
+}
+
+}  // namespace
+}  // namespace ldp::trace

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "trace/tracestats.h"
+#include "workload/hierarchy.h"
+#include "workload/sampling.h"
+#include "workload/traces.h"
+#include "zone/lookup.h"
+
+namespace ldp::workload {
+namespace {
+
+TEST(Sampling, DiscreteSamplerMatchesWeights) {
+  auto sampler = DiscreteSampler::Build({1.0, 3.0, 6.0});
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(11);
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[sampler->Sample(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Sampling, DiscreteSamplerRejectsBadWeights) {
+  EXPECT_FALSE(DiscreteSampler::Build({}).ok());
+  EXPECT_FALSE(DiscreteSampler::Build({0.0, 0.0}).ok());
+  EXPECT_FALSE(DiscreteSampler::Build({1.0, -1.0}).ok());
+}
+
+TEST(Sampling, ZipfHeadDominates) {
+  ZipfSampler zipf(1000, 1.0);
+  Rng rng(5);
+  size_t top10 = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Sample(rng) < 10) ++top10;
+  }
+  // Harmonic: top 10 of 1000 at s=1 hold ~39% of mass.
+  EXPECT_GT(top10 / static_cast<double>(n), 0.3);
+}
+
+TEST(Sampling, HeavyTailHitsShareTarget) {
+  auto weights = HeavyTailClientWeights(20000, 0.01, 0.75, 42);
+  ASSERT_EQ(weights.size(), 20000u);
+  std::vector<double> sorted = weights;
+  std::sort(sorted.rbegin(), sorted.rend());
+  double total = 0, top = 0;
+  for (double w : sorted) total += w;
+  for (size_t i = 0; i < 200; ++i) top += sorted[i];
+  // Pareto sampling is noisy; the share should be in the right region.
+  EXPECT_GT(top / total, 0.5);
+}
+
+TEST(Hierarchy, BuildsConsistentDelegations) {
+  HierarchyConfig config;
+  config.n_tlds = 3;
+  config.n_slds_per_tld = 2;
+  Hierarchy h = BuildHierarchy(config);
+
+  ASSERT_NE(h.root, nullptr);
+  EXPECT_TRUE(h.root->Validate().ok());
+  EXPECT_EQ(h.tlds.size(), 3u);
+  EXPECT_EQ(h.slds.size(), 6u);
+  EXPECT_EQ(h.AllZones().size(), 10u);
+
+  // Every TLD is delegated from the root with glue.
+  for (const auto& tld : h.tlds) {
+    EXPECT_TRUE(tld->Validate().ok());
+    auto result =
+        zone::Lookup(*h.root, *tld->origin().Child("x"), dns::RRType::kA);
+    EXPECT_EQ(result.outcome, zone::LookupOutcome::kDelegation)
+        << tld->origin().ToString();
+    EXPECT_FALSE(result.additional.empty());  // glue present
+  }
+  // Every SLD validates and has hostnames recorded.
+  for (const auto& sld : h.slds) EXPECT_TRUE(sld->Validate().ok());
+  EXPECT_EQ(h.hostnames.size(), 6u * config.n_hosts_per_sld);
+
+  // Address book is consistent both ways.
+  for (const auto& [origin, addrs] : h.nameservers) {
+    for (const auto& addr : addrs) {
+      auto it = h.address_to_zone.find(addr);
+      ASSERT_NE(it, h.address_to_zone.end());
+      EXPECT_EQ(it->second, origin);
+    }
+  }
+}
+
+TEST(Hierarchy, SignedRootHasDnssec) {
+  Hierarchy h = BuildRootHierarchy(5, /*sign=*/true, zone::DnssecConfig{});
+  EXPECT_NE(h.root->FindRRset(dns::Name::Root(), dns::RRType::kDNSKEY),
+            nullptr);
+  EXPECT_NE(h.root->FindRRset(dns::Name::Root(), dns::RRType::kRRSIG),
+            nullptr);
+}
+
+TEST(Hierarchy, Deterministic) {
+  HierarchyConfig config;
+  config.n_tlds = 2;
+  config.n_slds_per_tld = 1;
+  Hierarchy a = BuildHierarchy(config);
+  Hierarchy b = BuildHierarchy(config);
+  EXPECT_EQ(a.root->record_count(), b.root->record_count());
+  EXPECT_EQ(a.nameservers, b.nameservers);
+}
+
+TEST(Traces, FixedIntervalMatchesTableOne) {
+  // syn-2 from Table 1: 0.01 s inter-arrival, 60 min, 360 k records.
+  FixedIntervalConfig config;
+  config.interarrival = Millis(10);
+  config.duration = Seconds(3600);
+  auto records = MakeFixedIntervalTrace(config);
+  EXPECT_EQ(records.size(), 360000u);
+
+  auto stats = trace::ComputeTraceStats(records);
+  EXPECT_NEAR(stats.interarrival_mean_s, 0.01, 1e-9);
+  EXPECT_NEAR(stats.interarrival_stddev_s, 0.0, 1e-9);
+
+  // Unique names per query (paper: to match queries with responses).
+  std::set<std::string> names;
+  for (size_t i = 0; i < 1000; ++i) {
+    names.insert(records[i].qname.CanonicalKey());
+  }
+  EXPECT_EQ(names.size(), 1000u);
+}
+
+TEST(Traces, BRootModelShape) {
+  BRootConfig config;
+  config.median_rate_qps = 1000;
+  config.duration = Seconds(30);
+  config.n_clients = 5000;
+  auto records = MakeBRootTrace(config);
+  ASSERT_GT(records.size(), 25000u);
+  ASSERT_LT(records.size(), 40000u);
+
+  auto stats = trace::ComputeTraceStats(records);
+  EXPECT_NEAR(stats.fraction_do, 0.723, 0.03);
+  EXPECT_NEAR(stats.fraction_tcp, 0.03, 0.01);
+  EXPECT_GT(stats.unique_clients, 1000u);
+
+  // Timestamps ascend.
+  for (size_t i = 1; i < records.size(); ++i) {
+    ASSERT_GE(records[i].timestamp, records[i - 1].timestamp);
+  }
+}
+
+TEST(Traces, BRootClientSkew) {
+  BRootConfig config;
+  config.median_rate_qps = 2000;
+  config.duration = Seconds(30);
+  config.n_clients = 10000;
+  auto records = MakeBRootTrace(config);
+
+  std::unordered_map<IpAddress, size_t> loads;
+  for (const auto& r : records) ++loads[r.src];
+  std::vector<size_t> counts;
+  counts.reserve(loads.size());
+  for (const auto& [src, count] : loads) counts.push_back(count);
+  std::sort(counts.rbegin(), counts.rend());
+
+  size_t total = records.size();
+  size_t top_1pct = 0;
+  size_t top_n = std::max<size_t>(1, counts.size() / 100);
+  for (size_t i = 0; i < top_n; ++i) top_1pct += counts[i];
+  // Paper §5.2.4: ~1% of clients contribute ~3/4 of the load. The synthetic
+  // model should land in heavy-tail territory (> 40% here).
+  EXPECT_GT(static_cast<double>(top_1pct) / total, 0.4);
+
+  // Majority of clients are quiet (<10 queries; paper: 81%).
+  size_t quiet = 0;
+  for (size_t c : counts) quiet += c < 10 ? 1 : 0;
+  EXPECT_GT(static_cast<double>(quiet) / counts.size(), 0.6);
+}
+
+TEST(Traces, BRootDeterministic) {
+  BRootConfig config;
+  config.duration = Seconds(5);
+  auto a = MakeBRootTrace(config);
+  auto b = MakeBRootTrace(config);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Traces, RecursiveTraceUsesHierarchyNames) {
+  HierarchyConfig hconfig;
+  hconfig.n_tlds = 3;
+  hconfig.n_slds_per_tld = 5;
+  Hierarchy h = BuildHierarchy(hconfig);
+
+  RecConfig config;
+  config.n_records = 2000;
+  auto records = MakeRecursiveTrace(config, h);
+  ASSERT_EQ(records.size(), 2000u);
+
+  auto stats = trace::ComputeTraceStats(records);
+  EXPECT_LE(stats.unique_clients, config.n_clients);
+  EXPECT_NEAR(stats.interarrival_mean_s, 0.18, 0.02);
+  for (const auto& r : records) {
+    EXPECT_TRUE(r.rd);  // stub queries request recursion
+  }
+  // All names exist in the hierarchy.
+  std::set<std::string> known;
+  for (const auto& name : h.hostnames) known.insert(name.CanonicalKey());
+  for (const auto& r : records) {
+    ASSERT_TRUE(known.count(r.qname.CanonicalKey())) << r.qname.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace ldp::workload

@@ -1,0 +1,130 @@
+// ldp-replay: the distributed real-time query engine as a CLI — replays a
+// trace file against a DNS server with the paper's timing algorithm, then
+// reports fidelity statistics (Figs 6-8) and latency.
+//
+//   ldp_replay --trace t.bin --server 127.0.0.1:5353
+//   ldp_replay --trace t.bin --server 127.0.0.1:5353 --fast --distributors 4
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/strings.h"
+#include "replay/realtime.h"
+#include "stats/summary.h"
+#include "trace/binary.h"
+#include "trace/text.h"
+
+using namespace ldp;
+
+namespace {
+
+constexpr const char* kUsage =
+    R"(usage: ldp_replay --trace FILE --server IP:PORT [options]
+  --distributors N      client-instance threads (2)
+  --queriers N          logical queriers per distributor (3)
+  --fast                ignore trace timing, send as fast as possible
+  --rewrite-target      point every query at --server (default: on)
+Trace format by extension (.txt/.bin).)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags_result = Flags::Parse(argc, argv, {"fast", "rewrite-target"});
+  if (!flags_result.ok()) {
+    std::fprintf(stderr, "%s\n", flags_result.error().ToString().c_str());
+    return 2;
+  }
+  const Flags& flags = *flags_result;
+  if (auto s = flags.RequireKnown({"trace", "server", "distributors",
+                                   "queriers", "fast", "rewrite-target",
+                                   "help"});
+      !s.ok()) {
+    std::fprintf(stderr, "%s\n%s\n", s.error().ToString().c_str(), kUsage);
+    return 2;
+  }
+  if (flags.GetBool("help", false) || !flags.Has("trace") ||
+      !flags.Has("server")) {
+    std::fprintf(stderr, "%s\n", kUsage);
+    return 2;
+  }
+
+  auto server = Endpoint::Parse(flags.GetString("server", ""));
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.error().ToString().c_str());
+    return 2;
+  }
+
+  std::string path = flags.GetString("trace", "");
+  Result<std::vector<trace::QueryRecord>> records =
+      EndsWith(path, ".txt")
+          ? trace::ReadTextTraceFile(path)
+          : [&]() -> Result<std::vector<trace::QueryRecord>> {
+              LDP_ASSIGN_OR_RETURN(auto reader,
+                                   trace::BinaryTraceReader::Open(path));
+              std::vector<trace::QueryRecord> out;
+              while (!reader.AtEnd()) {
+                LDP_ASSIGN_OR_RETURN(auto record, reader.Next());
+                out.push_back(std::move(record));
+              }
+              return out;
+            }();
+  if (!records.ok()) {
+    std::fprintf(stderr, "%s\n", records.error().ToString().c_str());
+    return 1;
+  }
+  if (flags.GetBool("rewrite-target", true)) {
+    for (auto& record : *records) {
+      record.dst = server->addr;
+      record.dst_port = server->port;
+    }
+  }
+
+  replay::RealtimeConfig config;
+  config.server = *server;
+  config.n_distributors = static_cast<size_t>(
+      flags.GetInt("distributors", 2).value_or(2));
+  config.queriers_per_distributor =
+      static_cast<size_t>(flags.GetInt("queriers", 3).value_or(3));
+  config.fast_mode = flags.GetBool("fast", false);
+
+  std::printf("replaying %zu queries against %s (%zu distributors x %zu "
+              "queriers%s)...\n",
+              records->size(), server->ToString().c_str(),
+              config.n_distributors, config.queriers_per_distributor,
+              config.fast_mode ? ", fast mode" : "");
+  auto report = replay::RunRealtimeReplay(*records, config);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.error().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("sent %llu, replied %llu (%.1f%%), wall %.2fs (%.1fk q/s)\n",
+              static_cast<unsigned long long>(report->queries_sent),
+              static_cast<unsigned long long>(report->replies),
+              report->queries_sent
+                  ? 100.0 * static_cast<double>(report->replies) /
+                        static_cast<double>(report->queries_sent)
+                  : 0,
+              ToSeconds(report->wall_duration),
+              static_cast<double>(report->queries_sent) /
+                  ToSeconds(report->wall_duration) / 1000.0);
+
+  if (!config.fast_mode) {
+    stats::Summary timing;
+    timing.AddAll(report->TimingErrorsMs(records->size() / 20));
+    std::printf("timing error (ms):  %s\n",
+                timing.Summarize().ToString(3).c_str());
+    stats::Summary rate;
+    for (double e : report->RateErrors()) rate.Add(100 * e);
+    std::printf("rate error (%%):     %s\n",
+                rate.Summarize().ToString(3).c_str());
+  }
+  stats::Summary latency;
+  for (const auto& send : report->sends) {
+    if (send.answered()) latency.Add(ToMillis(send.replied - send.sent));
+  }
+  if (!latency.empty()) {
+    std::printf("query latency (ms): %s\n",
+                latency.Summarize().ToString(3).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,143 @@
+// ldp-serve: an authoritative DNS server over real sockets, serving one or
+// more master files — the server side of a loopback replay experiment.
+//
+//   ldp_serve --listen 127.0.0.1:5353 zones/root.zone zones/com.zone
+//   ldp_serve --listen 127.0.0.1:5353 --tcp-idle-timeout-s 20 --sign zone.db
+#include <csignal>
+#include <cstdio>
+
+#include "common/flags.h"
+#include "server/socket_server.h"
+#include "zone/dnssec.h"
+#include "zone/masterfile.h"
+
+using namespace ldp;
+
+namespace {
+
+constexpr const char* kUsage =
+    R"(usage: ldp_serve --listen IP:PORT [options] ZONEFILE...
+  --tcp-idle-timeout-s N   close idle TCP connections after N seconds (20)
+  --no-tcp                 UDP only
+  --sign                   DNSSEC-sign zones with synthetic keys
+  --zsk-bits N             ZSK size when signing (1024)
+  --stats-interval-s N     print server stats every N seconds (10; 0=off)
+Serves until interrupted.)";
+
+net::EventLoop* g_loop = nullptr;
+
+void HandleSignal(int) {
+  if (g_loop != nullptr) g_loop->Stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags_result = Flags::Parse(argc, argv, {"no-tcp", "sign"});
+  if (!flags_result.ok()) {
+    std::fprintf(stderr, "%s\n", flags_result.error().ToString().c_str());
+    return 2;
+  }
+  const Flags& flags = *flags_result;
+  if (auto s = flags.RequireKnown({"listen", "tcp-idle-timeout-s", "no-tcp",
+                                   "sign", "zsk-bits", "stats-interval-s",
+                                   "help"});
+      !s.ok()) {
+    std::fprintf(stderr, "%s\n%s\n", s.error().ToString().c_str(), kUsage);
+    return 2;
+  }
+  if (flags.GetBool("help", false) || flags.positional().empty() ||
+      !flags.Has("listen")) {
+    std::fprintf(stderr, "%s\n", kUsage);
+    return 2;
+  }
+
+  auto listen = Endpoint::Parse(flags.GetString("listen", ""));
+  if (!listen.ok()) {
+    std::fprintf(stderr, "%s\n", listen.error().ToString().c_str());
+    return 2;
+  }
+
+  zone::ZoneSet zones;
+  for (const auto& path : flags.positional()) {
+    auto zone = zone::LoadMasterFile(path, zone::MasterFileOptions{});
+    if (!zone.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   zone.error().ToString().c_str());
+      return 1;
+    }
+    if (flags.GetBool("sign", false)) {
+      zone::DnssecConfig dnssec;
+      dnssec.zsk_bits = static_cast<int>(
+          flags.GetInt("zsk-bits", 1024).value_or(1024));
+      if (auto s = zone::SignZone(*zone, dnssec); !s.ok()) {
+        std::fprintf(stderr, "sign %s: %s\n", path.c_str(),
+                     s.error().ToString().c_str());
+        return 1;
+      }
+    }
+    if (auto s = zone->Validate(); !s.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   s.error().ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded %s (%zu records) from %s\n",
+                zone->origin().ToString().c_str(), zone->record_count(),
+                path.c_str());
+    auto added =
+        zones.AddZone(std::make_shared<zone::Zone>(std::move(*zone)));
+    if (!added.ok()) {
+      std::fprintf(stderr, "%s\n", added.error().ToString().c_str());
+      return 1;
+    }
+  }
+  zone::ViewTable views;
+  views.SetDefaultView(std::move(zones));
+  auto engine = std::make_shared<server::AuthServerEngine>(std::move(views));
+
+  auto loop = net::EventLoop::Create();
+  if (!loop.ok()) {
+    std::fprintf(stderr, "%s\n", loop.error().ToString().c_str());
+    return 1;
+  }
+  g_loop = loop->get();
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  server::SocketDnsServer::Config config;
+  config.listen = *listen;
+  config.serve_tcp = !flags.GetBool("no-tcp", false);
+  config.tcp_idle_timeout =
+      Seconds(flags.GetInt("tcp-idle-timeout-s", 20).value_or(20));
+  auto server = server::SocketDnsServer::Start(**loop, engine, config);
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.error().ToString().c_str());
+    return 1;
+  }
+  std::printf("serving on %s (udp%s), ^C to stop\n",
+              (*server)->endpoint().ToString().c_str(),
+              config.serve_tcp ? "+tcp" : "");
+
+  int64_t stats_interval =
+      flags.GetInt("stats-interval-s", 10).value_or(10);
+  std::function<void()> print_stats = [&]() {
+    const auto& stats = engine->stats();
+    std::printf("queries=%llu nxdomain=%llu refused=%llu truncated=%llu "
+                "bytes-out=%llu open-tcp=%zu\n",
+                static_cast<unsigned long long>(stats.queries),
+                static_cast<unsigned long long>(stats.nxdomain),
+                static_cast<unsigned long long>(stats.refused),
+                static_cast<unsigned long long>(stats.truncated),
+                static_cast<unsigned long long>(stats.response_bytes),
+                (*server)->open_tcp_connections());
+    (*loop)->ScheduleAfter(Seconds(stats_interval), print_stats);
+  };
+  if (stats_interval > 0) {
+    (*loop)->ScheduleAfter(Seconds(stats_interval), print_stats);
+  }
+
+  (*loop)->Run();
+  std::printf("\nshutting down after %llu queries\n",
+              static_cast<unsigned long long>(engine->stats().queries));
+  return 0;
+}

@@ -1,0 +1,92 @@
+// ldp-trace-stats: print Table-1-style inventory statistics for a trace
+// file — the first thing to run on a new trace.
+//
+//   ldp_trace_stats queries.bin
+//   ldp_trace_stats --per-client queries.txt
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+#include "common/flags.h"
+#include "common/strings.h"
+#include "trace/binary.h"
+#include "trace/text.h"
+#include "trace/tracestats.h"
+
+using namespace ldp;
+
+int main(int argc, char** argv) {
+  auto flags_result = Flags::Parse(argc, argv, {"per-client"});
+  if (!flags_result.ok()) {
+    std::fprintf(stderr, "%s\n", flags_result.error().ToString().c_str());
+    return 2;
+  }
+  const Flags& flags = *flags_result;
+  if (auto s = flags.RequireKnown({"per-client", "help"}); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.error().ToString().c_str());
+    return 2;
+  }
+  if (flags.GetBool("help", false) || flags.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: ldp_trace_stats [--per-client] FILE(.txt|.bin)\n");
+    return 2;
+  }
+  const std::string& path = flags.positional()[0];
+
+  Result<std::vector<trace::QueryRecord>> records =
+      EndsWith(path, ".txt")
+          ? trace::ReadTextTraceFile(path)
+          : [&]() -> Result<std::vector<trace::QueryRecord>> {
+              LDP_ASSIGN_OR_RETURN(auto reader,
+                                   trace::BinaryTraceReader::Open(path));
+              std::vector<trace::QueryRecord> out;
+              while (!reader.AtEnd()) {
+                LDP_ASSIGN_OR_RETURN(auto record, reader.Next());
+                out.push_back(std::move(record));
+              }
+              return out;
+            }();
+  if (!records.ok()) {
+    std::fprintf(stderr, "%s\n", records.error().ToString().c_str());
+    return 1;
+  }
+
+  auto stats = trace::ComputeTraceStats(*records);
+  std::printf("%s\n", path.c_str());
+  std::printf("  records:            %zu\n", stats.records);
+  std::printf("  duration:           %.3f s\n", ToSeconds(stats.duration));
+  std::printf("  client IPs:         %zu\n", stats.unique_clients);
+  std::printf("  inter-arrival:      %.6f s +- %.6f s\n",
+              stats.interarrival_mean_s, stats.interarrival_stddev_s);
+  std::printf("  mean rate:          %.1f q/s\n", stats.mean_rate_qps);
+  std::printf("  DO-bit fraction:    %.1f%%\n", 100 * stats.fraction_do);
+  std::printf("  TCP/TLS fraction:   %.1f%%\n", 100 * stats.fraction_tcp);
+
+  if (flags.GetBool("per-client", false) && !records->empty()) {
+    std::unordered_map<IpAddress, size_t> loads;
+    for (const auto& record : *records) ++loads[record.src];
+    std::vector<size_t> counts;
+    counts.reserve(loads.size());
+    for (const auto& [src, count] : loads) counts.push_back(count);
+    std::sort(counts.rbegin(), counts.rend());
+    size_t total = records->size();
+    std::printf("  per-client load:\n");
+    for (double fraction : {0.01, 0.05, 0.2}) {
+      size_t n = std::max<size_t>(
+          1, static_cast<size_t>(fraction *
+                                 static_cast<double>(counts.size())));
+      size_t share = 0;
+      for (size_t i = 0; i < n; ++i) share += counts[i];
+      std::printf("    top %4.1f%% of clients: %.1f%% of queries\n",
+                  100 * fraction,
+                  100.0 * static_cast<double>(share) /
+                      static_cast<double>(total));
+    }
+    size_t quiet = 0;
+    for (size_t c : counts) quiet += c < 10 ? 1 : 0;
+    std::printf("    clients with <10 queries: %.1f%%\n",
+                100.0 * static_cast<double>(quiet) /
+                    static_cast<double>(counts.size()));
+  }
+  return 0;
+}

@@ -1,0 +1,120 @@
+// ldp-zone-tool: zone-file utilities — validate, DNSSEC-sign, normalize,
+// and summarize master files.
+//
+//   ldp_zone_tool validate zone.db
+//   ldp_zone_tool sign --zsk-bits 2048 --rollover zone.db signed.db
+//   ldp_zone_tool normalize zone.db out.db      (canonical order, FQDNs)
+//   ldp_zone_tool info zone.db
+#include <cstdio>
+
+#include "common/flags.h"
+#include "zone/dnssec.h"
+#include "zone/lookup.h"
+#include "zone/masterfile.h"
+
+using namespace ldp;
+
+namespace {
+
+constexpr const char* kUsage =
+    R"(usage: ldp_zone_tool COMMAND [flags] ZONEFILE [OUTFILE]
+commands:
+  validate   parse + servability checks (SOA, apex NS)
+  sign       add synthetic DNSSEC (DNSKEY/NSEC/RRSIG); flags:
+               --zsk-bits N (1024)  --ksk-bits N (2048)  --rollover
+  normalize  rewrite in canonical order with fully-qualified names
+  info       print summary: origin, counts, delegations, DNSSEC state)";
+
+int Info(const zone::Zone& zone) {
+  std::printf("origin:        %s\n", zone.origin().ToString().c_str());
+  std::printf("records:       %zu\n", zone.record_count());
+  std::printf("nodes:         %zu\n", zone.node_count());
+  auto cuts = zone.DelegationPoints();
+  std::printf("delegations:   %zu\n", cuts.size());
+  for (size_t i = 0; i < cuts.size() && i < 5; ++i) {
+    std::printf("  %s\n", cuts[i].ToString().c_str());
+  }
+  if (cuts.size() > 5) std::printf("  ... %zu more\n", cuts.size() - 5);
+  bool signed_zone =
+      zone.FindRRset(zone.origin(), dns::RRType::kDNSKEY) != nullptr;
+  std::printf("dnssec:        %s\n", signed_zone ? "signed" : "unsigned");
+  std::printf("est. memory:   %.1f KB\n",
+              static_cast<double>(zone.MemoryFootprint()) / 1024.0);
+  const dns::RRset* soa = zone.Soa();
+  if (soa != nullptr && !soa->rdatas.empty()) {
+    std::printf("soa serial:    %u\n",
+                std::get<dns::SoaRdata>(soa->rdatas[0]).serial);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags_result = Flags::Parse(argc, argv, {"rollover"});
+  if (!flags_result.ok()) {
+    std::fprintf(stderr, "%s\n", flags_result.error().ToString().c_str());
+    return 2;
+  }
+  const Flags& flags = *flags_result;
+  if (auto s = flags.RequireKnown(
+          {"zsk-bits", "ksk-bits", "rollover", "help"});
+      !s.ok()) {
+    std::fprintf(stderr, "%s\n%s\n", s.error().ToString().c_str(), kUsage);
+    return 2;
+  }
+  const auto& args = flags.positional();
+  if (flags.GetBool("help", false) || args.size() < 2) {
+    std::fprintf(stderr, "%s\n", kUsage);
+    return 2;
+  }
+  const std::string& command = args[0];
+  const std::string& in_path = args[1];
+
+  auto zone = zone::LoadMasterFile(in_path, zone::MasterFileOptions{});
+  if (!zone.ok()) {
+    std::fprintf(stderr, "%s: %s\n", in_path.c_str(),
+                 zone.error().ToString().c_str());
+    return 1;
+  }
+
+  if (command == "validate") {
+    if (auto s = zone->Validate(); !s.ok()) {
+      std::fprintf(stderr, "INVALID: %s\n", s.error().ToString().c_str());
+      return 1;
+    }
+    std::printf("OK: %s (%zu records)\n", zone->origin().ToString().c_str(),
+                zone->record_count());
+    return 0;
+  }
+  if (command == "info") {
+    return Info(*zone);
+  }
+  if (command == "sign" || command == "normalize") {
+    if (args.size() < 3) {
+      std::fprintf(stderr, "missing OUTFILE\n%s\n", kUsage);
+      return 2;
+    }
+    if (command == "sign") {
+      zone::DnssecConfig config;
+      config.zsk_bits =
+          static_cast<int>(flags.GetInt("zsk-bits", 1024).value_or(1024));
+      config.ksk_bits =
+          static_cast<int>(flags.GetInt("ksk-bits", 2048).value_or(2048));
+      config.zsk_rollover = flags.GetBool("rollover", false);
+      if (auto s = zone::SignZone(*zone, config); !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.error().ToString().c_str());
+        return 1;
+      }
+    }
+    if (auto s = zone::SaveMasterFile(*zone, args[2]); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.error().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s -> %s (%zu records)\n", in_path.c_str(), args[2].c_str(),
+                zone->record_count());
+    return 0;
+  }
+  std::fprintf(stderr, "unknown command %s\n%s\n", command.c_str(), kUsage);
+  return 2;
+}
