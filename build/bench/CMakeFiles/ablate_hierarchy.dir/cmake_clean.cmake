@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_hierarchy.dir/ablate_hierarchy.cc.o"
+  "CMakeFiles/ablate_hierarchy.dir/ablate_hierarchy.cc.o.d"
+  "ablate_hierarchy"
+  "ablate_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

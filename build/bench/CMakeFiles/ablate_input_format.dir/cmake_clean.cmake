@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_input_format.dir/ablate_input_format.cc.o"
+  "CMakeFiles/ablate_input_format.dir/ablate_input_format.cc.o.d"
+  "ablate_input_format"
+  "ablate_input_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_input_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_sticky.dir/ablate_sticky.cc.o"
+  "CMakeFiles/ablate_sticky.dir/ablate_sticky.cc.o.d"
+  "ablate_sticky"
+  "ablate_sticky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_sticky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

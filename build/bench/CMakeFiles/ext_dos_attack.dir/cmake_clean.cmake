@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dos_attack.dir/ext_dos_attack.cc.o"
+  "CMakeFiles/ext_dos_attack.dir/ext_dos_attack.cc.o.d"
+  "ext_dos_attack"
+  "ext_dos_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dos_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

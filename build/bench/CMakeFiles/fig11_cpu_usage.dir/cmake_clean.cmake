@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cpu_usage.dir/fig11_cpu_usage.cc.o"
+  "CMakeFiles/fig11_cpu_usage.dir/fig11_cpu_usage.cc.o.d"
+  "fig11_cpu_usage"
+  "fig11_cpu_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cpu_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

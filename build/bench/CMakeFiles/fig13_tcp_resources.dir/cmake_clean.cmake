@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_tcp_resources.dir/fig13_tcp_resources.cc.o"
+  "CMakeFiles/fig13_tcp_resources.dir/fig13_tcp_resources.cc.o.d"
+  "fig13_tcp_resources"
+  "fig13_tcp_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_tcp_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

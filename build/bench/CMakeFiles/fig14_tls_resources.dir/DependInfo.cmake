@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig14_tls_resources.cc" "bench/CMakeFiles/fig14_tls_resources.dir/fig14_tls_resources.cc.o" "gcc" "bench/CMakeFiles/fig14_tls_resources.dir/fig14_tls_resources.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/replay/CMakeFiles/ldp_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/ldp_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ldp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mutate/CMakeFiles/ldp_mutate.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ldp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ldp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ldp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/zone/CMakeFiles/ldp_zone.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ldp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/ldp_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ldp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_tls_resources.dir/fig14_tls_resources.cc.o"
+  "CMakeFiles/fig14_tls_resources.dir/fig14_tls_resources.cc.o.d"
+  "fig14_tls_resources"
+  "fig14_tls_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_tls_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_timing_error.dir/fig6_timing_error.cc.o"
+  "CMakeFiles/fig6_timing_error.dir/fig6_timing_error.cc.o.d"
+  "fig6_timing_error"
+  "fig6_timing_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_timing_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

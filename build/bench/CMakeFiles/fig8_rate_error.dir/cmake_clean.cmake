@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_rate_error.dir/fig8_rate_error.cc.o"
+  "CMakeFiles/fig8_rate_error.dir/fig8_rate_error.cc.o.d"
+  "fig8_rate_error"
+  "fig8_rate_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_rate_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchy_replay.dir/hierarchy_replay.cpp.o"
+  "CMakeFiles/hierarchy_replay.dir/hierarchy_replay.cpp.o.d"
+  "hierarchy_replay"
+  "hierarchy_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchy_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

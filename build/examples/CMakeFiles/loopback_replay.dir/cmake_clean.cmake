@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loopback_replay.dir/loopback_replay.cpp.o"
+  "CMakeFiles/loopback_replay.dir/loopback_replay.cpp.o.d"
+  "loopback_replay"
+  "loopback_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loopback_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

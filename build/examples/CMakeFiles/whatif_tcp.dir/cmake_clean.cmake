@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_tcp.dir/whatif_tcp.cpp.o"
+  "CMakeFiles/whatif_tcp.dir/whatif_tcp.cpp.o.d"
+  "whatif_tcp"
+  "whatif_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("dns")
+subdirs("stats")
+subdirs("zone")
+subdirs("trace")
+subdirs("mutate")
+subdirs("workload")
+subdirs("sim")
+subdirs("net")
+subdirs("server")
+subdirs("resolver")
+subdirs("proxy")
+subdirs("zoneconstruct")
+subdirs("replay")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_common.dir/base64.cc.o"
+  "CMakeFiles/ldp_common.dir/base64.cc.o.d"
+  "CMakeFiles/ldp_common.dir/bytes.cc.o"
+  "CMakeFiles/ldp_common.dir/bytes.cc.o.d"
+  "CMakeFiles/ldp_common.dir/clock.cc.o"
+  "CMakeFiles/ldp_common.dir/clock.cc.o.d"
+  "CMakeFiles/ldp_common.dir/flags.cc.o"
+  "CMakeFiles/ldp_common.dir/flags.cc.o.d"
+  "CMakeFiles/ldp_common.dir/ip.cc.o"
+  "CMakeFiles/ldp_common.dir/ip.cc.o.d"
+  "CMakeFiles/ldp_common.dir/log.cc.o"
+  "CMakeFiles/ldp_common.dir/log.cc.o.d"
+  "CMakeFiles/ldp_common.dir/result.cc.o"
+  "CMakeFiles/ldp_common.dir/result.cc.o.d"
+  "CMakeFiles/ldp_common.dir/strings.cc.o"
+  "CMakeFiles/ldp_common.dir/strings.cc.o.d"
+  "libldp_common.a"
+  "libldp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

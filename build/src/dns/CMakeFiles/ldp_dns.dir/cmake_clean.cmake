@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_dns.dir/framing.cc.o"
+  "CMakeFiles/ldp_dns.dir/framing.cc.o.d"
+  "CMakeFiles/ldp_dns.dir/message.cc.o"
+  "CMakeFiles/ldp_dns.dir/message.cc.o.d"
+  "CMakeFiles/ldp_dns.dir/name.cc.o"
+  "CMakeFiles/ldp_dns.dir/name.cc.o.d"
+  "CMakeFiles/ldp_dns.dir/rdata.cc.o"
+  "CMakeFiles/ldp_dns.dir/rdata.cc.o.d"
+  "CMakeFiles/ldp_dns.dir/rr.cc.o"
+  "CMakeFiles/ldp_dns.dir/rr.cc.o.d"
+  "CMakeFiles/ldp_dns.dir/types.cc.o"
+  "CMakeFiles/ldp_dns.dir/types.cc.o.d"
+  "libldp_dns.a"
+  "libldp_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

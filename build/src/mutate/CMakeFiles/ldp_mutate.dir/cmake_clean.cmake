@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_mutate.dir/mutate.cc.o"
+  "CMakeFiles/ldp_mutate.dir/mutate.cc.o.d"
+  "libldp_mutate.a"
+  "libldp_mutate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_mutate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_net.dir/event_loop.cc.o"
+  "CMakeFiles/ldp_net.dir/event_loop.cc.o.d"
+  "CMakeFiles/ldp_net.dir/sockets.cc.o"
+  "CMakeFiles/ldp_net.dir/sockets.cc.o.d"
+  "libldp_net.a"
+  "libldp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_proxy.dir/proxy.cc.o"
+  "CMakeFiles/ldp_proxy.dir/proxy.cc.o.d"
+  "libldp_proxy.a"
+  "libldp_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

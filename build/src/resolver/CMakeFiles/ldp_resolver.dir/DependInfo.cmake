@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resolver/cache.cc" "src/resolver/CMakeFiles/ldp_resolver.dir/cache.cc.o" "gcc" "src/resolver/CMakeFiles/ldp_resolver.dir/cache.cc.o.d"
+  "/root/repo/src/resolver/resolver.cc" "src/resolver/CMakeFiles/ldp_resolver.dir/resolver.cc.o" "gcc" "src/resolver/CMakeFiles/ldp_resolver.dir/resolver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/ldp_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ldp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ldp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_resolver.dir/cache.cc.o"
+  "CMakeFiles/ldp_resolver.dir/cache.cc.o.d"
+  "CMakeFiles/ldp_resolver.dir/resolver.cc.o"
+  "CMakeFiles/ldp_resolver.dir/resolver.cc.o.d"
+  "libldp_resolver.a"
+  "libldp_resolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_server.dir/engine.cc.o"
+  "CMakeFiles/ldp_server.dir/engine.cc.o.d"
+  "CMakeFiles/ldp_server.dir/sim_server.cc.o"
+  "CMakeFiles/ldp_server.dir/sim_server.cc.o.d"
+  "CMakeFiles/ldp_server.dir/socket_server.cc.o"
+  "CMakeFiles/ldp_server.dir/socket_server.cc.o.d"
+  "libldp_server.a"
+  "libldp_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

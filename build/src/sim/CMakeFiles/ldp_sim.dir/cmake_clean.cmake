@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_sim.dir/meters.cc.o"
+  "CMakeFiles/ldp_sim.dir/meters.cc.o.d"
+  "CMakeFiles/ldp_sim.dir/network.cc.o"
+  "CMakeFiles/ldp_sim.dir/network.cc.o.d"
+  "CMakeFiles/ldp_sim.dir/simulator.cc.o"
+  "CMakeFiles/ldp_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/ldp_sim.dir/tcp.cc.o"
+  "CMakeFiles/ldp_sim.dir/tcp.cc.o.d"
+  "libldp_sim.a"
+  "libldp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_stats.dir/summary.cc.o"
+  "CMakeFiles/ldp_stats.dir/summary.cc.o.d"
+  "CMakeFiles/ldp_stats.dir/table.cc.o"
+  "CMakeFiles/ldp_stats.dir/table.cc.o.d"
+  "CMakeFiles/ldp_stats.dir/timeseries.cc.o"
+  "CMakeFiles/ldp_stats.dir/timeseries.cc.o.d"
+  "libldp_stats.a"
+  "libldp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

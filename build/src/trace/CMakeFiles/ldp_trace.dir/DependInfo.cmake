@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/binary.cc" "src/trace/CMakeFiles/ldp_trace.dir/binary.cc.o" "gcc" "src/trace/CMakeFiles/ldp_trace.dir/binary.cc.o.d"
+  "/root/repo/src/trace/pcap.cc" "src/trace/CMakeFiles/ldp_trace.dir/pcap.cc.o" "gcc" "src/trace/CMakeFiles/ldp_trace.dir/pcap.cc.o.d"
+  "/root/repo/src/trace/record.cc" "src/trace/CMakeFiles/ldp_trace.dir/record.cc.o" "gcc" "src/trace/CMakeFiles/ldp_trace.dir/record.cc.o.d"
+  "/root/repo/src/trace/text.cc" "src/trace/CMakeFiles/ldp_trace.dir/text.cc.o" "gcc" "src/trace/CMakeFiles/ldp_trace.dir/text.cc.o.d"
+  "/root/repo/src/trace/tracestats.cc" "src/trace/CMakeFiles/ldp_trace.dir/tracestats.cc.o" "gcc" "src/trace/CMakeFiles/ldp_trace.dir/tracestats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/ldp_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ldp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_trace.dir/binary.cc.o"
+  "CMakeFiles/ldp_trace.dir/binary.cc.o.d"
+  "CMakeFiles/ldp_trace.dir/pcap.cc.o"
+  "CMakeFiles/ldp_trace.dir/pcap.cc.o.d"
+  "CMakeFiles/ldp_trace.dir/record.cc.o"
+  "CMakeFiles/ldp_trace.dir/record.cc.o.d"
+  "CMakeFiles/ldp_trace.dir/text.cc.o"
+  "CMakeFiles/ldp_trace.dir/text.cc.o.d"
+  "CMakeFiles/ldp_trace.dir/tracestats.cc.o"
+  "CMakeFiles/ldp_trace.dir/tracestats.cc.o.d"
+  "libldp_trace.a"
+  "libldp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_workload.dir/hierarchy.cc.o"
+  "CMakeFiles/ldp_workload.dir/hierarchy.cc.o.d"
+  "CMakeFiles/ldp_workload.dir/sampling.cc.o"
+  "CMakeFiles/ldp_workload.dir/sampling.cc.o.d"
+  "CMakeFiles/ldp_workload.dir/traces.cc.o"
+  "CMakeFiles/ldp_workload.dir/traces.cc.o.d"
+  "libldp_workload.a"
+  "libldp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

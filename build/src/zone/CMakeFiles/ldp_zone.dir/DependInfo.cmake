@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zone/dnssec.cc" "src/zone/CMakeFiles/ldp_zone.dir/dnssec.cc.o" "gcc" "src/zone/CMakeFiles/ldp_zone.dir/dnssec.cc.o.d"
+  "/root/repo/src/zone/lookup.cc" "src/zone/CMakeFiles/ldp_zone.dir/lookup.cc.o" "gcc" "src/zone/CMakeFiles/ldp_zone.dir/lookup.cc.o.d"
+  "/root/repo/src/zone/masterfile.cc" "src/zone/CMakeFiles/ldp_zone.dir/masterfile.cc.o" "gcc" "src/zone/CMakeFiles/ldp_zone.dir/masterfile.cc.o.d"
+  "/root/repo/src/zone/view.cc" "src/zone/CMakeFiles/ldp_zone.dir/view.cc.o" "gcc" "src/zone/CMakeFiles/ldp_zone.dir/view.cc.o.d"
+  "/root/repo/src/zone/zone.cc" "src/zone/CMakeFiles/ldp_zone.dir/zone.cc.o" "gcc" "src/zone/CMakeFiles/ldp_zone.dir/zone.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/ldp_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ldp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_zone.dir/dnssec.cc.o"
+  "CMakeFiles/ldp_zone.dir/dnssec.cc.o.d"
+  "CMakeFiles/ldp_zone.dir/lookup.cc.o"
+  "CMakeFiles/ldp_zone.dir/lookup.cc.o.d"
+  "CMakeFiles/ldp_zone.dir/masterfile.cc.o"
+  "CMakeFiles/ldp_zone.dir/masterfile.cc.o.d"
+  "CMakeFiles/ldp_zone.dir/view.cc.o"
+  "CMakeFiles/ldp_zone.dir/view.cc.o.d"
+  "CMakeFiles/ldp_zone.dir/zone.cc.o"
+  "CMakeFiles/ldp_zone.dir/zone.cc.o.d"
+  "libldp_zone.a"
+  "libldp_zone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_zone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

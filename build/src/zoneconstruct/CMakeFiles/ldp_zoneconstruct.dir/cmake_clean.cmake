@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_zoneconstruct.dir/axfr_client.cc.o"
+  "CMakeFiles/ldp_zoneconstruct.dir/axfr_client.cc.o.d"
+  "CMakeFiles/ldp_zoneconstruct.dir/constructor.cc.o"
+  "CMakeFiles/ldp_zoneconstruct.dir/constructor.cc.o.d"
+  "CMakeFiles/ldp_zoneconstruct.dir/harvest.cc.o"
+  "CMakeFiles/ldp_zoneconstruct.dir/harvest.cc.o.d"
+  "libldp_zoneconstruct.a"
+  "libldp_zoneconstruct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_zoneconstruct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_message_test.dir/dns_message_test.cc.o"
+  "CMakeFiles/dns_message_test.dir/dns_message_test.cc.o.d"
+  "dns_message_test"
+  "dns_message_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_message_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

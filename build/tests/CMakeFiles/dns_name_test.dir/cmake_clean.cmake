@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_name_test.dir/dns_name_test.cc.o"
+  "CMakeFiles/dns_name_test.dir/dns_name_test.cc.o.d"
+  "dns_name_test"
+  "dns_name_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_name_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchy_emulation_test.dir/hierarchy_emulation_test.cc.o"
+  "CMakeFiles/hierarchy_emulation_test.dir/hierarchy_emulation_test.cc.o.d"
+  "hierarchy_emulation_test"
+  "hierarchy_emulation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchy_emulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutate_test.dir/mutate_test.cc.o"
+  "CMakeFiles/mutate_test.dir/mutate_test.cc.o.d"
+  "mutate_test"
+  "mutate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_sim_test.dir/replay_sim_test.cc.o"
+  "CMakeFiles/replay_sim_test.dir/replay_sim_test.cc.o.d"
+  "replay_sim_test"
+  "replay_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoneconstruct_test.dir/zoneconstruct_test.cc.o"
+  "CMakeFiles/zoneconstruct_test.dir/zoneconstruct_test.cc.o.d"
+  "zoneconstruct_test"
+  "zoneconstruct_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoneconstruct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

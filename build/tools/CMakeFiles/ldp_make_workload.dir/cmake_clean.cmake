@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_make_workload.dir/ldp_make_workload.cc.o"
+  "CMakeFiles/ldp_make_workload.dir/ldp_make_workload.cc.o.d"
+  "ldp_make_workload"
+  "ldp_make_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_make_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

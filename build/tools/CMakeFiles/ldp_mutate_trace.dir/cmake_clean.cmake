@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_mutate_trace.dir/ldp_mutate_trace.cc.o"
+  "CMakeFiles/ldp_mutate_trace.dir/ldp_mutate_trace.cc.o.d"
+  "ldp_mutate_trace"
+  "ldp_mutate_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_mutate_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

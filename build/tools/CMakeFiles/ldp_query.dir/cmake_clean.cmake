@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_query.dir/ldp_query.cc.o"
+  "CMakeFiles/ldp_query.dir/ldp_query.cc.o.d"
+  "ldp_query"
+  "ldp_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

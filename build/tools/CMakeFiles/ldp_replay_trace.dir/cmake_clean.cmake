@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_replay_trace.dir/ldp_replay_trace.cc.o"
+  "CMakeFiles/ldp_replay_trace.dir/ldp_replay_trace.cc.o.d"
+  "ldp_replay_trace"
+  "ldp_replay_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_replay_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_serve.dir/ldp_serve.cc.o"
+  "CMakeFiles/ldp_serve.dir/ldp_serve.cc.o.d"
+  "ldp_serve"
+  "ldp_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_trace_convert.dir/ldp_trace_convert.cc.o"
+  "CMakeFiles/ldp_trace_convert.dir/ldp_trace_convert.cc.o.d"
+  "ldp_trace_convert"
+  "ldp_trace_convert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_trace_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

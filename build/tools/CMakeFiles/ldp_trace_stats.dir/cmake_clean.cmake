@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_trace_stats.dir/ldp_trace_stats.cc.o"
+  "CMakeFiles/ldp_trace_stats.dir/ldp_trace_stats.cc.o.d"
+  "ldp_trace_stats"
+  "ldp_trace_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_trace_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

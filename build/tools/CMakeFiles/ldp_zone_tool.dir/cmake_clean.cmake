@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_zone_tool.dir/ldp_zone_tool.cc.o"
+  "CMakeFiles/ldp_zone_tool.dir/ldp_zone_tool.cc.o.d"
+  "ldp_zone_tool"
+  "ldp_zone_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_zone_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
