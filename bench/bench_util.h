@@ -12,6 +12,8 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/strings.h"
 #include "server/sim_server.h"
@@ -86,6 +88,60 @@ inline std::string Gb(uint64_t bytes) {
 inline std::string Mbps(double bits_per_second) {
   return FormatDouble(bits_per_second / 1e6, 1) + " Mb/s";
 }
+
+// Minimal JSON result writer for the BENCH_*.json files the benches emit
+// alongside their printed tables, so runs can be diffed mechanically.
+// Flat object of key → number/string/number-array; insertion order kept.
+class BenchJson {
+ public:
+  void Set(const std::string& key, double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    fields_.emplace_back(key, buf);
+  }
+  void Set(const std::string& key, uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void Set(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + Escape(value) + "\"");
+  }
+  void Set(const std::string& key, const std::vector<double>& values) {
+    std::string out = "[";
+    for (size_t i = 0; i < values.size(); ++i) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", values[i]);
+      if (i > 0) out += ", ";
+      out += buf;
+    }
+    fields_.emplace_back(key, out + "]");
+  }
+
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n");
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %s%s\n", Escape(fields_[i].first).c_str(),
+                   fields_[i].second.c_str(),
+                   i + 1 < fields_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 }  // namespace ldp::bench
 

@@ -1,21 +1,29 @@
 // Helpers for the real-socket fidelity benches (Figs 6-9): a loopback
 // authoritative server with a wildcard zone (answers every unique replayed
-// name, paper §4.1) running on its own thread.
+// name, paper §4.1). Built on ShardedDnsServer so throughput benches can
+// dial worker shards and the wire-level response cache; the fidelity
+// benches (Figs 6-8) keep the 1-shard, no-cache default.
 #ifndef LDPLAYER_BENCH_REALTIME_UTIL_H
 #define LDPLAYER_BENCH_REALTIME_UTIL_H
 
 #include <memory>
-#include <thread>
 
 #include "replay/realtime.h"
-#include "server/socket_server.h"
+#include "server/sharded_server.h"
 #include "zone/masterfile.h"
 
 namespace ldp::bench {
 
+struct LoopbackOptions {
+  size_t n_shards = 1;
+  size_t response_cache_entries = 0;  // per shard; 0 = off
+  int udp_recv_buffer_bytes = 0;      // per shard; 0 = kernel default
+};
+
 class LoopbackServer {
  public:
-  static std::unique_ptr<LoopbackServer> Start() {
+  static std::unique_ptr<LoopbackServer> Start(
+      const LoopbackOptions& options = LoopbackOptions()) {
     auto zone = zone::ParseMasterFile(
         "$ORIGIN example.com.\n"
         "@ 3600 IN SOA ns1 admin 1 2 3 4 300\n"
@@ -30,31 +38,24 @@ class LoopbackServer {
     }
     zone::ViewTable views;
     views.SetDefaultView(std::move(zones));
-    auto engine =
-        std::make_shared<server::AuthServerEngine>(std::move(views));
 
-    auto loop = net::EventLoop::Create();
-    if (!loop.ok()) return nullptr;
-    server::SocketDnsServer::Config config;
+    server::ShardedDnsServer::Config config;
     config.listen = Endpoint{IpAddress::Loopback(), 0};
-    auto server = server::SocketDnsServer::Start(**loop, engine, config);
+    config.n_shards = options.n_shards;
+    config.engine.response_cache_entries = options.response_cache_entries;
+    config.udp_recv_buffer_bytes = options.udp_recv_buffer_bytes;
+    auto server = server::ShardedDnsServer::Start(
+        std::make_shared<const zone::ViewTable>(std::move(views)), config);
     if (!server.ok()) return nullptr;
 
     auto out = std::unique_ptr<LoopbackServer>(new LoopbackServer);
-    out->loop_ = std::move(*loop);
     out->server_ = std::move(*server);
-    out->engine_ = std::move(engine);
-    out->thread_ = std::thread([raw = out.get()]() { raw->loop_->Run(); });
     return out;
   }
 
-  ~LoopbackServer() {
-    loop_->ScheduleAfter(0, [this]() { loop_->Stop(); });
-    thread_.join();
-  }
-
   Endpoint endpoint() const { return server_->endpoint(); }
-  const server::AuthServerEngine& engine() const { return *engine_; }
+  size_t n_shards() const { return server_->n_shards(); }
+  server::EngineStats stats() const { return server_->TotalStats(); }
 
   // Points a trace at this server.
   void Target(std::vector<trace::QueryRecord>& records) const {
@@ -66,10 +67,7 @@ class LoopbackServer {
 
  private:
   LoopbackServer() = default;
-  std::unique_ptr<net::EventLoop> loop_;
-  std::unique_ptr<server::SocketDnsServer> server_;
-  std::shared_ptr<server::AuthServerEngine> engine_;
-  std::thread thread_;
+  std::unique_ptr<server::ShardedDnsServer> server_;
 };
 
 }  // namespace ldp::bench

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Tier-1 verification: the full build + test suite, then the threaded
+# subsystems (sharded server, batched sockets, realtime replay, response
+# cache) again under ThreadSanitizer (-DLDP_SANITIZE=thread).
+#
+#   scripts/verify.sh [--skip-tsan]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j2
+
+if [ "${1:-}" = "--skip-tsan" ]; then
+  echo "== tsan: skipped =="
+  exit 0
+fi
+
+echo "== tsan: threaded subsystems =="
+cmake -B build-tsan -S . -DLDP_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j"$(nproc)" --target \
+  net_test sharded_server_test response_cache_test \
+  server_test replay_realtime_test
+ctest --test-dir build-tsan --output-on-failure \
+  -R 'net_test|sharded_server_test|response_cache_test|server_test|replay_realtime_test'
+
+echo "verify: OK"

@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -47,7 +48,21 @@ Result<std::unique_ptr<EventLoop>> EventLoop::Create() {
     return Error(ErrorCode::kIoError,
                  std::string("epoll_create1: ") + std::strerror(errno));
   }
-  return std::unique_ptr<EventLoop>(new EventLoop(fd));
+  int wakeup = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wakeup < 0) {
+    ::close(fd);
+    return Error(ErrorCode::kIoError,
+                 std::string("eventfd: ") + std::strerror(errno));
+  }
+  auto loop = std::unique_ptr<EventLoop>(new EventLoop(fd, wakeup));
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.fd = wakeup;
+  if (::epoll_ctl(fd, EPOLL_CTL_ADD, wakeup, &event) != 0) {
+    return Error(ErrorCode::kIoError,
+                 std::string("epoll_ctl ADD wakeup: ") + std::strerror(errno));
+  }
+  return loop;
 }
 
 EventLoop::~EventLoop() = default;
@@ -131,6 +146,15 @@ Status EventLoop::RunOnce(NanoDuration wait) {
                  std::string("epoll_wait: ") + std::strerror(errno));
   }
   for (int i = 0; i < count; ++i) {
+    if (events[i].data.fd == wakeup_fd_.get()) {
+      // Cross-thread stop request: drain the eventfd and stop. The wakeup
+      // fd never appears in handlers_, so registered_fds() stays honest.
+      uint64_t counter;
+      while (::read(wakeup_fd_.get(), &counter, sizeof(counter)) > 0) {
+      }
+      stopped_ = true;
+      continue;
+    }
     auto it = handlers_.find(events[i].data.fd);
     if (it == handlers_.end()) continue;  // removed by an earlier handler
     // Hold a reference: the handler may Remove() itself.
@@ -144,6 +168,12 @@ Status EventLoop::RunOnce(NanoDuration wait) {
   }
   FireDueTimers(0);
   return Status::Ok();
+}
+
+void EventLoop::RequestStop() {
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t rc =
+      ::write(wakeup_fd_.get(), &one, sizeof(one));
 }
 
 void EventLoop::Run() {

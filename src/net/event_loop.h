@@ -87,6 +87,12 @@ class EventLoop {
   void Run();
   void Stop() { stopped_ = true; }
 
+  // Thread-safe stop: wakes the loop via an eventfd and stops it from its
+  // own thread. The only EventLoop entry point that may be called from a
+  // different thread than the one running the loop (everything else —
+  // Add/Modify/Remove/Schedule*/Stop — is loop-thread-only).
+  void RequestStop();
+
   // Processes due timers and at most one epoll batch; `wait` bounds the
   // blocking time (<=0: poll without blocking).
   Status RunOnce(NanoDuration wait);
@@ -95,7 +101,8 @@ class EventLoop {
   size_t pending_timers() const { return timers_.size(); }
 
  private:
-  explicit EventLoop(int epoll_fd) : epoll_fd_(epoll_fd) {}
+  EventLoop(int epoll_fd, int wakeup_fd)
+      : epoll_fd_(epoll_fd), wakeup_fd_(wakeup_fd) {}
 
   struct Timer {
     NanoTime deadline;
@@ -114,6 +121,7 @@ class EventLoop {
   NanoDuration FireDueTimers(NanoDuration cap);
 
   Fd epoll_fd_;
+  Fd wakeup_fd_;
   bool stopped_ = false;
   uint64_t next_timer_seq_ = 0;
   std::unordered_map<int, std::shared_ptr<IoHandler>> handlers_;

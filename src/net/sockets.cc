@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -46,10 +47,24 @@ Error Errno(const char* what) {
 
 // --- UdpSocket ---
 
-Result<std::unique_ptr<UdpSocket>> UdpSocket::Bind(
-    EventLoop& loop, Endpoint local, DatagramHandler on_datagram) {
+Result<std::unique_ptr<UdpSocket>> UdpSocket::BindInternal(
+    EventLoop& loop, Endpoint local, const Options& options,
+    DatagramHandler on_datagram, BatchHandler on_batch) {
   Fd fd(::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
   if (!fd.valid()) return Errno("socket(UDP)");
+
+  if (options.reuse_port) {
+    int one = 1;
+    if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one,
+                     sizeof(one)) != 0) {
+      return Errno("setsockopt(SO_REUSEPORT)");
+    }
+  }
+  if (options.recv_buffer_bytes > 0) {
+    // Best-effort: the kernel clamps to rmem_max without error.
+    int bytes = options.recv_buffer_bytes;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes));
+  }
 
   sockaddr_in addr = ToSockaddr(local);
   if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
@@ -58,13 +73,30 @@ Result<std::unique_ptr<UdpSocket>> UdpSocket::Bind(
   }
   LDP_ASSIGN_OR_RETURN(Endpoint bound, LocalEndpoint(fd.get()));
 
-  auto socket = std::unique_ptr<UdpSocket>(
-      new UdpSocket(loop, std::move(fd), bound, std::move(on_datagram)));
+  auto socket =
+      std::unique_ptr<UdpSocket>(new UdpSocket(loop, std::move(fd), bound));
+  socket->on_datagram_ = std::move(on_datagram);
+  socket->on_batch_ = std::move(on_batch);
+  socket->recv_slots_ =
+      std::make_unique<uint8_t[]>(kBatchSize * kRecvSlotSize);
   UdpSocket* raw = socket.get();
   LDP_RETURN_IF_ERROR(loop.Add(raw->fd_.get(), /*want_read=*/true,
                                /*want_write=*/false,
                                [raw](IoEvents) { raw->OnReadable(); }));
   return socket;
+}
+
+Result<std::unique_ptr<UdpSocket>> UdpSocket::Bind(EventLoop& loop,
+                                                   Endpoint local,
+                                                   DatagramHandler on_datagram,
+                                                   const Options& options) {
+  return BindInternal(loop, local, options, std::move(on_datagram), nullptr);
+}
+
+Result<std::unique_ptr<UdpSocket>> UdpSocket::BindBatch(
+    EventLoop& loop, Endpoint local, BatchHandler on_batch,
+    const Options& options) {
+  return BindInternal(loop, local, options, nullptr, std::move(on_batch));
 }
 
 UdpSocket::~UdpSocket() {
@@ -86,19 +118,111 @@ Status UdpSocket::SendTo(std::span<const uint8_t> payload, Endpoint to) {
   return Status::Ok();
 }
 
-void UdpSocket::OnReadable() {
-  // Drain the socket: edge cases with level-triggered epoll are fine, but
-  // draining cuts wakeups at high rates.
-  uint8_t buffer[65536];
-  for (int i = 0; i < 64; ++i) {
+size_t UdpSocket::RecvBatch(std::span<RecvItem> out) {
+  size_t want = std::min(out.size(), kBatchSize);
+  if (want == 0) return 0;
+
+#if defined(__linux__)
+  mmsghdr msgs[kBatchSize];
+  iovec iovs[kBatchSize];
+  sockaddr_in addrs[kBatchSize];
+  std::memset(msgs, 0, sizeof(mmsghdr) * want);
+  for (size_t i = 0; i < want; ++i) {
+    iovs[i].iov_base = recv_slots_.get() + i * kRecvSlotSize;
+    iovs[i].iov_len = kRecvSlotSize;
+    msgs[i].msg_hdr.msg_iov = &iovs[i];
+    msgs[i].msg_hdr.msg_iovlen = 1;
+    msgs[i].msg_hdr.msg_name = &addrs[i];
+    msgs[i].msg_hdr.msg_namelen = sizeof(addrs[i]);
+  }
+  int got = ::recvmmsg(fd_.get(), msgs, static_cast<unsigned>(want), 0,
+                       nullptr);
+  if (got > 0) {
+    for (int i = 0; i < got; ++i) {
+      out[static_cast<size_t>(i)] = RecvItem{
+          std::span<const uint8_t>(
+              recv_slots_.get() + static_cast<size_t>(i) * kRecvSlotSize,
+              msgs[i].msg_len),
+          FromSockaddr(addrs[i])};
+    }
+    return static_cast<size_t>(got);
+  }
+  if (got < 0 && errno != ENOSYS) return 0;  // EAGAIN or error
+#endif
+
+  // Portable fallback: one recvfrom per datagram into the same slots.
+  size_t count = 0;
+  while (count < want) {
     sockaddr_in from{};
     socklen_t from_len = sizeof(from);
-    ssize_t got = ::recvfrom(fd_.get(), buffer, sizeof(buffer), 0,
-                             reinterpret_cast<sockaddr*>(&from), &from_len);
-    if (got < 0) return;  // EAGAIN or error: stop draining
-    if (on_datagram_) {
-      on_datagram_(std::span<const uint8_t>(buffer, static_cast<size_t>(got)),
-                   FromSockaddr(from));
+    uint8_t* slot = recv_slots_.get() + count * kRecvSlotSize;
+    ssize_t n = ::recvfrom(fd_.get(), slot, kRecvSlotSize, 0,
+                           reinterpret_cast<sockaddr*>(&from), &from_len);
+    if (n < 0) break;  // EAGAIN or error: stop draining
+    out[count] = RecvItem{
+        std::span<const uint8_t>(slot, static_cast<size_t>(n)),
+        FromSockaddr(from)};
+    ++count;
+  }
+  return count;
+}
+
+size_t UdpSocket::SendBatch(std::span<const UdpSendItem> batch) {
+  size_t accepted = 0;
+#if defined(__linux__)
+  while (accepted < batch.size()) {
+    size_t chunk = std::min(batch.size() - accepted, kBatchSize);
+    mmsghdr msgs[kBatchSize];
+    iovec iovs[kBatchSize];
+    sockaddr_in addrs[kBatchSize];
+    std::memset(msgs, 0, sizeof(mmsghdr) * chunk);
+    for (size_t i = 0; i < chunk; ++i) {
+      const UdpSendItem& item = batch[accepted + i];
+      iovs[i].iov_base = const_cast<uint8_t*>(item.payload.data());
+      iovs[i].iov_len = item.payload.size();
+      addrs[i] = ToSockaddr(item.to);
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+      msgs[i].msg_hdr.msg_name = &addrs[i];
+      msgs[i].msg_hdr.msg_namelen = sizeof(addrs[i]);
+    }
+    int sent = ::sendmmsg(fd_.get(), msgs, static_cast<unsigned>(chunk), 0);
+    if (sent < 0) {
+      if (errno == ENOSYS) break;  // fall through to the sendto loop
+      // EAGAIN: send buffer full — remaining datagrams are dropped, as
+      // they would be on the wire.
+      return accepted;
+    }
+    accepted += static_cast<size_t>(sent);
+    if (static_cast<size_t>(sent) < chunk) return accepted;  // buffer full
+  }
+  if (accepted == batch.size()) return accepted;
+#endif
+
+  for (size_t i = accepted; i < batch.size(); ++i) {
+    if (!SendTo(batch[i].payload, batch[i].to).ok()) return accepted;
+    ++accepted;
+  }
+  return accepted;
+}
+
+void UdpSocket::OnReadable() {
+  // Drain the socket in recvmmsg batches: level-triggered epoll would
+  // re-arm anyway, but draining cuts wakeups at high rates. The per-event
+  // cap bounds how long one busy socket can starve its loop siblings.
+  constexpr size_t kMaxPerEvent = 8 * kBatchSize;
+  RecvItem items[kBatchSize];
+  size_t total = 0;
+  while (total < kMaxPerEvent) {
+    size_t got = RecvBatch(items);
+    if (got == 0) return;
+    total += got;
+    if (on_batch_) {
+      on_batch_(std::span<const RecvItem>(items, got));
+    } else if (on_datagram_) {
+      for (size_t i = 0; i < got; ++i) {
+        on_datagram_(items[i].payload, items[i].from);
+      }
     }
   }
 }

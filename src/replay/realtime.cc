@@ -24,9 +24,13 @@ struct QueryJob {
 // One logical querier: a UDP socket plus per-source TCP connections.
 class Querier {
  public:
-  Querier(net::EventLoop& loop, Endpoint server,
+  Querier(net::EventLoop& loop, Endpoint server, bool batch_udp,
           std::vector<SendOutcome>& sends, std::atomic<uint64_t>& replies)
-      : loop_(loop), server_(server), sends_(sends), replies_(replies) {}
+      : loop_(loop),
+        server_(server),
+        batch_udp_(batch_udp),
+        sends_(sends),
+        replies_(replies) {}
 
   Status Init() {
     LDP_ASSIGN_OR_RETURN(
@@ -50,6 +54,11 @@ class Querier {
 
     if (job.record.protocol == trace::Protocol::kUdp) {
       udp_inflight_[query.id] = job.trace_index;
+      if (batch_udp_) {
+        pending_udp_.push_back(query.Encode());
+        if (pending_udp_.size() >= net::UdpSocket::kBatchSize) Flush();
+        return;
+      }
       auto status = udp_->SendTo(query.Encode(), server_);
       if (!status.ok()) {
         LDP_DEBUG << "UDP send failed: " << status.error().ToString();
@@ -57,6 +66,24 @@ class Querier {
       return;
     }
     SendTcp(job, query, epoch_mono);
+  }
+
+  // Pushes all pending UDP queries to the kernel with one sendmmsg. The
+  // distributor calls this at every scheduling point (end of a queue
+  // drain, each timer dispatch), so batching never delays a scheduled
+  // send past its loop iteration.
+  void Flush() {
+    if (pending_udp_.empty()) return;
+    pending_items_.clear();
+    for (const Bytes& wire : pending_udp_) {
+      pending_items_.push_back(net::UdpSendItem{wire, server_});
+    }
+    size_t sent = udp_->SendBatch(pending_items_);
+    if (sent < pending_items_.size()) {
+      LDP_DEBUG << "UDP send batch: kernel took " << sent << " of "
+                << pending_items_.size();
+    }
+    pending_udp_.clear();
   }
 
  private:
@@ -141,9 +168,12 @@ class Querier {
 
   net::EventLoop& loop_;
   Endpoint server_;
+  bool batch_udp_;
   std::vector<SendOutcome>& sends_;
   std::atomic<uint64_t>& replies_;
   std::unique_ptr<net::UdpSocket> udp_;
+  std::vector<Bytes> pending_udp_;  // encoded, awaiting the batch flush
+  std::vector<net::UdpSendItem> pending_items_;
   std::unordered_map<uint16_t, uint64_t> udp_inflight_;
   std::unordered_map<IpAddress, std::unique_ptr<TcpState>> tcp_;
   uint16_t next_id_ = 1;
@@ -188,7 +218,7 @@ class Distributor {
 
     for (size_t i = 0; i < config_.queriers_per_distributor; ++i) {
       queriers_.push_back(std::make_unique<Querier>(
-          *loop_, config_.server, sends_, replies_));
+          *loop_, config_.server, config_.batch_udp, sends_, replies_));
       auto status = queriers_.back()->Init();
       if (!status.ok()) {
         status_ = status;
@@ -222,9 +252,12 @@ class Distributor {
         loop_->ScheduleAfter(delay,
                              [this, querier, job = std::move(job)]() {
                                Dispatch(querier, job);
+                               queriers_[querier]->Flush();
                              });
       }
     }
+    // One sendmmsg per querier covers everything dispatched this drain.
+    for (auto& querier : queriers_) querier->Flush();
     if (drained.closed) input_closed_ = true;
     MaybeFinish();
   }

@@ -33,6 +33,11 @@ struct RealtimeConfig {
   size_t queriers_per_distributor = 3;
   // Fast mode (paper §4.3): ignore trace timing, send as fast as possible.
   bool fast_mode = false;
+  // Batch UDP sends with sendmmsg: queries dispatched in the same loop
+  // iteration share one syscall (flushed at every scheduling point, so
+  // timed replay still sends each query at its scheduled instant). Off =
+  // one sendto per query, the original single-syscall path.
+  bool batch_udp = true;
   // How far ahead of real time the controller feeds queries.
   NanoDuration lookahead = Millis(500);
   // Delay before the synchronized start (lets threads spin up).

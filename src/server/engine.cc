@@ -7,13 +7,82 @@ namespace {
 // real servers batch a few hundred records per message.
 constexpr size_t kAxfrMessageBudget = 32 * 1024;
 
+// Counter increments are relaxed: each shard's engine is mutated by one
+// thread only; atomics exist so cross-thread stat snapshots are race-free.
+void Bump(std::atomic<uint64_t>& counter, uint64_t n = 1) {
+  counter.fetch_add(n, std::memory_order_relaxed);
+}
+
+uint64_t Load(const std::atomic<uint64_t>& counter) {
+  return counter.load(std::memory_order_relaxed);
+}
+
+// The effective UDP ceiling: the client's EDNS advertisement, else the
+// classic 512 bytes (RFC 1035 §4.2.1), both capped by the transport.
+// udp_limit == 0 means a stream transport: no truncation.
+size_t EffectiveLimit(size_t udp_limit, bool has_edns, uint32_t advertised) {
+  if (udp_limit == 0) return dns::kMaxMessageSize;
+  size_t ceiling = has_edns ? advertised : dns::kMaxUdpPayloadDefault;
+  if (ceiling < dns::kMaxUdpPayloadDefault) {
+    ceiling = dns::kMaxUdpPayloadDefault;
+  }
+  return std::min(udp_limit, ceiling);
+}
+
 }  // namespace
+
+EngineStats& EngineStats::operator+=(const EngineStats& other) {
+  queries += other.queries;
+  responses += other.responses;
+  dropped += other.dropped;
+  refused += other.refused;
+  nxdomain += other.nxdomain;
+  truncated += other.truncated;
+  response_bytes += other.response_bytes;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  cache_bypass += other.cache_bypass;
+  cache_evictions += other.cache_evictions;
+  cache_size += other.cache_size;
+  return *this;
+}
+
+AuthServerEngine::AuthServerEngine(
+    std::shared_ptr<const zone::ViewTable> views, EngineOptions options)
+    : views_(std::move(views)) {
+  if (options.response_cache_entries > 0) {
+    cache_ =
+        std::make_unique<ResponseCache>(options.response_cache_entries);
+  }
+}
+
+EngineStats AuthServerEngine::stats() const {
+  EngineStats snapshot;
+  snapshot.queries = Load(stats_.queries);
+  snapshot.responses = Load(stats_.responses);
+  snapshot.dropped = Load(stats_.dropped);
+  snapshot.refused = Load(stats_.refused);
+  snapshot.nxdomain = Load(stats_.nxdomain);
+  snapshot.truncated = Load(stats_.truncated);
+  snapshot.response_bytes = Load(stats_.response_bytes);
+  snapshot.cache_hits = Load(stats_.cache_hits);
+  snapshot.cache_misses = Load(stats_.cache_misses);
+  snapshot.cache_bypass = Load(stats_.cache_bypass);
+  snapshot.cache_evictions = Load(stats_.cache_evictions);
+  snapshot.cache_size = Load(stats_.cache_size);
+  return snapshot;
+}
+
+void AuthServerEngine::BumpRcode(dns::Rcode rcode) {
+  if (rcode == dns::Rcode::kNxDomain) Bump(stats_.nxdomain);
+  if (rcode == dns::Rcode::kRefused) Bump(stats_.refused);
+}
 
 dns::Message AuthServerEngine::HandleQuery(const dns::Message& query,
                                            IpAddress source) {
-  ++stats_.queries;
+  Bump(stats_.queries);
 
-  const zone::ZoneSet* zones = views_.Match(source);
+  const zone::ZoneSet* zones = views_->Match(source);
   const zone::Zone* zone = nullptr;
   if (zones != nullptr && !query.questions.empty()) {
     zone = zones->FindBestZone(query.questions.front().name);
@@ -30,27 +99,31 @@ dns::Message AuthServerEngine::HandleQuery(const dns::Message& query,
     response.questions = query.questions;
     response.rcode = dns::Rcode::kRefused;
     if (query.edns.has_value()) {
-      response.edns = dns::Edns{.udp_payload_size = 4096};
+      // Echo the client's advertised payload size (RFC 6891 §6.2.3: the
+      // OPT in a response states *our* capability, but for a zoneless
+      // REFUSED the paper-faithful behaviour is a plain echo).
+      response.edns =
+          dns::Edns{.udp_payload_size = query.edns->udp_payload_size};
     }
-    ++stats_.refused;
+    Bump(stats_.refused);
   } else {
     bool want_dnssec = query.edns.has_value() && query.edns->do_bit;
     response = zone::BuildResponse(*zone, query, want_dnssec);
-    if (response.rcode == dns::Rcode::kNxDomain) ++stats_.nxdomain;
-    if (response.rcode == dns::Rcode::kRefused) ++stats_.refused;
+    if (response.rcode == dns::Rcode::kNxDomain) Bump(stats_.nxdomain);
+    if (response.rcode == dns::Rcode::kRefused) Bump(stats_.refused);
   }
-  ++stats_.responses;
+  Bump(stats_.responses);
   return response;
 }
 
 Result<std::vector<Bytes>> AuthServerEngine::HandleAxfr(
     const dns::Message& query, IpAddress source) {
-  ++stats_.queries;
+  Bump(stats_.queries);
   if (query.questions.empty()) {
     return Error(ErrorCode::kInvalidArgument, "AXFR without a question");
   }
   const dns::Name& origin = query.questions.front().name;
-  const zone::ZoneSet* zones = views_.Match(source);
+  const zone::ZoneSet* zones = views_->Match(source);
   zone::ZonePtr zone = zones != nullptr ? zones->FindZone(origin) : nullptr;
 
   auto make_base = [&]() {
@@ -67,8 +140,8 @@ Result<std::vector<Bytes>> AuthServerEngine::HandleAxfr(
     dns::Message refused = make_base();
     refused.aa = false;
     refused.rcode = dns::Rcode::kNotAuth;
-    ++stats_.refused;
-    ++stats_.responses;
+    Bump(stats_.refused);
+    Bump(stats_.responses);
     return std::vector<Bytes>{refused.Encode()};
   }
 
@@ -80,8 +153,8 @@ Result<std::vector<Bytes>> AuthServerEngine::HandleAxfr(
   auto flush = [&]() {
     if (current.answers.empty() && !messages.empty()) return;
     messages.push_back(current.Encode());
-    stats_.response_bytes += messages.back().size();
-    ++stats_.responses;
+    Bump(stats_.response_bytes, messages.back().size());
+    Bump(stats_.responses);
     current = make_base();
     current.questions.clear();  // only the first message carries it
     current_size = 0;
@@ -112,7 +185,7 @@ Result<std::vector<Bytes>> AuthServerEngine::HandleStream(
     std::span<const uint8_t> wire, IpAddress source) {
   auto query = dns::Message::Decode(wire);
   if (!query.ok()) {
-    ++stats_.dropped;
+    Bump(stats_.dropped);
     return query.error();
   }
   if (!query->questions.empty() &&
@@ -121,25 +194,59 @@ Result<std::vector<Bytes>> AuthServerEngine::HandleStream(
   }
   dns::Message response = HandleQuery(*query, source);
   Bytes encoded = response.Encode(dns::kMaxMessageSize);
-  stats_.response_bytes += encoded.size();
+  Bump(stats_.response_bytes, encoded.size());
   return std::vector<Bytes>{std::move(encoded)};
 }
 
 Result<Bytes> AuthServerEngine::HandleWire(std::span<const uint8_t> wire,
                                            IpAddress source,
                                            size_t udp_limit) {
+  // Wire-level response cache: a repeat query is answered from the stored
+  // encoding with just the ID and RD flag patched in — no decode, no
+  // lookup, no encode. ParseWireQuery reads the key fields straight from
+  // the wire; only plain single-question QUERYs pass it, everything else
+  // bypasses (and a truncated response is never stored, response_cache.h).
+  bool cacheable = false;
+  if (cache_ != nullptr) {
+    WireQueryInfo info;
+    if (ParseWireQuery(wire, &info) &&
+        info.qtype != static_cast<uint16_t>(dns::RRType::kAXFR)) {
+      cacheable = true;
+      scratch_key_.view = views_->Match(source);
+      scratch_key_.question.assign(info.question.begin(),
+                                   info.question.end());
+      scratch_key_.has_edns = info.has_edns;
+      scratch_key_.do_bit = info.do_bit;
+      scratch_key_.advertised = info.has_edns ? info.advertised : 0;
+      scratch_key_.limit = static_cast<uint32_t>(
+          EffectiveLimit(udp_limit, info.has_edns, info.advertised));
+      if (const ResponseCache::Entry* entry =
+              cache_->Lookup(scratch_key_)) {
+        Bump(stats_.queries);
+        Bump(stats_.responses);
+        BumpRcode(entry->rcode);
+        Bump(stats_.cache_hits);
+        Bump(stats_.response_bytes, entry->wire.size());
+        return ResponseCache::PatchedCopy(entry->wire, info.id, info.rd);
+      }
+      Bump(stats_.cache_misses);
+    } else {
+      Bump(stats_.cache_bypass);
+    }
+  }
+
   auto query = dns::Message::Decode(wire);
   if (!query.ok()) {
-    ++stats_.dropped;
+    Bump(stats_.dropped);
     return query.error();
   }
   if (!query->questions.empty() &&
       query->questions.front().type == dns::RRType::kAXFR) {
     // AXFR needs a stream; over UDP it is refused (RFC 5936 §4.2). Stream
     // transports special-case AXFR before calling HandleWire.
-    ++stats_.queries;
-    ++stats_.responses;
-    ++stats_.refused;
+    Bump(stats_.queries);
+    Bump(stats_.responses);
+    Bump(stats_.refused);
     dns::Message refused;
     refused.id = query->id;
     refused.qr = true;
@@ -147,25 +254,25 @@ Result<Bytes> AuthServerEngine::HandleWire(std::span<const uint8_t> wire,
     refused.rcode = dns::Rcode::kRefused;
     return refused.Encode();
   }
-  dns::Message response = HandleQuery(*query, source);
 
-  size_t limit = dns::kMaxMessageSize;
-  if (udp_limit > 0) {
-    // The effective UDP ceiling: the client's EDNS advertisement, else the
-    // classic 512 bytes (RFC 1035 §4.2.1), both capped by the transport.
-    size_t advertised = query->edns.has_value()
-                            ? query->edns->udp_payload_size
-                            : dns::kMaxUdpPayloadDefault;
-    if (advertised < dns::kMaxUdpPayloadDefault) {
-      advertised = dns::kMaxUdpPayloadDefault;
-    }
-    limit = std::min(udp_limit, advertised);
-  }
+  size_t limit = EffectiveLimit(
+      udp_limit, query->edns.has_value(),
+      query->edns.has_value() ? query->edns->udp_payload_size : 0);
+
+  dns::Message response = HandleQuery(*query, source);
   Bytes encoded = response.Encode(limit);
   // TC is patched into the wire during truncation; detect via re-check of
   // the flags byte rather than re-decoding the whole message.
-  if (encoded.size() >= 4 && (encoded[2] & 0x02)) ++stats_.truncated;
-  stats_.response_bytes += encoded.size();
+  bool truncated = encoded.size() >= 4 && (encoded[2] & 0x02);
+  if (truncated) Bump(stats_.truncated);
+  Bump(stats_.response_bytes, encoded.size());
+
+  if (cacheable && !truncated) {
+    cache_->Insert(std::move(scratch_key_), encoded, response.rcode);
+    stats_.cache_evictions.store(cache_->evictions(),
+                                 std::memory_order_relaxed);
+    stats_.cache_size.store(cache_->size(), std::memory_order_relaxed);
+  }
   return encoded;
 }
 

@@ -10,16 +10,21 @@
 #ifndef LDPLAYER_SERVER_ENGINE_H
 #define LDPLAYER_SERVER_ENGINE_H
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
 #include "common/ip.h"
 #include "common/result.h"
+#include "server/response_cache.h"
 #include "zone/lookup.h"
 #include "zone/view.h"
 
 namespace ldp::server {
 
+// A point-in-time snapshot of one engine's counters (see
+// AuthServerEngine::stats). Plain integers: snapshots add and compare like
+// values, which is how sharded servers aggregate across workers.
 struct EngineStats {
   uint64_t queries = 0;
   uint64_t responses = 0;
@@ -28,12 +33,31 @@ struct EngineStats {
   uint64_t nxdomain = 0;
   uint64_t truncated = 0;    // responses that set TC over UDP
   uint64_t response_bytes = 0;
+  // Wire-level response cache (all zero when the cache is disabled).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;    // eligible queries not found in the cache
+  uint64_t cache_bypass = 0;    // queries ineligible for caching
+  uint64_t cache_evictions = 0;
+  uint64_t cache_size = 0;      // entries at snapshot time
+
+  EngineStats& operator+=(const EngineStats& other);
+};
+
+struct EngineOptions {
+  // Capacity (entries) of the wire-level response cache; 0 disables it.
+  size_t response_cache_entries = 0;
 };
 
 class AuthServerEngine {
  public:
-  explicit AuthServerEngine(zone::ViewTable views)
-      : views_(std::move(views)) {}
+  // The view table is shared so sharded servers can run one engine (and
+  // one private response cache) per worker over the same zones.
+  explicit AuthServerEngine(std::shared_ptr<const zone::ViewTable> views,
+                            EngineOptions options = {});
+  explicit AuthServerEngine(zone::ViewTable views, EngineOptions options = {})
+      : AuthServerEngine(std::make_shared<const zone::ViewTable>(
+                             std::move(views)),
+                         options) {}
 
   // Serves one decoded query. `source` selects the split-horizon view.
   dns::Message HandleQuery(const dns::Message& query, IpAddress source);
@@ -58,12 +82,44 @@ class AuthServerEngine {
   Result<std::vector<Bytes>> HandleAxfr(const dns::Message& query,
                                         IpAddress source);
 
-  const EngineStats& stats() const { return stats_; }
-  const zone::ViewTable& views() const { return views_; }
+  // Snapshot of the counters. Increments use relaxed atomics, so another
+  // thread may snapshot a shard's stats while the shard serves — no locks,
+  // no torn reads (each counter individually exact; the set is only
+  // loosely consistent, which aggregation tolerates).
+  EngineStats stats() const;
+
+  const zone::ViewTable& views() const { return *views_; }
+  std::shared_ptr<const zone::ViewTable> shared_views() const {
+    return views_;
+  }
+  bool response_cache_enabled() const { return cache_ != nullptr; }
 
  private:
-  zone::ViewTable views_;
-  EngineStats stats_;
+  // Counters mirrored by EngineStats; mutated only by the owning thread,
+  // read from anywhere.
+  struct Counters {
+    std::atomic<uint64_t> queries{0};
+    std::atomic<uint64_t> responses{0};
+    std::atomic<uint64_t> dropped{0};
+    std::atomic<uint64_t> refused{0};
+    std::atomic<uint64_t> nxdomain{0};
+    std::atomic<uint64_t> truncated{0};
+    std::atomic<uint64_t> response_bytes{0};
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> cache_misses{0};
+    std::atomic<uint64_t> cache_bypass{0};
+    std::atomic<uint64_t> cache_evictions{0};
+    std::atomic<uint64_t> cache_size{0};
+  };
+
+  void BumpRcode(dns::Rcode rcode);
+
+  std::shared_ptr<const zone::ViewTable> views_;
+  std::unique_ptr<ResponseCache> cache_;  // nullptr = disabled
+  // Key staging for HandleWire, reused across queries so the hot path
+  // amortizes the question-bytes allocation (engines are single-threaded).
+  ResponseCacheKey scratch_key_;
+  Counters stats_;
 };
 
 }  // namespace ldp::server

@@ -1,0 +1,72 @@
+#include "server/sharded_server.h"
+
+#include <algorithm>
+
+namespace ldp::server {
+
+Result<std::unique_ptr<ShardedDnsServer>> ShardedDnsServer::Start(
+    std::shared_ptr<const zone::ViewTable> views, const Config& config) {
+  size_t n_shards = config.n_shards;
+  if (n_shards == 0) {
+    n_shards = std::max(1u, std::thread::hardware_concurrency());
+  }
+
+  auto sharded = std::unique_ptr<ShardedDnsServer>(new ShardedDnsServer);
+  Endpoint listen = config.listen;
+  for (size_t i = 0; i < n_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    LDP_ASSIGN_OR_RETURN(shard->loop, net::EventLoop::Create());
+    shard->engine =
+        std::make_shared<AuthServerEngine>(views, config.engine);
+
+    SocketDnsServer::Config shard_config;
+    shard_config.listen = listen;
+    shard_config.serve_tcp = config.serve_tcp && i == 0;
+    shard_config.tcp_idle_timeout = config.tcp_idle_timeout;
+    shard_config.udp_reuse_port = true;
+    shard_config.udp_recv_buffer_bytes = config.udp_recv_buffer_bytes;
+    LDP_ASSIGN_OR_RETURN(
+        shard->server,
+        SocketDnsServer::Start(*shard->loop, shard->engine, shard_config));
+    if (i == 0) {
+      // Shard 0 resolves port 0; the rest bind the concrete port so
+      // SO_REUSEPORT groups them onto the same address.
+      listen = Endpoint{config.listen.addr, shard->server->endpoint().port};
+      sharded->endpoint_ = shard->server->endpoint();
+    }
+    sharded->shards_.push_back(std::move(shard));
+  }
+
+  // All shards bound: start the workers. Each loop is only touched by its
+  // own thread from here on (Stop uses the thread-safe wakeup).
+  for (auto& shard : sharded->shards_) {
+    shard->thread = std::thread([loop = shard->loop.get()]() { loop->Run(); });
+  }
+  return sharded;
+}
+
+ShardedDnsServer::~ShardedDnsServer() { Stop(); }
+
+void ShardedDnsServer::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& shard : shards_) shard->loop->RequestStop();
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+}
+
+EngineStats ShardedDnsServer::TotalStats() const {
+  EngineStats total;
+  for (const auto& shard : shards_) total += shard->engine->stats();
+  return total;
+}
+
+std::vector<EngineStats> ShardedDnsServer::ShardStats() const {
+  std::vector<EngineStats> stats;
+  stats.reserve(shards_.size());
+  for (const auto& shard : shards_) stats.push_back(shard->engine->stats());
+  return stats;
+}
+
+}  // namespace ldp::server

@@ -1,0 +1,72 @@
+// Multi-core UDP fast path: N worker shards, each a thread running its own
+// EventLoop with its own SO_REUSEPORT-bound UDP socket and a private
+// AuthServerEngine (own stats, own response cache) over a shared, immutable
+// ViewTable. The kernel shards incoming datagrams across the sockets, so
+// the hot path shares no mutable state between workers at all; aggregate
+// counters come from per-shard snapshots (relaxed atomics, no locks).
+//
+// TCP (including AXFR) stays on shard 0: the resource experiments that
+// exercise TCP at scale run on the simulator, and the real-socket TCP lane
+// only needs correctness, not multi-core throughput.
+#ifndef LDPLAYER_SERVER_SHARDED_SERVER_H
+#define LDPLAYER_SERVER_SHARDED_SERVER_H
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "server/socket_server.h"
+
+namespace ldp::server {
+
+class ShardedDnsServer {
+ public:
+  struct Config {
+    Endpoint listen;        // port 0 picks an ephemeral port (tests)
+    size_t n_shards = 0;    // 0 = hardware_concurrency
+    bool serve_tcp = true;  // accepted on shard 0 only
+    NanoDuration tcp_idle_timeout = Seconds(20);
+    // Per-shard UDP SO_RCVBUF (0 = kernel default): the fast path raises
+    // it so query bursts queue in the kernel while a worker drains a batch.
+    int udp_recv_buffer_bytes = 0;
+    EngineOptions engine;   // per-shard engine options (response cache)
+  };
+
+  // Binds every shard (resolving an ephemeral port via shard 0), then
+  // starts one worker thread per shard. Sockets and loops are constructed
+  // on the calling thread; after Start returns, each loop is touched only
+  // by its own worker.
+  static Result<std::unique_ptr<ShardedDnsServer>> Start(
+      std::shared_ptr<const zone::ViewTable> views, const Config& config);
+
+  ~ShardedDnsServer();  // Stop() + join
+
+  // Stops every worker loop (thread-safe wakeup) and joins. Idempotent.
+  void Stop();
+
+  // The actually-bound endpoint (same for all shards).
+  Endpoint endpoint() const { return endpoint_; }
+  size_t n_shards() const { return shards_.size(); }
+
+  // Lock-free aggregate of the per-shard counter snapshots.
+  EngineStats TotalStats() const;
+  std::vector<EngineStats> ShardStats() const;
+
+ private:
+  ShardedDnsServer() = default;
+
+  struct Shard {
+    std::unique_ptr<net::EventLoop> loop;
+    std::shared_ptr<AuthServerEngine> engine;
+    std::unique_ptr<SocketDnsServer> server;
+    std::thread thread;
+  };
+
+  Endpoint endpoint_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool stopped_ = false;
+};
+
+}  // namespace ldp::server
+
+#endif  // LDPLAYER_SERVER_SHARDED_SERVER_H

@@ -11,11 +11,17 @@ Result<std::unique_ptr<SocketDnsServer>> SocketDnsServer::Start(
       new SocketDnsServer(loop, std::move(engine), config));
   SocketDnsServer* raw = server.get();
 
+  net::UdpSocket::Options udp_options;
+  udp_options.reuse_port = config.udp_reuse_port;
+  udp_options.recv_buffer_bytes = config.udp_recv_buffer_bytes;
   LDP_ASSIGN_OR_RETURN(
       server->udp_,
-      net::UdpSocket::Bind(loop, config.listen,
-                           [raw](std::span<const uint8_t> payload,
-                                 Endpoint from) { raw->OnUdp(payload, from); }));
+      net::UdpSocket::BindBatch(
+          loop, config.listen,
+          [raw](std::span<const net::UdpSocket::RecvItem> batch) {
+            raw->OnUdpBatch(batch);
+          },
+          udp_options));
   if (config.serve_tcp) {
     // TCP binds the same port the UDP socket got (matters for port 0).
     Endpoint tcp_endpoint{config.listen.addr, server->udp_->local().port};
@@ -30,13 +36,24 @@ Result<std::unique_ptr<SocketDnsServer>> SocketDnsServer::Start(
   return server;
 }
 
-void SocketDnsServer::OnUdp(std::span<const uint8_t> payload, Endpoint from) {
-  auto response = engine_->HandleWire(payload, from.addr, /*udp_limit=*/65535);
-  if (!response.ok()) return;
-  auto status = udp_->SendTo(*response, from);
-  if (!status.ok()) {
-    LDP_DEBUG << "UDP reply to " << from.ToString() << " failed: "
-              << status.error().ToString();
+void SocketDnsServer::OnUdpBatch(
+    std::span<const net::UdpSocket::RecvItem> batch) {
+  // Serve the whole readiness batch, then flush every reply with one
+  // sendmmsg — the syscall cost amortizes across the batch both ways.
+  reply_bufs_.clear();
+  reply_items_.clear();
+  for (const auto& datagram : batch) {
+    auto response = engine_->HandleWire(datagram.payload, datagram.from.addr,
+                                        /*udp_limit=*/65535);
+    if (!response.ok()) continue;  // undecodable: dropped
+    reply_bufs_.push_back(std::move(*response));
+    reply_items_.push_back(
+        net::UdpSendItem{reply_bufs_.back(), datagram.from});
+  }
+  size_t sent = udp_->SendBatch(reply_items_);
+  if (sent < reply_items_.size()) {
+    LDP_DEBUG << "UDP reply batch: kernel took " << sent << " of "
+              << reply_items_.size() << " (send buffer full)";
   }
 }
 

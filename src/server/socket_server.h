@@ -19,6 +19,12 @@ class SocketDnsServer {
     Endpoint listen;  // port 0 picks an ephemeral port (tests)
     bool serve_tcp = true;
     NanoDuration tcp_idle_timeout = Seconds(20);
+    // SO_REUSEPORT on the UDP socket, so several server instances (one per
+    // worker thread) can share one port and let the kernel shard queries.
+    bool udp_reuse_port = false;
+    // SO_RCVBUF for the UDP socket (0 = kernel default); bursts queue in
+    // the kernel instead of dropping while the worker is mid-batch.
+    int udp_recv_buffer_bytes = 0;
   };
 
   static Result<std::unique_ptr<SocketDnsServer>> Start(
@@ -42,7 +48,7 @@ class SocketDnsServer {
     net::TimerHandle idle_timer;
   };
 
-  void OnUdp(std::span<const uint8_t> payload, Endpoint from);
+  void OnUdpBatch(std::span<const net::UdpSocket::RecvItem> batch);
   void OnAccept(std::unique_ptr<net::TcpConnection> conn);
   void OnTcpData(net::TcpConnection* key, std::span<const uint8_t> data);
   void ArmIdleTimer(net::TcpConnection* key);
@@ -54,6 +60,10 @@ class SocketDnsServer {
   std::unique_ptr<net::UdpSocket> udp_;
   std::unique_ptr<net::TcpListener> listener_;
   std::unordered_map<net::TcpConnection*, ConnState> conns_;
+  // Per-batch reply staging, reused across readiness events: the encoded
+  // responses (kept alive through the SendBatch call) and their addresses.
+  std::vector<Bytes> reply_bufs_;
+  std::vector<net::UdpSendItem> reply_items_;
 };
 
 }  // namespace ldp::server

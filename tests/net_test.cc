@@ -197,5 +197,72 @@ TEST(TcpSockets, ConnectRefusedSurfaces) {
   EXPECT_TRUE(failed);
 }
 
+TEST(UdpSockets, BatchSendAndBatchReceive) {
+  auto loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+
+  // Receiver in batch mode: whole recvmmsg batches per handler call.
+  std::vector<Bytes> got;
+  size_t handler_calls = 0;
+  std::unique_ptr<UdpSocket> receiver;
+  auto receiver_result = UdpSocket::BindBatch(
+      **loop, Endpoint{IpAddress::Loopback(), 0},
+      [&](std::span<const UdpSocket::RecvItem> batch) {
+        ++handler_calls;
+        for (const auto& item : batch) {
+          got.emplace_back(item.payload.begin(), item.payload.end());
+        }
+        if (got.size() >= 50) (*loop)->Stop();
+      });
+  ASSERT_TRUE(receiver_result.ok());
+  receiver = std::move(*receiver_result);
+
+  auto sender_result =
+      UdpSocket::Bind(**loop, Endpoint{IpAddress::Loopback(), 0},
+                      [](std::span<const uint8_t>, Endpoint) {});
+  ASSERT_TRUE(sender_result.ok());
+  auto sender = std::move(*sender_result);
+
+  // 50 datagrams in one SendBatch: spans two sendmmsg chunks (kBatchSize
+  // is 32) and two recvmmsg batches on the way in.
+  std::vector<Bytes> payloads;
+  for (uint8_t i = 0; i < 50; ++i) payloads.push_back(Bytes{i, i, i});
+  std::vector<UdpSendItem> items;
+  for (const Bytes& p : payloads) {
+    items.push_back(UdpSendItem{p, receiver->local()});
+  }
+  EXPECT_EQ(sender->SendBatch(items), items.size());
+
+  (*loop)->ScheduleAfter(Seconds(2), [&] { (*loop)->Stop(); });  // safety
+  (*loop)->Run();
+  ASSERT_EQ(got.size(), payloads.size());
+  EXPECT_EQ(got, payloads);  // loopback preserves order
+  EXPECT_LT(handler_calls, payloads.size()) << "expected batched delivery";
+}
+
+TEST(UdpSockets, ReusePortSharesAnAddress) {
+  auto loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+
+  UdpSocket::Options options;
+  options.reuse_port = true;
+  options.recv_buffer_bytes = 1 << 20;
+  auto first =
+      UdpSocket::Bind(**loop, Endpoint{IpAddress::Loopback(), 0},
+                      [](std::span<const uint8_t>, Endpoint) {}, options);
+  ASSERT_TRUE(first.ok());
+  Endpoint shared = (*first)->local();
+
+  // Second bind to the same concrete port succeeds only via SO_REUSEPORT.
+  auto second = UdpSocket::Bind(
+      **loop, shared, [](std::span<const uint8_t>, Endpoint) {}, options);
+  EXPECT_TRUE(second.ok()) << (second.ok() ? "" : second.error().ToString());
+
+  // Without the option the same bind must fail.
+  auto third = UdpSocket::Bind(**loop, shared,
+                               [](std::span<const uint8_t>, Endpoint) {});
+  EXPECT_FALSE(third.ok());
+}
+
 }  // namespace
 }  // namespace ldp::net

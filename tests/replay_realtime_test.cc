@@ -14,6 +14,21 @@
 namespace ldp::replay {
 namespace {
 
+// TSan slows execution 5-15x, which breaks wall-clock fidelity bounds
+// (they measure the scheduler, not thread safety). Races are still caught
+// because the tests run end to end; only the timing assertions are gated.
+#if defined(__SANITIZE_THREAD__)
+constexpr bool kUnderTsan = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr bool kUnderTsan = true;
+#else
+constexpr bool kUnderTsan = false;
+#endif
+#else
+constexpr bool kUnderTsan = false;
+#endif
+
 // Wildcard zone so every replayed query gets an answer.
 std::shared_ptr<server::AuthServerEngine> MakeEngine() {
   auto zone = zone::ParseMasterFile(
@@ -49,8 +64,15 @@ class RealtimeReplayTest : public ::testing::Test {
     server_thread_ = std::thread([this]() { loop_->Run(); });
   }
 
-  void TearDown() override {
-    loop_->ScheduleAfter(0, [this]() { loop_->Stop(); });
+  void TearDown() override { StopServerLoop(); }
+
+  // RequestStop is the only cross-thread-safe way to stop a running loop
+  // (ScheduleAfter from here would race with the loop thread's timer heap).
+  // Tests that inspect server state call this first so the read cannot race
+  // with the loop thread.
+  void StopServerLoop() {
+    if (!server_thread_.joinable()) return;
+    loop_->RequestStop();
     server_thread_.join();
   }
 
@@ -97,6 +119,9 @@ TEST_F(RealtimeReplayTest, TimingStaysWithinPaperBounds) {
 
   auto errors = report->TimingErrorsMs(/*skip_first=*/10);
   ASSERT_FALSE(errors.empty());
+  if (kUnderTsan) {
+    GTEST_SKIP() << "timing fidelity bounds are meaningless under TSan";
+  }
   stats::Summary summary;
   summary.AddAll(errors);
   auto dist = summary.Summarize();
@@ -115,8 +140,8 @@ TEST_F(RealtimeReplayTest, FastModeOutpacesTraceTiming) {
   NanoDuration elapsed = MonotonicNow() - start;
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->queries_sent, 2000u);
-  // 20 s of trace replayed well under real time.
-  EXPECT_LT(elapsed, Seconds(10));
+  // 20 s of trace replayed well under real time (generous under TSan).
+  EXPECT_LT(elapsed, kUnderTsan ? Seconds(60) : Seconds(10));
 }
 
 TEST_F(RealtimeReplayTest, TcpReplayReusesConnections) {
@@ -130,7 +155,9 @@ TEST_F(RealtimeReplayTest, TcpReplayReusesConnections) {
   EXPECT_EQ(report->queries_sent, 100u);
   EXPECT_GE(report->replies, 98u);
   // 20 sources, sticky assignment: connection count stays near the source
-  // count, far below the query count.
+  // count, far below the query count. Quiesce the loop first so the map
+  // read does not race with connection teardown.
+  StopServerLoop();
   EXPECT_LE(server_->open_tcp_connections(), 25u);
 }
 

@@ -1,0 +1,126 @@
+// ShardedDnsServer: N worker threads behind one SO_REUSEPORT address must
+// answer like a single server, and the aggregate stats snapshot must equal
+// the sum of the per-shard snapshots (each engine is private: no query is
+// ever double-counted or lost).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "server/sharded_server.h"
+#include "zone/masterfile.h"
+
+namespace ldp::server {
+namespace {
+
+std::shared_ptr<const zone::ViewTable> MakeViews() {
+  auto zone = zone::ParseMasterFile(R"(
+$ORIGIN example.com.
+@ 3600 IN SOA ns1 admin 1 2 3 4 300
+@ IN NS ns1
+ns1 IN A 192.0.2.53
+www IN A 192.0.2.1
+)",
+                                    zone::MasterFileOptions{});
+  EXPECT_TRUE(zone.ok());
+  zone::ZoneSet set;
+  EXPECT_TRUE(
+      set.AddZone(std::make_shared<zone::Zone>(std::move(*zone))).ok());
+  zone::ViewTable views;
+  views.SetDefaultView(std::move(set));
+  return std::make_shared<const zone::ViewTable>(std::move(views));
+}
+
+// A minimal blocking UDP client: its own socket per call, so queries
+// spread across the reuseport shards by source port.
+Bytes Exchange(Endpoint server, const Bytes& query) {
+  int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  EXPECT_GE(fd, 0);
+  timeval tv{.tv_sec = 5, .tv_usec = 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port);
+  addr.sin_addr.s_addr = htonl(server.addr.value());
+  EXPECT_EQ(::sendto(fd, query.data(), query.size(), 0,
+                     reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            static_cast<ssize_t>(query.size()));
+  uint8_t buf[65536];
+  ssize_t got = ::recvfrom(fd, buf, sizeof(buf), 0, nullptr, nullptr);
+  ::close(fd);
+  EXPECT_GT(got, 0) << "no reply within timeout";
+  if (got <= 0) return {};
+  return Bytes(buf, buf + got);
+}
+
+TEST(ShardedServer, AnswersAcrossShardsAndAggregatesStats) {
+  ShardedDnsServer::Config config;
+  config.listen = Endpoint{IpAddress::Loopback(), 0};
+  config.n_shards = 4;
+  config.serve_tcp = false;
+  config.engine.response_cache_entries = 64;
+  auto server = ShardedDnsServer::Start(MakeViews(), config);
+  ASSERT_TRUE(server.ok()) << server.error().ToString();
+  EXPECT_EQ((*server)->n_shards(), 4u);
+  EXPECT_NE((*server)->endpoint().port, 0);  // ephemeral port resolved
+
+  const int kQueries = 48;
+  for (int i = 0; i < kQueries; ++i) {
+    auto query = dns::Message::MakeQuery(*dns::Name::Parse("www.example.com"),
+                                         dns::RRType::kA, false);
+    query.id = static_cast<uint16_t>(1000 + i);
+    Bytes reply_wire = Exchange((*server)->endpoint(), query.Encode());
+    ASSERT_FALSE(reply_wire.empty());
+    auto reply = dns::Message::Decode(reply_wire);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply->id, query.id);
+    EXPECT_TRUE(reply->qr);
+    EXPECT_EQ(reply->rcode, dns::Rcode::kNoError);
+    ASSERT_EQ(reply->answers.size(), 1u);
+  }
+
+  // Every query was counted exactly once, and the aggregate equals the
+  // sum of the per-shard snapshots.
+  EngineStats total = (*server)->TotalStats();
+  EXPECT_EQ(total.queries, static_cast<uint64_t>(kQueries));
+  EXPECT_EQ(total.responses, static_cast<uint64_t>(kQueries));
+  EXPECT_EQ(total.cache_hits + total.cache_misses,
+            static_cast<uint64_t>(kQueries));
+
+  EngineStats summed;
+  for (const EngineStats& shard : (*server)->ShardStats()) summed += shard;
+  EXPECT_EQ(summed.queries, total.queries);
+  EXPECT_EQ(summed.responses, total.responses);
+  EXPECT_EQ(summed.cache_hits, total.cache_hits);
+  EXPECT_EQ(summed.cache_misses, total.cache_misses);
+  EXPECT_EQ(summed.response_bytes, total.response_bytes);
+
+  (*server)->Stop();
+  (*server)->Stop();  // idempotent
+  EXPECT_EQ((*server)->TotalStats().queries, total.queries);
+}
+
+TEST(ShardedServer, SingleShardServesTcpAndUdp) {
+  ShardedDnsServer::Config config;
+  config.listen = Endpoint{IpAddress::Loopback(), 0};
+  config.n_shards = 1;
+  auto server = ShardedDnsServer::Start(MakeViews(), config);
+  ASSERT_TRUE(server.ok()) << server.error().ToString();
+
+  auto query = dns::Message::MakeQuery(*dns::Name::Parse("ns1.example.com"),
+                                       dns::RRType::kA, false);
+  query.id = 7;
+  Bytes reply_wire = Exchange((*server)->endpoint(), query.Encode());
+  ASSERT_FALSE(reply_wire.empty());
+  auto reply = dns::Message::Decode(reply_wire);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->rcode, dns::Rcode::kNoError);
+  EXPECT_EQ((*server)->TotalStats().queries, 1u);
+}
+
+}  // namespace
+}  // namespace ldp::server

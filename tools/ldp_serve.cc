@@ -2,12 +2,12 @@
 // more master files — the server side of a loopback replay experiment.
 //
 //   ldp_serve --listen 127.0.0.1:5353 zones/root.zone zones/com.zone
-//   ldp_serve --listen 127.0.0.1:5353 --tcp-idle-timeout-s 20 --sign zone.db
+//   ldp_serve --listen 127.0.0.1:5353 --threads 4 --response-cache 4096 z.db
 #include <csignal>
 #include <cstdio>
 
 #include "common/flags.h"
-#include "server/socket_server.h"
+#include "server/sharded_server.h"
 #include "zone/dnssec.h"
 #include "zone/masterfile.h"
 
@@ -17,6 +17,9 @@ namespace {
 
 constexpr const char* kUsage =
     R"(usage: ldp_serve --listen IP:PORT [options] ZONEFILE...
+  --threads N              UDP worker shards, SO_REUSEPORT (0 = all cores)
+  --response-cache N       wire-level response cache, N entries/shard (0=off)
+  --udp-rcvbuf-bytes N     SO_RCVBUF per shard socket (0 = kernel default)
   --tcp-idle-timeout-s N   close idle TCP connections after N seconds (20)
   --no-tcp                 UDP only
   --sign                   DNSSEC-sign zones with synthetic keys
@@ -26,8 +29,9 @@ Serves until interrupted.)";
 
 net::EventLoop* g_loop = nullptr;
 
+// RequestStop is an eventfd write: async-signal-safe, unlike Stop().
 void HandleSignal(int) {
-  if (g_loop != nullptr) g_loop->Stop();
+  if (g_loop != nullptr) g_loop->RequestStop();
 }
 
 }  // namespace
@@ -39,9 +43,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   const Flags& flags = *flags_result;
-  if (auto s = flags.RequireKnown({"listen", "tcp-idle-timeout-s", "no-tcp",
-                                   "sign", "zsk-bits", "stats-interval-s",
-                                   "help"});
+  if (auto s = flags.RequireKnown({"listen", "threads", "response-cache",
+                                   "udp-rcvbuf-bytes", "tcp-idle-timeout-s",
+                                   "no-tcp", "sign", "zsk-bits",
+                                   "stats-interval-s", "help"});
       !s.ok()) {
     std::fprintf(stderr, "%s\n%s\n", s.error().ToString().c_str(), kUsage);
     return 2;
@@ -55,6 +60,26 @@ int main(int argc, char** argv) {
   auto listen = Endpoint::Parse(flags.GetString("listen", ""));
   if (!listen.ok()) {
     std::fprintf(stderr, "%s\n", listen.error().ToString().c_str());
+    return 2;
+  }
+
+  // Strict parsing for the sharding flags: silently falling back to one
+  // shard would let "--threads abc" masquerade as a multi-core experiment.
+  auto threads = flags.GetInt("threads", 1);
+  auto cache_entries = flags.GetInt("response-cache", 0);
+  auto rcvbuf = flags.GetInt("udp-rcvbuf-bytes", 0);
+  if (!threads.ok() || *threads < 0) {
+    std::fprintf(stderr, "--threads: expected a non-negative integer\n");
+    return 2;
+  }
+  if (!cache_entries.ok() || *cache_entries < 0) {
+    std::fprintf(stderr,
+                 "--response-cache: expected a non-negative integer\n");
+    return 2;
+  }
+  if (!rcvbuf.ok() || *rcvbuf < 0) {
+    std::fprintf(stderr,
+                 "--udp-rcvbuf-bytes: expected a non-negative integer\n");
     return 2;
   }
 
@@ -93,8 +118,11 @@ int main(int argc, char** argv) {
   }
   zone::ViewTable views;
   views.SetDefaultView(std::move(zones));
-  auto engine = std::make_shared<server::AuthServerEngine>(std::move(views));
+  auto shared_views =
+      std::make_shared<const zone::ViewTable>(std::move(views));
 
+  // Main-thread loop: signal wakeup + periodic stats. The shards run their
+  // own loops on worker threads.
   auto loop = net::EventLoop::Create();
   if (!loop.ok()) {
     std::fprintf(stderr, "%s\n", loop.error().ToString().c_str());
@@ -104,32 +132,40 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
 
-  server::SocketDnsServer::Config config;
+  server::ShardedDnsServer::Config config;
   config.listen = *listen;
+  config.n_shards = static_cast<size_t>(*threads);
   config.serve_tcp = !flags.GetBool("no-tcp", false);
   config.tcp_idle_timeout =
       Seconds(flags.GetInt("tcp-idle-timeout-s", 20).value_or(20));
-  auto server = server::SocketDnsServer::Start(**loop, engine, config);
+  config.engine.response_cache_entries =
+      static_cast<size_t>(*cache_entries);
+  config.udp_recv_buffer_bytes = static_cast<int>(*rcvbuf);
+  auto server = server::ShardedDnsServer::Start(shared_views, config);
   if (!server.ok()) {
     std::fprintf(stderr, "%s\n", server.error().ToString().c_str());
     return 1;
   }
-  std::printf("serving on %s (udp%s), ^C to stop\n",
+  std::printf("serving on %s (udp%s, %zu shard%s, cache %zu/shard), "
+              "^C to stop\n",
               (*server)->endpoint().ToString().c_str(),
-              config.serve_tcp ? "+tcp" : "");
+              config.serve_tcp ? "+tcp" : "", (*server)->n_shards(),
+              (*server)->n_shards() == 1 ? "" : "s",
+              config.engine.response_cache_entries);
 
   int64_t stats_interval =
       flags.GetInt("stats-interval-s", 10).value_or(10);
   std::function<void()> print_stats = [&]() {
-    const auto& stats = engine->stats();
+    server::EngineStats stats = (*server)->TotalStats();
     std::printf("queries=%llu nxdomain=%llu refused=%llu truncated=%llu "
-                "bytes-out=%llu open-tcp=%zu\n",
+                "bytes-out=%llu cache-hit=%llu cache-miss=%llu\n",
                 static_cast<unsigned long long>(stats.queries),
                 static_cast<unsigned long long>(stats.nxdomain),
                 static_cast<unsigned long long>(stats.refused),
                 static_cast<unsigned long long>(stats.truncated),
                 static_cast<unsigned long long>(stats.response_bytes),
-                (*server)->open_tcp_connections());
+                static_cast<unsigned long long>(stats.cache_hits),
+                static_cast<unsigned long long>(stats.cache_misses));
     (*loop)->ScheduleAfter(Seconds(stats_interval), print_stats);
   };
   if (stats_interval > 0) {
@@ -137,7 +173,9 @@ int main(int argc, char** argv) {
   }
 
   (*loop)->Run();
+  (*server)->Stop();
   std::printf("\nshutting down after %llu queries\n",
-              static_cast<unsigned long long>(engine->stats().queries));
+              static_cast<unsigned long long>(
+                  (*server)->TotalStats().queries));
   return 0;
 }
