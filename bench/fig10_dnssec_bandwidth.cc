@@ -22,7 +22,16 @@ struct Scenario {
   bool rollover;
 };
 
-stats::Distribution MeasureBandwidth(const Scenario& scenario) {
+struct ScenarioResult {
+  stats::Distribution bandwidth;
+  // Loss accounting from the replay engine: a bandwidth figure is only
+  // meaningful if the replayed load actually arrived and was answered.
+  uint64_t queries_sent = 0;
+  uint64_t answered = 0;
+  uint64_t unanswered = 0;
+};
+
+ScenarioResult MeasureBandwidth(const Scenario& scenario) {
   zone::DnssecConfig dnssec;
   dnssec.zsk_bits = scenario.zsk_bits;
   dnssec.zsk_rollover = scenario.rollover;
@@ -53,14 +62,19 @@ stats::Distribution MeasureBandwidth(const Scenario& scenario) {
   replay_config.gauge_interval = 0;
   replay::SimReplayEngine engine(*world.net, replay_config, &meters);
   engine.Load(records);
-  engine.Finish();
+  auto report = engine.Finish();
 
   stats::Summary bandwidth;
   for (size_t i = 1; i < samples.size(); ++i) {
     bandwidth.Add(static_cast<double>(samples[i] - samples[i - 1]) * 8.0 /
                   1e6);  // Mb/s
   }
-  return bandwidth.Summarize();
+  ScenarioResult result;
+  result.bandwidth = bandwidth.Summarize();
+  result.queries_sent = report.queries_sent;
+  result.answered = report.responses;
+  result.unanswered = report.unanswered();
+  return result;
 }
 
 }  // namespace
@@ -83,13 +97,22 @@ int main() {
       {"All queries DO", "4096 (future)", 1.0, 4096, false},
   };
 
-  stats::Table table({"group", "ZSK", "p5", "p25", "median", "p75", "p95"});
+  stats::Table table({"group", "ZSK", "p5", "p25", "median", "p75", "p95",
+                      "sent", "answered", "lost"});
   double current_2048 = 0, all_do_2048 = 0, current_1024 = 0;
+  uint64_t total_sent = 0, total_answered = 0, total_unanswered = 0;
   for (const auto& scenario : scenarios) {
-    auto d = MeasureBandwidth(scenario);
+    auto r = MeasureBandwidth(scenario);
+    const auto& d = r.bandwidth;
     table.AddRow({scenario.group, scenario.zsk, FormatDouble(d.p5, 1),
                   FormatDouble(d.p25, 1), FormatDouble(d.p50, 1),
-                  FormatDouble(d.p75, 1), FormatDouble(d.p95, 1)});
+                  FormatDouble(d.p75, 1), FormatDouble(d.p95, 1),
+                  std::to_string(r.queries_sent),
+                  std::to_string(r.answered),
+                  std::to_string(r.unanswered)});
+    total_sent += r.queries_sent;
+    total_answered += r.answered;
+    total_unanswered += r.unanswered;
     if (scenario.do_fraction < 1 && scenario.zsk_bits == 2048 &&
         !scenario.rollover) {
       current_2048 = d.p50;
@@ -102,13 +125,30 @@ int main() {
       all_do_2048 = d.p50;
     }
   }
-  std::printf("%s  (all columns Mb/s at 1/10 of B-Root rate)\n\n",
+  std::printf("%s  (bandwidth columns Mb/s at 1/10 of B-Root rate)\n\n",
               table.Render().c_str());
 
+  std::printf("loss accounting: sent %llu, answered %llu, unanswered %llu "
+              "across all scenarios\n",
+              static_cast<unsigned long long>(total_sent),
+              static_cast<unsigned long long>(total_answered),
+              static_cast<unsigned long long>(total_unanswered));
   std::printf("headline ratios (medians):\n");
   std::printf("  72.3%% DO -> 100%% DO at 2048-bit ZSK: %+.0f%%   (paper: +31%%)\n",
               100.0 * (all_do_2048 / current_2048 - 1.0));
   std::printf("  ZSK 1024 -> 2048 at 72.3%% DO:        %+.0f%%   (paper: +32%%)\n",
               100.0 * (current_2048 / current_1024 - 1.0));
+
+  bench::BenchJson json;
+  json.Set("figure", std::string("fig10"));
+  json.Set("queries_sent", total_sent);
+  json.Set("answered", total_answered);
+  json.Set("unanswered", total_unanswered);
+  json.Set("current_1024_median_mbps", current_1024);
+  json.Set("current_2048_median_mbps", current_2048);
+  json.Set("all_do_2048_median_mbps", all_do_2048);
+  json.Set("do_ratio_pct", 100.0 * (all_do_2048 / current_2048 - 1.0));
+  json.Set("zsk_ratio_pct", 100.0 * (current_2048 / current_1024 - 1.0));
+  json.WriteTo("BENCH_fig10.json");
   return 0;
 }

@@ -26,6 +26,12 @@ struct PhaseResult {
   double served_rate_qps = 0;   // queries the server answered / wall time
   uint64_t queries_sent = 0;
   uint64_t replies = 0;
+  // Terminal-outcome accounting: sent == answered + timed_out + send_failed,
+  // so client-side loss under overload is explicit, not inferred.
+  uint64_t answered = 0;
+  uint64_t timed_out = 0;
+  uint64_t send_failed = 0;
+  uint64_t retransmits = 0;
   server::EngineStats server_stats;
   std::vector<double> window_rates;  // per-2s send rate, q/s
 };
@@ -61,15 +67,26 @@ std::optional<PhaseResult> RunPhase(
   PhaseResult result;
   result.queries_sent = report->queries_sent;
   result.replies = report->replies;
+  result.answered = report->answered;
+  result.timed_out = report->timed_out;
+  result.send_failed = report->send_failed;
+  result.retransmits = report->retransmits;
   result.rate_qps =
       static_cast<double>(report->queries_sent) / ToSeconds(elapsed);
   result.server_stats = server->stats();
   result.served_rate_qps =
       static_cast<double>(result.server_stats.queries) / ToSeconds(elapsed);
 
-  // Reconstruct the per-2s series from send timestamps.
+  // Reconstruct the per-2s series from send timestamps (queries that never
+  // reached the wire have no send instant and are excluded).
   stats::RateCounter counter(Seconds(2));
-  for (const auto& send : report->sends) counter.Record(send.sent);
+  for (const auto& send : report->sends) {
+    if (send.sent == 0 ||
+        send.state == replay::SendOutcome::State::kSendFailed) {
+      continue;
+    }
+    counter.Record(send.sent);
+  }
   int index = 0;
   for (uint64_t count : counter.BucketCounts()) {
     double rate = static_cast<double>(count) / 2.0;
@@ -99,6 +116,12 @@ std::optional<PhaseResult> RunPhase(
                   result.server_stats.cache_hits),
               static_cast<unsigned long long>(
                   result.server_stats.cache_misses));
+  std::printf("%s: outcomes answered %llu / timed_out %llu / send_failed "
+              "%llu (retransmits %llu)\n",
+              name, static_cast<unsigned long long>(result.answered),
+              static_cast<unsigned long long>(result.timed_out),
+              static_cast<unsigned long long>(result.send_failed),
+              static_cast<unsigned long long>(result.retransmits));
   return result;
 }
 
@@ -179,6 +202,14 @@ int main() {
            static_cast<uint64_t>(fast.response_cache_entries));
   json.Set("after_cache_hits", after->server_stats.cache_hits);
   json.Set("after_cache_misses", after->server_stats.cache_misses);
+  json.Set("before_answered", before->answered);
+  json.Set("before_timed_out", before->timed_out);
+  json.Set("before_send_failed", before->send_failed);
+  json.Set("before_retransmits", before->retransmits);
+  json.Set("after_answered", after->answered);
+  json.Set("after_timed_out", after->timed_out);
+  json.Set("after_send_failed", after->send_failed);
+  json.Set("after_retransmits", after->retransmits);
   json.Set("served_speedup", served_speedup);
   json.Set("send_speedup", send_speedup);
   json.Set("after_window_rates_qps", after->window_rates);

@@ -1,9 +1,11 @@
 #!/bin/sh
 # Tier-1 verification: the full build + test suite, then the threaded
 # subsystems (sharded server, batched sockets, realtime replay, response
-# cache) again under ThreadSanitizer (-DLDP_SANITIZE=thread).
+# cache) again under ThreadSanitizer (-DLDP_SANITIZE=thread), and the
+# connection-lifetime tests (TCP reconnect, destroy-in-callback, timer
+# wheel expiry) under AddressSanitizer (-DLDP_SANITIZE=address).
 #
-#   scripts/verify.sh [--skip-tsan]
+#   scripts/verify.sh [--skip-tsan]   # skips both sanitizer stages
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -14,7 +16,7 @@ cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j2
 
 if [ "${1:-}" = "--skip-tsan" ]; then
-  echo "== tsan: skipped =="
+  echo "== sanitizers: skipped =="
   exit 0
 fi
 
@@ -25,5 +27,12 @@ cmake --build build-tsan -j"$(nproc)" --target \
   server_test replay_realtime_test
 ctest --test-dir build-tsan --output-on-failure \
   -R 'net_test|sharded_server_test|response_cache_test|server_test|replay_realtime_test'
+
+echo "== asan: socket + replay lifetime paths =="
+cmake -B build-asan -S . -DLDP_SANITIZE=address >/dev/null
+cmake --build build-asan -j"$(nproc)" --target \
+  net_test replay_realtime_test
+ctest --test-dir build-asan --output-on-failure \
+  -R 'net_test|replay_realtime_test'
 
 echo "verify: OK"

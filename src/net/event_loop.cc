@@ -103,6 +103,14 @@ TimerHandle EventLoop::ScheduleAt(NanoTime deadline, std::function<void()> fn) {
 }
 
 NanoDuration EventLoop::FireDueTimers(NanoDuration cap) {
+  // Fence: timers armed while firing (a handler re-scheduling itself with
+  // a zero or already-elapsed delay) wait for the next pass. Firing them
+  // in place would keep this loop spinning without ever reaching epoll,
+  // starving socket IO for as long as the re-arm chain continues. Older
+  // due timers always sort above fenced ones (deadline, then seq), so
+  // breaking on a fenced timer skips nothing that was due when the pass
+  // began.
+  const uint64_t fence = next_timer_seq_;
   while (!timers_.empty()) {
     const Timer& top = timers_.top();
     if (top.flag->cancelled) {
@@ -110,6 +118,10 @@ NanoDuration EventLoop::FireDueTimers(NanoDuration cap) {
       continue;
     }
     NanoTime now = MonotonicNow();
+    if (top.seq >= fence) {
+      return std::min<NanoDuration>(
+          cap, std::max<NanoDuration>(0, top.deadline - now));
+    }
     if (top.deadline > now) {
       return std::min<NanoDuration>(cap, top.deadline - now);
     }

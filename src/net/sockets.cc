@@ -257,7 +257,15 @@ Result<std::unique_ptr<TcpConnection>> TcpConnection::Connect(
 }
 
 TcpConnection::~TcpConnection() {
+  *alive_ = false;
   if (fd_.valid()) loop_.Remove(fd_.get());
+}
+
+void TcpConnection::SetWriteWatermarks(size_t high, size_t low,
+                                       WatermarkHandler handler) {
+  high_watermark_ = high;
+  low_watermark_ = std::min(low, high);
+  on_watermark_ = std::move(handler);
 }
 
 Status TcpConnection::Register(bool connecting) {
@@ -270,6 +278,7 @@ Status TcpConnection::Send(std::span<const uint8_t> data) {
   if (closed_) return Error(ErrorCode::kConnectionClosed, "send after close");
   if (!send_queue_.empty() || !connected_) {
     send_queue_.insert(send_queue_.end(), data.begin(), data.end());
+    MaybeSignalHighWatermark();
     return Status::Ok();
   }
   ssize_t sent = ::send(fd_.get(), data.data(), data.size(), MSG_NOSIGNAL);
@@ -281,15 +290,31 @@ Status TcpConnection::Send(std::span<const uint8_t> data) {
     send_queue_.insert(send_queue_.end(), data.begin() + sent, data.end());
     if (!want_write_) {
       want_write_ = true;
-      return loop_.Modify(fd_.get(), true, true);
+      LDP_RETURN_IF_ERROR(loop_.Modify(fd_.get(), true, true));
     }
+    MaybeSignalHighWatermark();
   }
   return Status::Ok();
+}
+
+void TcpConnection::MaybeSignalHighWatermark() {
+  if (high_watermark_ == 0 || above_high_) return;
+  if (send_queue_.size() < high_watermark_) return;
+  above_high_ = true;
+  // Stack copy: the handler may destroy this connection (and with it the
+  // member functor) while executing.
+  WatermarkHandler on_watermark = on_watermark_;
+  if (on_watermark) on_watermark(true);
 }
 
 size_t TcpConnection::queued_bytes() const { return send_queue_.size(); }
 
 void TcpConnection::OnIo(IoEvents events) {
+  // Every handler below may destroy this connection from inside its own
+  // callback; `alive` outlives the object and gates every member access
+  // that follows a handler invocation.
+  std::shared_ptr<bool> alive = alive_;
+
   if (!connected_) {
     // Connect completion (or failure).
     int error = 0;
@@ -297,9 +322,14 @@ void TcpConnection::OnIo(IoEvents events) {
     ::getsockopt(fd_.get(), SOL_SOCKET, SO_ERROR, &error, &len);
     if (events.error || error != 0) {
       closed_ = true;
-      if (on_connected_) {
-        on_connected_(Error(ErrorCode::kIoError,
-                            std::string("connect: ") + std::strerror(error)));
+      loop_.Remove(fd_.get());
+      fd_.Reset();
+      // Moved to the stack: the handler may destroy this connection, and
+      // the function object must outlive its own invocation.
+      ConnectHandler on_connected = std::move(on_connected_);
+      if (on_connected) {
+        on_connected(Error(ErrorCode::kIoError,
+                           std::string("connect: ") + std::strerror(error)));
       }
       return;
     }
@@ -310,33 +340,60 @@ void TcpConnection::OnIo(IoEvents events) {
       want_write_ = !send_queue_.empty();
       auto status = loop_.Modify(fd_.get(), true, want_write_);
       (void)status;
-      if (on_connected_) on_connected_(Status::Ok());
+      if (on_connected_) {
+        // Connect fires exactly once: move the handler out so destroying
+        // the connection from inside it cannot free an executing functor.
+        ConnectHandler on_connected = std::move(on_connected_);
+        on_connected(Status::Ok());
+        if (!*alive || closed_) return;
+      }
       FlushSendQueue();
+      if (!*alive || closed_) return;
     }
     if (!events.readable) return;
   }
 
   if (events.readable) {
+    // Stack copy (SSO-sized captures: no allocation): the handler may
+    // destroy this connection, and the member functor with it.
+    DataHandler on_data = on_data_;
     uint8_t buffer[65536];
     while (true) {
       ssize_t got = ::recv(fd_.get(), buffer, sizeof(buffer), 0);
       if (got > 0) {
-        if (on_data_) {
-          on_data_(std::span<const uint8_t>(buffer,
-                                            static_cast<size_t>(got)));
+        if (on_data) {
+          on_data(std::span<const uint8_t>(buffer,
+                                           static_cast<size_t>(got)));
         }
-        if (closed_) return;
+        if (!*alive || closed_) return;
         continue;
       }
       if (got == 0) {
-        HandleClose();
+        HandleClose(Status::Ok());  // clean peer EOF
         return;
       }
-      break;  // EAGAIN or error
+      if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+        HandleClose(Errno("recv"));
+        return;
+      }
+      break;  // EAGAIN: drained
     }
   }
-  if (events.writable && connected_) FlushSendQueue();
-  if (events.hangup || events.error) HandleClose();
+  if (events.writable && connected_) {
+    FlushSendQueue();
+    if (!*alive || closed_) return;
+  }
+  if (events.hangup || events.error) {
+    int error = 0;
+    socklen_t len = sizeof(error);
+    ::getsockopt(fd_.get(), SOL_SOCKET, SO_ERROR, &error, &len);
+    if (events.error && error != 0) {
+      errno = error;
+      HandleClose(Errno("socket error"));
+    } else {
+      HandleClose(Status::Ok());  // hangup: peer closed
+    }
+  }
 }
 
 void TcpConnection::FlushSendQueue() {
@@ -357,14 +414,24 @@ void TcpConnection::FlushSendQueue() {
     auto status = loop_.Modify(fd_.get(), true, want_write_);
     (void)status;
   }
+  // Signal last: the resume handler may call Send (re-entering this
+  // connection) or even destroy it — nothing below touches members.
+  if (above_high_ && send_queue_.size() <= low_watermark_) {
+    above_high_ = false;
+    WatermarkHandler on_watermark = on_watermark_;
+    if (on_watermark) on_watermark(false);
+  }
 }
 
-void TcpConnection::HandleClose() {
+void TcpConnection::HandleClose(Status reason) {
   if (closed_) return;
   closed_ = true;
   loop_.Remove(fd_.get());
   fd_.Reset();
-  if (on_close_) on_close_();
+  // Moved to the stack: the handler commonly destroys this connection (the
+  // function object must outlive its own invocation).
+  CloseHandler on_close = std::move(on_close_);
+  if (on_close) on_close(std::move(reason));
 }
 
 // --- TcpListener ---

@@ -107,8 +107,12 @@ class UdpSocket {
 class TcpConnection {
  public:
   using DataHandler = std::function<void(std::span<const uint8_t>)>;
-  using CloseHandler = std::function<void()>;
+  // Close reason: Ok() means a clean peer EOF (or hangup); an error status
+  // carries the socket error (ECONNRESET, EPIPE, ...) so callers can tell
+  // normal lifecycle from failure and decide whether to reconnect.
+  using CloseHandler = std::function<void(Status)>;
   using ConnectHandler = std::function<void(Status)>;
+  using WatermarkHandler = std::function<void(bool paused)>;
 
   // Asynchronous connect; `on_connected` fires once with the outcome.
   static Result<std::unique_ptr<TcpConnection>> Connect(
@@ -119,6 +123,12 @@ class TcpConnection {
 
   // Buffered write: queues what the kernel will not take immediately.
   Status Send(std::span<const uint8_t> data);
+
+  // Write-queue backpressure: once queued_bytes() reaches `high` the handler
+  // fires with paused=true; when the queue drains to `low` or below it fires
+  // with paused=false. A paused caller should stop calling Send (nothing is
+  // enforced — watermarks are advisory, like the kernel's send buffer).
+  void SetWriteWatermarks(size_t high, size_t low, WatermarkHandler handler);
 
   bool connected() const { return connected_; }
   Endpoint local() const { return local_; }
@@ -132,7 +142,8 @@ class TcpConnection {
   Status Register(bool connecting);
   void OnIo(IoEvents events);
   void FlushSendQueue();
-  void HandleClose();
+  void MaybeSignalHighWatermark();
+  void HandleClose(Status reason);
 
   EventLoop& loop_;
   Fd fd_;
@@ -145,6 +156,15 @@ class TcpConnection {
   DataHandler on_data_;
   CloseHandler on_close_;
   std::deque<uint8_t> send_queue_;
+  // Backpressure state; high == 0 disables watermarks.
+  size_t high_watermark_ = 0;
+  size_t low_watermark_ = 0;
+  bool above_high_ = false;
+  WatermarkHandler on_watermark_;
+  // Any handler may destroy this connection (including from inside its own
+  // callback); OnIo keeps a copy of this flag on the stack and re-checks it
+  // after every handler invocation before touching members again.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 class TcpListener {

@@ -1,6 +1,7 @@
 #include "replay/realtime.h"
 
 #include <algorithm>
+#include <deque>
 #include <memory>
 #include <unordered_map>
 
@@ -10,6 +11,7 @@
 #include "replay/queue.h"
 #include "replay/sticky.h"
 #include "replay/timing.h"
+#include "stats/counters.h"
 #include "stats/timeseries.h"
 
 namespace ldp::replay {
@@ -21,16 +23,48 @@ struct QueryJob {
   trace::QueryRecord record;
 };
 
-// One logical querier: a UDP socket plus per-source TCP connections.
+// Shared across all distributor threads; snapshotted into the report after
+// they join.
+struct TransportCounters {
+  stats::RelaxedCounter sent;
+  stats::RelaxedCounter answered;
+  stats::RelaxedCounter timed_out;
+  stats::RelaxedCounter send_failed;
+  stats::RelaxedCounter retransmits;
+  stats::RelaxedCounter id_collisions;
+  stats::RelaxedCounter tcp_reconnects;
+  stats::RelaxedCounter tcp_idle_closes;
+};
+
+// Timer-wheel keys: UDP entries are the bare 16-bit ID; TCP entries pack
+// the source address so per-connection ID spaces stay distinct.
+constexpr uint64_t kTcpKeyBit = 1ULL << 63;
+uint64_t UdpKey(uint16_t id) { return id; }
+uint64_t TcpKey(IpAddress source, uint16_t id) {
+  return kTcpKeyBit | (static_cast<uint64_t>(source.value()) << 16) | id;
+}
+
+// Expiry-check cadence (and wheel slot granularity): fine enough that a
+// timeout is detected within ~1/8 of its length, floored so short test
+// timeouts do not busy-spin the loop.
+NanoDuration WheelTickFor(NanoDuration query_timeout) {
+  if (query_timeout <= 0) return Millis(8);
+  return std::clamp<NanoDuration>(query_timeout / 8, Millis(1), Millis(16));
+}
+
+// One logical querier: a UDP socket plus per-source TCP connections. Every
+// accepted query is tracked by the timer wheel until it reaches a terminal
+// outcome (answered / timed out / send-failed); see realtime.h.
 class Querier {
  public:
-  Querier(net::EventLoop& loop, Endpoint server, bool batch_udp,
-          std::vector<SendOutcome>& sends, std::atomic<uint64_t>& replies)
+  Querier(net::EventLoop& loop, const RealtimeConfig& config,
+          std::vector<SendOutcome>& sends, TransportCounters& counters)
       : loop_(loop),
-        server_(server),
-        batch_udp_(batch_udp),
+        config_(config),
         sends_(sends),
-        replies_(replies) {}
+        counters_(counters),
+        tick_interval_(WheelTickFor(config.query_timeout)),
+        wheel_(WheelTickFor(config.query_timeout), 512) {}
 
   Status Init() {
     LDP_ASSIGN_OR_RETURN(
@@ -42,30 +76,30 @@ class Querier {
     return Status::Ok();
   }
 
+  // Fires whenever the querier may have just gone idle; the distributor
+  // uses it to detect that every outcome is terminal and stop the loop.
+  void set_on_idle(std::function<void()> on_idle) {
+    on_idle_ = std::move(on_idle);
+  }
+
+  // With timeouts enabled every live query (UDP and TCP, including frames
+  // waiting in a connect backlog) has a wheel entry, so an empty wheel
+  // means every outcome this querier owns is terminal.
+  bool idle() const { return wheel_.empty(); }
+
   void Send(const QueryJob& job, NanoTime epoch_mono) {
     epoch_mono_ = epoch_mono;  // reply timestamps share the send epoch
     dns::Message query = job.record.ToMessage();
-    query.id = next_id_++;
 
     SendOutcome& outcome = sends_[job.trace_index];
     outcome.trace_index = job.trace_index;
     outcome.trace_time = job.trace_time;
-    outcome.sent = MonotonicNow() - epoch_mono;
 
     if (job.record.protocol == trace::Protocol::kUdp) {
-      udp_inflight_[query.id] = job.trace_index;
-      if (batch_udp_) {
-        pending_udp_.push_back(query.Encode());
-        if (pending_udp_.size() >= net::UdpSocket::kBatchSize) Flush();
-        return;
-      }
-      auto status = udp_->SendTo(query.Encode(), server_);
-      if (!status.ok()) {
-        LDP_DEBUG << "UDP send failed: " << status.error().ToString();
-      }
-      return;
+      SendUdp(job, query);
+    } else {
+      SendTcp(job, query);
     }
-    SendTcp(job, query, epoch_mono);
   }
 
   // Pushes all pending UDP queries to the kernel with one sendmmsg. The
@@ -75,108 +109,526 @@ class Querier {
   void Flush() {
     if (pending_udp_.empty()) return;
     pending_items_.clear();
-    for (const Bytes& wire : pending_udp_) {
-      pending_items_.push_back(net::UdpSendItem{wire, server_});
+    live_ids_.clear();
+    for (uint16_t id : pending_udp_) {
+      auto it = udp_inflight_.find(id);
+      if (it == udp_inflight_.end()) continue;  // aged out while staged
+      pending_items_.push_back(net::UdpSendItem{it->second.wire,
+                                                config_.server});
+      live_ids_.push_back(id);
     }
-    size_t sent = udp_->SendBatch(pending_items_);
-    if (sent < pending_items_.size()) {
-      LDP_DEBUG << "UDP send batch: kernel took " << sent << " of "
-                << pending_items_.size();
+    size_t accepted =
+        pending_items_.empty() ? 0 : udp_->SendBatch(pending_items_);
+    for (size_t i = 0; i < accepted; ++i) {
+      udp_inflight_[live_ids_[i]].on_wire = true;
     }
-    pending_udp_.clear();
+    if (accepted == live_ids_.size()) {
+      pending_udp_.clear();
+      flush_retries_ = 0;
+      return;
+    }
+    // Kernel send buffer full: re-queue the unsent tail and retry shortly
+    // with backoff instead of silently dropping it.
+    pending_udp_.assign(live_ids_.begin() + static_cast<ptrdiff_t>(accepted),
+                        live_ids_.end());
+    if (++flush_retries_ > kMaxFlushRetries) {
+      LDP_DEBUG << "UDP flush: giving up on " << pending_udp_.size()
+                << " staged queries after " << kMaxFlushRetries << " retries";
+      for (uint16_t id : pending_udp_) {
+        auto it = udp_inflight_.find(id);
+        if (it == udp_inflight_.end()) continue;
+        wheel_.Cancel(UdpKey(id));
+        Terminal(it->second.trace_index, SendOutcome::State::kSendFailed);
+        udp_inflight_.erase(it);
+      }
+      pending_udp_.clear();
+      flush_retries_ = 0;
+      MaybeIdle();
+      return;
+    }
+    ArmFlushRetry();
   }
 
  private:
+  static constexpr int kMaxFlushRetries = 10;
+
+  struct UdpEntry {
+    uint64_t trace_index = 0;
+    Bytes wire;           // encoded query, kept for retransmits
+    int tries = 0;        // retransmits performed
+    bool on_wire = false;  // accepted by the kernel at least once
+  };
+
   struct TcpState {
+    IpAddress source;
     std::unique_ptr<net::TcpConnection> conn;
     dns::StreamAssembler assembler;
     bool connected = false;
-    std::vector<Bytes> backlog;  // frames awaiting connect completion
-    std::unordered_map<uint16_t, uint64_t> inflight;
+    bool paused = false;   // write-watermark backpressure
+    int attempts = 0;      // reconnect budget used; reset by a reply
+    NanoTime last_activity = 0;
+    net::TimerHandle idle_timer;
+    net::TimerHandle reconnect_timer;
+    uint16_t next_id = 1;
+    struct Entry {
+      uint64_t trace_index = 0;
+      Bytes frame;  // length-prefixed wire form, kept for redelivery
+      bool on_wire = false;
+    };
+    std::unordered_map<uint16_t, Entry> inflight;
+    // IDs awaiting connect completion, watermark resume, or reconnect;
+    // always a subset of inflight's keys.
+    std::deque<uint16_t> backlog;
   };
+
+  // --- terminal outcomes ---
+
+  void Terminal(uint64_t trace_index, SendOutcome::State state) {
+    SendOutcome& outcome = sends_[trace_index];
+    if (outcome.state != SendOutcome::State::kPending) return;
+    outcome.state = state;
+    if (state == SendOutcome::State::kTimedOut) {
+      counters_.timed_out.Add();
+    } else if (state == SendOutcome::State::kSendFailed) {
+      counters_.send_failed.Add();
+    }
+  }
+
+  void RecordAnswer(uint64_t trace_index) {
+    SendOutcome& outcome = sends_[trace_index];
+    if (outcome.state != SendOutcome::State::kPending) return;
+    outcome.state = SendOutcome::State::kAnswered;
+    outcome.replied = MonotonicNow() - epoch_mono_;
+    counters_.answered.Add();
+  }
+
+  void MaybeIdle() {
+    if (on_idle_ && idle()) on_idle_();
+  }
+
+  // --- timeout wheel ---
+
+  void ScheduleTimeout(uint64_t key, int tries) {
+    if (config_.query_timeout <= 0) return;
+    // Retry k waits query_timeout << k (exponential backoff); the shift is
+    // clamped so a large retransmit budget cannot overflow int64 ns.
+    NanoDuration wait = config_.query_timeout << std::min(tries, 10);
+    wheel_.Schedule(key, MonotonicNow() + wait);
+    ArmTick();
+  }
+
+  void ArmTick() {
+    if (tick_armed_) return;
+    tick_armed_ = true;
+    loop_.ScheduleAfter(tick_interval_, [this]() { OnTick(); });
+  }
+
+  void OnTick() {
+    tick_armed_ = false;
+    expired_.clear();
+    wheel_.Advance(MonotonicNow(), expired_);
+    for (uint64_t key : expired_) {
+      if (key & kTcpKeyBit) {
+        ExpireTcp(key);
+      } else {
+        ExpireUdp(static_cast<uint16_t>(key));
+      }
+    }
+    if (!wheel_.empty()) ArmTick();
+    MaybeIdle();
+  }
+
+  void ExpireUdp(uint16_t id) {
+    auto it = udp_inflight_.find(id);
+    if (it == udp_inflight_.end()) return;
+    UdpEntry& entry = it->second;
+    if (!entry.on_wire) {
+      // Never accepted by the kernel within a full timeout: send-failed,
+      // not timed-out — the server never saw it.
+      Terminal(entry.trace_index, SendOutcome::State::kSendFailed);
+      udp_inflight_.erase(it);
+      return;
+    }
+    if (entry.tries < config_.max_retransmits) {
+      ++entry.tries;
+      sends_[entry.trace_index].retransmits =
+          static_cast<uint8_t>(std::min(entry.tries, 255));
+      counters_.retransmits.Add();
+      auto status = udp_->SendTo(entry.wire, config_.server);
+      (void)status;  // a full buffer just leaves it to the next expiry
+      ScheduleTimeout(UdpKey(id), entry.tries);
+      return;
+    }
+    Terminal(entry.trace_index, SendOutcome::State::kTimedOut);
+    udp_inflight_.erase(it);
+  }
+
+  void ExpireTcp(uint64_t key) {
+    IpAddress source(static_cast<uint32_t>((key >> 16) & 0xffffffff));
+    uint16_t id = static_cast<uint16_t>(key & 0xffff);
+    auto it = tcp_.find(source);
+    if (it == tcp_.end()) return;
+    TcpState& state = *it->second;
+    auto entry = state.inflight.find(id);
+    if (entry == state.inflight.end()) return;
+    // on_wire distinguishes "written to a stream, no answer" (timed out)
+    // from "still waiting in a backlog, never delivered" (send-failed).
+    Terminal(entry->second.trace_index,
+             entry->second.on_wire ? SendOutcome::State::kTimedOut
+                                   : SendOutcome::State::kSendFailed);
+    state.inflight.erase(entry);
+    // The backlog may still hold the ID; WriteFrame skips missing entries.
+  }
+
+  // --- UDP ---
+
+  void SendUdp(const QueryJob& job, dns::Message& query) {
+    uint16_t id = 0;
+    bool collided = false;
+    if (config_.query_timeout > 0) {
+      auto allocated = AllocateQueryId(next_udp_id_, udp_inflight_, &collided);
+      if (!allocated) {
+        // All 65536 IDs inflight: this query cannot be matched to a reply.
+        counters_.id_collisions.Add();
+        Terminal(job.trace_index, SendOutcome::State::kSendFailed);
+        MaybeIdle();
+        return;
+      }
+      id = *allocated;
+    } else {
+      // Legacy mode (no timeouts): nothing ever ages out, so probing would
+      // deadlock once the trace exceeds 64k unanswered queries. Keep the
+      // historical wrap but evict the stale entry and count the collision
+      // instead of silently clobbering it.
+      id = next_udp_id_++;
+      auto old = udp_inflight_.find(id);
+      if (old != udp_inflight_.end()) {
+        collided = true;
+        udp_inflight_.erase(old);
+      }
+    }
+    if (collided) counters_.id_collisions.Add();
+
+    query.id = id;
+    UdpEntry entry;
+    entry.trace_index = job.trace_index;
+    entry.wire = query.Encode();
+    auto emplaced = udp_inflight_.emplace(id, std::move(entry));
+    sends_[job.trace_index].sent = MonotonicNow() - epoch_mono_;
+    ScheduleTimeout(UdpKey(id), /*tries=*/0);
+
+    if (config_.batch_udp) {
+      pending_udp_.push_back(id);
+      if (pending_udp_.size() >= net::UdpSocket::kBatchSize) Flush();
+      return;
+    }
+    auto status = udp_->SendTo(emplaced.first->second.wire, config_.server);
+    if (status.ok()) {
+      emplaced.first->second.on_wire = true;
+      return;
+    }
+    LDP_DEBUG << "UDP send failed: " << status.error().ToString();
+    // Send buffer full (or transient error): stage for the batch-flush
+    // retry path instead of dropping.
+    pending_udp_.push_back(id);
+    ArmFlushRetry();
+  }
+
+  void ArmFlushRetry() {
+    if (flush_retry_armed_) return;
+    flush_retry_armed_ = true;
+    NanoDuration delay = std::min<NanoDuration>(
+        Millis(1) << std::min(flush_retries_, 4), Millis(16));
+    loop_.ScheduleAfter(delay, [this]() {
+      flush_retry_armed_ = false;
+      Flush();
+      MaybeIdle();
+    });
+  }
 
   void OnUdpReply(std::span<const uint8_t> payload) {
     if (payload.size() < 2) return;
     uint16_t id = static_cast<uint16_t>((payload[0] << 8) | payload[1]);
     auto it = udp_inflight_.find(id);
-    if (it == udp_inflight_.end()) return;
-    RecordReply(it->second);
+    if (it == udp_inflight_.end()) return;  // late reply after age-out
+    RecordAnswer(it->second.trace_index);
+    wheel_.Cancel(UdpKey(id));
     udp_inflight_.erase(it);
+    MaybeIdle();
   }
 
-  void RecordReply(uint64_t trace_index) {
-    SendOutcome& outcome = sends_[trace_index];
-    if (outcome.replied == 0) {
-      outcome.replied = MonotonicNow() - epoch_mono_;
-      replies_.fetch_add(1, std::memory_order_relaxed);
-    }
-  }
+  // --- TCP lifecycle ---
+  //
+  // Connection callbacks capture the source address, never TcpState* or
+  // TcpConnection* — state is re-looked-up through tcp_, so a state
+  // disposed between scheduling and firing is simply not found. Dead
+  // connections and states are moved to a graveyard and destroyed on the
+  // next loop iteration: destroying them in place would free the
+  // TcpConnection whose callback is currently executing.
 
-  void SendTcp(const QueryJob& job, const dns::Message& query,
-               NanoTime /*epoch_mono: already latched in Send*/) {
+  void SendTcp(const QueryJob& job, dns::Message& query) {
     IpAddress source = job.record.src;
     auto it = tcp_.find(source);
     if (it == tcp_.end()) {
-      it = tcp_.emplace(source, std::make_unique<TcpState>()).first;
-      TcpState* state = it->second.get();
-      auto conn = net::TcpConnection::Connect(
-          loop_, server_,
-          [this, source, state](Status status) {
-            if (!status.ok()) {
-              tcp_.erase(source);
-              return;
-            }
-            state->connected = true;
-            for (auto& frame : state->backlog) {
-              auto send_ok = state->conn->Send(frame);
-              (void)send_ok;
-            }
-            state->backlog.clear();
-          },
-          [this, state](std::span<const uint8_t> data) {
-            OnTcpData(*state, data);
-          },
-          [this, source]() { tcp_.erase(source); });
-      if (!conn.ok()) {
-        tcp_.erase(source);
+      auto state = std::make_unique<TcpState>();
+      state->source = source;
+      it = tcp_.emplace(source, std::move(state)).first;
+      StartConnect(*it->second);
+      // A synchronous connect failure may already have disposed the state.
+      it = tcp_.find(source);
+      if (it == tcp_.end()) {
+        Terminal(job.trace_index, SendOutcome::State::kSendFailed);
+        MaybeIdle();
         return;
       }
-      state->conn = std::move(*conn);
     }
     TcpState& state = *it->second;
-    state.inflight[query.id] = job.trace_index;
-    Bytes frame = dns::FrameMessage(query.Encode());
-    if (state.connected) {
-      auto status = state.conn->Send(frame);
-      (void)status;
+
+    bool collided = false;
+    auto allocated = AllocateQueryId(state.next_id, state.inflight, &collided);
+    if (collided) counters_.id_collisions.Add();
+    if (!allocated) {
+      Terminal(job.trace_index, SendOutcome::State::kSendFailed);
+      MaybeIdle();
+      return;
+    }
+    query.id = *allocated;
+
+    TcpState::Entry entry;
+    entry.trace_index = job.trace_index;
+    entry.frame = dns::FrameMessage(query.Encode());
+    state.inflight.emplace(*allocated, std::move(entry));
+    sends_[job.trace_index].sent = MonotonicNow() - epoch_mono_;
+    ScheduleTimeout(TcpKey(source, *allocated), /*tries=*/0);
+
+    if (state.connected && !state.paused && state.backlog.empty()) {
+      if (!WriteFrame(state, *allocated)) state.backlog.push_back(*allocated);
     } else {
-      state.backlog.push_back(std::move(frame));
+      state.backlog.push_back(*allocated);
     }
   }
 
+  void StartConnect(TcpState& state) {
+    IpAddress source = state.source;
+    BuryConn(state);  // re-dial: the previous connection (if any) is dead
+    state.connected = false;
+    state.paused = false;
+    state.assembler = dns::StreamAssembler();  // new stream, new framing
+    auto conn = net::TcpConnection::Connect(
+        loop_, config_.server,
+        [this, source](Status status) {
+          OnTcpConnected(source, std::move(status));
+        },
+        [this, source](std::span<const uint8_t> data) {
+          auto it = tcp_.find(source);
+          if (it != tcp_.end()) OnTcpData(*it->second, data);
+        },
+        [this, source](Status reason) {
+          OnTcpClosed(source, std::move(reason));
+        });
+    if (!conn.ok()) {
+      RetryOrFail(state);
+      return;
+    }
+    state.conn = std::move(*conn);
+    state.conn->SetWriteWatermarks(
+        config_.tcp_write_high_watermark, config_.tcp_write_low_watermark,
+        [this, source](bool paused) { OnTcpWatermark(source, paused); });
+  }
+
+  void OnTcpConnected(IpAddress source, Status status) {
+    auto it = tcp_.find(source);
+    if (it == tcp_.end()) return;
+    TcpState& state = *it->second;
+    if (!status.ok()) {
+      BuryConn(state);
+      RetryOrFail(state);
+      return;
+    }
+    state.connected = true;
+    state.last_activity = MonotonicNow();
+    ArmIdleTimer(state);
+    DrainBacklog(state);
+  }
+
+  void OnTcpClosed(IpAddress source, Status reason) {
+    (void)reason;  // Ok = peer EOF, error = reset; both re-queue the same way
+    auto it = tcp_.find(source);
+    if (it == tcp_.end()) return;
+    TcpState& state = *it->second;
+    state.connected = false;
+    BuryConn(state);
+    state.idle_timer.Cancel();
+    if (state.inflight.empty()) {
+      // Nothing owed (e.g. the server idle-closed us): dispose; the next
+      // query for this source dials fresh.
+      DisposeState(source);
+      return;
+    }
+    RetryOrFail(state);
+  }
+
+  void OnTcpWatermark(IpAddress source, bool paused) {
+    auto it = tcp_.find(source);
+    if (it == tcp_.end()) return;
+    TcpState& state = *it->second;
+    state.paused = paused;
+    if (!paused) DrainBacklog(state);
+  }
+
+  // Re-queues every inflight frame and schedules a reconnect, or fails the
+  // whole state when the budget is spent.
+  void RetryOrFail(TcpState& state) {
+    state.connected = false;
+    if (state.attempts >= config_.tcp_max_reconnects) {
+      FailState(state.source);
+      return;
+    }
+    // Everything written may have died with the stream: rebuild the
+    // backlog (in trace order) so the next connection redelivers it.
+    std::vector<uint16_t> ids;
+    ids.reserve(state.inflight.size());
+    for (auto& [id, entry] : state.inflight) {
+      entry.on_wire = false;
+      ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end(), [&state](uint16_t a, uint16_t b) {
+      return state.inflight[a].trace_index < state.inflight[b].trace_index;
+    });
+    state.backlog.assign(ids.begin(), ids.end());
+
+    NanoDuration delay = config_.tcp_reconnect_backoff
+                         << std::min(state.attempts, 10);
+    ++state.attempts;
+    counters_.tcp_reconnects.Add();
+    IpAddress source = state.source;
+    state.reconnect_timer = loop_.ScheduleAfter(delay, [this, source]() {
+      auto it = tcp_.find(source);
+      if (it != tcp_.end()) StartConnect(*it->second);
+    });
+  }
+
+  void FailState(IpAddress source) {
+    auto it = tcp_.find(source);
+    if (it == tcp_.end()) return;
+    TcpState& state = *it->second;
+    for (auto& [id, entry] : state.inflight) {
+      wheel_.Cancel(TcpKey(source, id));
+      Terminal(entry.trace_index, SendOutcome::State::kSendFailed);
+    }
+    state.inflight.clear();
+    DisposeState(source);
+    MaybeIdle();
+  }
+
+  void DisposeState(IpAddress source) {
+    auto it = tcp_.find(source);
+    if (it == tcp_.end()) return;
+    it->second->idle_timer.Cancel();
+    it->second->reconnect_timer.Cancel();
+    BuryConn(*it->second);
+    graveyard_states_.push_back(std::move(it->second));
+    tcp_.erase(it);
+    ArmSweep();
+  }
+
+  void BuryConn(TcpState& state) {
+    if (state.conn == nullptr) return;
+    graveyard_conns_.push_back(std::move(state.conn));
+    ArmSweep();
+  }
+
+  void ArmSweep() {
+    if (sweep_armed_) return;
+    sweep_armed_ = true;
+    // Destroy on the next loop pass: the buried connection may be the one
+    // whose callback is executing right now.
+    loop_.ScheduleAfter(0, [this]() {
+      sweep_armed_ = false;
+      graveyard_conns_.clear();
+      graveyard_states_.clear();
+    });
+  }
+
+  bool WriteFrame(TcpState& state, uint16_t id) {
+    auto it = state.inflight.find(id);
+    if (it == state.inflight.end()) return true;  // aged out meanwhile
+    auto status = state.conn->Send(it->second.frame);
+    if (!status.ok()) return false;  // stream dying; close event re-queues
+    it->second.on_wire = true;
+    state.last_activity = MonotonicNow();
+    return true;
+  }
+
+  void DrainBacklog(TcpState& state) {
+    while (!state.backlog.empty() && state.connected && !state.paused) {
+      uint16_t id = state.backlog.front();
+      if (!WriteFrame(state, id)) break;
+      state.backlog.pop_front();
+    }
+  }
+
+  void ArmIdleTimer(TcpState& state) {
+    if (config_.tcp_idle_timeout <= 0) return;
+    IpAddress source = state.source;
+    state.idle_timer =
+        loop_.ScheduleAfter(config_.tcp_idle_timeout, [this, source]() {
+          auto it = tcp_.find(source);
+          if (it == tcp_.end() || !it->second->connected) return;
+          TcpState& state = *it->second;
+          NanoTime deadline = state.last_activity + config_.tcp_idle_timeout;
+          if (MonotonicNow() >= deadline && state.inflight.empty()) {
+            counters_.tcp_idle_closes.Add();
+            DisposeState(source);  // active close: destruction sends FIN
+            return;
+          }
+          ArmIdleTimer(state);  // activity since arming: re-check later
+        });
+  }
+
   void OnTcpData(TcpState& state, std::span<const uint8_t> data) {
+    state.last_activity = MonotonicNow();
     if (!state.assembler.Feed(data).ok()) return;
     while (auto wire = state.assembler.NextMessage()) {
       if (wire->size() < 2) continue;
       uint16_t id = static_cast<uint16_t>(((*wire)[0] << 8) | (*wire)[1]);
       auto it = state.inflight.find(id);
       if (it == state.inflight.end()) continue;
-      RecordReply(it->second);
+      RecordAnswer(it->second.trace_index);
+      wheel_.Cancel(TcpKey(state.source, id));
       state.inflight.erase(it);
+      state.attempts = 0;  // a live reply refills the reconnect budget
     }
+    MaybeIdle();
   }
 
   net::EventLoop& loop_;
-  Endpoint server_;
-  bool batch_udp_;
+  const RealtimeConfig config_;
   std::vector<SendOutcome>& sends_;
-  std::atomic<uint64_t>& replies_;
+  TransportCounters& counters_;
+  std::function<void()> on_idle_;
+
   std::unique_ptr<net::UdpSocket> udp_;
-  std::vector<Bytes> pending_udp_;  // encoded, awaiting the batch flush
+  std::unordered_map<uint16_t, UdpEntry> udp_inflight_;
+  // Staged IDs awaiting the batch flush; wire bytes live in udp_inflight_
+  // (unordered_map references are rehash-stable).
+  std::vector<uint16_t> pending_udp_;
   std::vector<net::UdpSendItem> pending_items_;
-  std::unordered_map<uint16_t, uint64_t> udp_inflight_;
+  std::vector<uint16_t> live_ids_;
+  int flush_retries_ = 0;
+  bool flush_retry_armed_ = false;
+  uint16_t next_udp_id_ = 1;
+
   std::unordered_map<IpAddress, std::unique_ptr<TcpState>> tcp_;
-  uint16_t next_id_ = 1;
+  std::vector<std::unique_ptr<net::TcpConnection>> graveyard_conns_;
+  std::vector<std::unique_ptr<TcpState>> graveyard_states_;
+  bool sweep_armed_ = false;
+
+  NanoDuration tick_interval_;
+  TimerWheel wheel_;
+  std::vector<uint64_t> expired_;
+  bool tick_armed_ = false;
+
   NanoTime epoch_mono_ = 0;
 };
 
@@ -186,13 +638,11 @@ class Distributor {
  public:
   Distributor(const RealtimeConfig& config, NanoTime trace_epoch_rebased,
               NanoTime epoch_mono, std::vector<SendOutcome>& sends,
-              std::atomic<uint64_t>& sent, std::atomic<uint64_t>& replies,
-              uint64_t seed)
+              TransportCounters& counters, uint64_t seed)
       : config_(config),
         epoch_mono_(epoch_mono),
         sends_(sends),
-        sent_(sent),
-        replies_(replies),
+        counters_(counters),
         assigner_(config.queriers_per_distributor, seed) {
     scheduler_.Synchronize(trace_epoch_rebased, epoch_mono);
   }
@@ -217,13 +667,14 @@ class Distributor {
     loop_ = std::move(*loop);
 
     for (size_t i = 0; i < config_.queriers_per_distributor; ++i) {
-      queriers_.push_back(std::make_unique<Querier>(
-          *loop_, config_.server, config_.batch_udp, sends_, replies_));
+      queriers_.push_back(std::make_unique<Querier>(*loop_, config_, sends_,
+                                                    counters_));
       auto status = queriers_.back()->Init();
       if (!status.ok()) {
         status_ = status;
         return;
       }
+      queriers_.back()->set_on_idle([this]() { MaybeFinish(); });
     }
 
     auto status = loop_->Add(queue_.event_fd(), true, false,
@@ -239,11 +690,11 @@ class Distributor {
     auto drained = queue_.Drain();
     for (auto& job : drained.items) {
       ++outstanding_;
-      size_t querier = assigner_.Assign(job.record.src);
       if (config_.fast_mode) {
-        Dispatch(querier, std::move(job));
+        fast_backlog_.push_back(std::move(job));
         continue;
       }
+      size_t querier = assigner_.Assign(job.record.src);
       NanoDuration delay = scheduler_.DelayFor(
           job.trace_time, MonotonicNow());
       if (delay <= 0) {
@@ -256,21 +707,63 @@ class Distributor {
                              });
       }
     }
+    if (drained.closed) input_closed_ = true;
+    if (config_.fast_mode) {
+      PumpFastBacklog();
+      return;
+    }
     // One sendmmsg per querier covers everything dispatched this drain.
     for (auto& querier : queriers_) querier->Flush();
-    if (drained.closed) input_closed_ = true;
+    MaybeFinish();
+  }
+
+  // Fast mode sends in bounded chunks, yielding to the event loop between
+  // them. Dispatching a large drained batch monolithically would starve
+  // socket reads (and timers) for the whole burst: replies pile up unread
+  // in the kernel buffer until the timer wheel has already expired their
+  // inflight entries, manufacturing timeouts for queries that were in fact
+  // answered.
+  void PumpFastBacklog() {
+    if (fast_pump_armed_) return;
+    size_t n = std::min(fast_backlog_.size(), kFastChunk);
+    for (size_t i = 0; i < n; ++i) {
+      QueryJob job = std::move(fast_backlog_.front());
+      fast_backlog_.pop_front();
+      Dispatch(assigner_.Assign(job.record.src), job);
+    }
+    for (auto& querier : queriers_) querier->Flush();
+    if (!fast_backlog_.empty()) {
+      fast_pump_armed_ = true;
+      loop_->ScheduleAfter(0, [this]() {
+        fast_pump_armed_ = false;
+        PumpFastBacklog();
+      });
+      return;
+    }
     MaybeFinish();
   }
 
   void Dispatch(size_t querier, const QueryJob& job) {
     queriers_[querier]->Send(job, epoch_mono_);
-    sent_.fetch_add(1, std::memory_order_relaxed);
+    counters_.sent.Add();
     --outstanding_;
     MaybeFinish();
   }
 
   void MaybeFinish() {
     if (!input_closed_ || outstanding_ != 0 || stopping_) return;
+    if (config_.query_timeout > 0) {
+      // Timeouts make every outcome terminal: stop the instant all
+      // queriers are idle — there is nothing left to wait for.
+      for (auto& querier : queriers_) {
+        if (!querier->idle()) return;
+      }
+      stopping_ = true;
+      loop_->Stop();
+      return;
+    }
+    // Legacy mode: unanswered queries never resolve, so wait a fixed
+    // grace period for trailing replies.
     stopping_ = true;
     loop_->ScheduleAfter(config_.drain_grace, [this]() { loop_->Stop(); });
   }
@@ -278,8 +771,7 @@ class Distributor {
   RealtimeConfig config_;
   NanoTime epoch_mono_;
   std::vector<SendOutcome>& sends_;
-  std::atomic<uint64_t>& sent_;
-  std::atomic<uint64_t>& replies_;
+  TransportCounters& counters_;
   StickyAssigner assigner_;
   ReplayScheduler scheduler_;
   NotifyQueue<QueryJob> queue_;
@@ -290,16 +782,21 @@ class Distributor {
   size_t outstanding_ = 0;
   bool input_closed_ = false;
   bool stopping_ = false;
+  static constexpr size_t kFastChunk = 256;
+  std::deque<QueryJob> fast_backlog_;
+  bool fast_pump_armed_ = false;
 };
 
 }  // namespace
 
 std::vector<double> RealtimeReport::TimingErrorsMs(size_t skip_first) const {
   std::vector<double> errors;
-  // Baseline: the first *sent* query anchors both clocks.
+  // Baseline: the first query that actually reached the wire anchors both
+  // clocks. (Anchoring on a never-sent record would fold its bogus zero
+  // send time into every error.)
   const SendOutcome* first = nullptr;
   for (const auto& send : sends) {
-    if (send.sent != 0 || send.trace_time == 0) {
+    if (send.sent != 0 && send.state != SendOutcome::State::kSendFailed) {
       first = &send;
       break;
     }
@@ -308,6 +805,9 @@ std::vector<double> RealtimeReport::TimingErrorsMs(size_t skip_first) const {
   for (size_t i = 0; i < sends.size(); ++i) {
     if (i < skip_first) continue;
     const auto& send = sends[i];
+    if (send.sent == 0 || send.state == SendOutcome::State::kSendFailed) {
+      continue;  // never reached the wire: no replay time to compare
+    }
     double replay_offset = ToMillis(send.sent - first->sent);
     double trace_offset = ToMillis(send.trace_time - first->trace_time);
     errors.push_back(replay_offset - trace_offset);
@@ -318,7 +818,12 @@ std::vector<double> RealtimeReport::TimingErrorsMs(size_t skip_first) const {
 std::vector<double> RealtimeReport::ReplayInterarrivalsS() const {
   std::vector<NanoTime> times;
   times.reserve(sends.size());
-  for (const auto& send : sends) times.push_back(send.sent);
+  for (const auto& send : sends) {
+    if (send.sent == 0 || send.state == SendOutcome::State::kSendFailed) {
+      continue;  // unsent records have no arrival to measure
+    }
+    times.push_back(send.sent);
+  }
   std::sort(times.begin(), times.end());
   std::vector<double> gaps;
   gaps.reserve(times.size());
@@ -332,6 +837,9 @@ std::vector<double> RealtimeReport::RateErrors() const {
   stats::RateCounter original, replayed;
   for (const auto& send : sends) {
     original.Record(send.trace_time);
+    if (send.sent == 0 || send.state == SendOutcome::State::kSendFailed) {
+      continue;  // lost queries depress the replayed rate; they are not in it
+    }
     replayed.Record(send.sent);
   }
   auto orig = original.BucketCounts();
@@ -356,8 +864,7 @@ Result<RealtimeReport> RunRealtimeReplay(
   RealtimeReport report;
   report.sends.resize(records.size());
 
-  std::atomic<uint64_t> sent{0};
-  std::atomic<uint64_t> replies{0};
+  TransportCounters counters;
   NanoTime trace_epoch = records.front().timestamp;
   NanoTime epoch_mono = MonotonicNow() + config.start_delay;
 
@@ -366,8 +873,7 @@ Result<RealtimeReport> RunRealtimeReplay(
   StickyAssigner postman(config.n_distributors, config.seed);
   for (size_t i = 0; i < config.n_distributors; ++i) {
     distributors.push_back(std::make_unique<Distributor>(
-        config, 0, epoch_mono, report.sends, sent, replies,
-        config.seed + 1 + i));
+        config, 0, epoch_mono, report.sends, counters, config.seed + 1 + i));
     distributors.back()->Start();
   }
 
@@ -417,8 +923,15 @@ Result<RealtimeReport> RunRealtimeReplay(
     if (!distributor->status().ok()) return distributor->status().error();
   }
 
-  report.queries_sent = sent.load();
-  report.replies = replies.load();
+  report.queries_sent = counters.sent.Get();
+  report.answered = counters.answered.Get();
+  report.replies = report.answered;
+  report.timed_out = counters.timed_out.Get();
+  report.send_failed = counters.send_failed.Get();
+  report.retransmits = counters.retransmits.Get();
+  report.id_collisions = counters.id_collisions.Get();
+  report.tcp_reconnects = counters.tcp_reconnects.Get();
+  report.tcp_idle_closes = counters.tcp_idle_closes.Get();
   report.wall_duration = MonotonicNow() - wall_start;
   return report;
 }

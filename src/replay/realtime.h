@@ -10,6 +10,13 @@
 // UDP socket and per-source TCP connections, schedules each query with the
 // ΔT = Δt̄ − Δt rule, sends it, and timestamps the reply.
 //
+// Every replayed query is tracked to a terminal outcome: answered, timed
+// out (a timer wheel ages inflight entries past query_timeout, after any
+// configured UDP retransmits), or send-failed (never accepted by the
+// kernel, or its TCP connection exhausted its reconnect budget). The
+// invariant `queries_sent == answered + timed_out + send_failed` makes loss
+// an explicit output instead of a silent gap in the fidelity metrics.
+//
 // The paper runs distributors/queriers as processes across DETER hosts;
 // here they are threads on one host (documented substitution) — the
 // scheduling, queue hand-off, and kernel-level jitter the §4 fidelity
@@ -18,6 +25,8 @@
 #define LDPLAYER_REPLAY_REALTIME_H
 
 #include <atomic>
+#include <cstdint>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -42,33 +51,109 @@ struct RealtimeConfig {
   NanoDuration lookahead = Millis(500);
   // Delay before the synchronized start (lets threads spin up).
   NanoDuration start_delay = Millis(100);
-  // Wait after the last send for trailing replies.
+  // Wait after the last send for trailing replies. Only used when
+  // query_timeout == 0; with timeouts enabled the replay ends as soon as
+  // every query has reached a terminal outcome.
   NanoDuration drain_grace = Millis(500);
   uint64_t seed = 99;
+
+  // --- Robust transport: timeouts, retransmit, TCP lifecycle ---
+
+  // Inflight queries age out after this long without a reply and count as
+  // timed_out. 0 disables aging: unanswered queries stay unresolved
+  // (state kPending) and the replay ends after drain_grace — the legacy
+  // behavior, where loss is invisible.
+  NanoDuration query_timeout = Seconds(2);
+  // UDP retransmits before declaring a timeout; retry k waits
+  // query_timeout << k (exponential backoff). TCP queries are never
+  // retransmitted in place — redelivery happens via reconnect.
+  int max_retransmits = 0;
+  // Client-side TCP idle closure (the §5 experiment knob): a connection
+  // with nothing inflight and no activity for this long is closed; the
+  // next query for that source dials fresh. 0 = keep connections open.
+  NanoDuration tcp_idle_timeout = 0;
+  // Reconnect budget when a TCP connect fails or a stream dies with
+  // queries still owed. Inflight frames are re-queued onto the new
+  // connection; retry k waits tcp_reconnect_backoff << k. A successful
+  // reply resets the budget. Exhausted => owed queries end send_failed.
+  int tcp_max_reconnects = 3;
+  NanoDuration tcp_reconnect_backoff = Millis(50);
+  // Write-queue backpressure: at or above high the querier stops writing
+  // frames (they wait in the per-source backlog); at or below low it
+  // resumes draining.
+  size_t tcp_write_high_watermark = 256 * 1024;
+  size_t tcp_write_low_watermark = 64 * 1024;
 };
 
 struct SendOutcome {
+  // Terminal outcome of one replayed query.
+  enum class State : uint8_t {
+    kPending = 0,  // not yet (or, with query_timeout == 0, never) resolved
+    kAnswered,
+    kTimedOut,    // reached the wire, aged out without a reply
+    kSendFailed,  // never reached the wire (kernel refused the datagram,
+                  // ID space exhausted, or TCP reconnect budget spent)
+  };
+
   uint64_t trace_index = 0;
   NanoTime trace_time = 0;   // relative to the trace epoch
   NanoTime sent = 0;         // monotonic, relative to the replay epoch
   NanoTime replied = 0;      // 0 = no reply observed
-  bool answered() const { return replied != 0; }
+  uint8_t retransmits = 0;   // UDP re-sends attempted for this query
+  State state = State::kPending;
+  bool answered() const { return state == State::kAnswered; }
 };
 
 struct RealtimeReport {
   std::vector<SendOutcome> sends;  // trace order
   uint64_t queries_sent = 0;
-  uint64_t replies = 0;
+  uint64_t replies = 0;  // == answered; kept for existing callers
+
+  // Terminal-outcome accounting. With query_timeout > 0,
+  //   queries_sent == answered + timed_out + send_failed
+  // holds once RunRealtimeReplay returns.
+  uint64_t answered = 0;
+  uint64_t timed_out = 0;
+  uint64_t send_failed = 0;
+  uint64_t retransmits = 0;      // total UDP re-sends
+  uint64_t id_collisions = 0;    // preferred 16-bit ID was still inflight
+  uint64_t tcp_reconnects = 0;   // re-dials after connect failure / close
+  uint64_t tcp_idle_closes = 0;  // client-side idle-timeout closures
   NanoDuration wall_duration = 0;
 
   // Absolute-timing error (paper Fig 6): replayed (sent − first_sent)
   // minus original (trace − first_trace), in milliseconds, per query.
+  // Only queries that reached the wire participate: the anchor is the
+  // first sent query, and unsent/send-failed records are skipped.
   std::vector<double> TimingErrorsMs(size_t skip_first = 0) const;
-  // Inter-arrival gaps of the replayed stream, seconds (Fig 7).
+  // Inter-arrival gaps of the replayed stream, seconds (Fig 7). Unsent
+  // records are excluded.
   std::vector<double> ReplayInterarrivalsS() const;
-  // Per-second rate error fractions replay-vs-original (Fig 8).
+  // Per-second rate error fractions replay-vs-original (Fig 8). Unsent
+  // records count toward the original series only.
   std::vector<double> RateErrors() const;
 };
+
+// Allocates a 16-bit DNS query ID that is not currently inflight, probing
+// upward from `next_id` (which is advanced past the returned ID). Sets
+// *collided when the preferred ID was occupied — the caller counts it —
+// and returns nullopt when all 65536 IDs are inflight. Shared by the UDP
+// and per-TCP-connection ID spaces; a template so each can use its own
+// map type without copying the wrap/probe logic.
+template <typename InflightMap>
+std::optional<uint16_t> AllocateQueryId(uint16_t& next_id,
+                                        const InflightMap& inflight,
+                                        bool* collided) {
+  *collided = false;
+  if (inflight.size() >= 0x10000) return std::nullopt;
+  uint16_t id = next_id;
+  while (inflight.find(id) != inflight.end()) {
+    *collided = true;
+    ++id;  // uint16_t arithmetic wraps 65535 -> 0 by definition
+  }
+  next_id = static_cast<uint16_t>(id + 1);
+  return id;
+}
 
 // Replays `records` (timestamps must ascend) and blocks until done.
 Result<RealtimeReport> RunRealtimeReplay(

@@ -55,6 +55,12 @@ struct SimReplayReport {
   std::vector<std::pair<NanoTime, uint64_t>> established_samples;
   std::vector<std::pair<NanoTime, uint64_t>> time_wait_samples;
 
+  // Loss accounting: queries the simulated server never answered. The sim
+  // lane has no kernel drops, so sent == responses + unanswered() exactly.
+  uint64_t unanswered() const {
+    return queries_sent >= responses ? queries_sent - responses : 0;
+  }
+
   // Latency summary over answered queries, optionally restricted to
   // sources with at most `max_source_queries` queries (Fig 15b's
   // "non-busy clients"; 0 = everyone).

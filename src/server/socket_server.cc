@@ -66,7 +66,7 @@ void SocketDnsServer::OnAccept(std::unique_ptr<net::TcpConnection> conn) {
   auto status = net::TcpListener::AdoptHandlers(
       *key,
       [this, key](std::span<const uint8_t> data) { OnTcpData(key, data); },
-      [this, key]() {
+      [this, key](Status) {
         auto it = conns_.find(key);
         if (it != conns_.end()) {
           it->second.idle_timer.Cancel();

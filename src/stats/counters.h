@@ -1,0 +1,29 @@
+// Lock-free event counters shared across replay/server threads. Writers on
+// hot paths pay one uncontended relaxed atomic add; readers snapshot without
+// locks. Relaxed ordering suffices because the values are aggregates read
+// after the worker threads join (or approximately, for live monitoring) —
+// they never order other memory.
+#ifndef LDPLAYER_STATS_COUNTERS_H
+#define LDPLAYER_STATS_COUNTERS_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace ldp::stats {
+
+class RelaxedCounter {
+ public:
+  RelaxedCounter() = default;
+  RelaxedCounter(const RelaxedCounter&) = delete;
+  RelaxedCounter& operator=(const RelaxedCounter&) = delete;
+
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Get() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+}  // namespace ldp::stats
+
+#endif  // LDPLAYER_STATS_COUNTERS_H

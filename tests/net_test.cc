@@ -51,6 +51,46 @@ TEST(EventLoop, CancelledTimerDoesNotFire) {
   EXPECT_FALSE(fired);
 }
 
+TEST(EventLoop, ZeroDelayRearmDoesNotStarveIo) {
+  auto loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+
+  // A handler that re-arms itself with a zero delay must not monopolize
+  // the timer pass: the loop has to keep polling epoll between passes, or
+  // socket reads starve for as long as the re-arm chain continues (the
+  // fast-mode replay pump works exactly like this).
+  int pumps = 0;
+  bool received = false;
+  std::function<void()> pump = [&] {
+    ++pumps;
+    if (!received && pumps < 100000) (*loop)->ScheduleAfter(0, pump);
+  };
+  (*loop)->ScheduleAfter(0, pump);
+
+  std::unique_ptr<UdpSocket> receiver;
+  auto receiver_result = UdpSocket::Bind(
+      **loop, Endpoint{IpAddress::Loopback(), 0},
+      [&](std::span<const uint8_t>, Endpoint) {
+        received = true;
+        (*loop)->Stop();
+      });
+  ASSERT_TRUE(receiver_result.ok());
+  receiver = std::move(*receiver_result);
+
+  auto sender_result =
+      UdpSocket::Bind(**loop, Endpoint{IpAddress::Loopback(), 0},
+                      [](std::span<const uint8_t>, Endpoint) {});
+  ASSERT_TRUE(sender_result.ok());
+  auto sender = std::move(*sender_result);
+  Bytes ping{1};
+  ASSERT_TRUE(sender->SendTo(ping, receiver->local()).ok());
+
+  (*loop)->ScheduleAfter(Seconds(2), [&] { (*loop)->Stop(); });
+  (*loop)->Run();
+  EXPECT_TRUE(received) << "IO starved by a zero-delay re-arm chain";
+  EXPECT_GT(pumps, 0);
+}
+
 TEST(UdpSockets, EchoOverLoopback) {
   auto loop = EventLoop::Create();
   ASSERT_TRUE(loop.ok());
@@ -101,7 +141,7 @@ TEST(TcpSockets, ConnectSendReceiveClose) {
               auto send_ok = raw->Send(data);
               EXPECT_TRUE(send_ok.ok());
             },
-            [] {});
+            [](Status) {});
         EXPECT_TRUE(status.ok());
       });
   ASSERT_TRUE(listener_result.ok()) << listener_result.error().ToString();
@@ -123,7 +163,7 @@ TEST(TcpSockets, ConnectSendReceiveClose) {
         received.insert(received.end(), data.begin(), data.end());
         if (received.size() >= 2) (*loop)->Stop();
       },
-      [] {});
+      [](Status) {});
   ASSERT_TRUE(client_result.ok());
   client = std::move(*client_result);
 
@@ -151,7 +191,7 @@ TEST(TcpSockets, LargeTransferSurvivesBuffering) {
               server_received += data.size();
               if (server_received >= kTotal) (*loop)->Stop();
             },
-            [] {});
+            [](Status) {});
         EXPECT_TRUE(status.ok());
       });
   ASSERT_TRUE(listener_result.ok());
@@ -168,7 +208,7 @@ TEST(TcpSockets, LargeTransferSurvivesBuffering) {
           ASSERT_TRUE(send_ok.ok());
         }
       },
-      [](std::span<const uint8_t>) {}, [] {});
+      [](std::span<const uint8_t>) {}, [](Status) {});
   ASSERT_TRUE(client_result.ok());
   client = std::move(*client_result);
 
@@ -189,12 +229,148 @@ TEST(TcpSockets, ConnectRefusedSurfaces) {
         failed = !status.ok();
         (*loop)->Stop();
       },
-      [](std::span<const uint8_t>) {}, [] {});
+      [](std::span<const uint8_t>) {}, [](Status) {});
   ASSERT_TRUE(result.ok());
   client = std::move(*result);
   (*loop)->ScheduleAfter(Seconds(2), [&] { (*loop)->Stop(); });
   (*loop)->Run();
   EXPECT_TRUE(failed);
+}
+
+TEST(TcpSockets, CloseReasonSurfacesCleanEof) {
+  auto loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+
+  // Accept and immediately drop the connection: the unique_ptr dies on
+  // return, the kernel sends FIN, and the client's close handler must see
+  // a clean (ok) reason rather than an error.
+  auto listener_result = TcpListener::Listen(
+      **loop, Endpoint{IpAddress::Loopback(), 0},
+      [](std::unique_ptr<TcpConnection>) {});
+  ASSERT_TRUE(listener_result.ok());
+  auto listener = std::move(*listener_result);
+
+  bool close_fired = false;
+  Status close_reason = Status::Ok();
+  std::unique_ptr<TcpConnection> client;
+  auto client_result = TcpConnection::Connect(
+      **loop, listener->local(),
+      [](Status status) { ASSERT_TRUE(status.ok()); },
+      [](std::span<const uint8_t>) {},
+      [&](Status reason) {
+        close_fired = true;
+        close_reason = reason;
+        (*loop)->Stop();
+      });
+  ASSERT_TRUE(client_result.ok());
+  client = std::move(*client_result);
+
+  (*loop)->ScheduleAfter(Seconds(2), [&] { (*loop)->Stop(); });
+  (*loop)->Run();
+  EXPECT_TRUE(close_fired);
+  EXPECT_TRUE(close_reason.ok())
+      << (close_reason.ok() ? "" : close_reason.error().ToString());
+}
+
+TEST(TcpSockets, WriteWatermarksSignalPauseAndResume) {
+  auto loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+
+  // The accepted connection is parked unread at first, so the client's
+  // user-space send queue grows past the high watermark; adopting a
+  // consuming handler later drains it back below the low watermark.
+  std::unique_ptr<TcpConnection> server_conn;
+  auto listener_result = TcpListener::Listen(
+      **loop, Endpoint{IpAddress::Loopback(), 0},
+      [&](std::unique_ptr<TcpConnection> conn) {
+        server_conn = std::move(conn);
+      });
+  ASSERT_TRUE(listener_result.ok());
+  auto listener = std::move(*listener_result);
+
+  std::vector<bool> events;  // true = paused, false = resumed
+  std::unique_ptr<TcpConnection> client;
+  Bytes chunk(64 * 1024, 0xab);
+  auto client_result = TcpConnection::Connect(
+      **loop, listener->local(),
+      [&](Status status) {
+        ASSERT_TRUE(status.ok());
+        // Send until the high watermark fires (kernel buffers are finite,
+        // so this terminates well before the 200-chunk cap).
+        for (int i = 0; i < 200 && events.empty(); ++i) {
+          ASSERT_TRUE(client->Send(chunk).ok());
+        }
+        EXPECT_FALSE(events.empty()) << "high watermark never fired";
+      },
+      [](std::span<const uint8_t>) {}, [](Status) {});
+  ASSERT_TRUE(client_result.ok());
+  client = std::move(*client_result);
+  client->SetWriteWatermarks(128 * 1024, 16 * 1024, [&](bool paused) {
+    events.push_back(paused);
+    if (!paused) (*loop)->Stop();
+  });
+
+  (*loop)->ScheduleAfter(Millis(100), [&] {
+    if (server_conn == nullptr) return;
+    auto status = TcpListener::AdoptHandlers(
+        *server_conn, [](std::span<const uint8_t>) {}, [](Status) {});
+    EXPECT_TRUE(status.ok());
+  });
+  (*loop)->ScheduleAfter(Seconds(5), [&] { (*loop)->Stop(); });
+  (*loop)->Run();
+
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_TRUE(events[0]);   // paused when the queue crossed high
+  EXPECT_FALSE(events[1]);  // resumed once drained to low
+}
+
+TEST(TcpSockets, DestroyInsideDataCallbackIsSafe) {
+  auto loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+
+  std::vector<std::unique_ptr<TcpConnection>> server_conns;
+  auto listener_result = TcpListener::Listen(
+      **loop, Endpoint{IpAddress::Loopback(), 0},
+      [&](std::unique_ptr<TcpConnection> conn) {
+        TcpConnection* raw = conn.get();
+        server_conns.push_back(std::move(conn));
+        auto status = TcpListener::AdoptHandlers(
+            *raw,
+            [raw](std::span<const uint8_t> data) {
+              auto send_ok = raw->Send(data);
+              EXPECT_TRUE(send_ok.ok());
+            },
+            [](Status) {});
+        EXPECT_TRUE(status.ok());
+      });
+  ASSERT_TRUE(listener_result.ok());
+  auto listener = std::move(*listener_result);
+
+  // The client destroys itself from inside its own data callback — the
+  // pattern a replay querier hits when a reply retires the connection.
+  // Must not touch freed memory (ASan-verified in the sanitizer preset).
+  bool got_data = false;
+  std::unique_ptr<TcpConnection> client;
+  auto client_result = TcpConnection::Connect(
+      **loop, listener->local(),
+      [&](Status status) {
+        ASSERT_TRUE(status.ok());
+        Bytes ping{'p', 'i', 'n', 'g'};
+        ASSERT_TRUE(client->Send(ping).ok());
+      },
+      [&](std::span<const uint8_t>) {
+        got_data = true;
+        client.reset();
+        (*loop)->ScheduleAfter(Millis(10), [&] { (*loop)->Stop(); });
+      },
+      [](Status) {});
+  ASSERT_TRUE(client_result.ok());
+  client = std::move(*client_result);
+
+  (*loop)->ScheduleAfter(Seconds(2), [&] { (*loop)->Stop(); });
+  (*loop)->Run();
+  EXPECT_TRUE(got_data);
+  EXPECT_EQ(client, nullptr);
 }
 
 TEST(UdpSockets, BatchSendAndBatchReceive) {

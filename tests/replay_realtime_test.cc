@@ -3,9 +3,16 @@
 // with actual kernel timers and sockets.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <thread>
 
+#include "dns/framing.h"
 #include "mutate/mutate.h"
+#include "net/sockets.h"
 #include "replay/realtime.h"
 #include "server/socket_server.h"
 #include "workload/traces.h"
@@ -47,6 +54,106 @@ std::shared_ptr<server::AuthServerEngine> MakeEngine() {
   return std::make_shared<server::AuthServerEngine>(std::move(views));
 }
 
+std::vector<trace::QueryRecord> MakeTraceTo(Endpoint server, size_t n,
+                                            NanoDuration gap,
+                                            size_t n_clients = 20) {
+  workload::FixedIntervalConfig config;
+  config.interarrival = gap;
+  config.duration = gap * static_cast<int64_t>(n);
+  config.n_clients = n_clients;
+  auto records = workload::MakeFixedIntervalTrace(config);
+  for (auto& r : records) {
+    r.dst = server.addr;
+    r.dst_port = server.port;
+  }
+  return records;
+}
+
+void ForceTcp(std::vector<trace::QueryRecord>& records) {
+  mutate::MutationPipeline pipeline;
+  pipeline.Add(mutate::ForceProtocol(trace::Protocol::kTcp));
+  pipeline.Apply(records);
+}
+
+// The tentpole invariant: with query_timeout > 0, every replayed query
+// reaches a terminal outcome and the counters tie out exactly, both in
+// aggregate and against the per-record states.
+void ExpectTerminalAccounting(const RealtimeReport& report) {
+  EXPECT_EQ(report.queries_sent,
+            report.answered + report.timed_out + report.send_failed);
+  uint64_t answered = 0, timed_out = 0, send_failed = 0, pending = 0;
+  for (const auto& send : report.sends) {
+    switch (send.state) {
+      case SendOutcome::State::kAnswered: ++answered; break;
+      case SendOutcome::State::kTimedOut: ++timed_out; break;
+      case SendOutcome::State::kSendFailed: ++send_failed; break;
+      case SendOutcome::State::kPending: ++pending; break;
+    }
+  }
+  EXPECT_EQ(pending, 0u) << "records left without a terminal outcome";
+  EXPECT_EQ(answered, report.answered);
+  EXPECT_EQ(timed_out, report.timed_out);
+  EXPECT_EQ(send_failed, report.send_failed);
+  EXPECT_EQ(report.replies, report.answered);
+}
+
+// A local endpoint that swallows datagrams: a bound UDP socket nobody
+// reads. Loopback sends succeed (full receive queues drop silently), so
+// every query reaches the wire and must age out via the timer wheel.
+class BlackholeUdp {
+ public:
+  BlackholeUdp() {
+    fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (fd_ >= 0 &&
+        ::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      socklen_t len = sizeof(addr);
+      if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+        endpoint_ = Endpoint{IpAddress::Loopback(), ntohs(addr.sin_port)};
+      }
+    }
+  }
+  ~BlackholeUdp() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool ok() const { return endpoint_.port != 0; }
+  Endpoint endpoint() const { return endpoint_; }
+
+ private:
+  int fd_ = -1;
+  Endpoint endpoint_{};
+};
+
+// A TCP port that refuses connections: bind without listen, so connect
+// gets an immediate RST.
+class DeadTcpPort {
+ public:
+  DeadTcpPort() {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (fd_ >= 0 &&
+        ::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      socklen_t len = sizeof(addr);
+      if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+        endpoint_ = Endpoint{IpAddress::Loopback(), ntohs(addr.sin_port)};
+      }
+    }
+  }
+  ~DeadTcpPort() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool ok() const { return endpoint_.port != 0; }
+  Endpoint endpoint() const { return endpoint_; }
+
+ private:
+  int fd_ = -1;
+  Endpoint endpoint_{};
+};
+
 class RealtimeReplayTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -76,17 +183,9 @@ class RealtimeReplayTest : public ::testing::Test {
     server_thread_.join();
   }
 
-  std::vector<trace::QueryRecord> MakeTrace(size_t n, NanoDuration gap) {
-    workload::FixedIntervalConfig config;
-    config.interarrival = gap;
-    config.duration = gap * static_cast<int64_t>(n);
-    config.n_clients = 20;
-    auto records = workload::MakeFixedIntervalTrace(config);
-    for (auto& r : records) {
-      r.dst = server_->endpoint().addr;
-      r.dst_port = server_->endpoint().port;
-    }
-    return records;
+  std::vector<trace::QueryRecord> MakeTrace(size_t n, NanoDuration gap,
+                                            size_t n_clients = 20) {
+    return MakeTraceTo(server_->endpoint(), n, gap, n_clients);
   }
 
   RealtimeConfig MakeConfig() {
@@ -110,6 +209,7 @@ TEST_F(RealtimeReplayTest, UdpReplayGetsAllReplies) {
   // Loopback UDP against a live server: replies should be complete, but
   // allow a stray loss under heavy CI load.
   EXPECT_GE(report->replies, 198u);
+  ExpectTerminalAccounting(*report);
 }
 
 TEST_F(RealtimeReplayTest, TimingStaysWithinPaperBounds) {
@@ -146,14 +246,13 @@ TEST_F(RealtimeReplayTest, FastModeOutpacesTraceTiming) {
 
 TEST_F(RealtimeReplayTest, TcpReplayReusesConnections) {
   auto records = MakeTrace(100, Millis(2));
-  mutate::MutationPipeline pipeline;
-  pipeline.Add(mutate::ForceProtocol(trace::Protocol::kTcp));
-  pipeline.Apply(records);
+  ForceTcp(records);
 
   auto report = RunRealtimeReplay(records, MakeConfig());
   ASSERT_TRUE(report.ok()) << report.error().ToString();
   EXPECT_EQ(report->queries_sent, 100u);
   EXPECT_GE(report->replies, 98u);
+  ExpectTerminalAccounting(*report);
   // 20 sources, sticky assignment: connection count stays near the source
   // count, far below the query count. Quiesce the loop first so the map
   // read does not race with connection teardown.
@@ -167,6 +266,213 @@ TEST_F(RealtimeReplayTest, ReportHelpersProduceSeries) {
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->ReplayInterarrivalsS().size(), 99u);
   EXPECT_FALSE(report->RateErrors().empty());
+}
+
+TEST(QueryIdAllocation, ProbesPastInflightAcrossTheWrap) {
+  std::unordered_map<uint16_t, int> inflight;
+  inflight[65535] = 1;
+  inflight[0] = 1;
+  uint16_t next = 65535;
+  bool collided = false;
+  auto id = AllocateQueryId(next, inflight, &collided);
+  ASSERT_TRUE(id.has_value());
+  // 65535 and 0 are inflight: the probe wraps past both instead of
+  // clobbering them (the seed bug reused the raw counter unconditionally).
+  EXPECT_EQ(*id, 1);
+  EXPECT_TRUE(collided);
+  EXPECT_EQ(next, 2);
+
+  collided = false;
+  id = AllocateQueryId(next, inflight, &collided);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(*id, 2);
+  EXPECT_FALSE(collided);
+  EXPECT_EQ(next, 3);
+}
+
+TEST(QueryIdAllocation, ExhaustedIdSpaceReturnsNullopt) {
+  std::unordered_map<uint16_t, int> inflight;
+  for (uint32_t id = 0; id < 0x10000; ++id) {
+    inflight[static_cast<uint16_t>(id)] = 1;
+  }
+  uint16_t next = 123;
+  bool collided = false;
+  EXPECT_FALSE(AllocateQueryId(next, inflight, &collided).has_value());
+}
+
+TEST(RealtimeTransport, UdpTimeoutAndRetransmitAccounting) {
+  BlackholeUdp blackhole;
+  ASSERT_TRUE(blackhole.ok());
+  auto records = MakeTraceTo(blackhole.endpoint(), 100, Millis(1));
+
+  RealtimeConfig config;
+  config.server = blackhole.endpoint();
+  config.n_distributors = 1;
+  config.queriers_per_distributor = 2;
+  config.fast_mode = true;
+  config.query_timeout = Millis(150);
+  config.max_retransmits = 1;
+
+  auto report = RunRealtimeReplay(records, config);
+  ASSERT_TRUE(report.ok()) << report.error().ToString();
+  EXPECT_EQ(report->queries_sent, 100u);
+  EXPECT_EQ(report->answered, 0u);
+  EXPECT_EQ(report->timed_out, 100u);
+  EXPECT_EQ(report->send_failed, 0u);
+  // Every query was re-sent exactly once before aging out.
+  EXPECT_EQ(report->retransmits, 100u);
+  for (const auto& send : report->sends) {
+    EXPECT_EQ(send.retransmits, 1u);
+    EXPECT_NE(send.sent, 0);
+  }
+  ExpectTerminalAccounting(*report);
+}
+
+// ID-wrap regression: push more queries into one querier's UDP socket than
+// the 16-bit ID space holds while nothing is answered. The allocator must
+// probe (counting collisions) and, when all 65536 IDs are inflight at
+// once, fail the overflow sends — never clobber a live entry, which is
+// what the seed code did on wrap.
+TEST(RealtimeTransport, IdWrapUnderSustainedLossKeepsAccounting) {
+  BlackholeUdp blackhole;
+  ASSERT_TRUE(blackhole.ok());
+  const size_t kQueries = 70000;
+  auto records = MakeTraceTo(blackhole.endpoint(), kQueries, Micros(1));
+
+  RealtimeConfig config;
+  config.server = blackhole.endpoint();
+  config.n_distributors = 1;
+  config.queriers_per_distributor = 1;
+  config.fast_mode = true;
+  config.query_timeout = Millis(800);
+  config.max_retransmits = 0;
+
+  auto report = RunRealtimeReplay(records, config);
+  ASSERT_TRUE(report.ok()) << report.error().ToString();
+  EXPECT_EQ(report->queries_sent, kQueries);
+  EXPECT_EQ(report->answered, 0u);
+  EXPECT_EQ(report->timed_out + report->send_failed, kQueries);
+  ExpectTerminalAccounting(*report);
+  if (!kUnderTsan) {
+    // The burst outruns the 800 ms timeout, so the ID space fills: the
+    // overflow must surface as collisions and/or explicit send failures.
+    // (Under TSan the send rate is too slow for the inflight set to fill.)
+    EXPECT_GT(report->id_collisions + report->send_failed, 0u);
+  }
+}
+
+TEST(RealtimeTransport, TcpConnectFailureEndsSendFailed) {
+  DeadTcpPort dead;
+  ASSERT_TRUE(dead.ok());
+  auto records = MakeTraceTo(dead.endpoint(), 20, Millis(1), /*n_clients=*/5);
+  ForceTcp(records);
+
+  RealtimeConfig config;
+  config.server = dead.endpoint();
+  config.n_distributors = 1;
+  config.queriers_per_distributor = 2;
+  config.fast_mode = true;
+  config.query_timeout = Seconds(5);  // must not be what ends the queries
+  config.tcp_max_reconnects = 1;
+  config.tcp_reconnect_backoff = Millis(5);
+
+  NanoTime start = MonotonicNow();
+  auto report = RunRealtimeReplay(records, config);
+  NanoDuration elapsed = MonotonicNow() - start;
+  ASSERT_TRUE(report.ok()) << report.error().ToString();
+  EXPECT_EQ(report->queries_sent, 20u);
+  EXPECT_EQ(report->answered, 0u);
+  EXPECT_EQ(report->send_failed, 20u);
+  EXPECT_GE(report->tcp_reconnects, 1u);
+  ExpectTerminalAccounting(*report);
+  // The reconnect budget, not the query timeout, must resolve the queries.
+  if (!kUnderTsan) {
+    EXPECT_LT(elapsed, Seconds(5));
+  }
+}
+
+// Mid-stream close: a server that kills the first connection as soon as
+// query bytes arrive, then echoes frames on later connections. The client
+// must re-queue the inflight frames, reconnect, and still answer
+// everything. Run under ASan this also exercises destroying a
+// TcpConnection from inside its own data callback on the server side.
+TEST(RealtimeTransport, TcpMidStreamCloseRequeuesAndRecovers) {
+  auto loop = net::EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+
+  std::vector<std::unique_ptr<net::TcpConnection>> conns;
+  int accepted = 0;
+  auto listener = net::TcpListener::Listen(
+      **loop, Endpoint{IpAddress::Loopback(), 0},
+      [&](std::unique_ptr<net::TcpConnection> conn) {
+        net::TcpConnection* raw = conn.get();
+        int index = accepted++;
+        conns.push_back(std::move(conn));
+        auto assembler = std::make_shared<dns::StreamAssembler>();
+        auto status = net::TcpListener::AdoptHandlers(
+            *raw,
+            [&, raw, index, assembler](std::span<const uint8_t> data) {
+              if (index == 0) {
+                // Drop the first connection mid-stream, with the query
+                // unanswered (and destroy it inside its own callback).
+                for (auto& c : conns) {
+                  if (c.get() == raw) c.reset();
+                }
+                return;
+              }
+              if (!assembler->Feed(data).ok()) return;
+              while (auto wire = assembler->NextMessage()) {
+                // Echo the query back; the client matches replies by ID.
+                auto sent = raw->Send(dns::FrameMessage(*wire));
+                EXPECT_TRUE(sent.ok());
+              }
+            },
+            [](Status) {});
+        EXPECT_TRUE(status.ok());
+      });
+  ASSERT_TRUE(listener.ok()) << listener.error().ToString();
+  std::thread server_thread([&]() { (*loop)->Run(); });
+
+  auto records =
+      MakeTraceTo((*listener)->local(), 6, Millis(20), /*n_clients=*/1);
+  ForceTcp(records);
+
+  RealtimeConfig config;
+  config.server = (*listener)->local();
+  config.n_distributors = 1;
+  config.queriers_per_distributor = 1;
+  config.query_timeout = Seconds(5);
+  config.tcp_reconnect_backoff = Millis(5);
+
+  auto report = RunRealtimeReplay(records, config);
+  (*loop)->RequestStop();
+  server_thread.join();
+
+  ASSERT_TRUE(report.ok()) << report.error().ToString();
+  EXPECT_EQ(report->queries_sent, 6u);
+  EXPECT_EQ(report->answered, 6u);
+  EXPECT_GE(report->tcp_reconnects, 1u);
+  ExpectTerminalAccounting(*report);
+}
+
+TEST_F(RealtimeReplayTest, TcpClientIdleTimeoutClosesAndRedials) {
+  // One source with 200 ms gaps and a 50 ms client idle timeout: the
+  // connection must close between queries and redial, answering all of
+  // them (the §5 idle-closure knob, client side).
+  auto records = MakeTrace(4, Millis(200), /*n_clients=*/1);
+  ForceTcp(records);
+
+  RealtimeConfig config = MakeConfig();
+  config.n_distributors = 1;
+  config.queriers_per_distributor = 1;
+  config.tcp_idle_timeout = Millis(50);
+
+  auto report = RunRealtimeReplay(records, config);
+  ASSERT_TRUE(report.ok()) << report.error().ToString();
+  EXPECT_EQ(report->queries_sent, 4u);
+  EXPECT_EQ(report->answered, 4u);
+  EXPECT_GE(report->tcp_idle_closes, 1u);
+  ExpectTerminalAccounting(*report);
 }
 
 TEST(RealtimeReplayErrors, EmptyTraceRejected) {

@@ -111,7 +111,7 @@ int main(int argc, char** argv) {
           if (!assembler->Feed(data).ok()) return;
           if (auto message = assembler->NextMessage()) handle_wire(*message);
         },
-        [&]() {
+        [&](Status) {
           if (!got_response) std::fprintf(stderr, ";; connection closed\n");
           (*loop)->Stop();
         });

@@ -23,6 +23,12 @@ constexpr const char* kUsage =
   --queriers N          logical queriers per distributor (3)
   --fast                ignore trace timing, send as fast as possible
   --rewrite-target      point every query at --server (default: on)
+  --timeout-ms N        age out inflight queries after N ms (2000;
+                        0 = legacy: loss is invisible, wait drain grace)
+  --retransmits N       UDP retransmits before timing out, with
+                        exponential backoff (0)
+  --tcp-idle-timeout-ms N  close idle TCP connections after N ms (0 = keep)
+  --tcp-reconnects N    reconnect budget per TCP connection (3)
 Trace format by extension (.txt/.bin).)";
 
 }  // namespace
@@ -36,6 +42,8 @@ int main(int argc, char** argv) {
   const Flags& flags = *flags_result;
   if (auto s = flags.RequireKnown({"trace", "server", "distributors",
                                    "queriers", "fast", "rewrite-target",
+                                   "timeout-ms", "retransmits",
+                                   "tcp-idle-timeout-ms", "tcp-reconnects",
                                    "help"});
       !s.ok()) {
     std::fprintf(stderr, "%s\n%s\n", s.error().ToString().c_str(), kUsage);
@@ -85,6 +93,14 @@ int main(int argc, char** argv) {
   config.queriers_per_distributor =
       static_cast<size_t>(flags.GetInt("queriers", 3).value_or(3));
   config.fast_mode = flags.GetBool("fast", false);
+  config.query_timeout = Millis(flags.GetInt("timeout-ms", 2000)
+                                    .value_or(2000));
+  config.max_retransmits =
+      static_cast<int>(flags.GetInt("retransmits", 0).value_or(0));
+  config.tcp_idle_timeout =
+      Millis(flags.GetInt("tcp-idle-timeout-ms", 0).value_or(0));
+  config.tcp_max_reconnects =
+      static_cast<int>(flags.GetInt("tcp-reconnects", 3).value_or(3));
 
   std::printf("replaying %zu queries against %s (%zu distributors x %zu "
               "queriers%s)...\n",
@@ -97,16 +113,27 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("sent %llu, replied %llu (%.1f%%), wall %.2fs (%.1fk q/s)\n",
+  std::printf("sent %llu, answered %llu (%.1f%%), wall %.2fs (%.1fk q/s)\n",
               static_cast<unsigned long long>(report->queries_sent),
-              static_cast<unsigned long long>(report->replies),
+              static_cast<unsigned long long>(report->answered),
               report->queries_sent
-                  ? 100.0 * static_cast<double>(report->replies) /
+                  ? 100.0 * static_cast<double>(report->answered) /
                         static_cast<double>(report->queries_sent)
                   : 0,
               ToSeconds(report->wall_duration),
               static_cast<double>(report->queries_sent) /
                   ToSeconds(report->wall_duration) / 1000.0);
+  std::printf("outcomes: timed_out %llu, send_failed %llu, retransmits "
+              "%llu, id_collisions %llu\n",
+              static_cast<unsigned long long>(report->timed_out),
+              static_cast<unsigned long long>(report->send_failed),
+              static_cast<unsigned long long>(report->retransmits),
+              static_cast<unsigned long long>(report->id_collisions));
+  if (report->tcp_reconnects != 0 || report->tcp_idle_closes != 0) {
+    std::printf("tcp: reconnects %llu, idle_closes %llu\n",
+                static_cast<unsigned long long>(report->tcp_reconnects),
+                static_cast<unsigned long long>(report->tcp_idle_closes));
+  }
 
   if (!config.fast_mode) {
     stats::Summary timing;
