@@ -9,6 +9,7 @@
 #include "bench/bench_util.h"
 #include "mutate/mutate.h"
 #include "replay/sim_engine.h"
+#include "stats/metrics.h"
 
 using namespace ldp;
 
@@ -31,11 +32,21 @@ stats::Distribution MeasureCpu(const char* scenario,
   pipeline.Apply(records);
 
   // Sample CPU busy time every 2 s -> windowed utilization series, like
-  // dstat in the paper's methodology.
+  // dstat in the paper's methodology. The sampling goes through the live
+  // metrics layer: a polled gauge over the node meter, snapshotted on the
+  // simulator clock, so the bench reads the same rows an operator would.
   sim::NodeMeters& meters = world.server->meters();
-  std::vector<NanoDuration> busy_samples;
+  stats::MetricsRegistry registry;
+  registry.AddGaugeFn("sim.cpu_busy_ns", [&meters] {
+    return static_cast<int64_t>(meters.cpu_busy());
+  });
+  stats::MetricsSnapshotter::Options snap_opts;
+  snap_opts.interval = Seconds(2);
+  snap_opts.keep_history = true;  // no path: rows stay in memory
+  snap_opts.clock = [&world] { return world.simulator->Now(); };
+  stats::MetricsSnapshotter snapshotter(registry, snap_opts);
   std::function<void()> sample = [&]() {
-    busy_samples.push_back(meters.cpu_busy());
+    snapshotter.WriteNow();
     if (world.simulator->Now() < records.back().timestamp + Seconds(2)) {
       world.simulator->Schedule(Seconds(2), sample);
     }
@@ -55,8 +66,10 @@ stats::Distribution MeasureCpu(const char* scenario,
   stats::Summary utilization;
   double capacity_per_window =
       ToSeconds(Seconds(2)) * meters.model().cores;
-  for (size_t i = 1; i < busy_samples.size(); ++i) {
-    double busy = ToSeconds(busy_samples[i] - busy_samples[i - 1]);
+  const auto& rows = snapshotter.history();
+  for (size_t i = 1; i < rows.size(); ++i) {
+    double busy = ToSeconds(rows[i].GaugeValue("sim.cpu_busy_ns") -
+                            rows[i - 1].GaugeValue("sim.cpu_busy_ns"));
     utilization.Add(100.0 * 10.0 * busy / capacity_per_window);
   }
   return utilization.Summarize();

@@ -1,5 +1,7 @@
 #!/bin/sh
-# Tier-1 verification: the full build + test suite, then the threaded
+# Tier-1 verification: the full build + test suite, then a live-metrics
+# smoke (ldp_serve + ldp_replay_trace with --metrics-out: snapshots must
+# parse and the final row must reconcile with the report), the threaded
 # subsystems (sharded server, batched sockets, realtime replay, response
 # cache) again under ThreadSanitizer (-DLDP_SANITIZE=thread), and the
 # connection-lifetime tests (TCP reconnect, destroy-in-callback, timer
@@ -15,6 +17,67 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j2
 
+echo "== metrics smoke: live JSONL snapshots reconcile =="
+SMOKE=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$SMOKE"
+}
+trap cleanup EXIT
+cat > "$SMOKE/zone.db" <<'EOF'
+$ORIGIN example.com.
+@ 3600 IN SOA ns1 admin 1 2 3 4 300
+@ IN NS ns1
+ns1 IN A 192.0.2.53
+www IN A 192.0.2.200
+EOF
+awk 'BEGIN { for (i = 0; i < 2000; i++)
+  printf "%d.%09d 10.0.0.%d:5000 127.0.0.1:5353 udp www.example.com. IN A %d - 1232\n",
+         int(i / 500), (i % 500) * 2000000, i % 200 + 1, i % 65536 }' \
+  > "$SMOKE/trace.txt"
+./build/tools/ldp_serve --listen 127.0.0.1:0 --stats-interval-s 0 \
+  --metrics-out "$SMOKE/server_metrics.jsonl" --metrics-interval-ms 200 \
+  "$SMOKE/zone.db" > "$SMOKE/serve.out" 2>&1 &
+SERVE_PID=$!
+i=0
+while [ "$i" -lt 50 ]; do
+  grep -q "serving on" "$SMOKE/serve.out" 2>/dev/null && break
+  sleep 0.1
+  i=$((i + 1))
+done
+PORT=$(sed -n 's/.*serving on [0-9.]*:\([0-9]*\).*/\1/p' "$SMOKE/serve.out")
+[ -n "$PORT" ] || { echo "metrics smoke: server never came up"; exit 1; }
+./build/tools/ldp_replay_trace --trace "$SMOKE/trace.txt" \
+  --server "127.0.0.1:$PORT" --fast \
+  --metrics-out "$SMOKE/replay_metrics.jsonl" --metrics-interval-ms 200 \
+  > "$SMOKE/replay.out" 2>&1
+grep -q "reconcile: OK" "$SMOKE/replay.out" || {
+  echo "metrics smoke: replay reconcile failed"; cat "$SMOKE/replay.out"
+  exit 1
+}
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_PID=""
+python3 - "$SMOKE/replay_metrics.jsonl" "$SMOKE/server_metrics.jsonl" <<'EOF'
+import json, sys
+for path in sys.argv[1:]:
+    rows = [json.loads(line) for line in open(path)]
+    assert rows, path + ": no snapshot rows"
+    for i, row in enumerate(rows):
+        assert row["seq"] == i, path + ": seq gap"
+        for name, c in row["counters"].items():
+            assert c["total"] >= 0 and c["delta"] >= 0, (path, name)
+        for name, h in row["histograms"].items():
+            assert h["p50"] <= h["p95"] <= h["p99"], (path, name)
+last = [json.loads(line) for line in open(sys.argv[1])][-1]["counters"]
+sent = last["replay.sent"]["total"]
+acct = (last["replay.answered"]["total"] + last["replay.timed_out"]["total"]
+        + last["replay.send_failed"]["total"])
+assert sent == acct, "sent %d != accounted %d" % (sent, acct)
+print("metrics smoke: %d sent, fully accounted; all rows parse" % sent)
+EOF
+
 if [ "${1:-}" = "--skip-tsan" ]; then
   echo "== sanitizers: skipped =="
   exit 0
@@ -24,9 +87,9 @@ echo "== tsan: threaded subsystems =="
 cmake -B build-tsan -S . -DLDP_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target \
   net_test sharded_server_test response_cache_test \
-  server_test replay_realtime_test
+  server_test replay_realtime_test metrics_test stats_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'net_test|sharded_server_test|response_cache_test|server_test|replay_realtime_test'
+  -R 'net_test|sharded_server_test|response_cache_test|server_test|replay_realtime_test|metrics_test|stats_test'
 
 echo "== asan: socket + replay lifetime paths =="
 cmake -B build-asan -S . -DLDP_SANITIZE=address >/dev/null

@@ -128,6 +128,9 @@ NanoDuration EventLoop::FireDueTimers(NanoDuration cap) {
     Timer timer = std::move(const_cast<Timer&>(top));
     timers_.pop();
     timer.flag->fired = true;
+    if (loop_lag_ != nullptr && now >= timer.deadline) {
+      loop_lag_->Record(static_cast<uint64_t>(now - timer.deadline));
+    }
     timer.fn();
   }
   return cap;
@@ -156,6 +159,9 @@ Status EventLoop::RunOnce(NanoDuration wait) {
     if (errno == EINTR) return Status::Ok();
     return Error(ErrorCode::kIoError,
                  std::string("epoll_wait: ") + std::strerror(errno));
+  }
+  if (epoll_batch_ != nullptr && count > 0) {
+    epoll_batch_->Record(static_cast<uint64_t>(count));
   }
   for (int i = 0; i < count; ++i) {
     if (events[i].data.fd == wakeup_fd_.get()) {

@@ -15,6 +15,7 @@
 
 #include "common/clock.h"
 #include "common/result.h"
+#include "stats/metrics.h"
 
 namespace ldp::net {
 
@@ -100,6 +101,17 @@ class EventLoop {
   size_t registered_fds() const { return handlers_.size(); }
   size_t pending_timers() const { return timers_.size(); }
 
+  // Optional observability hooks (loop-thread-only, like everything else):
+  // `loop_lag` records how late each timer fires (now - deadline, ns) — the
+  // early-warning signal for IO/timer starvation; `epoll_batch` records the
+  // number of ready events per epoll wakeup. Either may be nullptr. The
+  // histograms must outlive the loop.
+  void SetMetrics(stats::LogHistogram* loop_lag,
+                  stats::LogHistogram* epoll_batch) {
+    loop_lag_ = loop_lag;
+    epoll_batch_ = epoll_batch;
+  }
+
  private:
   EventLoop(int epoll_fd, int wakeup_fd)
       : epoll_fd_(epoll_fd), wakeup_fd_(wakeup_fd) {}
@@ -126,6 +138,8 @@ class EventLoop {
   uint64_t next_timer_seq_ = 0;
   std::unordered_map<int, std::shared_ptr<IoHandler>> handlers_;
   std::priority_queue<Timer, std::vector<Timer>, TimerLater> timers_;
+  stats::LogHistogram* loop_lag_ = nullptr;
+  stats::LogHistogram* epoll_batch_ = nullptr;
 };
 
 // Makes a socket non-blocking; returns the error from fcntl if any.

@@ -24,7 +24,8 @@ struct QueryJob {
 };
 
 // Shared across all distributor threads; snapshotted into the report after
-// they join.
+// they join. Held by shared_ptr so polled-metric lambdas registered in a
+// caller-owned registry stay valid after the replay returns.
 struct TransportCounters {
   stats::RelaxedCounter sent;
   stats::RelaxedCounter answered;
@@ -34,6 +35,32 @@ struct TransportCounters {
   stats::RelaxedCounter id_collisions;
   stats::RelaxedCounter tcp_reconnects;
   stats::RelaxedCounter tcp_idle_closes;
+};
+
+void RegisterTransportMetrics(stats::MetricsRegistry* metrics,
+                              std::shared_ptr<TransportCounters> counters) {
+  auto counter = [&](const char* name,
+                     stats::RelaxedCounter TransportCounters::*field) {
+    metrics->AddCounterFn(
+        name, [counters, field] { return (counters.get()->*field).Get(); });
+  };
+  counter("replay.sent", &TransportCounters::sent);
+  counter("replay.answered", &TransportCounters::answered);
+  counter("replay.timed_out", &TransportCounters::timed_out);
+  counter("replay.send_failed", &TransportCounters::send_failed);
+  counter("replay.retransmits", &TransportCounters::retransmits);
+  counter("replay.id_collisions", &TransportCounters::id_collisions);
+  counter("replay.tcp_reconnects", &TransportCounters::tcp_reconnects);
+  counter("replay.tcp_idle_closes", &TransportCounters::tcp_idle_closes);
+}
+
+// Per-querier live-metric instances (all nullptr when metrics are off).
+// Each querier gets its own instances under shared names; the registry
+// merges them at snapshot time, so recording never crosses threads.
+struct QuerierMetrics {
+  stats::LogHistogram* latency = nullptr;    // send→answer, ns
+  stats::Gauge* inflight = nullptr;          // non-terminal tracked queries
+  stats::LogHistogram* wheel_occupancy = nullptr;  // entries per tick
 };
 
 // Timer-wheel keys: UDP entries are the bare 16-bit ID; TCP entries pack
@@ -58,11 +85,13 @@ NanoDuration WheelTickFor(NanoDuration query_timeout) {
 class Querier {
  public:
   Querier(net::EventLoop& loop, const RealtimeConfig& config,
-          std::vector<SendOutcome>& sends, TransportCounters& counters)
+          std::vector<SendOutcome>& sends, TransportCounters& counters,
+          QuerierMetrics metrics = {})
       : loop_(loop),
         config_(config),
         sends_(sends),
         counters_(counters),
+        metrics_(metrics),
         tick_interval_(WheelTickFor(config.query_timeout)),
         wheel_(WheelTickFor(config.query_timeout), 512) {}
 
@@ -94,6 +123,10 @@ class Querier {
     SendOutcome& outcome = sends_[job.trace_index];
     outcome.trace_index = job.trace_index;
     outcome.trace_time = job.trace_time;
+    // Every accepted query raises the inflight gauge here; the matching
+    // decrement happens on its terminal transition (Terminal/RecordAnswer),
+    // so failure paths that go terminal immediately still balance.
+    if (metrics_.inflight != nullptr) metrics_.inflight->Add(1);
 
     if (job.record.protocol == trace::Protocol::kUdp) {
       SendUdp(job, query);
@@ -192,6 +225,7 @@ class Querier {
     } else if (state == SendOutcome::State::kSendFailed) {
       counters_.send_failed.Add();
     }
+    if (metrics_.inflight != nullptr) metrics_.inflight->Add(-1);
   }
 
   void RecordAnswer(uint64_t trace_index) {
@@ -200,6 +234,11 @@ class Querier {
     outcome.state = SendOutcome::State::kAnswered;
     outcome.replied = MonotonicNow() - epoch_mono_;
     counters_.answered.Add();
+    if (metrics_.inflight != nullptr) metrics_.inflight->Add(-1);
+    if (metrics_.latency != nullptr && outcome.replied > outcome.sent) {
+      metrics_.latency->Record(
+          static_cast<uint64_t>(outcome.replied - outcome.sent));
+    }
   }
 
   void MaybeIdle() {
@@ -225,6 +264,9 @@ class Querier {
 
   void OnTick() {
     tick_armed_ = false;
+    if (metrics_.wheel_occupancy != nullptr) {
+      metrics_.wheel_occupancy->Record(wheel_.size());
+    }
     expired_.clear();
     wheel_.Advance(MonotonicNow(), expired_);
     for (uint64_t key : expired_) {
@@ -606,6 +648,7 @@ class Querier {
   const RealtimeConfig config_;
   std::vector<SendOutcome>& sends_;
   TransportCounters& counters_;
+  QuerierMetrics metrics_;
   std::function<void()> on_idle_;
 
   std::unique_ptr<net::UdpSocket> udp_;
@@ -638,11 +681,13 @@ class Distributor {
  public:
   Distributor(const RealtimeConfig& config, NanoTime trace_epoch_rebased,
               NanoTime epoch_mono, std::vector<SendOutcome>& sends,
-              TransportCounters& counters, uint64_t seed)
+              TransportCounters& counters, uint64_t seed,
+              stats::MetricsSnapshotter* snapshotter)
       : config_(config),
         epoch_mono_(epoch_mono),
         sends_(sends),
         counters_(counters),
+        snapshotter_(snapshotter),
         assigner_(config.queriers_per_distributor, seed) {
     scheduler_.Synchronize(trace_epoch_rebased, epoch_mono);
   }
@@ -665,10 +710,21 @@ class Distributor {
       return;
     }
     loop_ = std::move(*loop);
+    if (config_.metrics != nullptr) {
+      loop_->SetMetrics(config_.metrics->AddHistogram("replay.loop_lag_ns"),
+                        config_.metrics->AddHistogram("replay.epoll_batch"));
+    }
 
     for (size_t i = 0; i < config_.queriers_per_distributor; ++i) {
+      QuerierMetrics qm;
+      if (config_.metrics != nullptr) {
+        qm.latency = config_.metrics->AddHistogram("replay.latency_ns");
+        qm.inflight = config_.metrics->AddGauge("replay.inflight");
+        qm.wheel_occupancy =
+            config_.metrics->AddHistogram("replay.wheel_occupancy");
+      }
       queriers_.push_back(std::make_unique<Querier>(*loop_, config_, sends_,
-                                                    counters_));
+                                                    counters_, qm));
       auto status = queriers_.back()->Init();
       if (!status.ok()) {
         status_ = status;
@@ -683,7 +739,17 @@ class Distributor {
       status_ = status;
       return;
     }
+    if (snapshotter_ != nullptr) ArmSnapshot();
     loop_->Run();
+  }
+
+  // Periodic JSONL rows from this loop thread; the chain dies with the
+  // loop (a stopped loop never fires the re-armed timer).
+  void ArmSnapshot() {
+    loop_->ScheduleAfter(snapshotter_->interval(), [this]() {
+      snapshotter_->WriteNow();
+      ArmSnapshot();
+    });
   }
 
   void OnQueue() {
@@ -772,6 +838,7 @@ class Distributor {
   NanoTime epoch_mono_;
   std::vector<SendOutcome>& sends_;
   TransportCounters& counters_;
+  stats::MetricsSnapshotter* snapshotter_;
   StickyAssigner assigner_;
   ReplayScheduler scheduler_;
   NotifyQueue<QueryJob> queue_;
@@ -864,16 +931,22 @@ Result<RealtimeReport> RunRealtimeReplay(
   RealtimeReport report;
   report.sends.resize(records.size());
 
-  TransportCounters counters;
+  auto counters = std::make_shared<TransportCounters>();
+  if (config.metrics != nullptr) {
+    RegisterTransportMetrics(config.metrics, counters);
+  }
   NanoTime trace_epoch = records.front().timestamp;
   NanoTime epoch_mono = MonotonicNow() + config.start_delay;
 
   // Postman: sticky same-source assignment of queries to distributors.
+  // Distributor 0 drives the snapshotter so rows come from exactly one
+  // thread.
   std::vector<std::unique_ptr<Distributor>> distributors;
   StickyAssigner postman(config.n_distributors, config.seed);
   for (size_t i = 0; i < config.n_distributors; ++i) {
     distributors.push_back(std::make_unique<Distributor>(
-        config, 0, epoch_mono, report.sends, counters, config.seed + 1 + i));
+        config, 0, epoch_mono, report.sends, *counters, config.seed + 1 + i,
+        i == 0 ? config.snapshotter : nullptr));
     distributors.back()->Start();
   }
 
@@ -923,16 +996,19 @@ Result<RealtimeReport> RunRealtimeReplay(
     if (!distributor->status().ok()) return distributor->status().error();
   }
 
-  report.queries_sent = counters.sent.Get();
-  report.answered = counters.answered.Get();
+  report.queries_sent = counters->sent.Get();
+  report.answered = counters->answered.Get();
   report.replies = report.answered;
-  report.timed_out = counters.timed_out.Get();
-  report.send_failed = counters.send_failed.Get();
-  report.retransmits = counters.retransmits.Get();
-  report.id_collisions = counters.id_collisions.Get();
-  report.tcp_reconnects = counters.tcp_reconnects.Get();
-  report.tcp_idle_closes = counters.tcp_idle_closes.Get();
+  report.timed_out = counters->timed_out.Get();
+  report.send_failed = counters->send_failed.Get();
+  report.retransmits = counters->retransmits.Get();
+  report.id_collisions = counters->id_collisions.Get();
+  report.tcp_reconnects = counters->tcp_reconnects.Get();
+  report.tcp_idle_closes = counters->tcp_idle_closes.Get();
   report.wall_duration = MonotonicNow() - wall_start;
+  // Final row after every distributor joined: cumulative counters are
+  // settled, so this row reconciles exactly with the returned report.
+  if (config.snapshotter != nullptr) config.snapshotter->WriteNow();
   return report;
 }
 

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "stats/metrics.h"
 #include "stats/summary.h"
 #include "trace/record.h"
 
@@ -83,6 +84,19 @@ struct RealtimeConfig {
   // resumes draining.
   size_t tcp_write_high_watermark = 256 * 1024;
   size_t tcp_write_low_watermark = 64 * 1024;
+
+  // --- Live metrics (both optional) ---
+
+  // Registry for live counters/histograms: transport outcome counters
+  // (replay.sent/answered/timed_out/send_failed/...), per-querier
+  // send→answer latency histograms, inflight-depth gauges, timer-wheel
+  // occupancy, and per-distributor loop-lag / epoll-batch histograms.
+  // Must outlive the replay call AND any snapshots taken after it.
+  stats::MetricsRegistry* metrics = nullptr;
+  // When set, distributor 0 drives it: one JSONL row per interval() from
+  // its own loop thread, plus a final row after all distributors join (so
+  // the last row reconciles exactly with the returned report).
+  stats::MetricsSnapshotter* snapshotter = nullptr;
 };
 
 struct SendOutcome {

@@ -8,7 +8,25 @@
 namespace ldp::resolver {
 
 SimResolver::SimResolver(sim::SimNetwork& net, ResolverConfig config)
-    : net_(net), config_(std::move(config)) {}
+    : net_(net), config_(std::move(config)) {
+  if (config_.metrics != nullptr) {
+    // Polled counters over the resolver's own stats: the lambdas read
+    // plain fields, so (like the rest of the sim) snapshots must come from
+    // the sim thread. The registry must outlive the resolver.
+    auto counter = [this](const char* name, uint64_t ResolverStats::*field) {
+      config_.metrics->AddCounterFn(name,
+                                    [this, field] { return stats_.*field; });
+    };
+    counter("resolver.stub_queries", &ResolverStats::stub_queries);
+    counter("resolver.upstream_queries", &ResolverStats::upstream_queries);
+    counter("resolver.cache_hits", &ResolverStats::cache_hits);
+    counter("resolver.cache_misses", &ResolverStats::cache_misses);
+    counter("resolver.servfails", &ResolverStats::servfails);
+    counter("resolver.nxdomains", &ResolverStats::nxdomains);
+    counter("resolver.tcp_fallbacks", &ResolverStats::tcp_fallbacks);
+    upstream_rtt_ = config_.metrics->AddHistogram("resolver.upstream_rtt_ns");
+  }
+}
 
 Status SimResolver::Start() {
   return net_.ListenUdp(Endpoint{config_.address, config_.port},
@@ -87,6 +105,7 @@ bool SimResolver::TryCache(const TaskPtr& task) {
 
 void SimResolver::StartTask(TaskPtr task) {
   if (TryCache(task)) return;
+  ++stats_.cache_misses;
 
   // Iteration resumes below the deepest cached delegation; with a cold
   // cache that is the root hints.
@@ -146,6 +165,7 @@ void SimResolver::SendUpstream(TaskPtr task) {
   query.edns = dns::Edns{.udp_payload_size = 4096};
 
   ++stats_.upstream_queries;
+  task->sent_at = net_.simulator().Now();
   net_.SendUdp(Endpoint{config_.address, task->port},
                Endpoint{server, 53}, query.Encode());
 
@@ -231,6 +251,9 @@ void SimResolver::RetryOverTcp(TaskPtr task, IpAddress server) {
 void SimResolver::ProcessResponse(TaskPtr task, const dns::Message& message) {
   const dns::Message* response = &message;
   NanoTime now = net_.simulator().Now();
+  if (upstream_rtt_ != nullptr && task->sent_at > 0 && now >= task->sent_at) {
+    upstream_rtt_->Record(static_cast<uint64_t>(now - task->sent_at));
+  }
 
   // Cache everything the response teaches us.
   auto cache_records = [&](const std::vector<dns::ResourceRecord>& records) {

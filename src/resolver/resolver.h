@@ -18,6 +18,7 @@
 #include "resolver/cache.h"
 #include "sim/network.h"
 #include "sim/tcp.h"
+#include "stats/metrics.h"
 
 namespace ldp::resolver {
 
@@ -29,12 +30,18 @@ struct ResolverConfig {
   int max_retries = 2;     // per nameserver set
   int max_referrals = 16;  // hierarchy depth bound
   int max_cname_chain = 8;
+  // Optional live-metrics registry (must outlive the resolver). Registers
+  // polled counters over the resolver's own stats plus an upstream-RTT
+  // histogram. The resolver is single-threaded sim code, so snapshots must
+  // be taken from the sim thread.
+  stats::MetricsRegistry* metrics = nullptr;
 };
 
 struct ResolverStats {
   uint64_t stub_queries = 0;
   uint64_t upstream_queries = 0;
   uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;   // lookups that had to start an iteration
   uint64_t servfails = 0;
   uint64_t nxdomains = 0;
   uint64_t tcp_fallbacks = 0;  // truncated UDP answers retried over TCP
@@ -68,6 +75,7 @@ class SimResolver {
     int cname_left = 0;
     uint16_t port = 0;                // our ephemeral upstream port
     uint16_t query_id = 0;
+    NanoTime sent_at = 0;             // sim time of the last upstream send
     std::vector<dns::ResourceRecord> answer_prefix;  // chased CNAMEs
     sim::EventHandle timeout;
   };
@@ -95,6 +103,7 @@ class SimResolver {
   ResolverConfig config_;
   ResolverCache cache_;
   ResolverStats stats_;
+  stats::LogHistogram* upstream_rtt_ = nullptr;  // registry-owned, optional
   std::unique_ptr<sim::SimTcpStack> tcp_stack_;  // lazy: TC fallback only
   uint16_t next_port_ = 10000;
   uint16_t next_id_ = 1;

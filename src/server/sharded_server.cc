@@ -4,6 +4,36 @@
 
 namespace ldp::server {
 
+namespace {
+
+// Registers one polled counter per engine stat under shared names; the
+// registry merges same-named entries across shards at snapshot time. The
+// lambdas capture the engine shared_ptr, so they stay valid even if the
+// server stops before the registry's last snapshot.
+void RegisterEngineMetrics(stats::MetricsRegistry* metrics,
+                           std::shared_ptr<AuthServerEngine> engine) {
+  auto counter = [&](const char* name, uint64_t EngineStats::*field) {
+    metrics->AddCounterFn(name,
+                          [engine, field] { return engine->stats().*field; });
+  };
+  counter("server.queries", &EngineStats::queries);
+  counter("server.responses", &EngineStats::responses);
+  counter("server.dropped", &EngineStats::dropped);
+  counter("server.refused", &EngineStats::refused);
+  counter("server.nxdomain", &EngineStats::nxdomain);
+  counter("server.truncated", &EngineStats::truncated);
+  counter("server.response_bytes", &EngineStats::response_bytes);
+  counter("server.cache_hits", &EngineStats::cache_hits);
+  counter("server.cache_misses", &EngineStats::cache_misses);
+  counter("server.cache_bypass", &EngineStats::cache_bypass);
+  counter("server.cache_evictions", &EngineStats::cache_evictions);
+  metrics->AddGaugeFn("server.cache_size", [engine] {
+    return static_cast<int64_t>(engine->stats().cache_size);
+  });
+}
+
+}  // namespace
+
 Result<std::unique_ptr<ShardedDnsServer>> ShardedDnsServer::Start(
     std::shared_ptr<const zone::ViewTable> views, const Config& config) {
   size_t n_shards = config.n_shards;
@@ -25,6 +55,13 @@ Result<std::unique_ptr<ShardedDnsServer>> ShardedDnsServer::Start(
     shard_config.tcp_idle_timeout = config.tcp_idle_timeout;
     shard_config.udp_reuse_port = true;
     shard_config.udp_recv_buffer_bytes = config.udp_recv_buffer_bytes;
+    if (config.metrics != nullptr) {
+      RegisterEngineMetrics(config.metrics, shard->engine);
+      shard->loop->SetMetrics(config.metrics->AddHistogram("server.loop_lag_ns"),
+                              config.metrics->AddHistogram("server.epoll_batch"));
+      shard_config.udp_batch_hist =
+          config.metrics->AddHistogram("server.udp_batch");
+    }
     LDP_ASSIGN_OR_RETURN(
         shard->server,
         SocketDnsServer::Start(*shard->loop, shard->engine, shard_config));

@@ -30,6 +30,11 @@ class ShardedDnsServer {
     // it so query bursts queue in the kernel while a worker drains a batch.
     int udp_recv_buffer_bytes = 0;
     EngineOptions engine;   // per-shard engine options (response cache)
+    // Optional live-metrics registry (must outlive the server). Each shard
+    // registers polled counters over its engine's existing relaxed-atomic
+    // stats (zero added hot-path cost) plus loop-lag / epoll-batch /
+    // udp-batch histograms on its own EventLoop.
+    stats::MetricsRegistry* metrics = nullptr;
   };
 
   // Binds every shard (resolving an ephemeral port via shard 0), then

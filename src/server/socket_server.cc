@@ -40,6 +40,9 @@ void SocketDnsServer::OnUdpBatch(
     std::span<const net::UdpSocket::RecvItem> batch) {
   // Serve the whole readiness batch, then flush every reply with one
   // sendmmsg — the syscall cost amortizes across the batch both ways.
+  if (config_.udp_batch_hist != nullptr && !batch.empty()) {
+    config_.udp_batch_hist->Record(batch.size());
+  }
   reply_bufs_.clear();
   reply_items_.clear();
   for (const auto& datagram : batch) {

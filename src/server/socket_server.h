@@ -10,6 +10,7 @@
 #include "dns/framing.h"
 #include "net/sockets.h"
 #include "server/engine.h"
+#include "stats/metrics.h"
 
 namespace ldp::server {
 
@@ -25,6 +26,9 @@ class SocketDnsServer {
     // SO_RCVBUF for the UDP socket (0 = kernel default); bursts queue in
     // the kernel instead of dropping while the worker is mid-batch.
     int udp_recv_buffer_bytes = 0;
+    // Optional: records datagrams per recvmmsg readiness batch. Must
+    // outlive the server (owned by a MetricsRegistry).
+    stats::LogHistogram* udp_batch_hist = nullptr;
   };
 
   static Result<std::unique_ptr<SocketDnsServer>> Start(

@@ -1,0 +1,222 @@
+// Live metrics: named counters, gauges, and log-bucketed streaming
+// histograms observable *while* a replay or server is running, plus a
+// snapshotter that appends periodic JSONL rows to a file. The post-hoc
+// stats (summary.h) buffer every sample and sort on demand — fine for
+// figure generation after the run, useless for watching a million-QPS
+// experiment between start and final report.
+//
+// Threading contract (mirrors counters.h): recording on hot paths is one
+// uncontended relaxed atomic op — no locks, no fences. Registration takes
+// a mutex (cold path, once per shard/querier at startup), and a snapshot
+// thread may read concurrently with writers: each cell is individually
+// exact, the set is loosely consistent, which aggregation tolerates.
+//
+// Per-shard / per-querier pattern: every Add*() call creates a NEW metric
+// instance registered under the given name; instances sharing a name are
+// merged at snapshot time (counters and histogram buckets sum, gauges
+// sum). Writers therefore never share a cache line across threads.
+#ifndef LDPLAYER_STATS_METRICS_H
+#define LDPLAYER_STATS_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+
+namespace ldp::stats {
+
+// Monotonic event counter (see counters.h for the relaxed-order rationale).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Get() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// A level that moves both ways: inflight depth, backlog length, occupancy.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Get() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Point-in-time view of one LogHistogram (or a merge of several).
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  std::vector<uint64_t> buckets;  // dense, indexed like LogHistogram
+
+  // Quantile over the bucketed distribution: the representative (midpoint)
+  // value of the bucket holding rank q*count. Bucket width is <= 1/16 of
+  // the value (exact below 32), so the answer is within one sub-bucket of
+  // the true quantile — "within 2 log-buckets" by a wide margin.
+  double Quantile(double q) const;
+
+  HistogramSnapshot& Merge(const HistogramSnapshot& other);
+};
+
+// Log-bucketed streaming histogram over uint64 values (latencies in ns,
+// batch sizes, queue depths). Fixed 1040-bucket layout: values below 32
+// are exact; above, each power of two splits into 16 sub-buckets (6.25%
+// relative width). Record is two relaxed adds plus a relaxed max — cheap
+// enough for per-query hot paths; memory is ~8 KB per instance.
+class LogHistogram {
+ public:
+  static constexpr int kSubBucketBits = 4;                  // 16 per octave
+  static constexpr uint64_t kSubBuckets = 1u << kSubBucketBits;
+  // Values < 2*kSubBuckets map to themselves; octaves 5..63 add 16 each.
+  static constexpr size_t kNumBuckets =
+      2 * kSubBuckets + (63 - kSubBucketBits) * kSubBuckets;
+
+  LogHistogram() = default;
+  LogHistogram(const LogHistogram&) = delete;
+  LogHistogram& operator=(const LogHistogram&) = delete;
+
+  void Record(uint64_t value) {
+    buckets_[IndexFor(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen && !max_.compare_exchange_weak(
+                               seen, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  // Loosely-consistent copy of the current state (safe during Record).
+  HistogramSnapshot Snapshot() const;
+
+  // Bucket index for a value; inverse helpers give the covered range.
+  static size_t IndexFor(uint64_t value);
+  static uint64_t BucketLowerBound(size_t index);
+  static double BucketMidpoint(size_t index);
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+// One merged view of every metric in a registry, names sorted.
+struct MetricsSnapshot {
+  NanoTime taken_at = 0;  // snapshotter clock at capture time
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  // 0 / nullptr when the name was never registered.
+  uint64_t CounterValue(const std::string& name) const;
+  int64_t GaugeValue(const std::string& name) const;
+  const HistogramSnapshot* Histogram(const std::string& name) const;
+};
+
+// Owns the metric instances; hands out stable pointers for hot-path
+// recording. The registry must outlive every component holding one of its
+// pointers (tools create it in main; benches per phase).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Each call creates a fresh instance under `name` (per-shard pattern —
+  // see the file comment). Pointers stay valid for the registry lifetime.
+  Counter* AddCounter(const std::string& name);
+  Gauge* AddGauge(const std::string& name);
+  LogHistogram* AddHistogram(const std::string& name);
+
+  // Polled metrics: read an existing subsystem's own counters at snapshot
+  // time — zero added hot-path cost. The function runs on the snapshot
+  // thread, so it must only read data that is safe to read from there
+  // (relaxed atomics, or single-threaded sim state snapshotted in-thread).
+  void AddCounterFn(const std::string& name, std::function<uint64_t()> fn);
+  void AddGaugeFn(const std::string& name, std::function<int64_t()> fn);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;  // guards the containers, not the cells
+  std::deque<std::pair<std::string, Counter>> counters_;
+  std::deque<std::pair<std::string, Gauge>> gauges_;
+  std::deque<std::pair<std::string, LogHistogram>> histograms_;
+  std::vector<std::pair<std::string, std::function<uint64_t()>>> counter_fns_;
+  std::vector<std::pair<std::string, std::function<int64_t()>>> gauge_fns_;
+};
+
+// Appends one JSONL row per WriteNow() call:
+//
+//   {"ts_ms":..., "seq":N, "counters":{"name":{"total":T,"delta":D},...},
+//    "gauges":{"name":V,...},
+//    "histograms":{"name":{"count":C,"p50":...,"p95":...,"p99":...,
+//                          "max":...,"mean":...},...}}
+//
+// Deltas are against the previous row, so `delta / (interval)` is a live
+// rate. Histogram percentiles are cumulative over the run so the final row
+// reconciles with the post-hoc report. The caller owns the cadence: arm a
+// repeating timer on whatever event loop owns the snapshotter and call
+// WriteNow() from that one thread (writers keep recording concurrently —
+// that is the point).
+class MetricsSnapshotter {
+ public:
+  struct Options {
+    std::string path;                  // empty = history only, no file
+    NanoDuration interval = Seconds(1);
+    bool keep_history = false;         // retain every MetricsSnapshot
+    std::function<NanoTime()> clock;   // default WallNow (sim: Simulator::Now)
+  };
+
+  MetricsSnapshotter(const MetricsRegistry& registry, Options options);
+  ~MetricsSnapshotter();
+  MetricsSnapshotter(const MetricsSnapshotter&) = delete;
+  MetricsSnapshotter& operator=(const MetricsSnapshotter&) = delete;
+
+  // Opens (truncates) the output file. No-op when path is empty.
+  Status Open();
+
+  // Takes one snapshot, appends the JSONL row, returns the snapshot.
+  const MetricsSnapshot& WriteNow();
+
+  NanoDuration interval() const { return options_.interval; }
+  uint64_t rows_written() const { return seq_; }
+  const std::vector<MetricsSnapshot>& history() const { return history_; }
+
+ private:
+  std::string FormatRow(const MetricsSnapshot& snapshot) const;
+
+  const MetricsRegistry& registry_;
+  Options options_;
+  std::FILE* file_ = nullptr;
+  uint64_t seq_ = 0;
+  MetricsSnapshot last_;
+  bool have_last_ = false;
+  std::vector<MetricsSnapshot> history_;
+};
+
+}  // namespace ldp::stats
+
+#endif  // LDPLAYER_STATS_METRICS_H

@@ -56,13 +56,10 @@ void Summary::Finalize() {
   sorted_ = true;
 }
 
-double Summary::Quantile(double q) const {
-  if (samples_.empty()) return 0;
-  if (q <= 0) return sorted_ ? samples_.front() : Min();
-  if (q >= 1) return sorted_ ? samples_.back() : Max();
-
-  const std::vector<double>& sorted =
-      sorted_ ? samples_ : (samples_ = SortedCopy(), sorted_ = true, samples_);
+double Summary::QuantileFromSorted(const std::vector<double>& sorted,
+                                   double q) {
+  if (q <= 0) return sorted.front();
+  if (q >= 1) return sorted.back();
   // Linear interpolation between closest ranks (type-7 quantile, same as R
   // and numpy defaults).
   double rank = q * static_cast<double>(sorted.size() - 1);
@@ -72,19 +69,44 @@ double Summary::Quantile(double q) const {
   return sorted[lo] * (1 - frac) + sorted[lo + 1] * frac;
 }
 
+double Summary::Quantile(double q) const {
+  if (samples_.empty()) return 0;
+  // Finalize() is the only sort-in-place point; an unfinalized Summary sorts
+  // a copy per call so const access never mutates shared state (a snapshot
+  // thread may summarize while another thread reads).
+  if (sorted_) return QuantileFromSorted(samples_, q);
+  return QuantileFromSorted(SortedCopy(), q);
+}
+
 Distribution Summary::Summarize() const {
   Distribution d;
   d.count = samples_.size();
   if (samples_.empty()) return d;
-  d.mean = Mean();
-  d.stddev = Stddev();
-  d.min = Quantile(0);
-  d.p5 = Quantile(0.05);
-  d.p25 = Quantile(0.25);
-  d.p50 = Quantile(0.50);
-  d.p75 = Quantile(0.75);
-  d.p95 = Quantile(0.95);
-  d.max = Quantile(1);
+  // One sort at most, then every statistic from the same sorted vector:
+  // min/max are the ends, quantiles index in, and the moments come from a
+  // single Welford pass.
+  std::vector<double> copy;
+  if (!sorted_) copy = SortedCopy();
+  const std::vector<double>& sorted = sorted_ ? samples_ : copy;
+  double mean = 0;
+  double m2 = 0;
+  size_t k = 0;
+  for (double s : sorted) {
+    ++k;
+    double delta = s - mean;
+    mean += delta / static_cast<double>(k);
+    m2 += delta * (s - mean);
+  }
+  d.mean = mean;
+  d.stddev =
+      d.count > 1 ? std::sqrt(m2 / static_cast<double>(d.count - 1)) : 0;
+  d.min = sorted.front();
+  d.p5 = QuantileFromSorted(sorted, 0.05);
+  d.p25 = QuantileFromSorted(sorted, 0.25);
+  d.p50 = QuantileFromSorted(sorted, 0.50);
+  d.p75 = QuantileFromSorted(sorted, 0.75);
+  d.p95 = QuantileFromSorted(sorted, 0.95);
+  d.max = sorted.back();
   return d;
 }
 
@@ -94,12 +116,26 @@ std::vector<CdfPoint> EmpiricalCdf(std::vector<double> samples,
   if (samples.empty()) return out;
   std::sort(samples.begin(), samples.end());
   size_t n = samples.size();
-  size_t step = n <= max_points ? 1 : n / max_points;
+  if (max_points <= 1) return {CdfPoint{samples.back(), 1.0}};
+  // Ceiling stride keeps strided points <= max_points - 1 when downsampling,
+  // leaving room for the forced final point at (max, 1.0).
+  size_t step = n <= max_points ? 1 : (n + max_points - 2) / (max_points - 1);
   for (size_t i = 0; i < n; i += step) {
-    out.push_back(CdfPoint{samples[i],
-                           static_cast<double>(i + 1) / static_cast<double>(n)});
+    double value = samples[i];
+    double fraction = static_cast<double>(i + 1) / static_cast<double>(n);
+    // Equal sample values collapse into one point at the highest fraction
+    // reached — duplicate x values make the plotted CDF non-functional.
+    if (!out.empty() && out.back().value == value) {
+      out.back().fraction = fraction;
+    } else {
+      out.push_back(CdfPoint{value, fraction});
+    }
   }
-  if (out.back().fraction < 1.0) {
+  // The CDF must end at (max, 1.0); extend the last point if it is already
+  // at the max, otherwise append the endpoint.
+  if (out.back().value == samples.back()) {
+    out.back().fraction = 1.0;
+  } else {
     out.push_back(CdfPoint{samples.back(), 1.0});
   }
   return out;

@@ -27,9 +27,16 @@ struct Distribution {
 
 // Accumulates raw samples; quantiles are exact (computed by sorting a copy,
 // or in place via Finalize). Suits experiment-sized sample counts (≤ 10^8).
+//
+// Thread safety: const accessors never mutate state, so concurrent reads of
+// a quiescent Summary are safe. Call Finalize() once writing is done to make
+// repeated Quantile calls O(1); before that each call sorts a copy.
 class Summary {
  public:
-  void Add(double sample) { samples_.push_back(sample); }
+  void Add(double sample) {
+    samples_.push_back(sample);
+    sorted_ = false;
+  }
   void AddAll(const std::vector<double>& samples);
 
   size_t count() const { return samples_.size(); }
@@ -52,11 +59,15 @@ class Summary {
 
   void Clear() { samples_.clear(); sorted_ = false; }
 
+  // Exact type-7 quantile over an already-sorted, non-empty sample vector.
+  // Shared with the metrics layer's accuracy tests.
+  static double QuantileFromSorted(const std::vector<double>& sorted, double q);
+
  private:
   std::vector<double> SortedCopy() const;
 
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = false;
+  std::vector<double> samples_;
+  bool sorted_ = false;
 };
 
 // Points of the empirical CDF, downsampled to at most `max_points` for

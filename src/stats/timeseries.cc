@@ -10,15 +10,25 @@ void RateCounter::Record(NanoTime t, uint64_t count) {
     have_origin_ = true;
   }
   if (t < origin_) {
-    // Shift the origin down to cover earlier events.
-    int64_t shift_buckets =
-        (origin_ - t + bucket_width_ - 1) / bucket_width_;
+    // Shift the origin down to cover earlier events — unless doing so would
+    // blow the bucket cap, in which case the outlier is discarded.
+    uint64_t shift_buckets = static_cast<uint64_t>(
+        (origin_ - t + bucket_width_ - 1) / bucket_width_);
+    if (shift_buckets > max_buckets_ ||
+        buckets_.size() + shift_buckets > max_buckets_) {
+      discarded_ += count;
+      return;
+    }
     buckets_.insert(buckets_.begin(), static_cast<size_t>(shift_buckets), 0);
-    origin_ -= shift_buckets * bucket_width_;
+    origin_ -= static_cast<NanoDuration>(shift_buckets) * bucket_width_;
   }
-  size_t index = static_cast<size_t>((t - origin_) / bucket_width_);
+  uint64_t index = static_cast<uint64_t>((t - origin_) / bucket_width_);
+  if (index >= max_buckets_) {
+    discarded_ += count;
+    return;
+  }
   if (index >= buckets_.size()) buckets_.resize(index + 1, 0);
-  buckets_[index] += count;
+  buckets_[static_cast<size_t>(index)] += count;
   total_ += count;
 }
 

@@ -13,10 +13,19 @@ namespace ldp::stats {
 // Counts events into fixed-width time buckets starting at a configurable
 // origin. Used to compute per-second query rates of original and replayed
 // traces.
+//
+// Growth is bounded: a sample whose timestamp would require more than
+// `max_buckets` buckets (in either direction — one corrupt far-future or
+// far-past trace timestamp, not gigabytes of zeros) is dropped and counted
+// in discarded(). The default cap covers ~45 days at 1-second buckets.
 class RateCounter {
  public:
-  explicit RateCounter(NanoDuration bucket_width = kNanosPerSecond)
-      : bucket_width_(bucket_width) {}
+  static constexpr size_t kDefaultMaxBuckets = 1u << 22;  // ~4M
+
+  explicit RateCounter(NanoDuration bucket_width = kNanosPerSecond,
+                       size_t max_buckets = kDefaultMaxBuckets)
+      : bucket_width_(bucket_width),
+        max_buckets_(max_buckets > 0 ? max_buckets : 1) {}
 
   void Record(NanoTime t, uint64_t count = 1);
 
@@ -31,12 +40,17 @@ class RateCounter {
   NanoDuration bucket_width() const { return bucket_width_; }
   uint64_t total() const { return total_; }
 
+  // Samples dropped because they fell outside the max_buckets window.
+  uint64_t discarded() const { return discarded_; }
+
  private:
   NanoDuration bucket_width_;
+  size_t max_buckets_;
   NanoTime origin_ = 0;
   bool have_origin_ = false;
   std::vector<uint64_t> buckets_;
   uint64_t total_ = 0;
+  uint64_t discarded_ = 0;
 };
 
 // A sampled gauge: (time, value) pairs, e.g. bytes of memory over minutes.

@@ -49,6 +49,7 @@ TEST_F(ProxyTest, RecursiveProxyRewritesQuery) {
   EXPECT_EQ(at_meta.dst_port, 53);
   EXPECT_EQ(at_meta.payload, Bytes{0x42});
   EXPECT_EQ(proxy.stats().rewritten, 1u);
+  EXPECT_EQ(proxy.stats().passed_through, 0u);
 }
 
 TEST_F(ProxyTest, AuthoritativeProxyRestoresReplySource) {
@@ -71,6 +72,7 @@ TEST_F(ProxyTest, AuthoritativeProxyRestoresReplySource) {
   EXPECT_EQ(at_recursive.dst, recursive_);
   EXPECT_EQ(at_recursive.dst_port, 12345);
   EXPECT_EQ(proxy.stats().rewritten, 1u);
+  EXPECT_EQ(proxy.stats().passed_through, 0u);
 }
 
 TEST_F(ProxyTest, RoundTripComposesToIdentityForTheResolver) {
@@ -101,6 +103,29 @@ TEST_F(ProxyTest, RoundTripComposesToIdentityForTheResolver) {
   EXPECT_EQ(reply->src, oqda_);       // reply source == query destination
   EXPECT_EQ(reply->src_port, 53);
   EXPECT_EQ(reply->payload, (Bytes{1, 2, 3}));
+  // Exactly one rewrite on each leg, nothing bypassed either proxy.
+  EXPECT_EQ(rproxy.stats().rewritten, 1u);
+  EXPECT_EQ(rproxy.stats().passed_through, 0u);
+  EXPECT_EQ(aproxy.stats().rewritten, 1u);
+  EXPECT_EQ(aproxy.stats().passed_through, 0u);
+}
+
+TEST_F(ProxyTest, RewriteCountersTallyPerPacket) {
+  // Every egress packet lands in exactly one of the two counters, so
+  // rewritten + passed_through accounts for all traffic the hook saw.
+  RecursiveProxy proxy(net_, recursive_, meta_);
+  IpAddress web(203, 0, 113, 80);
+  for (int i = 0; i < 3; ++i) {
+    net_.SendUdp(Endpoint{recursive_, static_cast<uint16_t>(20000 + i)},
+                 Endpoint{oqda_, 53}, {static_cast<uint8_t>(i)});
+  }
+  for (int i = 0; i < 2; ++i) {
+    net_.SendUdp(Endpoint{recursive_, static_cast<uint16_t>(21000 + i)},
+                 Endpoint{web, 80}, {static_cast<uint8_t>(i)});
+  }
+  sim_.Run();
+  EXPECT_EQ(proxy.stats().rewritten, 3u);
+  EXPECT_EQ(proxy.stats().passed_through, 2u);
 }
 
 TEST_F(ProxyTest, NonDnsTrafficPassesThrough) {

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "common/rng.h"
 #include "stats/summary.h"
 #include "stats/table.h"
@@ -63,6 +66,43 @@ TEST(Summary, FinalizeKeepsQuantilesConsistent) {
   }
 }
 
+TEST(Summary, ConcurrentConstQuantileReads) {
+  // Regression: const Quantile() used to lazily sort the shared sample
+  // buffer, so concurrent readers raced. Now an unfinalized Summary sorts
+  // a private copy per call — run this under tsan to hold the contract.
+  Summary s;
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) s.Add(rng.NextDouble(0, 1000));
+  double expected_p50 = s.Quantile(0.5);
+  Distribution expected = s.Summarize();
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        if (s.Quantile(0.5) != expected_p50) mismatches.fetch_add(1);
+        if (s.Summarize().p95 != expected.p95) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(Summary, SummarizeMatchesDirectStats) {
+  // The single-sorted-pass Summarize must agree with the per-field
+  // accessors it replaced.
+  Summary s;
+  Rng rng(13);
+  for (int i = 0; i < 5000; ++i) s.Add(rng.NextDouble(-50, 50));
+  Distribution d = s.Summarize();
+  EXPECT_DOUBLE_EQ(d.min, s.Min());
+  EXPECT_DOUBLE_EQ(d.max, s.Max());
+  EXPECT_NEAR(d.mean, s.Mean(), 1e-9);
+  EXPECT_NEAR(d.stddev, s.Stddev(), 1e-9);
+  EXPECT_DOUBLE_EQ(d.p50, s.Quantile(0.5));
+}
+
 TEST(Cdf, CoversFullRange) {
   std::vector<double> samples;
   for (int i = 1; i <= 1000; ++i) samples.push_back(i);
@@ -75,6 +115,38 @@ TEST(Cdf, CoversFullRange) {
     EXPECT_GE(cdf[i].value, cdf[i - 1].value);
     EXPECT_GE(cdf[i].fraction, cdf[i - 1].fraction);
   }
+}
+
+TEST(Cdf, DedupesEqualValues) {
+  // Regression: heavy duplicate mass used to emit several points with the
+  // same x, making the plotted CDF non-functional.
+  std::vector<double> samples(1000, 5.0);
+  samples.push_back(9.0);
+  auto cdf = EmpiricalCdf(samples, 10);
+  ASSERT_EQ(cdf.size(), 2u);
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GT(cdf[i].value, cdf[i - 1].value);
+  }
+  EXPECT_DOUBLE_EQ(cdf.front().value, 5.0);
+  EXPECT_GT(cdf.front().fraction, 0.8);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 9.0);
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+}
+
+TEST(Cdf, NeverExceedsMaxPoints) {
+  // Regression: the stride used to allow max_points + 1 output points.
+  std::vector<double> samples;
+  for (int i = 0; i < 1003; ++i) samples.push_back(i);
+  for (size_t max_points : {2u, 3u, 7u, 100u}) {
+    auto cdf = EmpiricalCdf(samples, max_points);
+    EXPECT_LE(cdf.size(), max_points) << "max_points=" << max_points;
+    EXPECT_DOUBLE_EQ(cdf.back().value, 1002.0);
+    EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+  }
+  auto one = EmpiricalCdf({1.0, 2.0, 3.0}, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0].value, 3.0);
+  EXPECT_DOUBLE_EQ(one[0].fraction, 1.0);
 }
 
 TEST(RateCounter, PerSecondBuckets) {
@@ -101,6 +173,33 @@ TEST(RateCounter, EarlierEventShiftsOrigin) {
   ASSERT_GE(buckets.size(), 3u);
   EXPECT_EQ(buckets.front(), 1u);
   EXPECT_EQ(counter.total(), 2u);
+}
+
+TEST(RateCounter, FarFutureEventIsDiscardedNotAllocated) {
+  // Regression: a single corrupt far-future timestamp used to resize the
+  // bucket vector to cover the whole gap (an OOM in practice). Outliers
+  // past the cap are now dropped and accounted.
+  RateCounter counter;
+  counter.Record(0);
+  counter.Record(Seconds(100000000));  // ~3 years of 1s buckets: over cap
+  EXPECT_EQ(counter.BucketCounts().size(), 1u);
+  EXPECT_EQ(counter.total(), 1u);
+  EXPECT_EQ(counter.discarded(), 1u);
+  // Sane events keep landing after the outlier.
+  counter.Record(Seconds(2));
+  EXPECT_EQ(counter.total(), 2u);
+  EXPECT_EQ(counter.BucketCounts().size(), 3u);
+  EXPECT_EQ(counter.discarded(), 1u);
+}
+
+TEST(RateCounter, FarPastOriginShiftIsBounded) {
+  // Same cap on the shift-origin-down path.
+  RateCounter counter;
+  counter.Record(Seconds(100000000));
+  counter.Record(0);  // would need ~1e8 leading buckets
+  EXPECT_EQ(counter.BucketCounts().size(), 1u);
+  EXPECT_EQ(counter.total(), 1u);
+  EXPECT_EQ(counter.discarded(), 1u);
 }
 
 TEST(RateCounter, RatesScaleWithWidth) {

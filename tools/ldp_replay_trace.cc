@@ -29,6 +29,8 @@ constexpr const char* kUsage =
                         exponential backoff (0)
   --tcp-idle-timeout-ms N  close idle TCP connections after N ms (0 = keep)
   --tcp-reconnects N    reconnect budget per TCP connection (3)
+  --metrics-out FILE    append JSONL metric snapshots to FILE during replay
+  --metrics-interval-ms N  snapshot cadence in milliseconds (1000)
 Trace format by extension (.txt/.bin).)";
 
 }  // namespace
@@ -44,6 +46,7 @@ int main(int argc, char** argv) {
                                    "queriers", "fast", "rewrite-target",
                                    "timeout-ms", "retransmits",
                                    "tcp-idle-timeout-ms", "tcp-reconnects",
+                                   "metrics-out", "metrics-interval-ms",
                                    "help"});
       !s.ok()) {
     std::fprintf(stderr, "%s\n%s\n", s.error().ToString().c_str(), kUsage);
@@ -102,6 +105,28 @@ int main(int argc, char** argv) {
   config.tcp_max_reconnects =
       static_cast<int>(flags.GetInt("tcp-reconnects", 3).value_or(3));
 
+  // Live metrics: rows stream to --metrics-out during the replay, and the
+  // final row (written after all distributors join) must reconcile with the
+  // report the tool prints below.
+  stats::MetricsRegistry metrics;
+  std::unique_ptr<stats::MetricsSnapshotter> snapshotter;
+  std::string metrics_out = flags.GetString("metrics-out", "");
+  if (!metrics_out.empty()) {
+    stats::MetricsSnapshotter::Options opts;
+    opts.path = metrics_out;
+    int64_t interval_ms =
+        flags.GetInt("metrics-interval-ms", 1000).value_or(1000);
+    opts.interval = Millis(interval_ms > 0 ? interval_ms : 1000);
+    opts.keep_history = true;  // for the reconciliation check below
+    snapshotter = std::make_unique<stats::MetricsSnapshotter>(metrics, opts);
+    if (auto s = snapshotter->Open(); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.error().ToString().c_str());
+      return 1;
+    }
+    config.metrics = &metrics;
+    config.snapshotter = snapshotter.get();
+  }
+
   std::printf("replaying %zu queries against %s (%zu distributors x %zu "
               "queriers%s)...\n",
               records->size(), server->ToString().c_str(),
@@ -152,6 +177,41 @@ int main(int argc, char** argv) {
   if (!latency.empty()) {
     std::printf("query latency (ms): %s\n",
                 latency.Summarize().ToString(3).c_str());
+  }
+
+  if (snapshotter != nullptr) {
+    // The final JSONL row was written after every distributor joined, so
+    // its cumulative counters must equal the report exactly — and, with
+    // timeouts on, satisfy sent == answered + timed_out + send_failed.
+    const auto& last = snapshotter->history().back();
+    uint64_t sent = last.CounterValue("replay.sent");
+    uint64_t answered = last.CounterValue("replay.answered");
+    uint64_t timed_out = last.CounterValue("replay.timed_out");
+    uint64_t send_failed = last.CounterValue("replay.send_failed");
+    bool matches_report =
+        sent == report->queries_sent && answered == report->answered &&
+        timed_out == report->timed_out && send_failed == report->send_failed;
+    bool invariant = config.query_timeout <= 0 ||
+                     sent == answered + timed_out + send_failed;
+    std::printf("metrics: %llu rows to %s; reconcile: %s\n",
+                static_cast<unsigned long long>(snapshotter->rows_written()),
+                metrics_out.c_str(),
+                matches_report && invariant ? "OK" : "FAIL");
+    if (!matches_report || !invariant) {
+      std::fprintf(stderr,
+                   "metrics reconcile FAILED: snapshot sent=%llu answered=%llu"
+                   " timed_out=%llu send_failed=%llu vs report sent=%llu"
+                   " answered=%llu timed_out=%llu send_failed=%llu\n",
+                   static_cast<unsigned long long>(sent),
+                   static_cast<unsigned long long>(answered),
+                   static_cast<unsigned long long>(timed_out),
+                   static_cast<unsigned long long>(send_failed),
+                   static_cast<unsigned long long>(report->queries_sent),
+                   static_cast<unsigned long long>(report->answered),
+                   static_cast<unsigned long long>(report->timed_out),
+                   static_cast<unsigned long long>(report->send_failed));
+      return 1;
+    }
   }
   return 0;
 }
