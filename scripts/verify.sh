@@ -20,8 +20,10 @@ ctest --test-dir build --output-on-failure -j2
 echo "== metrics smoke: live JSONL snapshots reconcile =="
 SMOKE=$(mktemp -d)
 SERVE_PID=""
+PROXY_PID=""
 cleanup() {
   [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  [ -n "$PROXY_PID" ] && kill "$PROXY_PID" 2>/dev/null || true
   rm -rf "$SMOKE"
 }
 trap cleanup EXIT
@@ -78,6 +80,84 @@ assert sent == acct, "sent %d != accounted %d" % (sent, acct)
 print("metrics smoke: %d sent, fully accounted; all rows parse" % sent)
 EOF
 
+echo "== hierarchy smoke: replay through ldp_proxy, zero loss =="
+./build/tools/ldp_zone_tool hierarchy "$SMOKE/hier" \
+  --tlds 2 --slds 2 --hosts 2 --queries 400 --qps 2000
+./build/tools/ldp_serve --listen 127.0.0.1:0 --views "$SMOKE/hier/views.txt" \
+  --threads 1 --stats-interval-s 0 > "$SMOKE/hier_serve.out" 2>&1 &
+SERVE_PID=$!
+i=0
+while [ "$i" -lt 50 ]; do
+  grep -q "serving on" "$SMOKE/hier_serve.out" 2>/dev/null && break
+  sleep 0.1
+  i=$((i + 1))
+done
+META_PORT=$(sed -n 's/.*serving on [0-9.]*:\([0-9]*\).*/\1/p' \
+  "$SMOKE/hier_serve.out")
+[ -n "$META_PORT" ] || { echo "hierarchy smoke: meta server never came up"
+  cat "$SMOKE/hier_serve.out"; exit 1; }
+./build/tools/ldp_proxy --meta "127.0.0.1:$META_PORT" \
+  --views "$SMOKE/hier/views.txt" --loopback-alias \
+  --stats-interval-s 0 > "$SMOKE/hier_proxy.out" 2>&1 &
+PROXY_PID=$!
+i=0
+while [ "$i" -lt 50 ]; do
+  grep -q "proxying" "$SMOKE/hier_proxy.out" 2>/dev/null && break
+  sleep 0.1
+  i=$((i + 1))
+done
+RELAY_PORT=$(sed -n 's/.*on port \([0-9]*\).*/\1/p' "$SMOKE/hier_proxy.out")
+[ -n "$RELAY_PORT" ] || { echo "hierarchy smoke: proxy never came up"
+  cat "$SMOKE/hier_proxy.out"; exit 1; }
+./build/tools/ldp_replay_trace --trace "$SMOKE/hier/queries.txt" \
+  --server "127.0.0.1:$META_PORT" --follow-dst --loopback-dst \
+  --dst-port "$RELAY_PORT" --distributors 1 --queriers 1 \
+  --timeout-ms 2000 --retransmits 2 \
+  --metrics-out "$SMOKE/hier_replay.jsonl" \
+  > "$SMOKE/hier_replay.out" 2>&1
+grep -q "reconcile: OK" "$SMOKE/hier_replay.out" || {
+  echo "hierarchy smoke: replay reconcile failed"
+  cat "$SMOKE/hier_replay.out"; exit 1
+}
+SENT=$(sed -n 's/^sent \([0-9]*\), answered.*/\1/p' "$SMOKE/hier_replay.out")
+ANSWERED=$(sed -n 's/^sent [0-9]*, answered \([0-9]*\).*/\1/p' \
+  "$SMOKE/hier_replay.out")
+[ -n "$SENT" ] && [ "$SENT" = "$ANSWERED" ] || {
+  echo "hierarchy smoke: lost queries (sent=$SENT answered=$ANSWERED)"
+  cat "$SMOKE/hier_replay.out" "$SMOKE/hier_proxy.out"; exit 1
+}
+kill -TERM "$PROXY_PID"; wait "$PROXY_PID"; PROXY_PID=""
+kill -TERM "$SERVE_PID"; wait "$SERVE_PID"; SERVE_PID=""
+echo "hierarchy smoke: $SENT queries proxied, all answered"
+
+echo "== docs: EXPERIMENTS.md command lines match tool --help =="
+python3 - <<'EOF'
+import re, subprocess, sys
+
+text = open("EXPERIMENTS.md").read()
+known = {}
+failures = []
+# Every ./build/tools/ldp_* invocation inside a code block: each --flag it
+# passes must be advertised by that tool's --help (stale docs fail here).
+for line in text.splitlines():
+    m = re.search(r"(?:\./)?build/tools/(ldp_\w+)", line)
+    if not m or line.lstrip().startswith("#"):
+        continue
+    tool = m.group(1)
+    if tool not in known:
+        out = subprocess.run(["./build/tools/" + tool, "--help"],
+                             capture_output=True, text=True)
+        known[tool] = set(re.findall(r"--[\w-]+", out.stdout + out.stderr))
+    for flag in re.findall(r"--[\w-]+", line.split(m.group(0), 1)[1]):
+        if flag not in known[tool]:
+            failures.append("%s: %s not in --help (line: %s)"
+                            % (tool, flag, line.strip()))
+if failures:
+    print("\n".join(failures))
+    sys.exit(1)
+print("docs: %d tool invocations checked against --help" % len(known))
+EOF
+
 if [ "${1:-}" = "--skip-tsan" ]; then
   echo "== sanitizers: skipped =="
   exit 0
@@ -87,9 +167,9 @@ echo "== tsan: threaded subsystems =="
 cmake -B build-tsan -S . -DLDP_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target \
   net_test sharded_server_test response_cache_test \
-  server_test replay_realtime_test metrics_test stats_test
+  server_test replay_realtime_test metrics_test stats_test proxy_relay_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'net_test|sharded_server_test|response_cache_test|server_test|replay_realtime_test|metrics_test|stats_test'
+  -R 'net_test|sharded_server_test|response_cache_test|server_test|replay_realtime_test|metrics_test|stats_test|proxy_relay_test'
 
 echo "== asan: socket + replay lifetime paths =="
 cmake -B build-asan -S . -DLDP_SANITIZE=address >/dev/null

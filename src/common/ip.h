@@ -61,6 +61,18 @@ class Ipv6Address {
   std::array<uint8_t, 16> octets_;
 };
 
+// Loopback alias of a public testbed address: Linux routes all of
+// 127.0.0.0/8 to the loopback interface, so any 127.x.y.z is bindable
+// without configuration. Keeping the low 24 bits makes the mapping
+// deterministic and collision-free for the synthetic address plan (NS
+// addresses 198.51.x.y -> 127.51.x.y, hosts 203.0.x.y -> 127.0.x.y).
+// This is the real-socket stand-in for the paper's per-address TUN
+// routes: the hierarchy proxy binds these aliases and the replayer
+// targets them (DESIGN.md "Hierarchy emulation over real sockets").
+constexpr IpAddress LoopbackAlias(IpAddress public_addr) {
+  return IpAddress((127u << 24) | (public_addr.value() & 0x00ffffffu));
+}
+
 // Transport endpoint: address + port.
 struct Endpoint {
   IpAddress addr;

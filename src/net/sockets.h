@@ -104,6 +104,14 @@ class UdpSocket {
 
 // --- TCP ---
 
+struct TcpConnectOptions {
+  // When set (address or port nonzero), bind the socket here before
+  // connecting. The hierarchy proxy uses this to dial the meta server
+  // *from* an emulated nameserver address so the server's split-horizon
+  // view match sees the OQDA as the stream's source.
+  Endpoint local;
+};
+
 class TcpConnection {
  public:
   using DataHandler = std::function<void(std::span<const uint8_t>)>;
@@ -117,7 +125,8 @@ class TcpConnection {
   // Asynchronous connect; `on_connected` fires once with the outcome.
   static Result<std::unique_ptr<TcpConnection>> Connect(
       EventLoop& loop, Endpoint remote, ConnectHandler on_connected,
-      DataHandler on_data, CloseHandler on_close);
+      DataHandler on_data, CloseHandler on_close,
+      const TcpConnectOptions& options = TcpConnectOptions());
 
   ~TcpConnection();
 

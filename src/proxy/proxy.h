@@ -25,16 +25,22 @@
 #ifndef LDPLAYER_PROXY_PROXY_H
 #define LDPLAYER_PROXY_PROXY_H
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 
 #include "common/ip.h"
 #include "sim/network.h"
+#include "stats/metrics.h"
 
 namespace ldp::proxy {
 
+// Relaxed atomics so a MetricsRegistry snapshot thread may poll these
+// while the (single-threaded) simulation increments them. Reads in tests
+// go through the implicit atomic load.
 struct ProxyStats {
-  uint64_t rewritten = 0;
-  uint64_t passed_through = 0;
+  std::atomic<uint64_t> rewritten{0};
+  std::atomic<uint64_t> passed_through{0};
 };
 
 class RecursiveProxy {
@@ -47,13 +53,19 @@ class RecursiveProxy {
   RecursiveProxy(const RecursiveProxy&) = delete;
   RecursiveProxy& operator=(const RecursiveProxy&) = delete;
 
-  const ProxyStats& stats() const { return stats_; }
+  const ProxyStats& stats() const { return *stats_; }
+
+  // Exports the shared proxy.* counter names (proxy.rewritten,
+  // proxy.passed_through) as polled metrics, so sim and real-socket
+  // hierarchy proxies (relay.h) are interchangeable in dashboards. The
+  // polled lambdas keep the counter cells alive past the proxy itself.
+  void RegisterMetrics(stats::MetricsRegistry& metrics);
 
  private:
   sim::SimNetwork& net_;
   IpAddress recursive_;
   IpAddress meta_server_;
-  ProxyStats stats_;
+  std::shared_ptr<ProxyStats> stats_ = std::make_shared<ProxyStats>();
 };
 
 class AuthoritativeProxy {
@@ -66,13 +78,16 @@ class AuthoritativeProxy {
   AuthoritativeProxy(const AuthoritativeProxy&) = delete;
   AuthoritativeProxy& operator=(const AuthoritativeProxy&) = delete;
 
-  const ProxyStats& stats() const { return stats_; }
+  const ProxyStats& stats() const { return *stats_; }
+
+  // Same proxy.* export as RecursiveProxy::RegisterMetrics.
+  void RegisterMetrics(stats::MetricsRegistry& metrics);
 
  private:
   sim::SimNetwork& net_;
   IpAddress meta_server_;
   IpAddress recursive_;
-  ProxyStats stats_;
+  std::shared_ptr<ProxyStats> stats_ = std::make_shared<ProxyStats>();
 };
 
 }  // namespace ldp::proxy

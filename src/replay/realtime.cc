@@ -64,12 +64,29 @@ struct QuerierMetrics {
 };
 
 // Timer-wheel keys: UDP entries are the bare 16-bit ID; TCP entries pack
-// the source address so per-connection ID spaces stay distinct.
+// a per-connection index so per-connection ID spaces stay distinct. (An
+// index rather than the source address: with follow_trace_dst a
+// connection is keyed by source AND target, which no longer fits in the
+// key's upper bits.)
 constexpr uint64_t kTcpKeyBit = 1ULL << 63;
 uint64_t UdpKey(uint16_t id) { return id; }
-uint64_t TcpKey(IpAddress source, uint16_t id) {
-  return kTcpKeyBit | (static_cast<uint64_t>(source.value()) << 16) | id;
-}
+
+// TCP connection identity. Without follow_trace_dst every target is
+// config.server, so this degenerates to the historical per-source keying.
+struct ConnKey {
+  IpAddress source;
+  Endpoint target;
+  bool operator==(const ConnKey&) const = default;
+};
+
+struct ConnKeyHash {
+  size_t operator()(const ConnKey& key) const noexcept {
+    uint64_t packed = (uint64_t{key.source.value()} << 32) |
+                      (uint64_t{key.target.addr.value()} ^
+                       (uint64_t{key.target.port} << 24));
+    return std::hash<uint64_t>()(packed);
+  }
+};
 
 // Expiry-check cadence (and wheel slot granularity): fine enough that a
 // timeout is detected within ~1/8 of its length, floored so short test
@@ -147,7 +164,7 @@ class Querier {
       auto it = udp_inflight_.find(id);
       if (it == udp_inflight_.end()) continue;  // aged out while staged
       pending_items_.push_back(net::UdpSendItem{it->second.wire,
-                                                config_.server});
+                                                it->second.target});
       live_ids_.push_back(id);
     }
     size_t accepted =
@@ -185,15 +202,28 @@ class Querier {
  private:
   static constexpr int kMaxFlushRetries = 10;
 
+  // Where a query goes: the fixed server, or (hierarchy replay) the
+  // record's own destination, optionally aliased into 127/8 and repointed
+  // at the proxy's shared service port.
+  Endpoint TargetFor(const trace::QueryRecord& record) const {
+    if (!config_.follow_trace_dst) return config_.server;
+    Endpoint target{record.dst, record.dst_port};
+    if (config_.loopback_alias_dst) target.addr = LoopbackAlias(target.addr);
+    if (config_.dst_port_override != 0) target.port = config_.dst_port_override;
+    return target;
+  }
+
   struct UdpEntry {
     uint64_t trace_index = 0;
     Bytes wire;           // encoded query, kept for retransmits
+    Endpoint target;      // destination (kept so retransmits follow it)
     int tries = 0;        // retransmits performed
     bool on_wire = false;  // accepted by the kernel at least once
   };
 
   struct TcpState {
-    IpAddress source;
+    ConnKey key;
+    uint32_t index = 0;  // packs into timer-wheel keys; see conn_index_
     std::unique_ptr<net::TcpConnection> conn;
     dns::StreamAssembler assembler;
     bool connected = false;
@@ -296,7 +326,7 @@ class Querier {
       sends_[entry.trace_index].retransmits =
           static_cast<uint8_t>(std::min(entry.tries, 255));
       counters_.retransmits.Add();
-      auto status = udp_->SendTo(entry.wire, config_.server);
+      auto status = udp_->SendTo(entry.wire, entry.target);
       (void)status;  // a full buffer just leaves it to the next expiry
       ScheduleTimeout(UdpKey(id), entry.tries);
       return;
@@ -305,10 +335,12 @@ class Querier {
     udp_inflight_.erase(it);
   }
 
-  void ExpireTcp(uint64_t key) {
-    IpAddress source(static_cast<uint32_t>((key >> 16) & 0xffffffff));
-    uint16_t id = static_cast<uint16_t>(key & 0xffff);
-    auto it = tcp_.find(source);
+  void ExpireTcp(uint64_t wheel_key) {
+    uint32_t index = static_cast<uint32_t>((wheel_key >> 16) & 0xffffffff);
+    uint16_t id = static_cast<uint16_t>(wheel_key & 0xffff);
+    auto indexed = conn_index_.find(index);
+    if (indexed == conn_index_.end()) return;
+    auto it = tcp_.find(indexed->second);
     if (it == tcp_.end()) return;
     TcpState& state = *it->second;
     auto entry = state.inflight.find(id);
@@ -355,6 +387,7 @@ class Querier {
     UdpEntry entry;
     entry.trace_index = job.trace_index;
     entry.wire = query.Encode();
+    entry.target = TargetFor(job.record);
     auto emplaced = udp_inflight_.emplace(id, std::move(entry));
     sends_[job.trace_index].sent = MonotonicNow() - epoch_mono_;
     ScheduleTimeout(UdpKey(id), /*tries=*/0);
@@ -364,7 +397,8 @@ class Querier {
       if (pending_udp_.size() >= net::UdpSocket::kBatchSize) Flush();
       return;
     }
-    auto status = udp_->SendTo(emplaced.first->second.wire, config_.server);
+    auto status = udp_->SendTo(emplaced.first->second.wire,
+                               emplaced.first->second.target);
     if (status.ok()) {
       emplaced.first->second.on_wire = true;
       return;
@@ -409,15 +443,17 @@ class Querier {
   // TcpConnection whose callback is currently executing.
 
   void SendTcp(const QueryJob& job, dns::Message& query) {
-    IpAddress source = job.record.src;
-    auto it = tcp_.find(source);
+    ConnKey key{job.record.src, TargetFor(job.record)};
+    auto it = tcp_.find(key);
     if (it == tcp_.end()) {
       auto state = std::make_unique<TcpState>();
-      state->source = source;
-      it = tcp_.emplace(source, std::move(state)).first;
+      state->key = key;
+      state->index = next_conn_index_++;
+      conn_index_.emplace(state->index, key);
+      it = tcp_.emplace(key, std::move(state)).first;
       StartConnect(*it->second);
       // A synchronous connect failure may already have disposed the state.
-      it = tcp_.find(source);
+      it = tcp_.find(key);
       if (it == tcp_.end()) {
         Terminal(job.trace_index, SendOutcome::State::kSendFailed);
         MaybeIdle();
@@ -441,7 +477,7 @@ class Querier {
     entry.frame = dns::FrameMessage(query.Encode());
     state.inflight.emplace(*allocated, std::move(entry));
     sends_[job.trace_index].sent = MonotonicNow() - epoch_mono_;
-    ScheduleTimeout(TcpKey(source, *allocated), /*tries=*/0);
+    ScheduleTimeout(TcpKeyFor(state, *allocated), /*tries=*/0);
 
     if (state.connected && !state.paused && state.backlog.empty()) {
       if (!WriteFrame(state, *allocated)) state.backlog.push_back(*allocated);
@@ -450,23 +486,28 @@ class Querier {
     }
   }
 
+  // Timer-wheel key for one inflight TCP query of this connection.
+  static uint64_t TcpKeyFor(const TcpState& state, uint16_t id) {
+    return kTcpKeyBit | (static_cast<uint64_t>(state.index) << 16) | id;
+  }
+
   void StartConnect(TcpState& state) {
-    IpAddress source = state.source;
+    ConnKey key = state.key;
     BuryConn(state);  // re-dial: the previous connection (if any) is dead
     state.connected = false;
     state.paused = false;
     state.assembler = dns::StreamAssembler();  // new stream, new framing
     auto conn = net::TcpConnection::Connect(
-        loop_, config_.server,
-        [this, source](Status status) {
-          OnTcpConnected(source, std::move(status));
+        loop_, key.target,
+        [this, key](Status status) {
+          OnTcpConnected(key, std::move(status));
         },
-        [this, source](std::span<const uint8_t> data) {
-          auto it = tcp_.find(source);
+        [this, key](std::span<const uint8_t> data) {
+          auto it = tcp_.find(key);
           if (it != tcp_.end()) OnTcpData(*it->second, data);
         },
-        [this, source](Status reason) {
-          OnTcpClosed(source, std::move(reason));
+        [this, key](Status reason) {
+          OnTcpClosed(key, std::move(reason));
         });
     if (!conn.ok()) {
       RetryOrFail(state);
@@ -475,11 +516,11 @@ class Querier {
     state.conn = std::move(*conn);
     state.conn->SetWriteWatermarks(
         config_.tcp_write_high_watermark, config_.tcp_write_low_watermark,
-        [this, source](bool paused) { OnTcpWatermark(source, paused); });
+        [this, key](bool paused) { OnTcpWatermark(key, paused); });
   }
 
-  void OnTcpConnected(IpAddress source, Status status) {
-    auto it = tcp_.find(source);
+  void OnTcpConnected(ConnKey key, Status status) {
+    auto it = tcp_.find(key);
     if (it == tcp_.end()) return;
     TcpState& state = *it->second;
     if (!status.ok()) {
@@ -493,9 +534,9 @@ class Querier {
     DrainBacklog(state);
   }
 
-  void OnTcpClosed(IpAddress source, Status reason) {
+  void OnTcpClosed(ConnKey key, Status reason) {
     (void)reason;  // Ok = peer EOF, error = reset; both re-queue the same way
-    auto it = tcp_.find(source);
+    auto it = tcp_.find(key);
     if (it == tcp_.end()) return;
     TcpState& state = *it->second;
     state.connected = false;
@@ -504,14 +545,14 @@ class Querier {
     if (state.inflight.empty()) {
       // Nothing owed (e.g. the server idle-closed us): dispose; the next
       // query for this source dials fresh.
-      DisposeState(source);
+      DisposeState(key);
       return;
     }
     RetryOrFail(state);
   }
 
-  void OnTcpWatermark(IpAddress source, bool paused) {
-    auto it = tcp_.find(source);
+  void OnTcpWatermark(ConnKey key, bool paused) {
+    auto it = tcp_.find(key);
     if (it == tcp_.end()) return;
     TcpState& state = *it->second;
     state.paused = paused;
@@ -523,7 +564,7 @@ class Querier {
   void RetryOrFail(TcpState& state) {
     state.connected = false;
     if (state.attempts >= config_.tcp_max_reconnects) {
-      FailState(state.source);
+      FailState(state.key);
       return;
     }
     // Everything written may have died with the stream: rebuild the
@@ -543,31 +584,32 @@ class Querier {
                          << std::min(state.attempts, 10);
     ++state.attempts;
     counters_.tcp_reconnects.Add();
-    IpAddress source = state.source;
-    state.reconnect_timer = loop_.ScheduleAfter(delay, [this, source]() {
-      auto it = tcp_.find(source);
+    ConnKey key = state.key;
+    state.reconnect_timer = loop_.ScheduleAfter(delay, [this, key]() {
+      auto it = tcp_.find(key);
       if (it != tcp_.end()) StartConnect(*it->second);
     });
   }
 
-  void FailState(IpAddress source) {
-    auto it = tcp_.find(source);
+  void FailState(ConnKey key) {
+    auto it = tcp_.find(key);
     if (it == tcp_.end()) return;
     TcpState& state = *it->second;
     for (auto& [id, entry] : state.inflight) {
-      wheel_.Cancel(TcpKey(source, id));
+      wheel_.Cancel(TcpKeyFor(state, id));
       Terminal(entry.trace_index, SendOutcome::State::kSendFailed);
     }
     state.inflight.clear();
-    DisposeState(source);
+    DisposeState(key);
     MaybeIdle();
   }
 
-  void DisposeState(IpAddress source) {
-    auto it = tcp_.find(source);
+  void DisposeState(ConnKey key) {
+    auto it = tcp_.find(key);
     if (it == tcp_.end()) return;
     it->second->idle_timer.Cancel();
     it->second->reconnect_timer.Cancel();
+    conn_index_.erase(it->second->index);
     BuryConn(*it->second);
     graveyard_states_.push_back(std::move(it->second));
     tcp_.erase(it);
@@ -612,16 +654,16 @@ class Querier {
 
   void ArmIdleTimer(TcpState& state) {
     if (config_.tcp_idle_timeout <= 0) return;
-    IpAddress source = state.source;
+    ConnKey key = state.key;
     state.idle_timer =
-        loop_.ScheduleAfter(config_.tcp_idle_timeout, [this, source]() {
-          auto it = tcp_.find(source);
+        loop_.ScheduleAfter(config_.tcp_idle_timeout, [this, key]() {
+          auto it = tcp_.find(key);
           if (it == tcp_.end() || !it->second->connected) return;
           TcpState& state = *it->second;
           NanoTime deadline = state.last_activity + config_.tcp_idle_timeout;
           if (MonotonicNow() >= deadline && state.inflight.empty()) {
             counters_.tcp_idle_closes.Add();
-            DisposeState(source);  // active close: destruction sends FIN
+            DisposeState(key);  // active close: destruction sends FIN
             return;
           }
           ArmIdleTimer(state);  // activity since arming: re-check later
@@ -637,7 +679,7 @@ class Querier {
       auto it = state.inflight.find(id);
       if (it == state.inflight.end()) continue;
       RecordAnswer(it->second.trace_index);
-      wheel_.Cancel(TcpKey(state.source, id));
+      wheel_.Cancel(TcpKeyFor(state, id));
       state.inflight.erase(it);
       state.attempts = 0;  // a live reply refills the reconnect budget
     }
@@ -662,7 +704,10 @@ class Querier {
   bool flush_retry_armed_ = false;
   uint16_t next_udp_id_ = 1;
 
-  std::unordered_map<IpAddress, std::unique_ptr<TcpState>> tcp_;
+  std::unordered_map<ConnKey, std::unique_ptr<TcpState>, ConnKeyHash> tcp_;
+  // index -> key, for decoding timer-wheel expiries back to a connection.
+  std::unordered_map<uint32_t, ConnKey> conn_index_;
+  uint32_t next_conn_index_ = 1;
   std::vector<std::unique_ptr<net::TcpConnection>> graveyard_conns_;
   std::vector<std::unique_ptr<TcpState>> graveyard_states_;
   bool sweep_armed_ = false;

@@ -39,6 +39,19 @@ namespace ldp::replay {
 
 struct RealtimeConfig {
   Endpoint server;
+  // --- Hierarchy replay: per-query destinations (paper §2.4) ---
+  // Send each query to its record's dst/dst_port (the OQDA) instead of
+  // `server`. This is how a trace drives the hierarchy proxy: the proxy
+  // listens on every emulated nameserver address and the replayer
+  // addresses each query exactly as the original client did.
+  bool follow_trace_dst = false;
+  // With follow_trace_dst: rewrite every destination port to this value
+  // (0 = keep each record's dst_port). The proxy serves all addresses on
+  // one shared service port, which is rarely the trace's port 53.
+  uint16_t dst_port_override = 0;
+  // With follow_trace_dst: map each destination through LoopbackAlias so
+  // public testbed addresses land on bindable 127/8 aliases.
+  bool loopback_alias_dst = false;
   size_t n_distributors = 1;
   size_t queriers_per_distributor = 3;
   // Fast mode (paper §4.3): ignore trace timing, send as fast as possible.

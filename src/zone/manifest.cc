@@ -1,0 +1,159 @@
+#include "zone/manifest.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "zone/masterfile.h"
+
+namespace ldp::zone {
+namespace {
+
+std::vector<std::string> Tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::istringstream in{std::string(line)};
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+std::string JoinPath(const std::string& base_dir, const std::string& path) {
+  if (base_dir.empty() || (!path.empty() && path.front() == '/')) return path;
+  return base_dir + "/" + path;
+}
+
+}  // namespace
+
+Result<ViewManifest> ParseViewManifest(std::string_view text) {
+  ViewManifest manifest;
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    std::string_view line = text.substr(
+        start, end == std::string_view::npos ? text.size() - start
+                                             : end - start);
+    start = end == std::string_view::npos ? text.size() + 1 : end + 1;
+    ++line_no;
+
+    size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    auto tokens = Tokenize(line);
+    if (tokens.empty()) continue;
+
+    auto error = [&](const std::string& what) {
+      return Error(ErrorCode::kParseError,
+                   "views manifest line " + std::to_string(line_no) + ": " +
+                       what);
+    };
+
+    if (tokens[0] == "default") {
+      if (tokens.size() < 2) return error("default needs zone files");
+      manifest.default_zone_files.insert(manifest.default_zone_files.end(),
+                                         tokens.begin() + 1, tokens.end());
+      continue;
+    }
+    if (tokens[0] != "view") {
+      return error("expected 'view' or 'default', got '" + tokens[0] + "'");
+    }
+    if (tokens.size() < 4) {
+      return error("view needs a name, >=1 address, >=1 zone file");
+    }
+    ViewSpec spec;
+    spec.name = tokens[1];
+    size_t i = 2;
+    for (; i < tokens.size(); ++i) {
+      auto addr = IpAddress::Parse(tokens[i]);
+      if (!addr.ok()) break;  // first non-address starts the file list
+      spec.sources.push_back(*addr);
+    }
+    if (spec.sources.empty()) return error("view has no source addresses");
+    if (i == tokens.size()) return error("view has no zone files");
+    spec.zone_files.assign(tokens.begin() + static_cast<ptrdiff_t>(i),
+                           tokens.end());
+    manifest.views.push_back(std::move(spec));
+  }
+  return manifest;
+}
+
+Result<ViewManifest> LoadViewManifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Error(ErrorCode::kIoError, "cannot open views manifest " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto manifest = ParseViewManifest(buffer.str());
+  if (!manifest.ok()) return manifest.error().WithContext(path);
+  return manifest;
+}
+
+std::string SerializeViewManifest(const ViewManifest& manifest) {
+  std::ostringstream out;
+  for (const auto& view : manifest.views) {
+    out << "view " << view.name;
+    for (IpAddress source : view.sources) out << ' ' << source.ToString();
+    for (const auto& file : view.zone_files) out << ' ' << file;
+    out << '\n';
+  }
+  if (!manifest.default_zone_files.empty()) {
+    out << "default";
+    for (const auto& file : manifest.default_zone_files) out << ' ' << file;
+    out << '\n';
+  }
+  return out.str();
+}
+
+Status SaveViewManifest(const ViewManifest& manifest,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Error(ErrorCode::kIoError, "cannot write views manifest " + path);
+  }
+  out << SerializeViewManifest(manifest);
+  out.close();
+  if (!out) return Error(ErrorCode::kIoError, "short write to " + path);
+  return Status::Ok();
+}
+
+std::vector<IpAddress> ManifestSources(const ViewManifest& manifest) {
+  std::vector<IpAddress> sources;
+  std::unordered_set<IpAddress> seen;
+  for (const auto& view : manifest.views) {
+    for (IpAddress source : view.sources) {
+      if (seen.insert(source).second) sources.push_back(source);
+    }
+  }
+  return sources;
+}
+
+Result<std::shared_ptr<const ViewTable>> BuildViewTable(
+    const ViewManifest& manifest, const std::string& base_dir) {
+  auto load_set = [&](const std::vector<std::string>& files)
+      -> Result<ZoneSet> {
+    ZoneSet set;
+    for (const auto& file : files) {
+      auto zone = LoadMasterFile(JoinPath(base_dir, file),
+                                 MasterFileOptions{});
+      if (!zone.ok()) return zone.error().WithContext(file);
+      LDP_RETURN_IF_ERROR(
+          set.AddZone(std::make_shared<Zone>(std::move(*zone))));
+    }
+    return set;
+  };
+
+  auto table = std::make_shared<ViewTable>();
+  for (const auto& view : manifest.views) {
+    LDP_ASSIGN_OR_RETURN(ZoneSet zones, load_set(view.zone_files));
+    LDP_RETURN_IF_ERROR(
+        table->AddView(view.name, view.sources, std::move(zones)));
+  }
+  if (!manifest.default_zone_files.empty()) {
+    LDP_ASSIGN_OR_RETURN(ZoneSet zones,
+                         load_set(manifest.default_zone_files));
+    table->SetDefaultView(std::move(zones));
+  }
+  return std::shared_ptr<const ViewTable>(std::move(table));
+}
+
+}  // namespace ldp::zone

@@ -1,0 +1,58 @@
+// Views manifest: a small text format tying split-horizon views to zone
+// files on disk, shared by ldp_serve (--views), ldp_proxy (which binds the
+// view source addresses), and ldp_zone_tool hierarchy (which writes one).
+//
+//   # comment
+//   view root 198.51.100.1 198.51.100.2 root.zone
+//   view tld  198.51.101.1 com.zone org.zone
+//   default catchall.zone
+//
+// A `view` line is NAME, then one or more IPv4 source addresses, then one
+// or more zone files; the first token that does not parse as an address
+// starts the file list. `default` lines fill the fallback view. Zone file
+// paths are resolved relative to the manifest's directory.
+#ifndef LDPLAYER_ZONE_MANIFEST_H
+#define LDPLAYER_ZONE_MANIFEST_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/ip.h"
+#include "common/result.h"
+#include "zone/view.h"
+
+namespace ldp::zone {
+
+struct ViewSpec {
+  std::string name;
+  std::vector<IpAddress> sources;
+  std::vector<std::string> zone_files;
+};
+
+struct ViewManifest {
+  std::vector<ViewSpec> views;
+  std::vector<std::string> default_zone_files;
+};
+
+Result<ViewManifest> ParseViewManifest(std::string_view text);
+Result<ViewManifest> LoadViewManifest(const std::string& path);
+
+// One `view`/`default` line per entry, addresses before files.
+std::string SerializeViewManifest(const ViewManifest& manifest);
+Status SaveViewManifest(const ViewManifest& manifest,
+                        const std::string& path);
+
+// Every source address across all views, in manifest order (duplicates
+// removed). This is the address set a hierarchy proxy must impersonate.
+std::vector<IpAddress> ManifestSources(const ViewManifest& manifest);
+
+// Loads every referenced zone file (relative paths resolved against
+// `base_dir`, "" = cwd) and assembles the ViewTable.
+Result<std::shared_ptr<const ViewTable>> BuildViewTable(
+    const ViewManifest& manifest, const std::string& base_dir);
+
+}  // namespace ldp::zone
+
+#endif  // LDPLAYER_ZONE_MANIFEST_H

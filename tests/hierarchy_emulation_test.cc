@@ -145,9 +145,12 @@ class EmulatedWorld {
   }
 
   uint64_t proxy_rewrites() const {
-    return (recursive_proxy_ ? recursive_proxy_->stats().rewritten : 0) +
-           (authoritative_proxy_ ? authoritative_proxy_->stats().rewritten
-                                 : 0);
+    return (recursive_proxy_ != nullptr
+                ? recursive_proxy_->stats().rewritten.load()
+                : 0) +
+           (authoritative_proxy_ != nullptr
+                ? authoritative_proxy_->stats().rewritten.load()
+                : 0);
   }
 
  private:

@@ -23,6 +23,13 @@ constexpr const char* kUsage =
   --queriers N          logical queriers per distributor (3)
   --fast                ignore trace timing, send as fast as possible
   --rewrite-target      point every query at --server (default: on)
+  --follow-dst          hierarchy mode: send each query to its trace
+                        destination (the OQDA) instead of --server; use
+                        with a hierarchy proxy listening on those addresses
+  --dst-port N          with --follow-dst: send to this port instead of
+                        each record's dst_port (the proxy's service port)
+  --loopback-dst        with --follow-dst: remap destinations into 127/8
+                        via LoopbackAlias (match the proxy's flag)
   --timeout-ms N        age out inflight queries after N ms (2000;
                         0 = legacy: loss is invisible, wait drain grace)
   --retransmits N       UDP retransmits before timing out, with
@@ -36,7 +43,8 @@ Trace format by extension (.txt/.bin).)";
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto flags_result = Flags::Parse(argc, argv, {"fast", "rewrite-target"});
+  auto flags_result = Flags::Parse(
+      argc, argv, {"fast", "rewrite-target", "follow-dst", "loopback-dst"});
   if (!flags_result.ok()) {
     std::fprintf(stderr, "%s\n", flags_result.error().ToString().c_str());
     return 2;
@@ -44,6 +52,7 @@ int main(int argc, char** argv) {
   const Flags& flags = *flags_result;
   if (auto s = flags.RequireKnown({"trace", "server", "distributors",
                                    "queriers", "fast", "rewrite-target",
+                                   "follow-dst", "dst-port", "loopback-dst",
                                    "timeout-ms", "retransmits",
                                    "tcp-idle-timeout-ms", "tcp-reconnects",
                                    "metrics-out", "metrics-interval-ms",
@@ -82,7 +91,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", records.error().ToString().c_str());
     return 1;
   }
-  if (flags.GetBool("rewrite-target", true)) {
+  bool follow_dst = flags.GetBool("follow-dst", false);
+  if (!follow_dst && flags.GetBool("rewrite-target", true)) {
     for (auto& record : *records) {
       record.dst = server->addr;
       record.dst_port = server->port;
@@ -91,6 +101,12 @@ int main(int argc, char** argv) {
 
   replay::RealtimeConfig config;
   config.server = *server;
+  if (follow_dst) {
+    config.follow_trace_dst = true;
+    config.dst_port_override = static_cast<uint16_t>(
+        flags.GetInt("dst-port", 0).value_or(0));
+    config.loopback_alias_dst = flags.GetBool("loopback-dst", false);
+  }
   config.n_distributors = static_cast<size_t>(
       flags.GetInt("distributors", 2).value_or(2));
   config.queriers_per_distributor =

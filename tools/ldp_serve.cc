@@ -3,6 +3,7 @@
 //
 //   ldp_serve --listen 127.0.0.1:5353 zones/root.zone zones/com.zone
 //   ldp_serve --listen 127.0.0.1:5353 --threads 4 --response-cache 4096 z.db
+//   ldp_serve --listen 127.0.0.1:5353 --views hierarchy/views.txt
 #include <csignal>
 #include <cstdio>
 
@@ -10,6 +11,7 @@
 #include "server/sharded_server.h"
 #include "stats/metrics.h"
 #include "zone/dnssec.h"
+#include "zone/manifest.h"
 #include "zone/masterfile.h"
 
 using namespace ldp;
@@ -18,6 +20,10 @@ namespace {
 
 constexpr const char* kUsage =
     R"(usage: ldp_serve --listen IP:PORT [options] ZONEFILE...
+       ldp_serve --listen IP:PORT [options] --views MANIFEST
+  --views FILE             split-horizon views manifest (zone selection by
+                           query source address, paper-style meta server);
+                           replaces positional zone files
   --threads N              UDP worker shards, SO_REUSEPORT (0 = all cores)
   --response-cache N       wire-level response cache, N entries/shard (0=off)
   --udp-rcvbuf-bytes N     SO_RCVBUF per shard socket (0 = kernel default)
@@ -46,17 +52,19 @@ int main(int argc, char** argv) {
     return 2;
   }
   const Flags& flags = *flags_result;
-  if (auto s = flags.RequireKnown({"listen", "threads", "response-cache",
-                                   "udp-rcvbuf-bytes", "tcp-idle-timeout-s",
-                                   "no-tcp", "sign", "zsk-bits",
-                                   "stats-interval-s", "metrics-out",
-                                   "metrics-interval-ms", "help"});
+  if (auto s = flags.RequireKnown({"listen", "views", "threads",
+                                   "response-cache", "udp-rcvbuf-bytes",
+                                   "tcp-idle-timeout-s", "no-tcp", "sign",
+                                   "zsk-bits", "stats-interval-s",
+                                   "metrics-out", "metrics-interval-ms",
+                                   "help"});
       !s.ok()) {
     std::fprintf(stderr, "%s\n%s\n", s.error().ToString().c_str(), kUsage);
     return 2;
   }
-  if (flags.GetBool("help", false) || flags.positional().empty() ||
-      !flags.Has("listen")) {
+  std::string views_path = flags.GetString("views", "");
+  if (flags.GetBool("help", false) || !flags.Has("listen") ||
+      (flags.positional().empty() == views_path.empty())) {
     std::fprintf(stderr, "%s\n", kUsage);
     return 2;
   }
@@ -87,43 +95,63 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  zone::ZoneSet zones;
-  for (const auto& path : flags.positional()) {
-    auto zone = zone::LoadMasterFile(path, zone::MasterFileOptions{});
-    if (!zone.ok()) {
-      std::fprintf(stderr, "%s: %s\n", path.c_str(),
-                   zone.error().ToString().c_str());
+  std::shared_ptr<const zone::ViewTable> shared_views;
+  if (!views_path.empty()) {
+    auto manifest = zone::LoadViewManifest(views_path);
+    if (!manifest.ok()) {
+      std::fprintf(stderr, "%s\n", manifest.error().ToString().c_str());
       return 1;
     }
-    if (flags.GetBool("sign", false)) {
-      zone::DnssecConfig dnssec;
-      dnssec.zsk_bits = static_cast<int>(
-          flags.GetInt("zsk-bits", 1024).value_or(1024));
-      if (auto s = zone::SignZone(*zone, dnssec); !s.ok()) {
-        std::fprintf(stderr, "sign %s: %s\n", path.c_str(),
+    // Zone paths in the manifest are relative to the manifest itself.
+    size_t slash = views_path.find_last_of('/');
+    std::string base_dir =
+        slash == std::string::npos ? "" : views_path.substr(0, slash);
+    auto table = zone::BuildViewTable(*manifest, base_dir);
+    if (!table.ok()) {
+      std::fprintf(stderr, "%s\n", table.error().ToString().c_str());
+      return 1;
+    }
+    shared_views = std::move(*table);
+    std::printf("loaded %zu views from %s\n", shared_views->view_count(),
+                views_path.c_str());
+  } else {
+    zone::ZoneSet zones;
+    for (const auto& path : flags.positional()) {
+      auto zone = zone::LoadMasterFile(path, zone::MasterFileOptions{});
+      if (!zone.ok()) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                     zone.error().ToString().c_str());
+        return 1;
+      }
+      if (flags.GetBool("sign", false)) {
+        zone::DnssecConfig dnssec;
+        dnssec.zsk_bits = static_cast<int>(
+            flags.GetInt("zsk-bits", 1024).value_or(1024));
+        if (auto s = zone::SignZone(*zone, dnssec); !s.ok()) {
+          std::fprintf(stderr, "sign %s: %s\n", path.c_str(),
+                       s.error().ToString().c_str());
+          return 1;
+        }
+      }
+      if (auto s = zone->Validate(); !s.ok()) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(),
                      s.error().ToString().c_str());
         return 1;
       }
+      std::printf("loaded %s (%zu records) from %s\n",
+                  zone->origin().ToString().c_str(), zone->record_count(),
+                  path.c_str());
+      auto added =
+          zones.AddZone(std::make_shared<zone::Zone>(std::move(*zone)));
+      if (!added.ok()) {
+        std::fprintf(stderr, "%s\n", added.error().ToString().c_str());
+        return 1;
+      }
     }
-    if (auto s = zone->Validate(); !s.ok()) {
-      std::fprintf(stderr, "%s: %s\n", path.c_str(),
-                   s.error().ToString().c_str());
-      return 1;
-    }
-    std::printf("loaded %s (%zu records) from %s\n",
-                zone->origin().ToString().c_str(), zone->record_count(),
-                path.c_str());
-    auto added =
-        zones.AddZone(std::make_shared<zone::Zone>(std::move(*zone)));
-    if (!added.ok()) {
-      std::fprintf(stderr, "%s\n", added.error().ToString().c_str());
-      return 1;
-    }
+    zone::ViewTable views;
+    views.SetDefaultView(std::move(zones));
+    shared_views = std::make_shared<const zone::ViewTable>(std::move(views));
   }
-  zone::ViewTable views;
-  views.SetDefaultView(std::move(zones));
-  auto shared_views =
-      std::make_shared<const zone::ViewTable>(std::move(views));
 
   // Main-thread loop: signal wakeup + periodic stats. The shards run their
   // own loops on worker threads.

@@ -5,11 +5,18 @@
 //   ldp_zone_tool sign --zsk-bits 2048 --rollover zone.db signed.db
 //   ldp_zone_tool normalize zone.db out.db      (canonical order, FQDNs)
 //   ldp_zone_tool info zone.db
+//   ldp_zone_tool hierarchy --tlds 3 --slds 4 hierarchy/
+#include <sys/stat.h>
+
+#include <cerrno>
 #include <cstdio>
 
 #include "common/flags.h"
+#include "trace/text.h"
+#include "workload/hierarchy.h"
 #include "zone/dnssec.h"
 #include "zone/lookup.h"
+#include "zone/manifest.h"
 #include "zone/masterfile.h"
 
 using namespace ldp;
@@ -18,12 +25,21 @@ namespace {
 
 constexpr const char* kUsage =
     R"(usage: ldp_zone_tool COMMAND [flags] ZONEFILE [OUTFILE]
+       ldp_zone_tool hierarchy [flags] OUTDIR
 commands:
   validate   parse + servability checks (SOA, apex NS)
   sign       add synthetic DNSSEC (DNSKEY/NSEC/RRSIG); flags:
                --zsk-bits N (1024)  --ksk-bits N (2048)  --rollover
   normalize  rewrite in canonical order with fully-qualified names
-  info       print summary: origin, counts, delegations, DNSSEC state)";
+  info       print summary: origin, counts, delegations, DNSSEC state
+  hierarchy  synthesize a root/TLD/SLD hierarchy into OUTDIR: one master
+             file per zone, a views.txt manifest (split-horizon views keyed
+             on each zone's nameserver addresses), and a queries.txt trace
+             whose destinations are the public nameserver addresses; flags:
+               --tlds N (3)  --slds N (4)  --hosts N (2)  --ns N (2)
+               --queries N (2000)  --qps N (2000)  --tcp-every N (0 = none)
+               --seed N (42)  --raw-views (keep public addresses in
+               views.txt instead of LoopbackAlias'd ones))";
 
 int Info(const zone::Zone& zone) {
   std::printf("origin:        %s\n", zone.origin().ToString().c_str());
@@ -48,17 +64,138 @@ int Info(const zone::Zone& zone) {
   return 0;
 }
 
+std::string ZoneFileName(const dns::Name& origin) {
+  std::string name = origin.ToString();
+  if (name == ".") return "root.zone";
+  if (!name.empty() && name.back() == '.') name.pop_back();
+  return name + ".zone";
+}
+
+// hierarchy command: write a self-contained experiment directory — zones,
+// views.txt (split-horizon manifest), and queries.txt (text trace whose
+// destinations are the public nameserver addresses, i.e. OQDAs).
+int Hierarchy(const Flags& flags, const std::string& out_dir) {
+  workload::HierarchyConfig config;
+  config.n_tlds = static_cast<size_t>(flags.GetInt("tlds", 3).value_or(3));
+  config.n_slds_per_tld =
+      static_cast<size_t>(flags.GetInt("slds", 4).value_or(4));
+  config.n_hosts_per_sld =
+      static_cast<size_t>(flags.GetInt("hosts", 2).value_or(2));
+  config.ns_per_zone = static_cast<size_t>(flags.GetInt("ns", 2).value_or(2));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42).value_or(42));
+  auto n_queries = flags.GetInt("queries", 2000);
+  auto qps = flags.GetInt("qps", 2000);
+  auto tcp_every = flags.GetInt("tcp-every", 0);
+  if (!n_queries.ok() || *n_queries < 0 || !qps.ok() || *qps < 1 ||
+      !tcp_every.ok() || *tcp_every < 0 || config.n_tlds < 1 ||
+      config.ns_per_zone < 1) {
+    std::fprintf(stderr, "%s\n", kUsage);
+    return 2;
+  }
+  if (::mkdir(out_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    std::perror(out_dir.c_str());
+    return 1;
+  }
+
+  workload::Hierarchy hierarchy = workload::BuildHierarchy(config);
+
+  // views.txt lists the addresses the meta server will actually see as
+  // query sources: the proxy binds these and uses them as rewritten source
+  // addresses, so by default they are the LoopbackAlias'd images of the
+  // public nameserver addresses. --raw-views keeps the public ones (for
+  // setups with real interface aliases instead of the 127/8 stand-in).
+  bool raw_views = flags.GetBool("raw-views", false);
+  zone::ViewManifest manifest;
+  for (const auto& z : hierarchy.AllZones()) {
+    std::string file = ZoneFileName(z->origin());
+    if (auto s = zone::SaveMasterFile(*z, out_dir + "/" + file); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.error().ToString().c_str());
+      return 1;
+    }
+    auto ns = hierarchy.nameservers.find(z->origin());
+    if (ns == hierarchy.nameservers.end() || ns->second.empty()) {
+      std::fprintf(stderr, "no nameservers generated for %s\n",
+                   z->origin().ToString().c_str());
+      return 1;
+    }
+    zone::ViewSpec view;
+    view.name = file.substr(0, file.size() - sizeof(".zone") + 1);
+    for (IpAddress addr : ns->second) {
+      view.sources.push_back(raw_views ? addr : LoopbackAlias(addr));
+    }
+    view.zone_files.push_back(std::move(file));
+    manifest.views.push_back(std::move(view));
+  }
+  if (auto s = zone::SaveViewManifest(manifest, out_dir + "/views.txt");
+      !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.error().ToString().c_str());
+    return 1;
+  }
+
+  // Queries target the PUBLIC nameserver addresses — the trace is what a
+  // capture point would have seen. The replayer remaps them with
+  // --follow-dst --loopback-dst; most are leaf A lookups at the owning SLD,
+  // every 7th asks the parent zone for the delegation so the TLD and root
+  // views get traffic too.
+  std::vector<trace::QueryRecord> records;
+  records.reserve(static_cast<size_t>(*n_queries));
+  const NanoDuration step = 1'000'000'000 / *qps;
+  const auto& hosts = hierarchy.hostnames;
+  if (hosts.empty() && *n_queries > 0) {
+    std::fprintf(stderr, "hierarchy generated no hostnames\n");
+    return 1;
+  }
+  for (int64_t i = 0; i < *n_queries; ++i) {
+    const size_t index = static_cast<size_t>(i);
+    trace::QueryRecord record;
+    record.timestamp = static_cast<NanoTime>(i) * step;
+    record.src = IpAddress(203, 0, 113, static_cast<uint8_t>(1 + index % 200));
+    record.src_port = static_cast<uint16_t>(40000 + index % 20000);
+    record.qname = hosts[index % hosts.size()];
+    auto owner = record.qname.Parent();
+    if (!owner.ok()) continue;
+    dns::Name target_zone = *owner;
+    if (index % 7 == 3) {
+      record.qname = target_zone;
+      record.qtype = dns::RRType::kNS;
+      if (auto parent = target_zone.Parent(); parent.ok()) {
+        target_zone = *parent;
+      }
+    }
+    auto ns = hierarchy.nameservers.find(target_zone);
+    if (ns == hierarchy.nameservers.end() || ns->second.empty()) continue;
+    record.dst = ns->second[index % ns->second.size()];
+    record.dst_port = 53;
+    record.rd = false;
+    record.protocol = *tcp_every > 0 && i % *tcp_every == 0
+                          ? trace::Protocol::kTcp
+                          : trace::Protocol::kUdp;
+    records.push_back(std::move(record));
+  }
+  if (auto s = trace::WriteTextTraceFile(records, out_dir + "/queries.txt");
+      !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.error().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("hierarchy: %zu zones, %zu views, %zu queries -> %s\n",
+              hierarchy.AllZones().size(), manifest.views.size(),
+              records.size(), out_dir.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto flags_result = Flags::Parse(argc, argv, {"rollover"});
+  auto flags_result = Flags::Parse(argc, argv, {"rollover", "raw-views"});
   if (!flags_result.ok()) {
     std::fprintf(stderr, "%s\n", flags_result.error().ToString().c_str());
     return 2;
   }
   const Flags& flags = *flags_result;
   if (auto s = flags.RequireKnown(
-          {"zsk-bits", "ksk-bits", "rollover", "help"});
+          {"zsk-bits", "ksk-bits", "rollover", "tlds", "slds", "hosts", "ns",
+           "queries", "qps", "tcp-every", "seed", "raw-views", "help"});
       !s.ok()) {
     std::fprintf(stderr, "%s\n%s\n", s.error().ToString().c_str(), kUsage);
     return 2;
@@ -70,6 +207,12 @@ int main(int argc, char** argv) {
   }
   const std::string& command = args[0];
   const std::string& in_path = args[1];
+
+  // hierarchy takes an output directory, not a zone file, so it dispatches
+  // before the load below.
+  if (command == "hierarchy") {
+    return Hierarchy(flags, in_path);
+  }
 
   auto zone = zone::LoadMasterFile(in_path, zone::MasterFileOptions{});
   if (!zone.ok()) {
