@@ -130,6 +130,49 @@ kill -TERM "$PROXY_PID"; wait "$PROXY_PID"; PROXY_PID=""
 kill -TERM "$SERVE_PID"; wait "$SERVE_PID"; SERVE_PID=""
 echo "hierarchy smoke: $SENT queries proxied, all answered"
 
+echo "== distrib smoke: 2-agent replay, zero loss, merged metrics =="
+./build/tools/ldp_serve --listen 127.0.0.1:0 --stats-interval-s 0 \
+  "$SMOKE/zone.db" > "$SMOKE/dist_serve.out" 2>&1 &
+SERVE_PID=$!
+i=0
+while [ "$i" -lt 50 ]; do
+  grep -q "serving on" "$SMOKE/dist_serve.out" 2>/dev/null && break
+  sleep 0.1
+  i=$((i + 1))
+done
+PORT=$(sed -n 's/.*serving on [0-9.]*:\([0-9]*\).*/\1/p' "$SMOKE/dist_serve.out")
+[ -n "$PORT" ] || { echo "distrib smoke: server never came up"; exit 1; }
+# Trace timing (not --fast): the zero-loss assertion needs the paced rate,
+# not a 1-core burst that overflows receive buffers.
+./build/tools/ldp_replay_trace --trace "$SMOKE/trace.txt" \
+  --server "127.0.0.1:$PORT" --agents 2 \
+  --metrics-out "$SMOKE/dist_metrics.jsonl" --metrics-interval-ms 200 \
+  > "$SMOKE/dist_replay.out" 2>&1
+grep -q "reconcile: OK" "$SMOKE/dist_replay.out" || {
+  echo "distrib smoke: reconcile failed"; cat "$SMOKE/dist_replay.out"
+  exit 1
+}
+MERGED_SENT=$(sed -n 's/^merged: sent \([0-9]*\),.*/\1/p' \
+  "$SMOKE/dist_replay.out")
+MERGED_ANSWERED=$(sed -n 's/^merged: sent [0-9]*, answered \([0-9]*\).*/\1/p' \
+  "$SMOKE/dist_replay.out")
+[ "$MERGED_SENT" = "2000" ] && [ "$MERGED_ANSWERED" = "2000" ] || {
+  echo "distrib smoke: lost queries (sent=$MERGED_SENT answered=$MERGED_ANSWERED)"
+  cat "$SMOKE/dist_replay.out"; exit 1
+}
+kill -TERM "$SERVE_PID"; wait "$SERVE_PID"; SERVE_PID=""
+# Offline fold of the per-agent streams must agree with the live merge.
+./build/tools/ldp_trace_stats merge --out "$SMOKE/dist_folded.jsonl" \
+  "$SMOKE/dist_metrics.agent0.jsonl" "$SMOKE/dist_metrics.agent1.jsonl"
+python3 - "$SMOKE/dist_folded.jsonl" <<'EOF'
+import json, sys
+rows = [json.loads(line) for line in open(sys.argv[1])]
+assert rows, "no folded rows"
+sent = rows[-1]["counters"]["replay.sent"]["total"]
+assert sent == 2000, "folded sent %d != 2000" % sent
+print("distrib smoke: 2 agents, 2000 sent, 2000 answered, fold agrees")
+EOF
+
 echo "== docs: EXPERIMENTS.md command lines match tool --help =="
 python3 - <<'EOF'
 import re, subprocess, sys
@@ -167,9 +210,10 @@ echo "== tsan: threaded subsystems =="
 cmake -B build-tsan -S . -DLDP_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target \
   net_test sharded_server_test response_cache_test \
-  server_test replay_realtime_test metrics_test stats_test proxy_relay_test
+  server_test replay_realtime_test metrics_test stats_test proxy_relay_test \
+  distrib_test hashring_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'net_test|sharded_server_test|response_cache_test|server_test|replay_realtime_test|metrics_test|stats_test|proxy_relay_test'
+  -R 'net_test|sharded_server_test|response_cache_test|server_test|replay_realtime_test|metrics_test|stats_test|proxy_relay_test|distrib_test|hashring_test'
 
 echo "== asan: socket + replay lifetime paths =="
 cmake -B build-asan -S . -DLDP_SANITIZE=address >/dev/null

@@ -1,0 +1,166 @@
+#include "distrib/spawn.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <ctime>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace ldp::distrib {
+namespace {
+
+constexpr char kReadyPrefix[] = "agent listening on ";
+
+void KillAndReap(AgentProcess& agent) {
+  if (agent.pid <= 0) return;
+  ::kill(agent.pid, SIGTERM);
+  int status = 0;
+  ::waitpid(agent.pid, &status, 0);
+  agent.pid = -1;
+}
+
+// Reads the child's stdout until the ready line appears (children print it
+// first and flush). Returns the parsed endpoint.
+Result<Endpoint> AwaitReadyLine(int fd, int64_t timeout_ms) {
+  std::string buffered;
+  for (;;) {
+    // A completed line yet?
+    size_t eol = buffered.find('\n');
+    if (eol != std::string::npos) {
+      std::string line = buffered.substr(0, eol);
+      if (line.rfind(kReadyPrefix, 0) == 0) {
+        return Endpoint::Parse(line.substr(sizeof(kReadyPrefix) - 1));
+      }
+      buffered.erase(0, eol + 1);  // tolerate other startup chatter
+      continue;
+    }
+    struct pollfd pfd = {fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (ready == 0) {
+      return Error(ErrorCode::kTimeout, "agent never printed its endpoint");
+    }
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Error(ErrorCode::kIoError,
+                   std::string("poll: ") + std::strerror(errno));
+    }
+    char chunk[512];
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Error(ErrorCode::kIoError,
+                   std::string("read: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Error(ErrorCode::kConnectionClosed,
+                   "agent exited before printing its endpoint");
+    }
+    buffered.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace
+
+std::string SiblingBinary(const std::string& name) {
+  char self[4096];
+  ssize_t n = ::readlink("/proc/self/exe", self, sizeof(self) - 1);
+  if (n <= 0) return name;
+  self[n] = '\0';
+  std::string path(self);
+  size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return name;
+  return path.substr(0, slash + 1) + name;
+}
+
+Result<std::vector<AgentProcess>> SpawnLocalAgents(
+    const std::string& binary, size_t n, const SpawnOptions& options) {
+  std::vector<AgentProcess> agents;
+  auto fail = [&agents](Error error) {
+    StopAgents(agents);
+    return error;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) {
+      return fail(Error(ErrorCode::kIoError,
+                        std::string("pipe: ") + std::strerror(errno)));
+    }
+    pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(pipe_fds[0]);
+      ::close(pipe_fds[1]);
+      return fail(Error(ErrorCode::kIoError,
+                        std::string("fork: ") + std::strerror(errno)));
+    }
+    if (pid == 0) {
+      // Child: stdout becomes the pipe, then exec the agent.
+      ::close(pipe_fds[0]);
+      ::dup2(pipe_fds[1], STDOUT_FILENO);
+      ::close(pipe_fds[1]);
+      std::vector<std::string> args;
+      args.push_back(binary);
+      args.push_back("--listen=127.0.0.1:0");
+      for (const std::string& extra : options.extra_args) {
+        args.push_back(extra);
+      }
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& arg : args) argv.push_back(arg.data());
+      argv.push_back(nullptr);
+      ::execv(binary.c_str(), argv.data());
+      // Exec failed; the parent sees EOF on the pipe.
+      ::_exit(127);
+    }
+    ::close(pipe_fds[1]);
+    AgentProcess agent;
+    agent.pid = pid;
+    Result<Endpoint> endpoint =
+        AwaitReadyLine(pipe_fds[0], options.ready_timeout_ms);
+    ::close(pipe_fds[0]);
+    if (!endpoint.ok()) {
+      KillAndReap(agent);
+      return fail(endpoint.error().WithContext(
+          "agent " + std::to_string(i) + " (" + binary + ")"));
+    }
+    agent.endpoint = endpoint.value();
+    agents.push_back(agent);
+  }
+  return agents;
+}
+
+void StopAgents(std::vector<AgentProcess>& agents) {
+  for (AgentProcess& agent : agents) KillAndReap(agent);
+}
+
+bool WaitAgents(std::vector<AgentProcess>& agents, int64_t grace_ms) {
+  bool all_clean = true;
+  for (AgentProcess& agent : agents) {
+    if (agent.pid <= 0) continue;
+    // Poll-wait with the grace budget, then escalate to SIGTERM.
+    int status = 0;
+    int64_t waited_ms = 0;
+    pid_t got = 0;
+    while ((got = ::waitpid(agent.pid, &status, WNOHANG)) == 0 &&
+           waited_ms < grace_ms) {
+      struct timespec ts = {0, 20 * 1000 * 1000};
+      ::nanosleep(&ts, nullptr);
+      waited_ms += 20;
+    }
+    if (got == 0) {
+      all_clean = false;
+      KillAndReap(agent);
+      continue;
+    }
+    agent.pid = -1;
+    if (got < 0 || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      all_clean = false;
+    }
+  }
+  return all_clean;
+}
+
+}  // namespace ldp::distrib

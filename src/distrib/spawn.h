@@ -1,0 +1,52 @@
+// Local agent process management for `ldp_replay_trace --agents=N`: fork
+// and exec N ldp_replay_agent processes on loopback ephemeral ports and
+// collect the endpoint each one prints. Multi-host runs skip this file
+// entirely and pass --connect with already-running agents.
+#ifndef LDPLAYER_DISTRIB_SPAWN_H
+#define LDPLAYER_DISTRIB_SPAWN_H
+
+#include <string>
+#include <vector>
+
+#include "common/ip.h"
+#include "common/result.h"
+
+namespace ldp::distrib {
+
+// One spawned ldp_replay_agent child.
+struct AgentProcess {
+  int pid = -1;
+  Endpoint endpoint;  // parsed from the child's "agent listening on" line
+};
+
+struct SpawnOptions {
+  // Extra argv entries appended after --listen (e.g. --metrics-out=...
+  // with a %d expanded per agent index by the caller beforehand).
+  std::vector<std::string> extra_args;
+  // How long to wait for each child to print its endpoint.
+  int64_t ready_timeout_ms = 10000;
+};
+
+// Path of this executable's directory + `name` — where sibling tools live
+// in the build tree. Falls back to `name` alone (PATH lookup) on error.
+std::string SiblingBinary(const std::string& name);
+
+// Spawns `n` agents from `binary`, each listening on 127.0.0.1:ephemeral,
+// and waits until every one has printed its endpoint. On any failure the
+// already-started children are killed before the error returns.
+Result<std::vector<AgentProcess>> SpawnLocalAgents(const std::string& binary,
+                                                   size_t n,
+                                                   const SpawnOptions& options);
+
+// SIGTERMs (then reaps) every child that is still running. Safe to call
+// after a normal run: already-exited children are just reaped.
+void StopAgents(std::vector<AgentProcess>& agents);
+
+// Reaps children expected to have exited on their own (the normal path —
+// agents exit after BYE). Returns false if any had a non-zero status or
+// needed a SIGTERM after `grace_ms`.
+bool WaitAgents(std::vector<AgentProcess>& agents, int64_t grace_ms = 5000);
+
+}  // namespace ldp::distrib
+
+#endif  // LDPLAYER_DISTRIB_SPAWN_H

@@ -21,6 +21,11 @@ struct QueryJob {
   uint64_t trace_index;
   NanoTime trace_time;  // rebased: first query = 0
   trace::QueryRecord record;
+  // Slot for this query's terminal outcome. Owned by the pipeline's
+  // chunk storage, whose addresses are stable for the run, so queriers
+  // write results through the pointer without ever sharing an index space
+  // with the feeder.
+  SendOutcome* outcome;
 };
 
 // Shared across all distributor threads; snapshotted into the report after
@@ -102,11 +107,9 @@ NanoDuration WheelTickFor(NanoDuration query_timeout) {
 class Querier {
  public:
   Querier(net::EventLoop& loop, const RealtimeConfig& config,
-          std::vector<SendOutcome>& sends, TransportCounters& counters,
-          QuerierMetrics metrics = {})
+          TransportCounters& counters, QuerierMetrics metrics = {})
       : loop_(loop),
         config_(config),
-        sends_(sends),
         counters_(counters),
         metrics_(metrics),
         tick_interval_(WheelTickFor(config.query_timeout)),
@@ -137,7 +140,7 @@ class Querier {
     epoch_mono_ = epoch_mono;  // reply timestamps share the send epoch
     dns::Message query = job.record.ToMessage();
 
-    SendOutcome& outcome = sends_[job.trace_index];
+    SendOutcome& outcome = *job.outcome;
     outcome.trace_index = job.trace_index;
     outcome.trace_time = job.trace_time;
     // Every accepted query raises the inflight gauge here; the matching
@@ -188,7 +191,7 @@ class Querier {
         auto it = udp_inflight_.find(id);
         if (it == udp_inflight_.end()) continue;
         wheel_.Cancel(UdpKey(id));
-        Terminal(it->second.trace_index, SendOutcome::State::kSendFailed);
+        Terminal(it->second.outcome, SendOutcome::State::kSendFailed);
         udp_inflight_.erase(it);
       }
       pending_udp_.clear();
@@ -214,7 +217,7 @@ class Querier {
   }
 
   struct UdpEntry {
-    uint64_t trace_index = 0;
+    SendOutcome* outcome = nullptr;
     Bytes wire;           // encoded query, kept for retransmits
     Endpoint target;      // destination (kept so retransmits follow it)
     int tries = 0;        // retransmits performed
@@ -234,7 +237,7 @@ class Querier {
     net::TimerHandle reconnect_timer;
     uint16_t next_id = 1;
     struct Entry {
-      uint64_t trace_index = 0;
+      SendOutcome* outcome = nullptr;
       Bytes frame;  // length-prefixed wire form, kept for redelivery
       bool on_wire = false;
     };
@@ -246,8 +249,8 @@ class Querier {
 
   // --- terminal outcomes ---
 
-  void Terminal(uint64_t trace_index, SendOutcome::State state) {
-    SendOutcome& outcome = sends_[trace_index];
+  void Terminal(SendOutcome* slot, SendOutcome::State state) {
+    SendOutcome& outcome = *slot;
     if (outcome.state != SendOutcome::State::kPending) return;
     outcome.state = state;
     if (state == SendOutcome::State::kTimedOut) {
@@ -258,8 +261,8 @@ class Querier {
     if (metrics_.inflight != nullptr) metrics_.inflight->Add(-1);
   }
 
-  void RecordAnswer(uint64_t trace_index) {
-    SendOutcome& outcome = sends_[trace_index];
+  void RecordAnswer(SendOutcome* slot) {
+    SendOutcome& outcome = *slot;
     if (outcome.state != SendOutcome::State::kPending) return;
     outcome.state = SendOutcome::State::kAnswered;
     outcome.replied = MonotonicNow() - epoch_mono_;
@@ -317,13 +320,13 @@ class Querier {
     if (!entry.on_wire) {
       // Never accepted by the kernel within a full timeout: send-failed,
       // not timed-out — the server never saw it.
-      Terminal(entry.trace_index, SendOutcome::State::kSendFailed);
+      Terminal(entry.outcome, SendOutcome::State::kSendFailed);
       udp_inflight_.erase(it);
       return;
     }
     if (entry.tries < config_.max_retransmits) {
       ++entry.tries;
-      sends_[entry.trace_index].retransmits =
+      entry.outcome->retransmits =
           static_cast<uint8_t>(std::min(entry.tries, 255));
       counters_.retransmits.Add();
       auto status = udp_->SendTo(entry.wire, entry.target);
@@ -331,7 +334,7 @@ class Querier {
       ScheduleTimeout(UdpKey(id), entry.tries);
       return;
     }
-    Terminal(entry.trace_index, SendOutcome::State::kTimedOut);
+    Terminal(entry.outcome, SendOutcome::State::kTimedOut);
     udp_inflight_.erase(it);
   }
 
@@ -347,7 +350,7 @@ class Querier {
     if (entry == state.inflight.end()) return;
     // on_wire distinguishes "written to a stream, no answer" (timed out)
     // from "still waiting in a backlog, never delivered" (send-failed).
-    Terminal(entry->second.trace_index,
+    Terminal(entry->second.outcome,
              entry->second.on_wire ? SendOutcome::State::kTimedOut
                                    : SendOutcome::State::kSendFailed);
     state.inflight.erase(entry);
@@ -364,7 +367,7 @@ class Querier {
       if (!allocated) {
         // All 65536 IDs inflight: this query cannot be matched to a reply.
         counters_.id_collisions.Add();
-        Terminal(job.trace_index, SendOutcome::State::kSendFailed);
+        Terminal(job.outcome, SendOutcome::State::kSendFailed);
         MaybeIdle();
         return;
       }
@@ -385,11 +388,11 @@ class Querier {
 
     query.id = id;
     UdpEntry entry;
-    entry.trace_index = job.trace_index;
+    entry.outcome = job.outcome;
     entry.wire = query.Encode();
     entry.target = TargetFor(job.record);
     auto emplaced = udp_inflight_.emplace(id, std::move(entry));
-    sends_[job.trace_index].sent = MonotonicNow() - epoch_mono_;
+    job.outcome->sent = MonotonicNow() - epoch_mono_;
     ScheduleTimeout(UdpKey(id), /*tries=*/0);
 
     if (config_.batch_udp) {
@@ -427,7 +430,7 @@ class Querier {
     uint16_t id = static_cast<uint16_t>((payload[0] << 8) | payload[1]);
     auto it = udp_inflight_.find(id);
     if (it == udp_inflight_.end()) return;  // late reply after age-out
-    RecordAnswer(it->second.trace_index);
+    RecordAnswer(it->second.outcome);
     wheel_.Cancel(UdpKey(id));
     udp_inflight_.erase(it);
     MaybeIdle();
@@ -455,7 +458,7 @@ class Querier {
       // A synchronous connect failure may already have disposed the state.
       it = tcp_.find(key);
       if (it == tcp_.end()) {
-        Terminal(job.trace_index, SendOutcome::State::kSendFailed);
+        Terminal(job.outcome, SendOutcome::State::kSendFailed);
         MaybeIdle();
         return;
       }
@@ -466,17 +469,17 @@ class Querier {
     auto allocated = AllocateQueryId(state.next_id, state.inflight, &collided);
     if (collided) counters_.id_collisions.Add();
     if (!allocated) {
-      Terminal(job.trace_index, SendOutcome::State::kSendFailed);
+      Terminal(job.outcome, SendOutcome::State::kSendFailed);
       MaybeIdle();
       return;
     }
     query.id = *allocated;
 
     TcpState::Entry entry;
-    entry.trace_index = job.trace_index;
+    entry.outcome = job.outcome;
     entry.frame = dns::FrameMessage(query.Encode());
     state.inflight.emplace(*allocated, std::move(entry));
-    sends_[job.trace_index].sent = MonotonicNow() - epoch_mono_;
+    job.outcome->sent = MonotonicNow() - epoch_mono_;
     ScheduleTimeout(TcpKeyFor(state, *allocated), /*tries=*/0);
 
     if (state.connected && !state.paused && state.backlog.empty()) {
@@ -576,7 +579,8 @@ class Querier {
       ids.push_back(id);
     }
     std::sort(ids.begin(), ids.end(), [&state](uint16_t a, uint16_t b) {
-      return state.inflight[a].trace_index < state.inflight[b].trace_index;
+      return state.inflight[a].outcome->trace_index <
+             state.inflight[b].outcome->trace_index;
     });
     state.backlog.assign(ids.begin(), ids.end());
 
@@ -597,7 +601,7 @@ class Querier {
     TcpState& state = *it->second;
     for (auto& [id, entry] : state.inflight) {
       wheel_.Cancel(TcpKeyFor(state, id));
-      Terminal(entry.trace_index, SendOutcome::State::kSendFailed);
+      Terminal(entry.outcome, SendOutcome::State::kSendFailed);
     }
     state.inflight.clear();
     DisposeState(key);
@@ -678,7 +682,7 @@ class Querier {
       uint16_t id = static_cast<uint16_t>(((*wire)[0] << 8) | (*wire)[1]);
       auto it = state.inflight.find(id);
       if (it == state.inflight.end()) continue;
-      RecordAnswer(it->second.trace_index);
+      RecordAnswer(it->second.outcome);
       wheel_.Cancel(TcpKeyFor(state, id));
       state.inflight.erase(it);
       state.attempts = 0;  // a live reply refills the reconnect budget
@@ -688,7 +692,6 @@ class Querier {
 
   net::EventLoop& loop_;
   const RealtimeConfig config_;
-  std::vector<SendOutcome>& sends_;
   TransportCounters& counters_;
   QuerierMetrics metrics_;
   std::function<void()> on_idle_;
@@ -725,14 +728,14 @@ class Querier {
 class Distributor {
  public:
   Distributor(const RealtimeConfig& config, NanoTime trace_epoch_rebased,
-              NanoTime epoch_mono, std::vector<SendOutcome>& sends,
-              TransportCounters& counters, uint64_t seed,
-              stats::MetricsSnapshotter* snapshotter)
+              NanoTime epoch_mono, TransportCounters& counters, uint64_t seed,
+              stats::MetricsSnapshotter* snapshotter,
+              std::atomic<size_t>* finished)
       : config_(config),
         epoch_mono_(epoch_mono),
-        sends_(sends),
         counters_(counters),
         snapshotter_(snapshotter),
+        finished_(finished),
         assigner_(config.queriers_per_distributor, seed) {
     scheduler_.Synchronize(trace_epoch_rebased, epoch_mono);
   }
@@ -749,6 +752,12 @@ class Distributor {
 
  private:
   void ThreadMain() {
+    // Every exit path (including setup errors) must count the thread as
+    // finished, or the pipeline's Done() would never flip.
+    struct FinishedMark {
+      std::atomic<size_t>* finished;
+      ~FinishedMark() { finished->fetch_add(1, std::memory_order_release); }
+    } mark{finished_};
     auto loop = net::EventLoop::Create();
     if (!loop.ok()) {
       status_ = loop.error();
@@ -768,8 +777,8 @@ class Distributor {
         qm.wheel_occupancy =
             config_.metrics->AddHistogram("replay.wheel_occupancy");
       }
-      queriers_.push_back(std::make_unique<Querier>(*loop_, config_, sends_,
-                                                    counters_, qm));
+      queriers_.push_back(
+          std::make_unique<Querier>(*loop_, config_, counters_, qm));
       auto status = queriers_.back()->Init();
       if (!status.ok()) {
         status_ = status;
@@ -881,9 +890,9 @@ class Distributor {
 
   RealtimeConfig config_;
   NanoTime epoch_mono_;
-  std::vector<SendOutcome>& sends_;
   TransportCounters& counters_;
   stats::MetricsSnapshotter* snapshotter_;
+  std::atomic<size_t>* finished_;
   StickyAssigner assigner_;
   ReplayScheduler scheduler_;
   NotifyQueue<QueryJob> queue_;
@@ -967,38 +976,154 @@ std::vector<double> RealtimeReport::RateErrors() const {
   return errors;
 }
 
+struct ReplayPipeline::Impl {
+  explicit Impl(const RealtimeConfig& c)
+      : config(c),
+        postman(c.n_distributors, c.seed),
+        batches(c.n_distributors) {}
+
+  RealtimeConfig config;
+  NanoTime epoch_mono = 0;
+  NanoTime trace_epoch = 0;
+  NanoTime wall_start = 0;
+  std::shared_ptr<TransportCounters> counters;
+  // Postman: sticky same-source assignment of queries to distributors.
+  StickyAssigner postman;
+  std::vector<std::unique_ptr<Distributor>> distributors;
+  std::atomic<size_t> finished{0};
+  // Outcome slots, one vector per Feed call. A deque of vectors never
+  // moves an existing chunk when a new one is appended, so the outcome
+  // pointers handed to distributor threads stay valid while the feeder
+  // keeps feeding. Only the feeder thread touches the deque itself.
+  std::deque<std::vector<SendOutcome>> chunks;
+  std::vector<std::vector<QueryJob>> batches;
+  uint64_t fed = 0;
+  bool input_closed = false;
+  bool joined = false;
+};
+
+Result<std::unique_ptr<ReplayPipeline>> ReplayPipeline::Start(
+    const RealtimeConfig& config, NanoTime epoch_mono, NanoTime trace_epoch) {
+  if (config.n_distributors == 0 || config.queriers_per_distributor == 0) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "need at least one distributor and querier");
+  }
+  auto pipeline = std::unique_ptr<ReplayPipeline>(new ReplayPipeline());
+  pipeline->impl_ = std::make_unique<Impl>(config);
+  Impl& impl = *pipeline->impl_;
+  impl.epoch_mono = epoch_mono;
+  impl.trace_epoch = trace_epoch;
+  impl.counters = std::make_shared<TransportCounters>();
+  if (config.metrics != nullptr) {
+    RegisterTransportMetrics(config.metrics, impl.counters);
+  }
+  // Distributor 0 drives the snapshotter so rows come from exactly one
+  // thread.
+  for (size_t i = 0; i < config.n_distributors; ++i) {
+    impl.distributors.push_back(std::make_unique<Distributor>(
+        config, 0, epoch_mono, *impl.counters, config.seed + 1 + i,
+        i == 0 ? config.snapshotter : nullptr, &impl.finished));
+    impl.distributors.back()->Start();
+  }
+  impl.wall_start = MonotonicNow();
+  return pipeline;
+}
+
+ReplayPipeline::~ReplayPipeline() {
+  if (impl_ == nullptr || impl_->joined) return;
+  CloseInput();
+  for (auto& distributor : impl_->distributors) distributor->Join();
+}
+
+void ReplayPipeline::Feed(std::span<const trace::QueryRecord> records) {
+  if (records.empty()) return;
+  Impl& impl = *impl_;
+  auto& chunk = impl.chunks.emplace_back(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    QueryJob job;
+    job.trace_index = impl.fed;
+    job.trace_time = records[i].timestamp - impl.trace_epoch;
+    job.record = records[i];
+    job.outcome = &chunk[i];
+    size_t target = impl.postman.Assign(job.record.src);
+    impl.batches[target].push_back(std::move(job));
+    ++impl.fed;
+  }
+  for (size_t i = 0; i < impl.distributors.size(); ++i) {
+    if (impl.batches[i].empty()) continue;
+    impl.distributors[i]->queue().PushBatch(std::move(impl.batches[i]));
+    impl.batches[i].clear();
+  }
+}
+
+void ReplayPipeline::CloseInput() {
+  if (impl_->input_closed) return;
+  impl_->input_closed = true;
+  for (auto& distributor : impl_->distributors) {
+    distributor->queue().CloseInput();
+  }
+}
+
+uint64_t ReplayPipeline::fed() const { return impl_->fed; }
+
+bool ReplayPipeline::Done() const {
+  return impl_->finished.load(std::memory_order_acquire) ==
+         impl_->distributors.size();
+}
+
+uint64_t ReplayPipeline::SentCount() const {
+  return impl_->counters->sent.Get();
+}
+
+uint64_t ReplayPipeline::TerminalCount() const {
+  const TransportCounters& c = *impl_->counters;
+  return c.answered.Get() + c.timed_out.Get() + c.send_failed.Get();
+}
+
+Result<RealtimeReport> ReplayPipeline::Finish() {
+  Impl& impl = *impl_;
+  CloseInput();
+  for (auto& distributor : impl.distributors) distributor->Join();
+  impl.joined = true;
+  for (auto& distributor : impl.distributors) {
+    if (!distributor->status().ok()) return distributor->status().error();
+  }
+
+  RealtimeReport report;
+  report.sends.reserve(impl.fed);
+  for (auto& chunk : impl.chunks) {
+    for (auto& outcome : chunk) report.sends.push_back(outcome);
+  }
+  impl.chunks.clear();
+  report.queries_sent = impl.counters->sent.Get();
+  report.answered = impl.counters->answered.Get();
+  report.replies = report.answered;
+  report.timed_out = impl.counters->timed_out.Get();
+  report.send_failed = impl.counters->send_failed.Get();
+  report.retransmits = impl.counters->retransmits.Get();
+  report.id_collisions = impl.counters->id_collisions.Get();
+  report.tcp_reconnects = impl.counters->tcp_reconnects.Get();
+  report.tcp_idle_closes = impl.counters->tcp_idle_closes.Get();
+  report.wall_duration = MonotonicNow() - impl.wall_start;
+  // Final row after every distributor joined: cumulative counters are
+  // settled, so this row reconciles exactly with the returned report.
+  if (impl.config.snapshotter != nullptr) impl.config.snapshotter->WriteNow();
+  return report;
+}
+
 Result<RealtimeReport> RunRealtimeReplay(
     const std::vector<trace::QueryRecord>& records,
     const RealtimeConfig& config) {
   if (records.empty()) {
     return Error(ErrorCode::kInvalidArgument, "empty trace");
   }
-  RealtimeReport report;
-  report.sends.resize(records.size());
-
-  auto counters = std::make_shared<TransportCounters>();
-  if (config.metrics != nullptr) {
-    RegisterTransportMetrics(config.metrics, counters);
-  }
   NanoTime trace_epoch = records.front().timestamp;
   NanoTime epoch_mono = MonotonicNow() + config.start_delay;
+  LDP_ASSIGN_OR_RETURN(
+      auto pipeline, ReplayPipeline::Start(config, epoch_mono, trace_epoch));
 
-  // Postman: sticky same-source assignment of queries to distributors.
-  // Distributor 0 drives the snapshotter so rows come from exactly one
-  // thread.
-  std::vector<std::unique_ptr<Distributor>> distributors;
-  StickyAssigner postman(config.n_distributors, config.seed);
-  for (size_t i = 0; i < config.n_distributors; ++i) {
-    distributors.push_back(std::make_unique<Distributor>(
-        config, 0, epoch_mono, report.sends, *counters, config.seed + 1 + i,
-        i == 0 ? config.snapshotter : nullptr));
-    distributors.back()->Start();
-  }
-
-  // Reader: stream the trace in look-ahead windows.
-  NanoTime wall_start = MonotonicNow();
+  // Reader: stream the trace into the pipeline in look-ahead windows.
   size_t cursor = 0;
-  std::vector<std::vector<QueryJob>> batches(config.n_distributors);
   while (cursor < records.size()) {
     NanoTime window_end;
     if (config.fast_mode) {
@@ -1006,20 +1131,12 @@ Result<RealtimeReport> RunRealtimeReplay(
     } else {
       window_end = (MonotonicNow() - epoch_mono) + config.lookahead;
     }
+    size_t begin = cursor;
     while (cursor < records.size() &&
            records[cursor].timestamp - trace_epoch <= window_end) {
-      QueryJob job;
-      job.trace_index = cursor;
-      job.trace_time = records[cursor].timestamp - trace_epoch;
-      job.record = records[cursor];
-      size_t target = postman.Assign(job.record.src);
-      batches[target].push_back(std::move(job));
       ++cursor;
     }
-    for (size_t i = 0; i < distributors.size(); ++i) {
-      distributors[i]->queue().PushBatch(std::move(batches[i]));
-      batches[i].clear();
-    }
+    pipeline->Feed(std::span(records).subspan(begin, cursor - begin));
     if (cursor < records.size() && !config.fast_mode) {
       NanoTime next_due =
           epoch_mono + (records[cursor].timestamp - trace_epoch);
@@ -1035,26 +1152,8 @@ Result<RealtimeReport> RunRealtimeReplay(
       }
     }
   }
-  for (auto& distributor : distributors) distributor->queue().CloseInput();
-  for (auto& distributor : distributors) distributor->Join();
-  for (auto& distributor : distributors) {
-    if (!distributor->status().ok()) return distributor->status().error();
-  }
-
-  report.queries_sent = counters->sent.Get();
-  report.answered = counters->answered.Get();
-  report.replies = report.answered;
-  report.timed_out = counters->timed_out.Get();
-  report.send_failed = counters->send_failed.Get();
-  report.retransmits = counters->retransmits.Get();
-  report.id_collisions = counters->id_collisions.Get();
-  report.tcp_reconnects = counters->tcp_reconnects.Get();
-  report.tcp_idle_closes = counters->tcp_idle_closes.Get();
-  report.wall_duration = MonotonicNow() - wall_start;
-  // Final row after every distributor joined: cumulative counters are
-  // settled, so this row reconciles exactly with the returned report.
-  if (config.snapshotter != nullptr) config.snapshotter->WriteNow();
-  return report;
+  pipeline->CloseInput();
+  return pipeline->Finish();
 }
 
 }  // namespace ldp::replay

@@ -26,7 +26,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -186,6 +188,53 @@ std::optional<uint16_t> AllocateQueryId(uint16_t& next_id,
 Result<RealtimeReport> RunRealtimeReplay(
     const std::vector<trace::QueryRecord>& records,
     const RealtimeConfig& config);
+
+// RunRealtimeReplay with the Reader inverted: the caller streams record
+// batches in whenever it likes and the same Postman → Distributor →
+// Querier machinery runs underneath. This is the distributed agent's
+// entry point — chunks arrive over the wire instead of from a trace file
+// — and RunRealtimeReplay itself is now a thin Reader loop over one.
+//
+// Threading: Start spawns the distributor threads. Feed/CloseInput/fed
+// must be called from ONE feeder thread; Done/SentCount/TerminalCount are
+// safe from that thread while distributors run. Finish joins and may be
+// called once (the destructor joins too if Finish never ran).
+class ReplayPipeline {
+ public:
+  // `epoch_mono`: the synchronized replay start on this host's monotonic
+  // clock — a record with rebased time t is sent at epoch_mono + t.
+  // `trace_epoch` is subtracted from every fed record's timestamp (pass
+  // records.front().timestamp, or 0 when the feeder pre-rebased them).
+  static Result<std::unique_ptr<ReplayPipeline>> Start(
+      const RealtimeConfig& config, NanoTime epoch_mono,
+      NanoTime trace_epoch);
+  ~ReplayPipeline();
+  ReplayPipeline(const ReplayPipeline&) = delete;
+  ReplayPipeline& operator=(const ReplayPipeline&) = delete;
+
+  // Hands a batch to the distributors (timestamps ascend across calls).
+  void Feed(std::span<const trace::QueryRecord> records);
+  // After the last Feed. Distributors finish once every fed query reaches
+  // a terminal outcome (or, with query_timeout == 0, after drain_grace).
+  void CloseInput();
+
+  uint64_t fed() const;
+  // True once every distributor thread has stopped (non-blocking).
+  bool Done() const;
+  uint64_t SentCount() const;
+  // Queries at a terminal outcome so far. `fed() - TerminalCount()` is the
+  // engine's backlog — the agent's backpressure signal for withholding
+  // chunk credits.
+  uint64_t TerminalCount() const;
+
+  // Joins the distributor threads and assembles the report (trace order).
+  Result<RealtimeReport> Finish();
+
+ private:
+  ReplayPipeline() = default;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace ldp::replay
 

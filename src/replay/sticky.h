@@ -12,6 +12,7 @@
 
 #include "common/ip.h"
 #include "common/rng.h"
+#include "replay/hashring.h"
 
 namespace ldp::replay {
 
@@ -22,12 +23,11 @@ class StickyAssigner {
 
   // Stable downstream index for `source`.
   size_t Assign(IpAddress source) {
-    auto [it, inserted] = table_.emplace(source, 0);
-    if (inserted) {
-      it->second = rng_.NextBelow(n_);
-      ++counts_[it->second];
-    }
-    return it->second;
+    return StickyAssign(table_, source, [this](IpAddress) {
+      size_t d = rng_.NextBelow(n_);
+      ++counts_[d];
+      return d;
+    });
   }
 
   size_t downstream_count() const { return n_; }

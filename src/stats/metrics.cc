@@ -212,54 +212,124 @@ void AppendF(std::string* out, const char* fmt, ...) {
 
 }  // namespace
 
-std::string MetricsSnapshotter::FormatRow(
-    const MetricsSnapshot& snapshot) const {
-  std::string row;
-  row.reserve(512);
-  AppendF(&row, "{\"ts_ms\":%" PRId64 ",\"seq\":%" PRIu64,
-          snapshot.taken_at / kNanosPerMilli, seq_);
-  row += ",\"counters\":{";
-  bool first = true;
+MetricsSnapshot MergeSnapshots(std::span<const MetricsSnapshot> parts) {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  MetricsSnapshot merged;
+  for (const MetricsSnapshot& part : parts) {
+    merged.taken_at = std::max(merged.taken_at, part.taken_at);
+    for (const auto& [name, value] : part.counters) counters[name] += value;
+    for (const auto& [name, value] : part.gauges) gauges[name] += value;
+    for (const auto& [name, h] : part.histograms) {
+      auto [it, inserted] = histograms.try_emplace(name, h);
+      if (!inserted) it->second.Merge(h);
+    }
+  }
+  merged.counters.assign(counters.begin(), counters.end());
+  merged.gauges.assign(gauges.begin(), gauges.end());
+  merged.histograms.reserve(histograms.size());
+  for (auto& [name, h] : histograms) {
+    merged.histograms.emplace_back(name, std::move(h));
+  }
+  return merged;
+}
+
+JsonlRow RowFromSnapshot(const MetricsSnapshot& snapshot,
+                         const MetricsSnapshot* prev, uint64_t seq,
+                         bool emit_buckets) {
+  JsonlRow row;
+  row.ts_ms = snapshot.taken_at / kNanosPerMilli;
+  row.seq = seq;
   for (const auto& [name, total] : snapshot.counters) {
-    uint64_t prev = have_last_ ? last_.CounterValue(name) : 0;
+    uint64_t before = prev != nullptr ? prev->CounterValue(name) : 0;
     // Polled counters can regress if the underlying subsystem resets;
     // report a zero delta rather than a huge wrapped one.
-    uint64_t delta = total >= prev ? total - prev : 0;
-    if (!first) row.push_back(',');
-    first = false;
-    row.push_back('"');
-    AppendJsonEscaped(&row, name);
-    AppendF(&row, "\":{\"total\":%" PRIu64 ",\"delta\":%" PRIu64 "}", total,
-            delta);
+    JsonlRow::CounterCell cell;
+    cell.total = total;
+    cell.delta = total >= before ? total - before : 0;
+    row.counters.emplace_back(name, cell);
   }
-  row += "},\"gauges\":{";
-  first = true;
-  for (const auto& [name, value] : snapshot.gauges) {
-    if (!first) row.push_back(',');
-    first = false;
-    row.push_back('"');
-    AppendJsonEscaped(&row, name);
-    AppendF(&row, "\":%" PRId64, value);
-  }
-  row += "},\"histograms\":{";
-  first = true;
+  row.gauges = snapshot.gauges;
   for (const auto& [name, h] : snapshot.histograms) {
-    if (!first) row.push_back(',');
+    JsonlRow::HistogramCell cell;
+    cell.count = h.count;
+    cell.p50 = h.Quantile(0.50);
+    cell.p95 = h.Quantile(0.95);
+    cell.p99 = h.Quantile(0.99);
+    cell.max = h.max;
+    cell.mean = h.count > 0 ? static_cast<double>(h.sum) /
+                                  static_cast<double>(h.count)
+                            : 0.0;
+    if (emit_buckets) {
+      for (size_t i = 0; i < h.buckets.size(); ++i) {
+        if (h.buckets[i] != 0) {
+          cell.buckets.emplace_back(static_cast<uint32_t>(i), h.buckets[i]);
+        }
+      }
+    }
+    row.histograms.emplace_back(name, std::move(cell));
+  }
+  return row;
+}
+
+std::string FormatJsonlRow(const JsonlRow& row) {
+  std::string out;
+  out.reserve(512);
+  AppendF(&out, "{\"ts_ms\":%" PRId64 ",\"seq\":%" PRIu64, row.ts_ms,
+          row.seq);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, cell] : row.counters) {
+    if (!first) out.push_back(',');
     first = false;
-    row.push_back('"');
-    AppendJsonEscaped(&row, name);
-    double mean = h.count > 0
-                      ? static_cast<double>(h.sum) / static_cast<double>(h.count)
-                      : 0.0;
-    AppendF(&row,
+    out.push_back('"');
+    AppendJsonEscaped(&out, name);
+    AppendF(&out, "\":{\"total\":%" PRIu64 ",\"delta\":%" PRIu64 "}",
+            cell.total, cell.delta);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : row.gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    AppendJsonEscaped(&out, name);
+    AppendF(&out, "\":%" PRId64, value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : row.histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    AppendJsonEscaped(&out, name);
+    AppendF(&out,
             "\":{\"count\":%" PRIu64
             ",\"p50\":%.1f,\"p95\":%.1f,\"p99\":%.1f,\"max\":%" PRIu64
-            ",\"mean\":%.1f}",
-            h.count, h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99),
-            h.max, mean);
+            ",\"mean\":%.1f",
+            h.count, h.p50, h.p95, h.p99, h.max, h.mean);
+    if (!h.buckets.empty()) {
+      out += ",\"buckets\":[";
+      bool first_bucket = true;
+      for (const auto& [index, count] : h.buckets) {
+        if (!first_bucket) out.push_back(',');
+        first_bucket = false;
+        AppendF(&out, "[%u,%" PRIu64 "]", index, count);
+      }
+      out.push_back(']');
+    }
+    out.push_back('}');
   }
-  row += "}}";
-  return row;
+  out += "}}";
+  return out;
+}
+
+std::string MetricsSnapshotter::FormatRow(
+    const MetricsSnapshot& snapshot) const {
+  return FormatJsonlRow(RowFromSnapshot(snapshot,
+                                        have_last_ ? &last_ : nullptr, seq_,
+                                        options_.emit_buckets));
 }
 
 const MetricsSnapshot& MetricsSnapshotter::WriteNow() {

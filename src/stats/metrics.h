@@ -25,7 +25,9 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
@@ -135,6 +137,48 @@ struct MetricsSnapshot {
   const HistogramSnapshot* Histogram(const std::string& name) const;
 };
 
+// Sum of several registry snapshots, name-by-name: counters and gauges
+// add, histograms merge bucket-wise. This is the cross-process
+// aggregation the distributed controller applies to per-agent snapshots
+// before writing one merged JSONL row.
+MetricsSnapshot MergeSnapshots(std::span<const MetricsSnapshot> parts);
+
+// One JSONL row's worth of rendered values. The snapshotter builds one
+// from a live registry snapshot; the offline merge path
+// (stats/snapshot_io.h, `ldp_trace_stats merge`) re-builds them from
+// parsed rows. Keeping a single render struct means the file format has
+// exactly one writer.
+struct JsonlRow {
+  int64_t ts_ms = 0;
+  uint64_t seq = 0;
+  struct CounterCell {
+    uint64_t total = 0;
+    uint64_t delta = 0;
+  };
+  struct HistogramCell {
+    uint64_t count = 0;
+    double p50 = 0, p95 = 0, p99 = 0;
+    uint64_t max = 0;
+    double mean = 0;
+    // Sparse non-zero buckets (LogHistogram indices). Present only when
+    // the writer opted into emit_buckets; enables exact offline merging.
+    std::vector<std::pair<uint32_t, uint64_t>> buckets;
+  };
+  std::vector<std::pair<std::string, CounterCell>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramCell>> histograms;
+};
+
+// Renders the row (no trailing newline).
+std::string FormatJsonlRow(const JsonlRow& row);
+
+// Builds a row from a snapshot: counter deltas are against `prev` (zero
+// when prev is null, and on regressions — polled counters can reset).
+// With emit_buckets, each histogram cell carries its sparse buckets.
+JsonlRow RowFromSnapshot(const MetricsSnapshot& snapshot,
+                         const MetricsSnapshot* prev, uint64_t seq,
+                         bool emit_buckets);
+
 // Owns the metric instances; hands out stable pointers for hot-path
 // recording. The registry must outlive every component holding one of its
 // pointers (tools create it in main; benches per phase).
@@ -187,6 +231,10 @@ class MetricsSnapshotter {
     std::string path;                  // empty = history only, no file
     NanoDuration interval = Seconds(1);
     bool keep_history = false;         // retain every MetricsSnapshot
+    // Include each histogram's sparse non-zero buckets in the row, so
+    // offline tools (ldp_trace_stats merge) can combine per-agent files
+    // exactly instead of approximating from pre-computed percentiles.
+    bool emit_buckets = false;
     std::function<NanoTime()> clock;   // default WallNow (sim: Simulator::Now)
   };
 

@@ -1,0 +1,366 @@
+#include "stats/snapshot_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+namespace ldp::stats {
+namespace {
+
+// Minimal recursive-descent parser for the JSON subset FormatJsonlRow
+// emits: objects, arrays, strings (escape-light), and numbers. No general
+// JSON library lives in this codebase and none is needed — the input has
+// exactly one producer.
+class RowParser {
+ public:
+  explicit RowParser(std::string_view text) : text_(text) {}
+
+  Result<JsonlRow> Parse() {
+    JsonlRow row;
+    LDP_RETURN_IF_ERROR(Expect('{'));
+    bool first = true;
+    while (!TryConsume('}')) {
+      if (!first) LDP_RETURN_IF_ERROR(Expect(','));
+      first = false;
+      LDP_ASSIGN_OR_RETURN(std::string key, ParseString());
+      LDP_RETURN_IF_ERROR(Expect(':'));
+      if (key == "ts_ms") {
+        LDP_ASSIGN_OR_RETURN(double v, ParseNumber());
+        row.ts_ms = static_cast<int64_t>(v);
+      } else if (key == "seq") {
+        LDP_ASSIGN_OR_RETURN(double v, ParseNumber());
+        row.seq = static_cast<uint64_t>(v);
+      } else if (key == "counters") {
+        LDP_RETURN_IF_ERROR(ParseCounters(&row));
+      } else if (key == "gauges") {
+        LDP_RETURN_IF_ERROR(ParseGauges(&row));
+      } else if (key == "histograms") {
+        LDP_RETURN_IF_ERROR(ParseHistograms(&row));
+      } else {
+        return Fail("unknown row field '" + key + "'");
+      }
+    }
+    if (pos_ != text_.size()) return Fail("trailing bytes after row");
+    return row;
+  }
+
+ private:
+  Error Fail(const std::string& message) const {
+    return Error(ErrorCode::kParseError,
+                 "snapshot row byte " + std::to_string(pos_) + ": " + message);
+  }
+
+  bool TryConsume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!TryConsume(c)) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    return Status::Ok();
+  }
+
+  Result<std::string> ParseString() {
+    LDP_RETURN_IF_ERROR(Expect('"'));
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("dangling escape");
+        c = text_[pos_++];
+      }
+      out.push_back(c);
+    }
+    LDP_RETURN_IF_ERROR(Expect('"'));
+    return out;
+  }
+
+  Result<double> ParseNumber() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a number");
+    std::string token(text_.substr(start, pos_ - start));
+    errno = 0;
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (errno != 0 || end != token.c_str() + token.size()) {
+      return Fail("bad number '" + token + "'");
+    }
+    return value;
+  }
+
+  Result<uint64_t> ParseU64() {
+    LDP_ASSIGN_OR_RETURN(double v, ParseNumber());
+    if (v < 0) return Fail("expected a non-negative integer");
+    return static_cast<uint64_t>(v);
+  }
+
+  Status ParseCounters(JsonlRow* row) {
+    LDP_RETURN_IF_ERROR(Expect('{'));
+    bool first = true;
+    while (!TryConsume('}')) {
+      if (!first) LDP_RETURN_IF_ERROR(Expect(','));
+      first = false;
+      LDP_ASSIGN_OR_RETURN(std::string name, ParseString());
+      LDP_RETURN_IF_ERROR(Expect(':'));
+      LDP_RETURN_IF_ERROR(Expect('{'));
+      JsonlRow::CounterCell cell;
+      bool first_field = true;
+      while (!TryConsume('}')) {
+        if (!first_field) LDP_RETURN_IF_ERROR(Expect(','));
+        first_field = false;
+        LDP_ASSIGN_OR_RETURN(std::string field, ParseString());
+        LDP_RETURN_IF_ERROR(Expect(':'));
+        LDP_ASSIGN_OR_RETURN(uint64_t value, ParseU64());
+        if (field == "total") {
+          cell.total = value;
+        } else if (field == "delta") {
+          cell.delta = value;
+        } else {
+          return Fail("unknown counter field '" + field + "'");
+        }
+      }
+      row->counters.emplace_back(std::move(name), cell);
+    }
+    return Status::Ok();
+  }
+
+  Status ParseGauges(JsonlRow* row) {
+    LDP_RETURN_IF_ERROR(Expect('{'));
+    bool first = true;
+    while (!TryConsume('}')) {
+      if (!first) LDP_RETURN_IF_ERROR(Expect(','));
+      first = false;
+      LDP_ASSIGN_OR_RETURN(std::string name, ParseString());
+      LDP_RETURN_IF_ERROR(Expect(':'));
+      LDP_ASSIGN_OR_RETURN(double value, ParseNumber());
+      row->gauges.emplace_back(std::move(name),
+                               static_cast<int64_t>(value));
+    }
+    return Status::Ok();
+  }
+
+  Status ParseHistograms(JsonlRow* row) {
+    LDP_RETURN_IF_ERROR(Expect('{'));
+    bool first = true;
+    while (!TryConsume('}')) {
+      if (!first) LDP_RETURN_IF_ERROR(Expect(','));
+      first = false;
+      LDP_ASSIGN_OR_RETURN(std::string name, ParseString());
+      LDP_RETURN_IF_ERROR(Expect(':'));
+      LDP_RETURN_IF_ERROR(Expect('{'));
+      JsonlRow::HistogramCell cell;
+      bool first_field = true;
+      while (!TryConsume('}')) {
+        if (!first_field) LDP_RETURN_IF_ERROR(Expect(','));
+        first_field = false;
+        LDP_ASSIGN_OR_RETURN(std::string field, ParseString());
+        LDP_RETURN_IF_ERROR(Expect(':'));
+        if (field == "buckets") {
+          LDP_RETURN_IF_ERROR(Expect('['));
+          while (!TryConsume(']')) {
+            if (!cell.buckets.empty()) LDP_RETURN_IF_ERROR(Expect(','));
+            LDP_RETURN_IF_ERROR(Expect('['));
+            LDP_ASSIGN_OR_RETURN(uint64_t index, ParseU64());
+            LDP_RETURN_IF_ERROR(Expect(','));
+            LDP_ASSIGN_OR_RETURN(uint64_t count, ParseU64());
+            LDP_RETURN_IF_ERROR(Expect(']'));
+            if (index >= LogHistogram::kNumBuckets) {
+              return Fail("bucket index out of range");
+            }
+            cell.buckets.emplace_back(static_cast<uint32_t>(index), count);
+          }
+          continue;
+        }
+        LDP_ASSIGN_OR_RETURN(double value, ParseNumber());
+        if (field == "count") {
+          cell.count = static_cast<uint64_t>(value);
+        } else if (field == "p50") {
+          cell.p50 = value;
+        } else if (field == "p95") {
+          cell.p95 = value;
+        } else if (field == "p99") {
+          cell.p99 = value;
+        } else if (field == "max") {
+          cell.max = static_cast<uint64_t>(value);
+        } else if (field == "mean") {
+          cell.mean = value;
+        } else {
+          return Fail("unknown histogram field '" + field + "'");
+        }
+      }
+      row->histograms.emplace_back(std::move(name), std::move(cell));
+    }
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+// Merge one aligned set of rows (one per stream, last-row carried
+// forward) into a single output row; deltas are fixed up by the caller.
+JsonlRow MergeRowSet(const std::vector<const JsonlRow*>& rows, uint64_t seq) {
+  JsonlRow merged;
+  merged.seq = seq;
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, std::vector<const JsonlRow::HistogramCell*>> hists;
+  for (const JsonlRow* row : rows) {
+    merged.ts_ms = std::max(merged.ts_ms, row->ts_ms);
+    for (const auto& [name, cell] : row->counters) counters[name] += cell.total;
+    for (const auto& [name, value] : row->gauges) gauges[name] += value;
+    for (const auto& [name, cell] : row->histograms) {
+      hists[name].push_back(&cell);
+    }
+  }
+  for (const auto& [name, total] : counters) {
+    merged.counters.emplace_back(name, JsonlRow::CounterCell{total, 0});
+  }
+  merged.gauges.assign(gauges.begin(), gauges.end());
+  for (const auto& [name, cells] : hists) {
+    bool exact = std::all_of(cells.begin(), cells.end(),
+                             [](const JsonlRow::HistogramCell* cell) {
+                               return cell->count == 0 ||
+                                      !cell->buckets.empty();
+                             });
+    JsonlRow::HistogramCell out;
+    double weighted_sum = 0;
+    for (const JsonlRow::HistogramCell* cell : cells) {
+      out.count += cell->count;
+      out.max = std::max(out.max, cell->max);
+      weighted_sum += cell->mean * static_cast<double>(cell->count);
+    }
+    out.mean = out.count > 0 ? weighted_sum / static_cast<double>(out.count)
+                             : 0.0;
+    if (exact) {
+      // Rebuild one combined distribution and recompute the percentiles.
+      HistogramSnapshot combined;
+      combined.buckets.resize(LogHistogram::kNumBuckets, 0);
+      for (const JsonlRow::HistogramCell* cell : cells) {
+        for (const auto& [index, count] : cell->buckets) {
+          combined.buckets[index] += count;
+          combined.count += count;
+        }
+        combined.max = std::max(combined.max, cell->max);
+      }
+      out.p50 = combined.Quantile(0.50);
+      out.p95 = combined.Quantile(0.95);
+      out.p99 = combined.Quantile(0.99);
+      for (size_t i = 0; i < combined.buckets.size(); ++i) {
+        if (combined.buckets[i] != 0) {
+          out.buckets.emplace_back(static_cast<uint32_t>(i),
+                                   combined.buckets[i]);
+        }
+      }
+    } else {
+      // No buckets to merge: each percentile's upper bound is the max of
+      // the per-stream values (a merged pXX can only move toward the
+      // heavier stream, never above the heaviest).
+      for (const JsonlRow::HistogramCell* cell : cells) {
+        out.p50 = std::max(out.p50, cell->p50);
+        out.p95 = std::max(out.p95, cell->p95);
+        out.p99 = std::max(out.p99, cell->p99);
+      }
+    }
+    merged.histograms.emplace_back(name, std::move(out));
+  }
+  return merged;
+}
+
+}  // namespace
+
+Result<JsonlRow> ParseJsonlRow(std::string_view line) {
+  return RowParser(line).Parse();
+}
+
+Result<std::vector<JsonlRow>> ReadJsonlFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return Error(ErrorCode::kIoError,
+                 "open " + path + ": " + std::strerror(errno));
+  }
+  std::vector<JsonlRow> rows;
+  std::string line;
+  int c;
+  auto flush_line = [&]() -> Status {
+    if (line.empty()) return Status::Ok();
+    auto row = ParseJsonlRow(line);
+    if (!row.ok()) {
+      return Error(row.error().code(),
+                   path + " row " + std::to_string(rows.size()) + ": " +
+                       row.error().message());
+    }
+    rows.push_back(std::move(*row));
+    line.clear();
+    return Status::Ok();
+  };
+  while ((c = std::fgetc(file)) != EOF) {
+    if (c == '\n') {
+      if (auto s = flush_line(); !s.ok()) {
+        std::fclose(file);
+        return s.error();
+      }
+    } else {
+      line.push_back(static_cast<char>(c));
+    }
+  }
+  std::fclose(file);
+  if (auto s = flush_line(); !s.ok()) return s.error();
+  return rows;
+}
+
+std::vector<JsonlRow> MergeJsonlStreams(
+    const std::vector<std::vector<JsonlRow>>& streams) {
+  size_t length = 0;
+  for (const auto& stream : streams) {
+    length = std::max(length, stream.size());
+  }
+  std::vector<JsonlRow> merged;
+  merged.reserve(length);
+  std::vector<const JsonlRow*> aligned;
+  for (size_t i = 0; i < length; ++i) {
+    aligned.clear();
+    for (const auto& stream : streams) {
+      if (stream.empty()) continue;
+      aligned.push_back(&stream[std::min(i, stream.size() - 1)]);
+    }
+    merged.push_back(MergeRowSet(aligned, i));
+    // Deltas restate rate against the merged stream's own previous row.
+    if (i > 0) {
+      const JsonlRow& prev = merged[merged.size() - 2];
+      for (auto& [name, cell] : merged.back().counters) {
+        uint64_t before = 0;
+        for (const auto& [prev_name, prev_cell] : prev.counters) {
+          if (prev_name == name) {
+            before = prev_cell.total;
+            break;
+          }
+        }
+        cell.delta = cell.total >= before ? cell.total - before : 0;
+      }
+    } else {
+      for (auto& [name, cell] : merged.back().counters) {
+        cell.delta = cell.total;
+      }
+    }
+  }
+  return merged;
+}
+
+}  // namespace ldp::stats

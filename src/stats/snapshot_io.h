@@ -1,0 +1,40 @@
+// Offline side of the metrics JSONL format: parse rows written by
+// MetricsSnapshotter back into JsonlRow, and fold N per-agent row streams
+// into one merged stream (ldp_trace_stats merge; the distributed replay
+// controller does the same merge live from wire snapshots).
+//
+// Merge semantics, row by row: output row i combines each input stream's
+// row i, with streams shorter than i carrying their last row forward —
+// rows are cumulative, so a finished agent's totals persist. Counters and
+// gauges sum. Histograms merge exactly via sparse buckets when every
+// input row carries them (emit_buckets); otherwise count/max/mean combine
+// exactly and each percentile falls back to the max across inputs (an
+// upper bound — the merged distribution's pXX cannot exceed it).
+#ifndef LDPLAYER_STATS_SNAPSHOT_IO_H
+#define LDPLAYER_STATS_SNAPSHOT_IO_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "stats/metrics.h"
+
+namespace ldp::stats {
+
+// Parses one JSONL row (as written by FormatJsonlRow). Unknown fields are
+// an error: the format has one writer, so a mismatch means a wrong file.
+Result<JsonlRow> ParseJsonlRow(std::string_view line);
+
+// All rows of one snapshot file, in order. Blank lines are skipped.
+Result<std::vector<JsonlRow>> ReadJsonlFile(const std::string& path);
+
+// Folds the streams; output length is the longest input. Output seq is
+// re-numbered 0..n-1, ts_ms is the max over the combined rows, and
+// counter deltas are recomputed from consecutive merged totals.
+std::vector<JsonlRow> MergeJsonlStreams(
+    const std::vector<std::vector<JsonlRow>>& streams);
+
+}  // namespace ldp::stats
+
+#endif  // LDPLAYER_STATS_SNAPSHOT_IO_H

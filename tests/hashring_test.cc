@@ -1,0 +1,157 @@
+// Consistent-hash sticky assignment (replay/hashring.h): balance,
+// determinism, and — the property the distributed controller relies on —
+// stability of surviving assignments when the node set changes at connect
+// time.
+#include "replay/hashring.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_map>
+
+#include "replay/sticky.h"
+
+namespace ldp::replay {
+namespace {
+
+std::vector<IpAddress> MakeSources(size_t n) {
+  std::vector<IpAddress> sources;
+  sources.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    sources.push_back(IpAddress(0x0a000000u + static_cast<uint32_t>(i * 7)));
+  }
+  return sources;
+}
+
+TEST(HashRingTest, CoversAllNodesRoughlyEvenly) {
+  HashRing ring(64, /*seed=*/42);
+  for (uint32_t node = 0; node < 4; ++node) ring.AddNode(node);
+
+  std::map<uint32_t, size_t> counts;
+  auto sources = MakeSources(8000);
+  for (IpAddress src : sources) {
+    auto node = ring.NodeFor(src);
+    ASSERT_TRUE(node.has_value());
+    ++counts[*node];
+  }
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [node, count] : counts) {
+    // Perfect balance is 2000; consistent hashing with 64 vnodes lands
+    // well within a factor of two.
+    EXPECT_GT(count, 1000u) << "node " << node;
+    EXPECT_LT(count, 4000u) << "node " << node;
+  }
+}
+
+TEST(HashRingTest, DeterministicAcrossInstances) {
+  HashRing a(64, 7), b(64, 7);
+  for (uint32_t node = 0; node < 5; ++node) {
+    a.AddNode(node);
+    b.AddNode(node);
+  }
+  for (IpAddress src : MakeSources(2000)) {
+    EXPECT_EQ(a.NodeFor(src), b.NodeFor(src));
+  }
+}
+
+TEST(HashRingTest, EmptyRingHasNoOwner) {
+  HashRing ring(64, 1);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.NodeFor(IpAddress(1, 2, 3, 4)).has_value());
+}
+
+// The connect-time-failure regression test: when one agent fails to
+// connect and is removed before the run starts, every source that was NOT
+// assigned to the dead agent keeps its assignment, and only the dead
+// agent's sources are redistributed.
+TEST(HashRingTest, StableUnderConnectTimeNodeRemoval) {
+  constexpr uint32_t kDead = 3;
+  HashRing full(64, 99);
+  for (uint32_t node = 0; node < 4; ++node) full.AddNode(node);
+
+  HashRing degraded(64, 99);
+  for (uint32_t node = 0; node < 4; ++node) degraded.AddNode(node);
+  degraded.RemoveNode(kDead);
+
+  auto sources = MakeSources(6000);
+  size_t moved = 0, on_dead = 0;
+  for (IpAddress src : sources) {
+    uint32_t before = *full.NodeFor(src);
+    uint32_t after = *degraded.NodeFor(src);
+    if (before == kDead) {
+      ++on_dead;
+      EXPECT_NE(after, kDead);
+    } else {
+      EXPECT_EQ(after, before) << "survivor's client moved: " << src.value();
+      if (after != before) ++moved;
+    }
+  }
+  EXPECT_EQ(moved, 0u);
+  // Sanity: the dead node actually owned a meaningful share.
+  EXPECT_GT(on_dead, 500u);
+
+  // Building the degraded ring from scratch (what the controller actually
+  // does after dropping a failed connect) gives the same assignments as
+  // remove-from-full.
+  HashRing rebuilt(64, 99);
+  for (uint32_t node = 0; node < 4; ++node) {
+    if (node != kDead) rebuilt.AddNode(node);
+  }
+  for (IpAddress src : sources) {
+    EXPECT_EQ(rebuilt.NodeFor(src), degraded.NodeFor(src));
+  }
+}
+
+TEST(HashRingTest, AdditionOnlyMovesSourcesToTheNewNode) {
+  HashRing small(64, 5), grown(64, 5);
+  for (uint32_t node = 0; node < 3; ++node) {
+    small.AddNode(node);
+    grown.AddNode(node);
+  }
+  grown.AddNode(3);
+  size_t moved_to_new = 0;
+  for (IpAddress src : MakeSources(6000)) {
+    uint32_t before = *small.NodeFor(src);
+    uint32_t after = *grown.NodeFor(src);
+    if (before != after) {
+      EXPECT_EQ(after, 3u);
+      ++moved_to_new;
+    }
+  }
+  // The new node takes roughly a quarter of the keyspace.
+  EXPECT_GT(moved_to_new, 600u);
+  EXPECT_LT(moved_to_new, 3000u);
+}
+
+TEST(StickyAssignTest, MemoizesFirstChoice) {
+  std::unordered_map<IpAddress, size_t> table;
+  size_t calls = 0;
+  auto picker = [&calls](IpAddress) { return calls++; };
+  IpAddress a(10, 0, 0, 1), b(10, 0, 0, 2);
+  EXPECT_EQ(StickyAssign(table, a, picker), 0u);
+  EXPECT_EQ(StickyAssign(table, b, picker), 1u);
+  // Repeats hit the memo, never the picker.
+  EXPECT_EQ(StickyAssign(table, a, picker), 0u);
+  EXPECT_EQ(StickyAssign(table, b, picker), 1u);
+  EXPECT_EQ(calls, 2u);
+}
+
+TEST(StickyAssignTest, StickyAssignerStillSticky) {
+  StickyAssigner assigner(4, 123);
+  auto sources = MakeSources(500);
+  std::vector<size_t> first;
+  first.reserve(sources.size());
+  for (IpAddress src : sources) first.push_back(assigner.Assign(src));
+  for (size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_EQ(assigner.Assign(sources[i]), first[i]);
+  }
+  size_t total = 0;
+  for (size_t count : assigner.source_counts()) {
+    EXPECT_GT(count, 0u);
+    total += count;
+  }
+  EXPECT_EQ(total, assigner.known_sources());
+}
+
+}  // namespace
+}  // namespace ldp::replay

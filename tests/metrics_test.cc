@@ -12,6 +12,7 @@
 
 #include "common/rng.h"
 #include "stats/metrics.h"
+#include "stats/snapshot_io.h"
 #include "stats/summary.h"
 
 namespace ldp::stats {
@@ -260,6 +261,94 @@ TEST(Metrics, ConcurrentRecordWhileSnapshotting) {
   EXPECT_EQ(h->count, kThreads * kPerThread);
   EXPECT_EQ(h->max, kPerThread);
   EXPECT_EQ(last.GaugeValue("work.inflight"), 0);
+}
+
+// --- offline JSONL: parse and multi-stream merge (ldp_trace_stats merge,
+// and the distributed controller's merged stream) ---
+
+JsonlRow MakeRow(uint64_t seq, int64_t ts_ms, uint64_t sent_total,
+                 uint64_t sent_delta,
+                 std::vector<uint64_t> latencies = {}) {
+  MetricsRegistry registry;
+  auto* hist = registry.AddHistogram("replay.latency_ns");
+  for (uint64_t v : latencies) hist->Record(v);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  snapshot.taken_at = ts_ms * kNanosPerMilli;
+  JsonlRow row = RowFromSnapshot(snapshot, nullptr, seq,
+                                 /*emit_buckets=*/true);
+  row.counters.emplace_back(
+      "replay.sent", JsonlRow::CounterCell{sent_total, sent_delta});
+  return row;
+}
+
+TEST(SnapshotIo, ParseRoundTripsFormattedRow) {
+  MetricsRegistry registry;
+  registry.AddCounter("replay.sent")->Add(7);
+  registry.AddGauge("replay.inflight")->Set(-2);
+  auto* hist = registry.AddHistogram("replay.latency_ns");
+  for (uint64_t v : {90u, 1500u, 1u << 18}) hist->Record(v);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  snapshot.taken_at = 4200 * kNanosPerMilli;
+
+  JsonlRow row = RowFromSnapshot(snapshot, nullptr, 3, /*emit_buckets=*/true);
+  auto parsed = ParseJsonlRow(FormatJsonlRow(row));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  EXPECT_EQ(parsed->ts_ms, 4200);
+  EXPECT_EQ(parsed->seq, 3u);
+  ASSERT_EQ(parsed->counters.size(), 1u);
+  EXPECT_EQ(parsed->counters[0].second.total, 7u);
+  EXPECT_EQ(parsed->counters[0].second.delta, 7u);
+  ASSERT_EQ(parsed->gauges.size(), 1u);
+  EXPECT_EQ(parsed->gauges[0].second, -2);
+  ASSERT_EQ(parsed->histograms.size(), 1u);
+  const auto& cell = parsed->histograms[0].second;
+  EXPECT_EQ(cell.count, 3u);
+  EXPECT_EQ(cell.max, 1u << 18);
+  EXPECT_EQ(cell.buckets, row.histograms[0].second.buckets);
+
+  // And the re-rendered line is byte-identical: one writer, one format.
+  EXPECT_EQ(FormatJsonlRow(*parsed), FormatJsonlRow(row));
+}
+
+TEST(SnapshotIo, ParseRejectsUnknownShapes) {
+  EXPECT_FALSE(ParseJsonlRow("not json").ok());
+  // One writer, one format: a field the writer never emits is a wrong
+  // file, not an extension point.
+  EXPECT_FALSE(ParseJsonlRow("{\"ts_ms\":1,\"bogus\":2}").ok());
+}
+
+TEST(SnapshotIo, MergeSumsRowByRowAndCarriesShortStreamsForward) {
+  // Agent A writes 3 rows; agent B finishes early with 2. Rows are
+  // cumulative, so B's last row must persist under A's tail.
+  std::vector<std::vector<JsonlRow>> streams{
+      {MakeRow(0, 100, 10, 10, {1000}),
+       MakeRow(1, 200, 25, 15, {1000, 2000}),
+       MakeRow(2, 300, 40, 15, {1000, 2000, 4000})},
+      {MakeRow(0, 110, 5, 5), MakeRow(1, 210, 9, 4)},
+  };
+  auto merged = MergeJsonlStreams(streams);
+  ASSERT_EQ(merged.size(), 3u);
+
+  auto sent_total = [](const JsonlRow& row) -> uint64_t {
+    for (const auto& [name, cell] : row.counters) {
+      if (name == "replay.sent") return cell.total;
+    }
+    return 0;
+  };
+  EXPECT_EQ(sent_total(merged[0]), 15u);   // 10 + 5
+  EXPECT_EQ(sent_total(merged[1]), 34u);   // 25 + 9
+  EXPECT_EQ(sent_total(merged[2]), 49u);   // 40 + 9 (B carried forward)
+  // Deltas recomputed from consecutive merged totals, not summed inputs.
+  EXPECT_EQ(merged[1].counters[0].second.delta, 34u - 15u);
+  EXPECT_EQ(merged[2].counters[0].second.delta, 49u - 34u);
+  // Output is renumbered and timestamped at the latest contributor.
+  EXPECT_EQ(merged[2].seq, 2u);
+  EXPECT_EQ(merged[0].ts_ms, 110);
+  EXPECT_EQ(merged[2].ts_ms, 300);
+  // Histograms merged exactly through sparse buckets.
+  ASSERT_EQ(merged[2].histograms.size(), 1u);
+  EXPECT_EQ(merged[2].histograms[0].second.count, 3u);
+  EXPECT_EQ(merged[2].histograms[0].second.max, 4000u);
 }
 
 }  // namespace

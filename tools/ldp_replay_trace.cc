@@ -8,6 +8,8 @@
 
 #include "common/flags.h"
 #include "common/strings.h"
+#include "distrib/controller.h"
+#include "distrib/spawn.h"
 #include "replay/realtime.h"
 #include "stats/summary.h"
 #include "trace/binary.h"
@@ -37,8 +39,141 @@ constexpr const char* kUsage =
   --tcp-idle-timeout-ms N  close idle TCP connections after N ms (0 = keep)
   --tcp-reconnects N    reconnect budget per TCP connection (3)
   --metrics-out FILE    append JSONL metric snapshots to FILE during replay
+                        (distributed: the merged all-agents stream)
   --metrics-interval-ms N  snapshot cadence in milliseconds (1000)
+Distributed replay (paper §2.6 controller/agent split):
+  --agents N            spawn N local ldp_replay_agent processes and run
+                        the replay through them
+  --connect LIST        comma-separated IP:PORT list of already-running
+                        agents (multi-host; overrides --agents)
+  --agent-bin PATH      agent binary for --agents (default: the
+                        ldp_replay_agent next to this executable)
+  --chunk N             trace records per wire chunk (512)
+  --window N            un-acked chunk credit per agent (8)
 Trace format by extension (.txt/.bin).)";
+
+int RunDistributed(const Flags& flags,
+                   const std::vector<trace::QueryRecord>& records,
+                   const replay::RealtimeConfig& config, Endpoint server,
+                   const std::string& metrics_out) {
+  distrib::ControllerOptions options;
+  options.config = config;
+  options.config.metrics = nullptr;
+  options.config.snapshotter = nullptr;
+  options.chunk_records =
+      static_cast<uint32_t>(flags.GetInt("chunk", 512).value_or(512));
+  options.credit_window =
+      static_cast<uint32_t>(flags.GetInt("window", 8).value_or(8));
+  options.metrics_path = metrics_out;
+  int64_t interval_ms =
+      flags.GetInt("metrics-interval-ms", 1000).value_or(1000);
+  options.stats_interval = Millis(interval_ms > 0 ? interval_ms : 1000);
+
+  std::vector<distrib::AgentProcess> spawned;
+  std::string connect = flags.GetString("connect", "");
+  if (!connect.empty()) {
+    for (std::string_view part : Split(connect, ',')) {
+      auto endpoint = Endpoint::Parse(TrimWhitespace(part));
+      if (!endpoint.ok()) {
+        std::fprintf(stderr, "--connect: %s\n",
+                     endpoint.error().ToString().c_str());
+        return 2;
+      }
+      options.agents.push_back(*endpoint);
+    }
+  } else {
+    size_t n = static_cast<size_t>(flags.GetInt("agents", 0).value_or(0));
+    std::string binary = flags.GetString("agent-bin", "");
+    if (binary.empty()) binary = distrib::SiblingBinary("ldp_replay_agent");
+    for (size_t i = 0; i < n; ++i) {
+      distrib::SpawnOptions spawn_options;
+      if (!metrics_out.empty()) {
+        // Per-agent snapshot files next to the merged stream, e.g.
+        // m.jsonl -> m.agent0.jsonl (fold offline: ldp_trace_stats merge).
+        std::string base = metrics_out;
+        std::string suffix = ".agent" + std::to_string(i) + ".jsonl";
+        if (EndsWith(base, ".jsonl")) base.resize(base.size() - 6);
+        spawn_options.extra_args.push_back("--metrics-out=" + base + suffix);
+      }
+      auto agents = distrib::SpawnLocalAgents(binary, 1, spawn_options);
+      if (!agents.ok()) {
+        std::fprintf(stderr, "%s\n", agents.error().ToString().c_str());
+        distrib::StopAgents(spawned);
+        return 1;
+      }
+      spawned.push_back((*agents)[0]);
+      options.agents.push_back((*agents)[0].endpoint);
+    }
+  }
+
+  std::printf("replaying %zu queries against %s via %zu agents (%s)...\n",
+              records.size(), server.ToString().c_str(),
+              options.agents.size(),
+              config.fast_mode ? "fast mode" : "trace timing");
+  auto report = distrib::RunDistributedReplay(records, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.error().ToString().c_str());
+    distrib::StopAgents(spawned);
+    return 1;
+  }
+  // Agents exit on their own after BYE; reap (or terminate, on failure).
+  bool agents_clean = report->failed
+                          ? (distrib::StopAgents(spawned), true)
+                          : distrib::WaitAgents(spawned);
+
+  for (const auto& a : report->agents) {
+    if (!a.connected) {
+      std::printf("agent %u (%s): dropped at connect%s%s\n", a.id,
+                  a.endpoint.ToString().c_str(),
+                  a.error.empty() ? "" : ": ", a.error.c_str());
+      continue;
+    }
+    std::printf("agent %u (%s): shipped %llu, sent %llu, answered %llu, "
+                "timed_out %llu, send_failed %llu (clock offset %.3f ms, "
+                "rtt %.3f ms)\n",
+                a.id, a.endpoint.ToString().c_str(),
+                static_cast<unsigned long long>(a.records_sent),
+                static_cast<unsigned long long>(a.report.sent),
+                static_cast<unsigned long long>(a.report.answered),
+                static_cast<unsigned long long>(a.report.timed_out),
+                static_cast<unsigned long long>(a.report.send_failed),
+                ToMillis(a.clock_offset), ToMillis(a.clock_rtt));
+    if (!a.error.empty()) {
+      std::printf("agent %u error: %s\n", a.id, a.error.c_str());
+    }
+  }
+  const distrib::AgentReport& m = report->merged;
+  std::printf("merged: sent %llu, answered %llu (%.1f%%), timed_out %llu, "
+              "send_failed %llu, wall %.2fs\n",
+              static_cast<unsigned long long>(m.sent),
+              static_cast<unsigned long long>(m.answered),
+              m.sent ? 100.0 * static_cast<double>(m.answered) /
+                           static_cast<double>(m.sent)
+                     : 0,
+              static_cast<unsigned long long>(m.timed_out),
+              static_cast<unsigned long long>(m.send_failed),
+              ToSeconds(report->wall_duration));
+  if (!metrics_out.empty()) {
+    std::printf("metrics: merged stream at %s\n", metrics_out.c_str());
+  }
+
+  if (report->failed) {
+    std::fprintf(stderr, "distributed replay FAILED: %s\n",
+                 report->error.c_str());
+    return 1;
+  }
+  // Cross-process reconciliation (every shipped record accounted for by
+  // exactly one agent, every agent's outcomes summing up).
+  auto diffs = report->ReconcileDiffs();
+  std::printf("reconcile: %s\n", diffs.empty() ? "OK" : "FAIL");
+  for (const std::string& diff : diffs) {
+    std::fprintf(stderr, "  %s\n", diff.c_str());
+  }
+  if (!agents_clean) {
+    std::fprintf(stderr, "an agent process exited uncleanly\n");
+  }
+  return diffs.empty() && agents_clean ? 0 : 1;
+}
 
 }  // namespace
 
@@ -56,7 +191,8 @@ int main(int argc, char** argv) {
                                    "timeout-ms", "retransmits",
                                    "tcp-idle-timeout-ms", "tcp-reconnects",
                                    "metrics-out", "metrics-interval-ms",
-                                   "help"});
+                                   "agents", "connect", "agent-bin",
+                                   "chunk", "window", "help"});
       !s.ok()) {
     std::fprintf(stderr, "%s\n%s\n", s.error().ToString().c_str(), kUsage);
     return 2;
@@ -121,12 +257,17 @@ int main(int argc, char** argv) {
   config.tcp_max_reconnects =
       static_cast<int>(flags.GetInt("tcp-reconnects", 3).value_or(3));
 
+  std::string metrics_out = flags.GetString("metrics-out", "");
+  if (flags.GetInt("agents", 0).value_or(0) > 0 ||
+      !flags.GetString("connect", "").empty()) {
+    return RunDistributed(flags, *records, config, *server, metrics_out);
+  }
+
   // Live metrics: rows stream to --metrics-out during the replay, and the
   // final row (written after all distributors join) must reconcile with the
   // report the tool prints below.
   stats::MetricsRegistry metrics;
   std::unique_ptr<stats::MetricsSnapshotter> snapshotter;
-  std::string metrics_out = flags.GetString("metrics-out", "");
   if (!metrics_out.empty()) {
     stats::MetricsSnapshotter::Options opts;
     opts.path = metrics_out;

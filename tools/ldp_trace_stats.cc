@@ -1,19 +1,68 @@
 // ldp-trace-stats: print Table-1-style inventory statistics for a trace
-// file — the first thing to run on a new trace.
+// file — the first thing to run on a new trace — and fold per-agent
+// metrics JSONL files into one stream.
 //
 //   ldp_trace_stats queries.bin
 //   ldp_trace_stats --per-client queries.txt
+//   ldp_trace_stats merge --out merged.jsonl agent0.jsonl agent1.jsonl
 #include <algorithm>
 #include <cstdio>
 #include <unordered_map>
 
 #include "common/flags.h"
 #include "common/strings.h"
+#include "stats/snapshot_io.h"
 #include "trace/binary.h"
 #include "trace/text.h"
 #include "trace/tracestats.h"
 
 using namespace ldp;
+
+namespace {
+
+// `merge` subcommand: combine N per-agent snapshot streams row by row
+// (counters sum; histograms merge exactly when the files carry buckets).
+int RunMerge(const Flags& flags) {
+  if (flags.positional().size() < 2) {
+    std::fprintf(stderr,
+                 "usage: ldp_trace_stats merge [--out FILE] A.jsonl B.jsonl"
+                 " ...\n");
+    return 2;
+  }
+  std::vector<std::vector<stats::JsonlRow>> streams;
+  for (size_t i = 1; i < flags.positional().size(); ++i) {
+    auto rows = stats::ReadJsonlFile(flags.positional()[i]);
+    if (!rows.ok()) {
+      std::fprintf(stderr, "%s\n", rows.error().ToString().c_str());
+      return 1;
+    }
+    streams.push_back(std::move(*rows));
+  }
+  std::vector<stats::JsonlRow> merged = stats::MergeJsonlStreams(streams);
+
+  std::string out_path = flags.GetString("out", "");
+  std::FILE* out = stdout;
+  if (!out_path.empty()) {
+    out = std::fopen(out_path.c_str(), "w");
+    if (!out) {
+      std::fprintf(stderr, "open %s failed\n", out_path.c_str());
+      return 1;
+    }
+  }
+  for (const stats::JsonlRow& row : merged) {
+    std::string line = stats::FormatJsonlRow(row);
+    std::fwrite(line.data(), 1, line.size(), out);
+    std::fputc('\n', out);
+  }
+  if (out != stdout) {
+    std::fclose(out);
+    std::fprintf(stderr, "merged %zu streams into %zu rows at %s\n",
+                 streams.size(), merged.size(), out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   auto flags_result = Flags::Parse(argc, argv, {"per-client"});
@@ -22,13 +71,17 @@ int main(int argc, char** argv) {
     return 2;
   }
   const Flags& flags = *flags_result;
-  if (auto s = flags.RequireKnown({"per-client", "help"}); !s.ok()) {
+  if (auto s = flags.RequireKnown({"per-client", "out", "help"}); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.error().ToString().c_str());
     return 2;
   }
+  if (!flags.positional().empty() && flags.positional()[0] == "merge") {
+    return RunMerge(flags);
+  }
   if (flags.GetBool("help", false) || flags.positional().empty()) {
     std::fprintf(stderr,
-                 "usage: ldp_trace_stats [--per-client] FILE(.txt|.bin)\n");
+                 "usage: ldp_trace_stats [--per-client] FILE(.txt|.bin)\n"
+                 "       ldp_trace_stats merge [--out FILE] A.jsonl ...\n");
     return 2;
   }
   const std::string& path = flags.positional()[0];
