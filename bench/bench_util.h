@@ -102,6 +102,9 @@ class BenchJson {
   void Set(const std::string& key, uint64_t value) {
     fields_.emplace_back(key, std::to_string(value));
   }
+  void Set(const std::string& key, bool value) {
+    fields_.emplace_back(key, value ? "true" : "false");
+  }
   void Set(const std::string& key, const std::string& value) {
     fields_.emplace_back(key, "\"" + Escape(value) + "\"");
   }

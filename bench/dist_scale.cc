@@ -10,7 +10,9 @@
 // container both phases share one CPU, so the expected ratio is ~1× (the
 // wire protocol must merely not make it worse); >=1.5x needs real
 // parallelism — rerun on a multi-core host for the paper-shaped result.
-// host_cpus is recorded so the ratio can be judged in context.
+// host_cpus is recorded so the ratio can be judged in context, and with
+// host_cpus < 2 the JSON carries "inconclusive": true so downstream
+// tooling never reads the ~1x ratio as a scaling measurement.
 #include <cstdio>
 #include <memory>
 #include <thread>
@@ -162,11 +164,17 @@ int main() {
 
   const double ratio = dist.rate_qps / single.rate_qps;
   const unsigned host_cpus = std::thread::hardware_concurrency();
-  std::printf("  ratio: %.2fx on %u cpu(s)\n", ratio, host_cpus);
+  // A scaling ratio measured with every phase pinned to one core says
+  // nothing about distribution — flag it rather than report a misleading
+  // ~1x as if it were the experiment's answer.
+  const bool inconclusive = host_cpus < 2;
+  std::printf("  ratio: %.2fx on %u cpu(s)%s\n", ratio, host_cpus,
+              inconclusive ? "  [inconclusive: needs >=2 cpus]" : "");
 
   bench::BenchJson json;
   json.Set("records", static_cast<uint64_t>(kRecords));
   json.Set("host_cpus", static_cast<uint64_t>(host_cpus));
+  if (inconclusive) json.Set("inconclusive", true);
   json.Set("single_qps", single.rate_qps);
   json.Set("single_sent", single.sent);
   json.Set("single_answered", single.answered);

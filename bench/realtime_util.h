@@ -18,6 +18,10 @@ struct LoopbackOptions {
   size_t n_shards = 1;
   size_t response_cache_entries = 0;  // per shard; 0 = off
   int udp_recv_buffer_bytes = 0;      // per shard; 0 = kernel default
+  // Transport under the server shards: epoll kernel sockets (default) or
+  // AF_PACKET rings (needs CAP_NET_RAW — probe with net::ProbeAfPacket).
+  net::DatapathKind datapath = net::DatapathKind::kEpoll;
+  net::AfPacketOptions afpacket;
   // Optional live-metrics registry for the server side (must outlive it).
   stats::MetricsRegistry* metrics = nullptr;
 };
@@ -46,6 +50,8 @@ class LoopbackServer {
     config.n_shards = options.n_shards;
     config.engine.response_cache_entries = options.response_cache_entries;
     config.udp_recv_buffer_bytes = options.udp_recv_buffer_bytes;
+    config.datapath = options.datapath;
+    config.afpacket = options.afpacket;
     config.metrics = options.metrics;
     auto server = server::ShardedDnsServer::Start(
         std::make_shared<const zone::ViewTable>(std::move(views)), config);

@@ -173,6 +173,54 @@ assert sent == 2000, "folded sent %d != 2000" % sent
 print("distrib smoke: 2 agents, 2000 sent, 2000 answered, fold agrees")
 EOF
 
+echo "== datapath smoke: serve+replay through each backend =="
+# Paced replay (not --fast) with a retransmit budget, like the other
+# smokes: the zero-loss assertion must measure the datapath, not a 1-core
+# burst overflowing buffers. Both sides ride the same backend — mixed
+# epoll/afpacket over loopback needs route_localnet (DESIGN.md §12).
+datapath_smoke() {
+  DP="$1"
+  ./build/tools/ldp_serve --listen 127.0.0.1:0 --stats-interval-s 0 \
+    --datapath "$DP" "$SMOKE/zone.db" > "$SMOKE/dp_serve.$DP.out" 2>&1 &
+  SERVE_PID=$!
+  i=0
+  while [ "$i" -lt 50 ]; do
+    grep -q "serving on" "$SMOKE/dp_serve.$DP.out" 2>/dev/null && break
+    sleep 0.1
+    i=$((i + 1))
+  done
+  PORT=$(sed -n 's/.*serving on [0-9.]*:\([0-9]*\).*/\1/p' \
+    "$SMOKE/dp_serve.$DP.out")
+  [ -n "$PORT" ] || { echo "datapath smoke ($DP): server never came up"
+    cat "$SMOKE/dp_serve.$DP.out"; exit 1; }
+  grep -q "datapath $DP" "$SMOKE/dp_serve.$DP.out" || {
+    echo "datapath smoke ($DP): server not on the requested backend"
+    cat "$SMOKE/dp_serve.$DP.out"; exit 1; }
+  ./build/tools/ldp_replay_trace --trace "$SMOKE/trace.txt" \
+    --server "127.0.0.1:$PORT" --datapath "$DP" \
+    --timeout-ms 2000 --retransmits 2 > "$SMOKE/dp_replay.$DP.out" 2>&1
+  grep -q "reconcile: OK" "$SMOKE/dp_replay.$DP.out" || {
+    echo "datapath smoke ($DP): replay reconcile failed"
+    cat "$SMOKE/dp_replay.$DP.out"; exit 1
+  }
+  SENT=$(sed -n 's/^sent \([0-9]*\), answered.*/\1/p' \
+    "$SMOKE/dp_replay.$DP.out")
+  ANSWERED=$(sed -n 's/^sent [0-9]*, answered \([0-9]*\).*/\1/p' \
+    "$SMOKE/dp_replay.$DP.out")
+  [ "$SENT" = "2000" ] && [ "$SENT" = "$ANSWERED" ] || {
+    echo "datapath smoke ($DP): lost queries (sent=$SENT answered=$ANSWERED)"
+    cat "$SMOKE/dp_replay.$DP.out"; exit 1
+  }
+  kill -TERM "$SERVE_PID"; wait "$SERVE_PID"; SERVE_PID=""
+  echo "datapath smoke ($DP): $SENT queries, all answered"
+}
+datapath_smoke epoll
+if ./build/tools/ldp_datapath_probe > "$SMOKE/dp_probe.out" 2>&1; then
+  datapath_smoke afpacket
+else
+  echo "datapath smoke: afpacket skipped ($(cat "$SMOKE/dp_probe.out"))"
+fi
+
 echo "== docs: EXPERIMENTS.md command lines match tool --help =="
 python3 - <<'EOF'
 import re, subprocess, sys
@@ -211,15 +259,15 @@ cmake -B build-tsan -S . -DLDP_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target \
   net_test sharded_server_test response_cache_test \
   server_test replay_realtime_test metrics_test stats_test proxy_relay_test \
-  distrib_test hashring_test
+  distrib_test hashring_test packet_codec_test datapath_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'net_test|sharded_server_test|response_cache_test|server_test|replay_realtime_test|metrics_test|stats_test|proxy_relay_test|distrib_test|hashring_test'
+  -R 'net_test|sharded_server_test|response_cache_test|server_test|replay_realtime_test|metrics_test|stats_test|proxy_relay_test|distrib_test|hashring_test|packet_codec_test|datapath_test'
 
 echo "== asan: socket + replay lifetime paths =="
 cmake -B build-asan -S . -DLDP_SANITIZE=address >/dev/null
 cmake --build build-asan -j"$(nproc)" --target \
-  net_test replay_realtime_test
+  net_test replay_realtime_test packet_codec_test datapath_test
 ctest --test-dir build-asan --output-on-failure \
-  -R 'net_test|replay_realtime_test'
+  -R 'net_test|replay_realtime_test|packet_codec_test|datapath_test'
 
 echo "verify: OK"

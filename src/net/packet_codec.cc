@@ -1,0 +1,254 @@
+#include "net/packet_codec.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace ldp::net {
+
+namespace {
+
+uint16_t LoadU16(const uint8_t* p) {
+  return static_cast<uint16_t>((uint16_t{p[0]} << 8) | p[1]);
+}
+
+uint32_t LoadU32(const uint8_t* p) {
+  return (uint32_t{p[0]} << 24) | (uint32_t{p[1]} << 16) |
+         (uint32_t{p[2]} << 8) | uint32_t{p[3]};
+}
+
+void StoreU16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v >> 8);
+  p[1] = static_cast<uint8_t>(v);
+}
+
+void StoreU32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>(v >> 16);
+  p[2] = static_cast<uint8_t>(v >> 8);
+  p[3] = static_cast<uint8_t>(v);
+}
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+// Pseudo-header + UDP header partial sum shared by build and verify paths:
+// everything except the payload and the checksum field itself.
+uint64_t UdpPartialSum(IpAddress src, IpAddress dst, uint16_t src_port,
+                       uint16_t dst_port, uint16_t udp_len) {
+  uint64_t sum = 0;
+  sum += src.value() >> 16;
+  sum += src.value() & 0xffff;
+  sum += dst.value() >> 16;
+  sum += dst.value() & 0xffff;
+  sum += 17;       // zero byte + protocol
+  sum += udp_len;  // pseudo-header length field
+  sum += src_port;
+  sum += dst_port;
+  sum += udp_len;  // UDP header length field
+  return sum;
+}
+
+}  // namespace
+
+Result<MacAddr> MacAddr::Parse(std::string_view text) {
+  MacAddr mac;
+  size_t pos = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (i > 0) {
+      if (pos >= text.size() || text[pos] != ':') {
+        return Error(ErrorCode::kParseError,
+                     "bad MAC address: " + std::string(text));
+      }
+      ++pos;
+    }
+    if (pos + 2 > text.size()) {
+      return Error(ErrorCode::kParseError,
+                   "bad MAC address: " + std::string(text));
+    }
+    int hi = HexNibble(text[pos]);
+    int lo = HexNibble(text[pos + 1]);
+    if (hi < 0 || lo < 0) {
+      return Error(ErrorCode::kParseError,
+                   "bad MAC address: " + std::string(text));
+    }
+    mac.bytes[i] = static_cast<uint8_t>((hi << 4) | lo);
+    pos += 2;
+  }
+  if (pos != text.size()) {
+    return Error(ErrorCode::kParseError,
+                 "bad MAC address: " + std::string(text));
+  }
+  return mac;
+}
+
+std::string MacAddr::ToString() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", bytes[0],
+                bytes[1], bytes[2], bytes[3], bytes[4], bytes[5]);
+  return buf;
+}
+
+bool MacAddr::IsZero() const {
+  for (uint8_t b : bytes) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+
+uint64_t ChecksumAccumulate(std::span<const uint8_t> data, uint64_t sum) {
+  const uint8_t* p = data.data();
+  size_t n = data.size();
+  while (n >= 2) {
+    sum += LoadU16(p);
+    p += 2;
+    n -= 2;
+  }
+  if (n == 1) sum += uint64_t{*p} << 8;  // pad the odd byte on the right
+  return sum;
+}
+
+uint16_t ChecksumFold(uint64_t sum) {
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<uint16_t>(~sum);
+}
+
+uint16_t UdpChecksum(IpAddress src, IpAddress dst, uint16_t src_port,
+                     uint16_t dst_port, std::span<const uint8_t> payload) {
+  const uint16_t udp_len =
+      static_cast<uint16_t>(kUdpHeaderBytes + payload.size());
+  uint64_t sum = UdpPartialSum(src, dst, src_port, dst_port, udp_len);
+  sum = ChecksumAccumulate(payload, sum);
+  uint16_t folded = ChecksumFold(sum);
+  // RFC 768: an all-zero transmitted checksum means "none computed", so a
+  // computed zero is sent as its one's-complement equivalent 0xFFFF.
+  return folded == 0 ? 0xffff : folded;
+}
+
+Result<UdpFrameView> ParseUdpFrame(std::span<const uint8_t> frame,
+                                   const ParseOptions& options) {
+  if (frame.size() < kEthernetHeaderBytes) {
+    return Error(ErrorCode::kTruncated, "frame shorter than Ethernet header");
+  }
+  UdpFrameView view;
+  std::memcpy(view.dst_mac.bytes.data(), frame.data(), 6);
+  std::memcpy(view.src_mac.bytes.data(), frame.data() + 6, 6);
+  const uint16_t ether_type = LoadU16(frame.data() + 12);
+  if (ether_type != kEtherTypeIpv4) {
+    return Error(ErrorCode::kUnsupported, "EtherType not IPv4");
+  }
+
+  std::span<const uint8_t> ip = frame.subspan(kEthernetHeaderBytes);
+  if (ip.size() < kIpv4MinHeaderBytes) {
+    return Error(ErrorCode::kTruncated, "frame shorter than IPv4 header");
+  }
+  if ((ip[0] >> 4) != 4) {
+    return Error(ErrorCode::kParseError, "IP version not 4");
+  }
+  const size_t header_len = static_cast<size_t>(ip[0] & 0x0f) * 4;
+  if (header_len < kIpv4MinHeaderBytes) {
+    return Error(ErrorCode::kParseError, "IPv4 IHL below minimum");
+  }
+  if (ip.size() < header_len) {
+    return Error(ErrorCode::kTruncated, "frame shorter than IPv4 IHL");
+  }
+  const size_t total_len = LoadU16(ip.data() + 2);
+  if (total_len < header_len + kUdpHeaderBytes) {
+    return Error(ErrorCode::kParseError, "IPv4 total length too small");
+  }
+  // Shorter captures are rejected; longer frames carry Ethernet padding.
+  if (total_len > ip.size()) {
+    return Error(ErrorCode::kTruncated, "IPv4 total length beyond frame");
+  }
+  const uint16_t frag = LoadU16(ip.data() + 6);
+  if ((frag & 0x3fff) != 0) {  // MF set or fragment offset nonzero
+    return Error(ErrorCode::kUnsupported, "fragmented IPv4 datagram");
+  }
+  if (ip[9] != 17) {
+    return Error(ErrorCode::kUnsupported, "IP protocol not UDP");
+  }
+  if (ChecksumFold(ChecksumAccumulate(ip.first(header_len), 0)) != 0) {
+    return Error(ErrorCode::kParseError, "IPv4 header checksum mismatch");
+  }
+  view.src.addr = IpAddress(LoadU32(ip.data() + 12));
+  view.dst.addr = IpAddress(LoadU32(ip.data() + 16));
+
+  std::span<const uint8_t> udp = ip.subspan(header_len, total_len - header_len);
+  const size_t udp_len = LoadU16(udp.data() + 4);
+  if (udp_len != udp.size()) {
+    return Error(ErrorCode::kParseError, "UDP length disagrees with IP");
+  }
+  view.src.port = LoadU16(udp.data());
+  view.dst.port = LoadU16(udp.data() + 2);
+  const uint16_t stored_checksum = LoadU16(udp.data() + 6);
+  // Zero means the sender computed none — legal for IPv4 UDP, accepted.
+  if (stored_checksum != 0 && options.verify_udp_checksum) {
+    uint64_t sum =
+        UdpPartialSum(view.src.addr, view.dst.addr, view.src.port,
+                      view.dst.port, static_cast<uint16_t>(udp_len));
+    sum += stored_checksum;
+    sum = ChecksumAccumulate(udp.subspan(kUdpHeaderBytes), sum);
+    if (ChecksumFold(sum) != 0) {
+      return Error(ErrorCode::kParseError, "UDP checksum mismatch");
+    }
+  }
+  view.payload = udp.subspan(kUdpHeaderBytes);
+  return view;
+}
+
+Result<size_t> BuildUdpFrame(std::span<uint8_t> out, const UdpFrameSpec& spec,
+                             std::span<const uint8_t> payload) {
+  const size_t frame_len = kUdpFrameOverhead + payload.size();
+  const size_t ip_total = kIpv4MinHeaderBytes + kUdpHeaderBytes + payload.size();
+  if (ip_total > 0xffff) {
+    return Error(ErrorCode::kOutOfRange, "payload exceeds IPv4 total length");
+  }
+  if (out.size() < frame_len) {
+    return Error(ErrorCode::kResourceExhausted,
+                 "frame buffer too small: need " + std::to_string(frame_len) +
+                     ", have " + std::to_string(out.size()));
+  }
+  uint8_t* eth = out.data();
+  std::memcpy(eth, spec.dst_mac.bytes.data(), 6);
+  std::memcpy(eth + 6, spec.src_mac.bytes.data(), 6);
+  StoreU16(eth + 12, kEtherTypeIpv4);
+
+  // IPv4 header, checksum accumulated incrementally as the words are laid
+  // down (every field crosses the accumulator exactly once).
+  uint8_t* ip = eth + kEthernetHeaderBytes;
+  ip[0] = 0x45;  // version 4, IHL 5
+  ip[1] = 0;     // TOS
+  StoreU16(ip + 2, static_cast<uint16_t>(ip_total));
+  StoreU16(ip + 4, spec.ip_id);
+  StoreU16(ip + 6, 0x4000);  // DF, no fragments
+  ip[8] = spec.ttl;
+  ip[9] = 17;  // UDP
+  StoreU32(ip + 12, spec.src.addr.value());
+  StoreU32(ip + 16, spec.dst.addr.value());
+  uint64_t ip_sum = uint64_t{0x4500} + static_cast<uint16_t>(ip_total) +
+                    spec.ip_id + 0x4000 +
+                    ((uint32_t{spec.ttl} << 8) | 17) +
+                    (spec.src.addr.value() >> 16) +
+                    (spec.src.addr.value() & 0xffff) +
+                    (spec.dst.addr.value() >> 16) +
+                    (spec.dst.addr.value() & 0xffff);
+  StoreU16(ip + 10, ChecksumFold(ip_sum));
+
+  uint8_t* udp = ip + kIpv4MinHeaderBytes;
+  const uint16_t udp_len =
+      static_cast<uint16_t>(kUdpHeaderBytes + payload.size());
+  StoreU16(udp, spec.src.port);
+  StoreU16(udp + 2, spec.dst.port);
+  StoreU16(udp + 4, udp_len);
+  StoreU16(udp + 6, UdpChecksum(spec.src.addr, spec.dst.addr, spec.src.port,
+                                spec.dst.port, payload));
+  if (!payload.empty()) {
+    std::memcpy(udp + kUdpHeaderBytes, payload.data(), payload.size());
+  }
+  return frame_len;
+}
+
+}  // namespace ldp::net

@@ -1,0 +1,114 @@
+// Userspace Ethernet/IPv4/UDP frame codec for the AF_PACKET datapath.
+// Pure in-memory parse and assembly — no sockets, no capabilities — so the
+// checksum rules and malformed-frame rejection are unit-testable under the
+// sanitizer presets. The AF_PACKET backend (net/afpacket.cc) runs every rx
+// ring frame through ParseUdpFrame and assembles every tx ring frame with
+// BuildUdpFrame directly in the mmap'd slot.
+#ifndef LDPLAYER_NET_PACKET_CODEC_H
+#define LDPLAYER_NET_PACKET_CODEC_H
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/ip.h"
+#include "common/result.h"
+
+namespace ldp::net {
+
+// An Ethernet MAC address.
+struct MacAddr {
+  std::array<uint8_t, 6> bytes{};
+
+  // Parses "aa:bb:cc:dd:ee:ff" (case-insensitive hex).
+  static Result<MacAddr> Parse(std::string_view text);
+  static constexpr MacAddr Broadcast() {
+    return MacAddr{{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}};
+  }
+
+  std::string ToString() const;
+  bool IsZero() const;
+
+  auto operator<=>(const MacAddr&) const = default;
+};
+
+// RFC 1071 internet checksum, split into accumulate + fold so multiple
+// regions (pseudo-header, UDP header, payload) sum in one pass without
+// intermediate copies. `sum` carries between calls; each region is treated
+// as big-endian 16-bit words with an odd trailing byte padded on the right.
+// Regions must each start on an even offset of the logical checksummed
+// stream (true for all IP/UDP fields, which are 2- or 4-byte aligned).
+uint64_t ChecksumAccumulate(std::span<const uint8_t> data, uint64_t sum);
+
+// Folds the carries and complements: the value stored on the wire. A region
+// whose stored checksum is correct folds to 0 when summed including the
+// checksum field itself.
+uint16_t ChecksumFold(uint64_t sum);
+
+// The UDP checksum as it must appear on the wire: pseudo-header + UDP header
+// + payload, with the 0x0000 result transmitted as 0xFFFF (RFC 768 — a zero
+// field means "no checksum", so a computed zero is substituted).
+uint16_t UdpChecksum(IpAddress src, IpAddress dst, uint16_t src_port,
+                     uint16_t dst_port, std::span<const uint8_t> payload);
+
+inline constexpr size_t kEthernetHeaderBytes = 14;
+inline constexpr size_t kIpv4MinHeaderBytes = 20;
+inline constexpr size_t kUdpHeaderBytes = 8;
+// Headers of a frame we assemble (options are never emitted).
+inline constexpr size_t kUdpFrameOverhead =
+    kEthernetHeaderBytes + kIpv4MinHeaderBytes + kUdpHeaderBytes;  // 42
+inline constexpr uint16_t kEtherTypeIpv4 = 0x0800;
+
+// A parsed frame; `payload` points into the input buffer (zero-copy — valid
+// only while the underlying frame is).
+struct UdpFrameView {
+  MacAddr src_mac;
+  MacAddr dst_mac;
+  Endpoint src;
+  Endpoint dst;
+  std::span<const uint8_t> payload;
+};
+
+struct ParseOptions {
+  // Skip UDP checksum verification. The kernel flags frames it captured
+  // before checksum fill-in (CHECKSUM_PARTIAL tx offload — universal on
+  // loopback/veth) with TP_STATUS_CSUMNOTREADY; the field then holds only
+  // the pseudo-header partial and verifying it would reject valid traffic.
+  bool verify_udp_checksum = true;
+};
+
+// Strict parse of one Ethernet frame down to a UDP payload. Rejects
+// anything the datapath cannot serve from: non-IPv4 EtherTypes (incl. VLAN
+// tags), bad version/IHL, IP header checksum mismatches, fragments,
+// non-UDP protocols, length fields out of bounds, and (unless disabled)
+// UDP checksum mismatches. A zero UDP checksum is accepted ("checksum not
+// computed" is legal for IPv4 UDP). Trailing bytes beyond the IP total
+// length (Ethernet minimum-frame padding) are ignored.
+Result<UdpFrameView> ParseUdpFrame(std::span<const uint8_t> frame,
+                                   const ParseOptions& options = {});
+
+// Everything needed to assemble a frame around a payload.
+struct UdpFrameSpec {
+  MacAddr src_mac;
+  MacAddr dst_mac;
+  Endpoint src;
+  Endpoint dst;
+  uint8_t ttl = 64;
+  uint16_t ip_id = 0;
+};
+
+// Assembles Ethernet + IPv4 (no options, DF set) + UDP headers and the
+// payload into `out` and returns the frame length (kUdpFrameOverhead +
+// payload size). Both checksums are computed during assembly — the IP
+// header sum incrementally over the words as they are written, the UDP sum
+// over pseudo-header + header + payload with the 0x0000→0xFFFF rule.
+// Fails if `out` is too small or the payload exceeds what an IPv4 total
+// length can carry.
+Result<size_t> BuildUdpFrame(std::span<uint8_t> out, const UdpFrameSpec& spec,
+                             std::span<const uint8_t> payload);
+
+}  // namespace ldp::net
+
+#endif  // LDPLAYER_NET_PACKET_CODEC_H

@@ -10,6 +10,7 @@
 
 #include "common/log.h"
 #include "dns/framing.h"
+#include "net/datapath.h"
 #include "net/event_loop.h"
 #include "net/sockets.h"
 #include "replay/timing.h"
@@ -136,8 +137,11 @@ struct HierarchyProxy::Shard {
 
   RelayConfig config;
   std::unique_ptr<net::EventLoop> loop;
-  std::vector<std::unique_ptr<net::UdpSocket>> listeners;
-  std::unordered_map<IpAddress, net::UdpSocket*> listener_by_addr;
+  // Epoll: one path per emulated address. Afpacket: a single wildcard
+  // ring; listener_by_addr then maps every configured address to it, so
+  // the map doubles as the "is this one of ours" ingress check.
+  std::vector<std::unique_ptr<net::DatagramPath>> listeners;
+  std::unordered_map<IpAddress, net::DatagramPath*> listener_by_addr;
   std::vector<std::unique_ptr<net::TcpListener>> tcp_listeners;
   std::shared_ptr<ShardCounters> counters =
       std::make_shared<ShardCounters>();
@@ -154,7 +158,7 @@ struct HierarchyProxy::Shard {
   std::vector<uint64_t> expired;
 
   // Reply staging, reused across batches (SocketDnsServer idiom).
-  std::vector<net::UdpSendItem> reply_items;
+  std::vector<net::DatagramPath::SendItem> reply_items;
 
   // TCP splices (shard 0 only).
   std::unordered_map<uint64_t, std::unique_ptr<Splice>> splices;
@@ -255,18 +259,24 @@ struct HierarchyProxy::Shard {
 
   // --- UDP data path ---
 
-  // Queries arriving at one emulated nameserver address. The paper's
+  // Queries arriving at an emulated nameserver address. The paper's
   // recursive-proxy rewrite (src := OQDA, dst := meta) is realized by
   // forwarding from the flow's relay socket, which is bound to the OQDA.
-  void OnListenerBatch(IpAddress oqda,
-                       std::span<const net::UdpSocket::RecvItem> items) {
+  // Each datagram carries the address it targeted (RecvItem::to): the
+  // listener's own address on epoll paths, the parsed destination on the
+  // wildcard afpacket ring.
+  void OnIngressBatch(std::span<const net::DatagramPath::RecvItem> items) {
     NanoTime t0 = MonotonicNow();
     if (udp_batch != nullptr) udp_batch->Record(items.size());
     for (const auto& item : items) {
       counters->queries_in.Add();
-      if (item.payload.size() < kDnsHeaderBytes) {
-        // Not a DNS message: nothing to rewrite (the iptables analogue
-        // would never have captured it).
+      IpAddress oqda = item.to.addr;
+      if (item.payload.size() < kDnsHeaderBytes ||
+          !listener_by_addr.contains(oqda)) {
+        // Not a DNS message — or (wildcard ring only) a datagram for an
+        // address we don't emulate that happens to share the service
+        // port. Nothing to rewrite; the iptables analogue would never
+        // have captured it.
         counters->passed_through.Add();
         continue;
       }
@@ -307,9 +317,14 @@ struct HierarchyProxy::Shard {
     counters->responses_in.Add(items.size());
     auto listener = listener_by_addr.find(flow.key.oqda);
     if (listener == listener_by_addr.end()) return;  // unreachable
+    // `from` makes the reply leave from the queried address: redundant on
+    // an epoll path (already bound to the OQDA), load-bearing on the
+    // wildcard afpacket ring, which writes it into the IPv4 header.
+    Endpoint reply_source{flow.key.oqda, listener->second->local().port};
     reply_items.clear();
     for (const auto& item : items) {
-      reply_items.push_back(net::UdpSendItem{item.payload, flow.key.client});
+      reply_items.push_back(net::DatagramPath::SendItem{
+          item.payload, flow.key.client, reply_source});
     }
     size_t accepted = listener->second->SendBatch(reply_items);
     counters->responses_out.Add(accepted);
@@ -560,21 +575,40 @@ Result<std::unique_ptr<HierarchyProxy>> HierarchyProxy::Start(
           config.metrics->AddHistogram("proxy.epoll_batch"));
     }
 
-    net::UdpSocket::Options options;
-    options.reuse_port = true;  // kernel shards datagrams across workers
-    options.recv_buffer_bytes = config.udp_recv_buffer_bytes;
-    for (IpAddress address : config.addresses) {
-      Shard* raw = shard.get();
-      auto listener = net::UdpSocket::BindBatch(
-          *shard->loop, Endpoint{address, port},
-          [raw, address](std::span<const net::UdpSocket::RecvItem> items) {
-            raw->OnListenerBatch(address, items);
-          },
-          options);
+    net::DatapathOptions dp_options;
+    dp_options.kind = config.datapath;
+    dp_options.udp.reuse_port = true;  // kernel shards datagrams across workers
+    dp_options.udp.recv_buffer_bytes = config.udp_recv_buffer_bytes;
+    dp_options.afpacket = config.afpacket;
+    dp_options.afpacket.fanout =
+        config.datapath == net::DatapathKind::kAfPacket && n_shards > 1;
+    dp_options.metrics = config.metrics;
+
+    Shard* raw = shard.get();
+    auto handler = [raw](std::span<const net::DatagramPath::RecvItem> items) {
+      raw->OnIngressBatch(items);
+    };
+    if (config.datapath == net::DatapathKind::kAfPacket) {
+      // One wildcard ring carries every emulated address: the steering
+      // filter matches the service port alone and OnIngressBatch reads
+      // the OQDA from each frame.
+      auto listener = net::DatagramPath::Open(
+          *shard->loop, Endpoint{IpAddress(), port}, handler, dp_options);
       if (!listener.ok()) return listener.error();
       if (port == 0) port = (*listener)->local().port;  // resolve once
-      shard->listener_by_addr[address] = listener->get();
+      for (IpAddress address : config.addresses) {
+        shard->listener_by_addr[address] = listener->get();
+      }
       shard->listeners.push_back(std::move(*listener));
+    } else {
+      for (IpAddress address : config.addresses) {
+        auto listener = net::DatagramPath::Open(
+            *shard->loop, Endpoint{address, port}, handler, dp_options);
+        if (!listener.ok()) return listener.error();
+        if (port == 0) port = (*listener)->local().port;  // resolve once
+        shard->listener_by_addr[address] = listener->get();
+        shard->listeners.push_back(std::move(*listener));
+      }
     }
 
     // TCP splice on shard 0 only (mirrors ShardedDnsServer: the TCP lane

@@ -42,6 +42,7 @@
 #include "common/clock.h"
 #include "common/ip.h"
 #include "common/result.h"
+#include "net/datapath.h"
 #include "stats/metrics.h"
 
 namespace ldp::proxy {
@@ -57,6 +58,15 @@ struct RelayConfig {
   Endpoint meta_server;
   size_t n_shards = 1;
   int udp_recv_buffer_bytes = 0;
+
+  // Ingress transport. Epoll binds one kernel listener per emulated
+  // address; afpacket opens ONE wildcard ring per shard that matches on
+  // the service port alone and reads each query's OQDA out of the frame,
+  // answering from that address over the same ring — the per-address
+  // listener fan-out collapses into a single mmap'd channel. The meta
+  // legs (per-flow relay sockets, TCP splice) stay on kernel sockets.
+  net::DatapathKind datapath = net::DatapathKind::kEpoll;
+  net::AfPacketOptions afpacket;  // used when datapath == kAfPacket
 
   // Flow table bounds (per shard).
   size_t flow_capacity = 4096;

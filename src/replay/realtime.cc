@@ -116,12 +116,17 @@ class Querier {
         wheel_(WheelTickFor(config.query_timeout), 512) {}
 
   Status Init() {
+    net::DatapathOptions options;
+    options.kind = config_.datapath;
+    options.afpacket = config_.afpacket;
+    options.metrics = config_.metrics;
     LDP_ASSIGN_OR_RETURN(
-        udp_, net::UdpSocket::Bind(
-                  loop_, Endpoint{IpAddress::Loopback(), 0},
-                  [this](std::span<const uint8_t> payload, Endpoint) {
-                    OnUdpReply(payload);
-                  }));
+        udp_, net::DatagramPath::Open(
+                  loop_, Endpoint{config_.local_addr, 0},
+                  [this](std::span<const net::DatagramPath::RecvItem> batch) {
+                    for (const auto& item : batch) OnUdpReply(item.payload);
+                  },
+                  options));
     return Status::Ok();
   }
 
@@ -166,8 +171,8 @@ class Querier {
     for (uint16_t id : pending_udp_) {
       auto it = udp_inflight_.find(id);
       if (it == udp_inflight_.end()) continue;  // aged out while staged
-      pending_items_.push_back(net::UdpSendItem{it->second.wire,
-                                                it->second.target});
+      pending_items_.push_back(net::DatagramPath::SendItem{
+          it->second.wire, it->second.target});
       live_ids_.push_back(id);
     }
     size_t accepted =
@@ -397,7 +402,7 @@ class Querier {
 
     if (config_.batch_udp) {
       pending_udp_.push_back(id);
-      if (pending_udp_.size() >= net::UdpSocket::kBatchSize) Flush();
+      if (pending_udp_.size() >= net::DatagramPath::kBatchSize) Flush();
       return;
     }
     auto status = udp_->SendTo(emplaced.first->second.wire,
@@ -696,12 +701,12 @@ class Querier {
   QuerierMetrics metrics_;
   std::function<void()> on_idle_;
 
-  std::unique_ptr<net::UdpSocket> udp_;
+  std::unique_ptr<net::DatagramPath> udp_;
   std::unordered_map<uint16_t, UdpEntry> udp_inflight_;
   // Staged IDs awaiting the batch flush; wire bytes live in udp_inflight_
   // (unordered_map references are rehash-stable).
   std::vector<uint16_t> pending_udp_;
-  std::vector<net::UdpSendItem> pending_items_;
+  std::vector<net::DatagramPath::SendItem> pending_items_;
   std::vector<uint16_t> live_ids_;
   int flush_retries_ = 0;
   bool flush_retry_armed_ = false;

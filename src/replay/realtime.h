@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "net/datapath.h"
 #include "stats/metrics.h"
 #include "stats/summary.h"
 #include "trace/record.h"
@@ -99,6 +100,18 @@ struct RealtimeConfig {
   // resumes draining.
   size_t tcp_write_high_watermark = 256 * 1024;
   size_t tcp_write_low_watermark = 64 * 1024;
+
+  // --- Datapath (querier side) ---
+
+  // Transport under each querier's UDP leg: epoll kernel sockets
+  // (default) or an AF_PACKET ring per querier (CAP_NET_RAW; see
+  // net/datapath.h). TCP queries always use kernel sockets.
+  net::DatapathKind datapath = net::DatapathKind::kEpoll;
+  net::AfPacketOptions afpacket;  // used when datapath == kAfPacket
+  // Source address queriers bind (the port is always ephemeral). Default
+  // loopback; set this when replaying over a real interface — in afpacket
+  // mode it must be an address of afpacket.interface.
+  IpAddress local_addr = IpAddress::Loopback();
 
   // --- Live metrics (both optional) ---
 

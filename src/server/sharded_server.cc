@@ -53,8 +53,13 @@ Result<std::unique_ptr<ShardedDnsServer>> ShardedDnsServer::Start(
     shard_config.listen = listen;
     shard_config.serve_tcp = config.serve_tcp && i == 0;
     shard_config.tcp_idle_timeout = config.tcp_idle_timeout;
-    shard_config.udp_reuse_port = true;
-    shard_config.udp_recv_buffer_bytes = config.udp_recv_buffer_bytes;
+    shard_config.datapath.kind = config.datapath;
+    shard_config.datapath.udp.reuse_port = true;
+    shard_config.datapath.udp.recv_buffer_bytes = config.udp_recv_buffer_bytes;
+    shard_config.datapath.afpacket = config.afpacket;
+    shard_config.datapath.afpacket.fanout =
+        config.datapath == net::DatapathKind::kAfPacket && n_shards > 1;
+    shard_config.datapath.metrics = config.metrics;
     if (config.metrics != nullptr) {
       RegisterEngineMetrics(config.metrics, shard->engine);
       shard->loop->SetMetrics(config.metrics->AddHistogram("server.loop_lag_ns"),

@@ -11,17 +11,14 @@ Result<std::unique_ptr<SocketDnsServer>> SocketDnsServer::Start(
       new SocketDnsServer(loop, std::move(engine), config));
   SocketDnsServer* raw = server.get();
 
-  net::UdpSocket::Options udp_options;
-  udp_options.reuse_port = config.udp_reuse_port;
-  udp_options.recv_buffer_bytes = config.udp_recv_buffer_bytes;
   LDP_ASSIGN_OR_RETURN(
       server->udp_,
-      net::UdpSocket::BindBatch(
+      net::DatagramPath::Open(
           loop, config.listen,
-          [raw](std::span<const net::UdpSocket::RecvItem> batch) {
+          [raw](std::span<const net::DatagramPath::RecvItem> batch) {
             raw->OnUdpBatch(batch);
           },
-          udp_options));
+          config.datapath));
   if (config.serve_tcp) {
     // TCP binds the same port the UDP socket got (matters for port 0).
     Endpoint tcp_endpoint{config.listen.addr, server->udp_->local().port};
@@ -37,7 +34,7 @@ Result<std::unique_ptr<SocketDnsServer>> SocketDnsServer::Start(
 }
 
 void SocketDnsServer::OnUdpBatch(
-    std::span<const net::UdpSocket::RecvItem> batch) {
+    std::span<const net::DatagramPath::RecvItem> batch) {
   // Serve the whole readiness batch, then flush every reply with one
   // sendmmsg — the syscall cost amortizes across the batch both ways.
   if (config_.udp_batch_hist != nullptr && !batch.empty()) {
@@ -50,8 +47,11 @@ void SocketDnsServer::OnUdpBatch(
                                         /*udp_limit=*/65535);
     if (!response.ok()) continue;  // undecodable: dropped
     reply_bufs_.push_back(std::move(*response));
-    reply_items_.push_back(
-        net::UdpSendItem{reply_bufs_.back(), datagram.from});
+    // Replies leave from the address the query targeted — identical to
+    // local() on a concretely-bound path, and the only correct source on
+    // a wildcard afpacket ring.
+    reply_items_.push_back(net::DatagramPath::SendItem{
+        reply_bufs_.back(), datagram.from, datagram.to});
   }
   size_t sent = udp_->SendBatch(reply_items_);
   if (sent < reply_items_.size()) {

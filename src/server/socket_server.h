@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "dns/framing.h"
+#include "net/datapath.h"
 #include "net/sockets.h"
 #include "server/engine.h"
 #include "stats/metrics.h"
@@ -20,14 +21,14 @@ class SocketDnsServer {
     Endpoint listen;  // port 0 picks an ephemeral port (tests)
     bool serve_tcp = true;
     NanoDuration tcp_idle_timeout = Seconds(20);
-    // SO_REUSEPORT on the UDP socket, so several server instances (one per
-    // worker thread) can share one port and let the kernel shard queries.
-    bool udp_reuse_port = false;
-    // SO_RCVBUF for the UDP socket (0 = kernel default); bursts queue in
-    // the kernel instead of dropping while the worker is mid-batch.
-    int udp_recv_buffer_bytes = 0;
-    // Optional: records datagrams per recvmmsg readiness batch. Must
-    // outlive the server (owned by a MetricsRegistry).
+    // How query bytes reach the engine: backend kind (epoll kernel sockets
+    // by default, AF_PACKET rings with --datapath=afpacket), kernel-socket
+    // options (reuse_port lets sibling shards share the port), ring
+    // geometry, and the registry for datapath.* instruments. TCP always
+    // stays on kernel sockets.
+    net::DatapathOptions datapath;
+    // Optional: records datagrams per readiness batch. Must outlive the
+    // server (owned by a MetricsRegistry).
     stats::LogHistogram* udp_batch_hist = nullptr;
   };
 
@@ -52,7 +53,7 @@ class SocketDnsServer {
     net::TimerHandle idle_timer;
   };
 
-  void OnUdpBatch(std::span<const net::UdpSocket::RecvItem> batch);
+  void OnUdpBatch(std::span<const net::DatagramPath::RecvItem> batch);
   void OnAccept(std::unique_ptr<net::TcpConnection> conn);
   void OnTcpData(net::TcpConnection* key, std::span<const uint8_t> data);
   void ArmIdleTimer(net::TcpConnection* key);
@@ -61,13 +62,13 @@ class SocketDnsServer {
   net::EventLoop& loop_;
   std::shared_ptr<AuthServerEngine> engine_;
   Config config_;
-  std::unique_ptr<net::UdpSocket> udp_;
+  std::unique_ptr<net::DatagramPath> udp_;
   std::unique_ptr<net::TcpListener> listener_;
   std::unordered_map<net::TcpConnection*, ConnState> conns_;
   // Per-batch reply staging, reused across readiness events: the encoded
   // responses (kept alive through the SendBatch call) and their addresses.
   std::vector<Bytes> reply_bufs_;
-  std::vector<net::UdpSendItem> reply_items_;
+  std::vector<net::DatagramPath::SendItem> reply_items_;
 };
 
 }  // namespace ldp::server

@@ -230,6 +230,10 @@ TEST(HierarchyProxyTest, UdpRewriteRoundTripPreservesPortAndView) {
     ASSERT_EQ(reply->answers.size(), 1u) << c.qname;
   }
 
+  // The client can hold the reply before the shard thread has bumped its
+  // counters (the datagram is queued mid-SendBatch, the Add comes after);
+  // wait for the ledger to settle instead of racing it.
+  WaitFor([&] { return (*relay)->TotalStats().responses_out >= 2; });
   RelayStats stats = (*relay)->TotalStats();
   EXPECT_EQ(stats.queries_in, 2u);
   EXPECT_EQ(stats.responses_out, 2u);

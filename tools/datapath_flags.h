@@ -1,0 +1,44 @@
+// Shared --datapath flag handling for the socket tools (ldp_serve,
+// ldp_proxy, ldp_replay): parse the backend selection plus the afpacket
+// knobs, and probe the afpacket backend up front so a missing capability
+// fails at startup with an actionable message, not deep inside a bind.
+#ifndef LDPLAYER_TOOLS_DATAPATH_FLAGS_H
+#define LDPLAYER_TOOLS_DATAPATH_FLAGS_H
+
+#include <string>
+
+#include "common/flags.h"
+#include "net/datapath.h"
+
+namespace ldp::tools {
+
+// Usage block the tools splice into their kUsage text; the verify.sh docs
+// stage cross-checks these flag names against EXPERIMENTS.md.
+constexpr const char* kDatapathUsage =
+    R"(  --datapath MODE          how datagrams reach the engine: epoll (kernel
+                           sockets, default) or afpacket (AF_PACKET mmap
+                           rings; needs CAP_NET_RAW)
+  --afpacket-if IFACE      interface for afpacket rings (lo)
+  --afpacket-peer-mac MAC  destination MAC when unlearned (aa:bb:..:ff;
+                           default: learned per peer, else broadcast))";
+
+struct DatapathFlags {
+  net::DatapathKind kind = net::DatapathKind::kEpoll;
+  net::AfPacketOptions afpacket;
+};
+
+inline Result<DatapathFlags> ParseDatapathFlags(const Flags& flags) {
+  DatapathFlags out;
+  LDP_ASSIGN_OR_RETURN(
+      out.kind, net::ParseDatapathKind(flags.GetString("datapath", "epoll")));
+  out.afpacket.interface = flags.GetString("afpacket-if", "lo");
+  out.afpacket.peer_mac = flags.GetString("afpacket-peer-mac", "");
+  if (out.kind == net::DatapathKind::kAfPacket) {
+    LDP_RETURN_IF_ERROR(net::ProbeAfPacket(out.afpacket));
+  }
+  return out;
+}
+
+}  // namespace ldp::tools
+
+#endif  // LDPLAYER_TOOLS_DATAPATH_FLAGS_H

@@ -1,0 +1,54 @@
+// ldp_datapath_probe: answers "can the afpacket datapath run here?" for
+// scripts. Exit 0 and print "ok" when AF_PACKET rings are usable with the
+// given options; exit 1 and print the reason otherwise (missing
+// CAP_NET_RAW, no such interface, kernel without TPACKET_V3/V2 rings).
+// verify.sh and the benches use this to detect-and-skip honestly instead
+// of failing.
+//
+//   ldp_datapath_probe [--afpacket-if IFACE] [--afpacket-peer-mac MAC]
+#include <cstdio>
+
+#include "common/flags.h"
+#include "net/datapath.h"
+
+using namespace ldp;
+
+namespace {
+
+constexpr const char* kUsage =
+    R"(usage: ldp_datapath_probe [options]
+  --afpacket-if IFACE      interface to probe (lo)
+  --afpacket-peer-mac MAC  peer MAC to validate (optional)
+Prints "ok" and exits 0 when the afpacket datapath is usable.)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags_result = Flags::Parse(argc, argv, {});
+  if (!flags_result.ok()) {
+    std::fprintf(stderr, "%s\n", flags_result.error().ToString().c_str());
+    return 2;
+  }
+  const Flags& flags = *flags_result;
+  if (auto s = flags.RequireKnown({"afpacket-if", "afpacket-peer-mac",
+                                   "help"});
+      !s.ok()) {
+    std::fprintf(stderr, "%s\n%s\n", s.error().ToString().c_str(), kUsage);
+    return 2;
+  }
+  if (flags.GetBool("help", false)) {
+    std::fprintf(stderr, "%s\n", kUsage);
+    return 2;
+  }
+
+  net::AfPacketOptions options;
+  options.interface = flags.GetString("afpacket-if", "lo");
+  options.peer_mac = flags.GetString("afpacket-peer-mac", "");
+  auto status = net::ProbeAfPacket(options);
+  if (!status.ok()) {
+    std::printf("%s\n", status.error().ToString().c_str());
+    return 1;
+  }
+  std::printf("ok\n");
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include "net/event_loop.h"
 #include "proxy/relay.h"
 #include "stats/metrics.h"
+#include "datapath_flags.h"
 #include "zone/manifest.h"
 
 using namespace ldp;
@@ -36,6 +37,10 @@ constexpr const char* kUsage =
   --flow-linger-ms N       draining window for late replies, ms (1000)
   --no-tcp                 UDP only (no TCP splice)
   --udp-rcvbuf-bytes N     SO_RCVBUF per relay listener (0 = kernel default)
+  --datapath MODE          epoll listeners per address (default) or one
+                           wildcard afpacket ring per shard
+  --afpacket-if IFACE      interface for afpacket rings (lo)
+  --afpacket-peer-mac MAC  afpacket fallback destination MAC
   --stats-interval-s N     print relay stats every N seconds (10; 0=off)
   --metrics-out FILE       append JSONL metric snapshots to FILE
   --metrics-interval-ms N  snapshot cadence in milliseconds (1000)
@@ -60,8 +65,8 @@ int main(int argc, char** argv) {
   if (auto s = flags.RequireKnown(
           {"meta", "views", "addresses", "loopback-alias", "port", "threads",
            "flow-capacity", "flow-idle-timeout-s", "flow-linger-ms", "no-tcp",
-           "udp-rcvbuf-bytes", "stats-interval-s", "metrics-out",
-           "metrics-interval-ms", "help"});
+           "udp-rcvbuf-bytes", "datapath", "afpacket-if", "afpacket-peer-mac",
+           "stats-interval-s", "metrics-out", "metrics-interval-ms", "help"});
       !s.ok()) {
     std::fprintf(stderr, "%s\n%s\n", s.error().ToString().c_str(), kUsage);
     return 2;
@@ -125,6 +130,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", kUsage);
     return 2;
   }
+  auto datapath = tools::ParseDatapathFlags(flags);
+  if (!datapath.ok()) {
+    std::fprintf(stderr, "%s\n", datapath.error().ToString().c_str());
+    return 1;
+  }
 
   auto loop = net::EventLoop::Create();
   if (!loop.ok()) {
@@ -166,6 +176,8 @@ int main(int argc, char** argv) {
   config.flow_linger =
       Millis(flags.GetInt("flow-linger-ms", 1000).value_or(1000));
   config.splice_tcp = !flags.GetBool("no-tcp", false);
+  config.datapath = datapath->kind;
+  config.afpacket = datapath->afpacket;
   if (snapshotter != nullptr) config.metrics = &metrics;
 
   auto relay = proxy::HierarchyProxy::Start(config);
@@ -174,10 +186,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("proxying %zu addresses on port %u -> meta %s "
-              "(udp%s, %zu shard%s), ^C to stop\n",
+              "(udp%s, %zu shard%s, datapath %s), ^C to stop\n",
               addresses.size(), (*relay)->port(),
               meta->ToString().c_str(), config.splice_tcp ? "+tcp" : "",
-              (*relay)->n_shards(), (*relay)->n_shards() == 1 ? "" : "s");
+              (*relay)->n_shards(), (*relay)->n_shards() == 1 ? "" : "s",
+              std::string(net::DatapathKindName(config.datapath)).c_str());
   // The port line drives scripted runs (verify.sh parses it), so push it
   // out even when stdout is a pipe.
   std::fflush(stdout);

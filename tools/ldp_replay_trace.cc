@@ -12,6 +12,7 @@
 #include "distrib/spawn.h"
 #include "replay/realtime.h"
 #include "stats/summary.h"
+#include "datapath_flags.h"
 #include "trace/binary.h"
 #include "trace/text.h"
 
@@ -38,6 +39,10 @@ constexpr const char* kUsage =
                         exponential backoff (0)
   --tcp-idle-timeout-ms N  close idle TCP connections after N ms (0 = keep)
   --tcp-reconnects N    reconnect budget per TCP connection (3)
+  --datapath MODE       querier transport: epoll (default) or afpacket
+                        (in-process replay; spawned agents stay on epoll)
+  --afpacket-if IFACE   interface for afpacket rings (lo)
+  --afpacket-peer-mac MAC  afpacket fallback destination MAC
   --metrics-out FILE    append JSONL metric snapshots to FILE during replay
                         (distributed: the merged all-agents stream)
   --metrics-interval-ms N  snapshot cadence in milliseconds (1000)
@@ -190,6 +195,8 @@ int main(int argc, char** argv) {
                                    "follow-dst", "dst-port", "loopback-dst",
                                    "timeout-ms", "retransmits",
                                    "tcp-idle-timeout-ms", "tcp-reconnects",
+                                   "datapath", "afpacket-if",
+                                   "afpacket-peer-mac",
                                    "metrics-out", "metrics-interval-ms",
                                    "agents", "connect", "agent-bin",
                                    "chunk", "window", "help"});
@@ -256,6 +263,13 @@ int main(int argc, char** argv) {
       Millis(flags.GetInt("tcp-idle-timeout-ms", 0).value_or(0));
   config.tcp_max_reconnects =
       static_cast<int>(flags.GetInt("tcp-reconnects", 3).value_or(3));
+  auto datapath = tools::ParseDatapathFlags(flags);
+  if (!datapath.ok()) {
+    std::fprintf(stderr, "%s\n", datapath.error().ToString().c_str());
+    return 1;
+  }
+  config.datapath = datapath->kind;
+  config.afpacket = datapath->afpacket;
 
   std::string metrics_out = flags.GetString("metrics-out", "");
   if (flags.GetInt("agents", 0).value_or(0) > 0 ||

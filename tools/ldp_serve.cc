@@ -10,6 +10,7 @@
 #include "common/flags.h"
 #include "server/sharded_server.h"
 #include "stats/metrics.h"
+#include "datapath_flags.h"
 #include "zone/dnssec.h"
 #include "zone/manifest.h"
 #include "zone/masterfile.h"
@@ -27,6 +28,9 @@ constexpr const char* kUsage =
   --threads N              UDP worker shards, SO_REUSEPORT (0 = all cores)
   --response-cache N       wire-level response cache, N entries/shard (0=off)
   --udp-rcvbuf-bytes N     SO_RCVBUF per shard socket (0 = kernel default)
+  --datapath MODE          epoll (default) or afpacket (see below)
+  --afpacket-if IFACE      interface for afpacket rings (lo)
+  --afpacket-peer-mac MAC  afpacket fallback destination MAC
   --tcp-idle-timeout-s N   close idle TCP connections after N seconds (20)
   --no-tcp                 UDP only
   --sign                   DNSSEC-sign zones with synthetic keys
@@ -54,6 +58,8 @@ int main(int argc, char** argv) {
   const Flags& flags = *flags_result;
   if (auto s = flags.RequireKnown({"listen", "views", "threads",
                                    "response-cache", "udp-rcvbuf-bytes",
+                                   "datapath", "afpacket-if",
+                                   "afpacket-peer-mac",
                                    "tcp-idle-timeout-s", "no-tcp", "sign",
                                    "zsk-bits", "stats-interval-s",
                                    "metrics-out", "metrics-interval-ms",
@@ -93,6 +99,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "--udp-rcvbuf-bytes: expected a non-negative integer\n");
     return 2;
+  }
+  auto datapath = tools::ParseDatapathFlags(flags);
+  if (!datapath.ok()) {
+    std::fprintf(stderr, "%s\n", datapath.error().ToString().c_str());
+    return 1;
   }
 
   std::shared_ptr<const zone::ViewTable> shared_views;
@@ -193,18 +204,21 @@ int main(int argc, char** argv) {
   config.engine.response_cache_entries =
       static_cast<size_t>(*cache_entries);
   config.udp_recv_buffer_bytes = static_cast<int>(*rcvbuf);
+  config.datapath = datapath->kind;
+  config.afpacket = datapath->afpacket;
   if (snapshotter != nullptr) config.metrics = &metrics;
   auto server = server::ShardedDnsServer::Start(shared_views, config);
   if (!server.ok()) {
     std::fprintf(stderr, "%s\n", server.error().ToString().c_str());
     return 1;
   }
-  std::printf("serving on %s (udp%s, %zu shard%s, cache %zu/shard), "
-              "^C to stop\n",
+  std::printf("serving on %s (udp%s, %zu shard%s, cache %zu/shard, "
+              "datapath %s), ^C to stop\n",
               (*server)->endpoint().ToString().c_str(),
               config.serve_tcp ? "+tcp" : "", (*server)->n_shards(),
               (*server)->n_shards() == 1 ? "" : "s",
-              config.engine.response_cache_entries);
+              config.engine.response_cache_entries,
+              std::string(net::DatapathKindName(config.datapath)).c_str());
   // The port line is what drives scripted runs (verify.sh parses it), so
   // push it out even when stdout is a pipe.
   std::fflush(stdout);
