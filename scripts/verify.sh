@@ -196,9 +196,14 @@ datapath_smoke() {
   grep -q "datapath $DP" "$SMOKE/dp_serve.$DP.out" || {
     echo "datapath smoke ($DP): server not on the requested backend"
     cat "$SMOKE/dp_serve.$DP.out"; exit 1; }
+  # --metrics-out makes the tool print "reconcile: OK/FAIL" (snapshot
+  # counters vs final report); without it no reconcile line exists and the
+  # grep below could never pass.
   ./build/tools/ldp_replay_trace --trace "$SMOKE/trace.txt" \
     --server "127.0.0.1:$PORT" --datapath "$DP" \
-    --timeout-ms 2000 --retransmits 2 > "$SMOKE/dp_replay.$DP.out" 2>&1
+    --timeout-ms 2000 --retransmits 2 \
+    --metrics-out "$SMOKE/dp_metrics.$DP.jsonl" \
+    > "$SMOKE/dp_replay.$DP.out" 2>&1
   grep -q "reconcile: OK" "$SMOKE/dp_replay.$DP.out" || {
     echo "datapath smoke ($DP): replay reconcile failed"
     cat "$SMOKE/dp_replay.$DP.out"; exit 1
@@ -248,6 +253,31 @@ if failures:
     sys.exit(1)
 print("docs: %d tool invocations checked against --help" % len(known))
 EOF
+
+echo "== fuzz: ASan harnesses, corpus replay + bounded runs =="
+# Builds the fuzz preset (libFuzzer under clang, bundled standalone driver
+# under gcc) and gives each harness a bounded -runs budget over its
+# checked-in corpus, so any new crash — including a regression on a landed
+# reproducer — fails verification. Skips only if the preset cannot build.
+if cmake -B build-fuzz -S . -DLDP_SANITIZE=address -DLDP_FUZZ=ON \
+     > "$SMOKE/fuzz_configure.out" 2>&1 \
+   && cmake --build build-fuzz -j"$(nproc)" --target \
+        fuzz_wire fuzz_zone fuzz_framing fuzz_distrib \
+        > "$SMOKE/fuzz_build.out" 2>&1; then
+  for target in wire zone framing distrib; do
+    ./build-fuzz/tests/fuzz/fuzz_$target "tests/fuzz/corpus/$target" \
+      -runs=20000 -max_len=4096 -artifact_prefix="$SMOKE/" \
+      > "$SMOKE/fuzz_$target.out" 2>&1 || {
+      echo "fuzz smoke: fuzz_$target failed"
+      tail -20 "$SMOKE/fuzz_$target.out"
+      exit 1
+    }
+  done
+  echo "fuzz smoke: 4 harnesses, corpus replay + 20000 bounded runs, clean"
+else
+  echo "fuzz smoke: skipped (fuzz preset failed to configure or build)"
+  tail -5 "$SMOKE/fuzz_build.out" "$SMOKE/fuzz_configure.out" 2>/dev/null || true
+fi
 
 if [ "${1:-}" = "--skip-tsan" ]; then
   echo "== sanitizers: skipped =="

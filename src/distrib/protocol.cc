@@ -267,7 +267,11 @@ Result<ChunkFrame> DecodeChunk(const Frame& frame) {
     return Error(ErrorCode::kParseError,
                  "CHUNK claims " + std::to_string(count) + " records");
   }
-  chunk.records.reserve(count);
+  // `count` is attacker-controlled; size the reserve by what the body could
+  // actually hold (a binary trace record is at least 33 bytes on the wire)
+  // so a tiny frame cannot demand a gigantic allocation up front.
+  chunk.records.reserve(
+      std::min<size_t>(count, reader.remaining() / 33 + 1));
   for (uint32_t i = 0; i < count; ++i) {
     LDP_ASSIGN_OR_RETURN(auto record, trace::DecodeBinaryRecord(reader));
     chunk.records.push_back(std::move(record));
@@ -346,7 +350,10 @@ Result<stats::MetricsSnapshot> DecodeSnapshot(ByteReader& reader) {
   if (n_counters > kMaxSnapshotEntries) {
     return Error(ErrorCode::kParseError, "snapshot counter count");
   }
-  snapshot.counters.reserve(n_counters);
+  // As in DecodeChunk: bound each reserve by the bytes actually present
+  // (name length prefix + u64 value = 10 bytes minimum per entry).
+  snapshot.counters.reserve(
+      std::min<size_t>(n_counters, reader.remaining() / 10 + 1));
   for (uint32_t i = 0; i < n_counters; ++i) {
     LDP_ASSIGN_OR_RETURN(std::string name, ReadName(reader));
     LDP_ASSIGN_OR_RETURN(uint64_t value, reader.ReadU64());
@@ -356,7 +363,8 @@ Result<stats::MetricsSnapshot> DecodeSnapshot(ByteReader& reader) {
   if (n_gauges > kMaxSnapshotEntries) {
     return Error(ErrorCode::kParseError, "snapshot gauge count");
   }
-  snapshot.gauges.reserve(n_gauges);
+  snapshot.gauges.reserve(
+      std::min<size_t>(n_gauges, reader.remaining() / 10 + 1));
   for (uint32_t i = 0; i < n_gauges; ++i) {
     LDP_ASSIGN_OR_RETURN(std::string name, ReadName(reader));
     LDP_ASSIGN_OR_RETURN(uint64_t value, reader.ReadU64());
@@ -367,7 +375,8 @@ Result<stats::MetricsSnapshot> DecodeSnapshot(ByteReader& reader) {
   if (n_histograms > kMaxSnapshotEntries) {
     return Error(ErrorCode::kParseError, "snapshot histogram count");
   }
-  snapshot.histograms.reserve(n_histograms);
+  snapshot.histograms.reserve(
+      std::min<size_t>(n_histograms, reader.remaining() / 30 + 1));
   for (uint32_t i = 0; i < n_histograms; ++i) {
     LDP_ASSIGN_OR_RETURN(std::string name, ReadName(reader));
     stats::HistogramSnapshot h;
@@ -515,16 +524,18 @@ Bytes EncodeBye() { return Seal(FrameType::kBye, ByteWriter(0)); }
 // --- FrameAssembler ---
 
 Status FrameAssembler::Feed(std::span<const uint8_t> data) {
+  if (poisoned_.has_value()) return *poisoned_;
   buffer_.insert(buffer_.end(), data.begin(), data.end());
   while (buffer_.size() - consumed_ >= 4) {
     const uint8_t* head = buffer_.data() + consumed_;
     uint32_t length = (uint32_t{head[0]} << 24) | (uint32_t{head[1]} << 16) |
                       (uint32_t{head[2]} << 8) | uint32_t{head[3]};
     if (length == 0 || length > kMaxFramePayload) {
-      return Error(ErrorCode::kParseError,
-                   "frame length " + std::to_string(length) +
-                       " outside [1, " + std::to_string(kMaxFramePayload) +
-                       "]");
+      poisoned_ = Error(ErrorCode::kParseError,
+                        "frame length " + std::to_string(length) +
+                            " outside [1, " +
+                            std::to_string(kMaxFramePayload) + "]");
+      return *poisoned_;
     }
     if (buffer_.size() - consumed_ < 4 + static_cast<size_t>(length)) break;
     Frame frame;

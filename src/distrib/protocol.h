@@ -209,6 +209,7 @@ class FrameAssembler {
   Bytes buffer_;
   size_t consumed_ = 0;
   std::deque<Frame> ready_;
+  std::optional<Error> poisoned_;
 };
 
 }  // namespace ldp::distrib

@@ -4,8 +4,10 @@
 #ifndef LDPLAYER_DNS_FRAMING_H
 #define LDPLAYER_DNS_FRAMING_H
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -14,13 +16,31 @@
 
 namespace ldp::dns {
 
-// Prepends the 2-byte length prefix.
-Bytes FrameMessage(std::span<const uint8_t> wire);
+// The largest payload a 2-byte length prefix can carry.
+inline constexpr size_t kMaxFramedMessage = 65535;
+
+// Prepends the 2-byte length prefix. Fails on an empty payload (a
+// zero-length frame is rejected by every assembler) and on payloads over
+// kMaxFramedMessage — silently truncating the length prefix would emit a
+// corrupt frame that desyncs the peer's stream.
+Result<Bytes> FrameMessage(std::span<const uint8_t> wire);
 
 class StreamAssembler {
  public:
+  // Backpressure bounds on the ready-message backlog. A peer that floods
+  // complete frames faster than the server drains them hits these caps and
+  // has its excess messages dropped (and counted) instead of growing the
+  // deque without limit.
+  struct Limits {
+    size_t max_ready_messages = 1024;
+    size_t max_ready_bytes = 4u << 20;
+  };
+
   // Feeds a chunk of stream bytes. Complete messages become available via
-  // NextMessage(). Returns an error if a frame declares length 0.
+  // NextMessage(). Returns an error if a frame declares length 0; once an
+  // error has been returned the assembler is poisoned and every further
+  // Feed reports the same failure (messages completed before the error
+  // stay available exactly once).
   Status Feed(std::span<const uint8_t> chunk);
 
   // Pops the next complete message payload (without the length prefix), or
@@ -30,10 +50,25 @@ class StreamAssembler {
   // Bytes currently buffered but not yet forming a complete message.
   size_t pending_bytes() const { return buffer_.size(); }
   size_t ready_messages() const { return ready_.size(); }
+  size_t ready_bytes() const { return ready_bytes_; }
+  // Complete messages discarded because the backlog was at its limit.
+  uint64_t dropped_messages() const { return dropped_messages_; }
+
+  void set_limits(const Limits& limits) { limits_ = limits; }
+  // Optional shared drop counter (e.g. a metrics-registry counter); bumped
+  // relaxed alongside dropped_messages(). Must outlive the assembler.
+  void set_drop_counter(std::atomic<uint64_t>* counter) {
+    drop_counter_ = counter;
+  }
 
  private:
   Bytes buffer_;
   std::deque<Bytes> ready_;
+  Limits limits_;
+  size_t ready_bytes_ = 0;
+  uint64_t dropped_messages_ = 0;
+  std::atomic<uint64_t>* drop_counter_ = nullptr;
+  std::optional<Error> poisoned_;
 };
 
 }  // namespace ldp::dns

@@ -165,6 +165,20 @@ Result<Message> Message::Decode(std::span<const uint8_t> wire) {
   LDP_ASSIGN_OR_RETURN(uint16_t nscount, reader.ReadU16());
   LDP_ASSIGN_OR_RETURN(uint16_t arcount, reader.ReadU16());
 
+  // Header counts are attacker-controlled: reject up front any message whose
+  // counts could not possibly fit in the remaining bytes (a question needs at
+  // least 5 bytes, a record at least 11), instead of looping up to 4×65535
+  // times over decoders that will fail anyway.
+  size_t min_needed = static_cast<size_t>(qdcount) * 5 +
+                      (static_cast<size_t>(ancount) +
+                       static_cast<size_t>(nscount) +
+                       static_cast<size_t>(arcount)) *
+                          11;
+  if (min_needed > reader.remaining()) {
+    return Error(ErrorCode::kTruncated,
+                 "header counts exceed message size");
+  }
+
   for (uint16_t i = 0; i < qdcount; ++i) {
     Question q;
     LDP_ASSIGN_OR_RETURN(q.name, DecodeName(reader));

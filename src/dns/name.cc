@@ -30,9 +30,22 @@ int LabelCompare(const std::string& a, const std::string& b) {
   return 0;
 }
 
-// Does a label need escaping in presentation format?
+// Does a label need escaping in presentation format? Beyond the RFC 1035
+// specials ('.', '\\'), cover everything the master-file reader treats as
+// structure — quotes, comments, parens, whitespace, and the '$'/'@'
+// sigils — so a serialized name re-tokenizes as exactly one name token
+// (found by the zone fuzzer: an owner label "$" serialized bare and
+// reparsed as an unknown $-directive).
 bool NeedsEscape(char c) {
-  return c == '.' || c == '\\' || c == '"' ||
+  return c == '.' || c == '\\' || c == '"' || c == '$' || c == '@' ||
+         c == ';' || c == '(' || c == ')' || c == ' ' ||
+         !std::isprint(static_cast<unsigned char>(c));
+}
+
+// Characters the tokenizer splits on before escapes are interpreted; they
+// must be emitted as \DDD (no raw occurrence), not as '\' + char.
+bool NeedsDddEscape(char c) {
+  return c == ';' || c == '(' || c == ')' || c == ' ' ||
          !std::isprint(static_cast<unsigned char>(c));
 }
 
@@ -136,7 +149,7 @@ std::string Name::ToString() const {
   for (const auto& label : labels_) {
     for (char c : label) {
       if (NeedsEscape(c)) {
-        if (std::isprint(static_cast<unsigned char>(c))) {
+        if (!NeedsDddEscape(c)) {
           out.push_back('\\');
           out.push_back(c);
         } else {

@@ -410,7 +410,8 @@ struct HierarchyProxy::Shard {
           static_cast<uint16_t>(((*wire)[0] << 8) | (*wire)[1]);
       Splice::Entry entry;
       entry.seq = splice.next_seq++;
-      entry.frame = dns::FrameMessage(*wire);
+      // *wire came out of a StreamAssembler, so it fits a u16 frame.
+      entry.frame = std::move(dns::FrameMessage(*wire)).value();
       // A client reusing an inflight ID orphans the old query — it could
       // never be demultiplexed anyway.
       splice.inflight[dns_id] = std::move(entry);
@@ -461,7 +462,7 @@ struct HierarchyProxy::Shard {
       splice.attempts = 0;  // a live reply refills the reconnect budget
       counters->tcp_responses.Add();
       counters->rewritten.Add();
-      Bytes framed = dns::FrameMessage(*wire);
+      Bytes framed = std::move(dns::FrameMessage(*wire)).value();
       auto status = splice.client->Send(framed);
       (void)status;  // client gone => its close callback disposes us
     }

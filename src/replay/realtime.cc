@@ -480,9 +480,16 @@ class Querier {
     }
     query.id = *allocated;
 
+    auto framed = dns::FrameMessage(query.Encode());
+    if (!framed.ok()) {
+      Terminal(job.outcome, SendOutcome::State::kSendFailed);
+      MaybeIdle();
+      return;
+    }
+
     TcpState::Entry entry;
     entry.outcome = job.outcome;
-    entry.frame = dns::FrameMessage(query.Encode());
+    entry.frame = std::move(*framed);
     state.inflight.emplace(*allocated, std::move(entry));
     job.outcome->sent = MonotonicNow() - epoch_mono_;
     ScheduleTimeout(TcpKeyFor(state, *allocated), /*tries=*/0);

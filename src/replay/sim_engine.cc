@@ -140,7 +140,8 @@ void SimReplayEngine::SendStreamQuery(SourceState& state,
     state.inflight[query.id] = outcome_index;
     ++report_.queries_sent;
     ++report_.reused_connections;
-    state.conn->Send(dns::FrameMessage(query.Encode()));
+    // Replayed queries come from our own encoder, which caps at 64KiB.
+    state.conn->Send(std::move(dns::FrameMessage(query.Encode())).value());
     return;
   }
 
@@ -173,7 +174,7 @@ void SimReplayEngine::SendStreamQuery(SourceState& state,
       query.id = next_id_++;
       st.inflight[query.id] = index;
       ++report_.queries_sent;
-      conn.Send(dns::FrameMessage(query.Encode()));
+      conn.Send(std::move(dns::FrameMessage(query.Encode())).value());
     }
   };
   callbacks.on_data = [this, source](sim::SimTcpConnection&,

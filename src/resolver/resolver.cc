@@ -215,7 +215,8 @@ void SimResolver::RetryOverTcp(TaskPtr task, IpAddress server) {
         dns::Message::MakeQuery(task->qname, task->qtype, /*rd=*/false);
     query.id = task->query_id;
     query.edns = dns::Edns{.udp_payload_size = 4096};
-    conn.Send(dns::FrameMessage(query.Encode()));
+    // A freshly built query is always well under the frame limit.
+    conn.Send(std::move(dns::FrameMessage(query.Encode())).value());
   };
   callbacks.on_data = [this, task, assembler](
                           sim::SimTcpConnection& conn,

@@ -70,6 +70,15 @@ Result<std::unique_ptr<ShardedDnsServer>> ShardedDnsServer::Start(
     LDP_ASSIGN_OR_RETURN(
         shard->server,
         SocketDnsServer::Start(*shard->loop, shard->engine, shard_config));
+    if (config.metrics != nullptr && shard_config.serve_tcp) {
+      // TCP frames dropped by backlog backpressure; the shared_ptr capture
+      // keeps the counter alive past server teardown.
+      config.metrics->AddCounterFn(
+          "framing.stream_drops",
+          [drops = shard->server->framing_drops()] {
+            return drops->load(std::memory_order_relaxed);
+          });
+    }
     if (i == 0) {
       // Shard 0 resolves port 0; the rest bind the concrete port so
       // SO_REUSEPORT groups them onto the same address.

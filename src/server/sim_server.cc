@@ -73,7 +73,9 @@ sim::ConnCallbacks SimDnsServer::MakeStreamCallbacks() {
       if (!responses.ok()) continue;
       meters_.OnQueryServed();
       for (const auto& response : *responses) {
-        conn.Send(dns::FrameMessage(response));
+        auto framed = dns::FrameMessage(response);
+        if (!framed.ok()) continue;
+        conn.Send(*framed);
       }
     }
   };

@@ -65,6 +65,8 @@ void SocketDnsServer::OnAccept(std::unique_ptr<net::TcpConnection> conn) {
   ConnState& state = conns_[key];
   state.conn = std::move(conn);
   state.last_activity = MonotonicNow();
+  state.assembler.set_limits(config_.stream_limits);
+  state.assembler.set_drop_counter(framing_drops_.get());
 
   auto status = net::TcpListener::AdoptHandlers(
       *key,
@@ -98,8 +100,9 @@ void SocketDnsServer::OnTcpData(net::TcpConnection* key,
     auto responses = engine_->HandleStream(*wire, key->remote().addr);
     if (!responses.ok()) continue;
     for (const auto& response : *responses) {
-      Bytes framed = dns::FrameMessage(response);
-      auto status = key->Send(framed);
+      auto framed = dns::FrameMessage(response);
+      if (!framed.ok()) continue;
+      auto status = key->Send(*framed);
       if (!status.ok()) {
         CloseConn(key);
         return;

@@ -4,6 +4,7 @@
 #ifndef LDPLAYER_SERVER_SOCKET_SERVER_H
 #define LDPLAYER_SERVER_SOCKET_SERVER_H
 
+#include <atomic>
 #include <memory>
 #include <unordered_map>
 
@@ -30,6 +31,9 @@ class SocketDnsServer {
     // Optional: records datagrams per readiness batch. Must outlive the
     // server (owned by a MetricsRegistry).
     stats::LogHistogram* udp_batch_hist = nullptr;
+    // Backpressure bounds applied to every TCP connection's reassembly
+    // backlog; drops are visible via framing_drops().
+    dns::StreamAssembler::Limits stream_limits;
   };
 
   static Result<std::unique_ptr<SocketDnsServer>> Start(
@@ -40,6 +44,11 @@ class SocketDnsServer {
   Endpoint endpoint() const { return udp_->local(); }
   const AuthServerEngine& engine() const { return *engine_; }
   size_t open_tcp_connections() const { return conns_.size(); }
+  // Complete TCP frames dropped because a connection's ready backlog was
+  // full. Shared so a metrics registry lambda can outlive the server.
+  std::shared_ptr<const std::atomic<uint64_t>> framing_drops() const {
+    return framing_drops_;
+  }
 
  private:
   SocketDnsServer(net::EventLoop& loop,
@@ -62,6 +71,8 @@ class SocketDnsServer {
   net::EventLoop& loop_;
   std::shared_ptr<AuthServerEngine> engine_;
   Config config_;
+  std::shared_ptr<std::atomic<uint64_t>> framing_drops_ =
+      std::make_shared<std::atomic<uint64_t>>(0);
   std::unique_ptr<net::DatagramPath> udp_;
   std::unique_ptr<net::TcpListener> listener_;
   std::unordered_map<net::TcpConnection*, ConnState> conns_;

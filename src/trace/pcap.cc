@@ -308,8 +308,11 @@ PacketRecord MessageToPacket(const dns::Message& message, NanoTime time,
   packet.dst_port = dst_port;
   packet.protocol = protocol;
   Bytes wire = message.Encode();
-  packet.payload =
-      protocol == Protocol::kUdp ? std::move(wire) : dns::FrameMessage(wire);
+  // Encode() caps the wire at 65535 bytes (TC truncation), so framing
+  // cannot fail here.
+  packet.payload = protocol == Protocol::kUdp
+                       ? std::move(wire)
+                       : std::move(dns::FrameMessage(wire)).value();
   return packet;
 }
 

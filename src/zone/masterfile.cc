@@ -18,7 +18,20 @@ struct LineTokens {
   bool owner_inherited = false;  // first physical line began with whitespace
 };
 
-void TokenizeInto(std::string_view line, LineTokens& out) {
+// A legitimate token tops out at a `\# 65535 <hex>` generic-rdata blob
+// (131070 hex characters); anything past this cap is hostile input, not a
+// zone.
+constexpr size_t kMaxTokenLength = 256 * 1024;
+
+// True if the token ends with an odd number of backslashes, i.e. its final
+// backslash escapes whatever comes next.
+bool HasDanglingBackslash(std::string_view token) {
+  size_t n = 0;
+  while (n < token.size() && token[token.size() - 1 - n] == '\\') ++n;
+  return (n % 2) == 1;
+}
+
+Status TokenizeInto(std::string_view line, LineTokens& out) {
   size_t i = 0;
   while (i < line.size()) {
     char c = line[i];
@@ -41,7 +54,11 @@ void TokenizeInto(std::string_view line, LineTokens& out) {
       std::string token = "\"";
       ++i;
       while (i < line.size() && line[i] != '"') {
-        if (line[i] == '\\' && i + 1 < line.size()) {
+        if (line[i] == '\\') {
+          if (i + 1 >= line.size()) {
+            return Error(ErrorCode::kParseError,
+                         "backslash at end of line inside quoted string");
+          }
           token.push_back('\\');
           token.push_back(line[i + 1]);
           i += 2;
@@ -50,8 +67,14 @@ void TokenizeInto(std::string_view line, LineTokens& out) {
         token.push_back(line[i]);
         ++i;
       }
+      if (i >= line.size()) {
+        return Error(ErrorCode::kParseError, "unterminated quoted string");
+      }
       ++i;  // closing quote
       token.push_back('"');
+      if (token.size() > kMaxTokenLength) {
+        return Error(ErrorCode::kParseError, "oversized token");
+      }
       out.tokens.push_back(std::move(token));
       continue;
     }
@@ -62,8 +85,17 @@ void TokenizeInto(std::string_view line, LineTokens& out) {
       token.push_back(line[i]);
       ++i;
     }
+    if (token.size() > kMaxTokenLength) {
+      return Error(ErrorCode::kParseError, "oversized token");
+    }
+    if (i >= line.size() && HasDanglingBackslash(token)) {
+      // The final backslash would escape the newline — a continuation we do
+      // not support; rejecting beats silently dropping the escape.
+      return Error(ErrorCode::kParseError, "trailing backslash at end of line");
+    }
     out.tokens.push_back(std::move(token));
   }
+  return Status::Ok();
 }
 
 // A name token: absolute if it ends with '.', otherwise relative to origin;
@@ -110,7 +142,7 @@ Result<Zone> ParseMasterFile(std::string_view text,
       // The owner-inheritance decision belongs to the first physical line
       // that contributes tokens to this logical line.
       bool group_start = !current.continues && current.tokens.empty();
-      TokenizeInto(line, current);
+      LDP_RETURN_IF_ERROR(TokenizeInto(line, current));
       if (group_start && !current.tokens.empty()) {
         current.owner_inherited =
             !line.empty() && (line[0] == ' ' || line[0] == '\t');
@@ -142,6 +174,9 @@ Result<Zone> ParseMasterFile(std::string_view text,
         return Error(ErrorCode::kParseError, "$TTL needs one argument");
       }
       LDP_ASSIGN_OR_RETURN(uint64_t ttl, ParseUint64(tokens[1]));
+      if (ttl > 0xffffffffu) {
+        return Error(ErrorCode::kOutOfRange, "$TTL exceeds 32 bits");
+      }
       default_ttl = static_cast<uint32_t>(ttl);
       continue;
     }
@@ -170,6 +205,9 @@ Result<Zone> ParseMasterFile(std::string_view text,
     for (int pass = 0; pass < 2 && cursor < tokens.size(); ++pass) {
       if (IsTtlToken(tokens[cursor])) {
         LDP_ASSIGN_OR_RETURN(uint64_t value, ParseUint64(tokens[cursor]));
+        if (value > 0xffffffffu) {
+          return Error(ErrorCode::kOutOfRange, "TTL exceeds 32 bits");
+        }
         ttl = static_cast<uint32_t>(value);
         ++cursor;
       } else if (dns::RRClassFromString(tokens[cursor]).ok()) {

@@ -43,7 +43,7 @@ void TransferZone(sim::SimNetwork& net, IpAddress client, Endpoint server,
     query.questions.push_back(dns::Question{state->origin,
                                             dns::RRType::kAXFR,
                                             dns::RRClass::kIN});
-    conn.Send(dns::FrameMessage(query.Encode()));
+    conn.Send(std::move(dns::FrameMessage(query.Encode())).value());
   };
   callbacks.on_data = [state](sim::SimTcpConnection& conn,
                               std::span<const uint8_t> data) {

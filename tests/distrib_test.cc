@@ -641,5 +641,26 @@ TEST(DistributedReplayTest, LoopbackTwoAgentsZeroLoss) {
   server_thread.join();
 }
 
+// Regression (fuzz_distrib target): a CHUNK body claiming 2^20 records in
+// 8 bytes reserved the full count before reading a single record — a
+// remote-triggered allocation amplifier. The decode must fail cheaply.
+TEST(ProtocolTest, ChunkCountLargerThanBodyFailsWithoutReserving) {
+  Frame frame;
+  frame.type = FrameType::kChunk;
+  frame.body = {0x00, 0x00, 0x00, 0x00,   // seq
+                0x00, 0x10, 0x00, 0x00};  // count = 1'048'576, no records
+  auto chunk = DecodeChunk(frame);
+  ASSERT_FALSE(chunk.ok());
+}
+
+TEST(ProtocolTest, FrameAssemblerPoisonedAfterBadLength) {
+  FrameAssembler assembler;
+  Bytes bad = {0x00, 0x00, 0x00, 0x00, 0x07};  // zero-length frame
+  ASSERT_FALSE(assembler.Feed(bad).ok());
+  // Sticky: even a well-formed BYE frame is rejected afterwards.
+  EXPECT_FALSE(assembler.Feed(EncodeBye()).ok());
+  EXPECT_FALSE(assembler.Next().has_value());
+}
+
 }  // namespace
 }  // namespace ldp::distrib

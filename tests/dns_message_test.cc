@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "common/rng.h"
 #include "common/strings.h"
 #include "dns/framing.h"
@@ -204,7 +206,7 @@ TEST(Rdata, WireLengths) {
 TEST(Framing, FrameAndReassemble) {
   Message msg = SampleResponse();
   Bytes wire = msg.Encode();
-  Bytes framed = FrameMessage(wire);
+  Bytes framed = std::move(FrameMessage(wire)).value();
   EXPECT_EQ(framed.size(), wire.size() + 2);
 
   StreamAssembler assembler;
@@ -223,8 +225,8 @@ TEST(Framing, MultipleMessagesOneChunk) {
   Bytes a = SampleResponse().Encode();
   Message q = Message::MakeQuery(*Name::Parse("x.example"), RRType::kA, true);
   Bytes b = q.Encode();
-  Bytes stream = FrameMessage(a);
-  Bytes framed_b = FrameMessage(b);
+  Bytes stream = std::move(FrameMessage(a)).value();
+  Bytes framed_b = std::move(FrameMessage(b)).value();
   stream.insert(stream.end(), framed_b.begin(), framed_b.end());
 
   StreamAssembler assembler;
@@ -297,6 +299,99 @@ TEST_P(MessageRoundTrip, RandomMessages) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MessageRoundTrip,
                          ::testing::Values(1, 2, 3, 4, 5, 17, 42, 99));
+
+// Regression: FrameMessage used to write wire.size() into the 2-byte
+// length prefix unchecked, silently truncating payloads over 65535 bytes
+// into a corrupt frame that desynced the peer's stream.
+TEST(Framing, FrameMessageRejectsOversizedPayload) {
+  Bytes big(65536, 0xaa);
+  auto framed = FrameMessage(big);
+  ASSERT_FALSE(framed.ok());
+  EXPECT_EQ(framed.error().code(), ErrorCode::kOutOfRange);
+
+  Bytes max(65535, 0xaa);
+  auto ok = FrameMessage(max);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ((*ok)[0], 0xff);
+  EXPECT_EQ((*ok)[1], 0xff);
+  EXPECT_EQ(ok->size(), 65537u);
+}
+
+TEST(Framing, FrameMessageRejectsEmptyPayload) {
+  EXPECT_FALSE(FrameMessage({}).ok());
+}
+
+TEST(Framing, AssemblerDropsWhenBacklogFull) {
+  Bytes one = std::move(FrameMessage(SampleResponse().Encode())).value();
+  Bytes flood;
+  for (int i = 0; i < 10; ++i) {
+    flood.insert(flood.end(), one.begin(), one.end());
+  }
+
+  StreamAssembler assembler;
+  std::atomic<uint64_t> metric{0};
+  assembler.set_limits({.max_ready_messages = 3, .max_ready_bytes = 1 << 20});
+  assembler.set_drop_counter(&metric);
+  ASSERT_TRUE(assembler.Feed(flood).ok());  // flooding is not a frame error
+
+  size_t delivered = 0;
+  while (assembler.NextMessage()) ++delivered;
+  EXPECT_EQ(delivered, 3u);
+  EXPECT_EQ(assembler.dropped_messages(), 7u);
+  EXPECT_EQ(metric.load(), 7u);
+
+  // Draining freed the backlog: new frames flow again.
+  ASSERT_TRUE(assembler.Feed(one).ok());
+  EXPECT_TRUE(assembler.NextMessage().has_value());
+}
+
+TEST(Framing, AssemblerByteLimitCountsDrops) {
+  Bytes one = std::move(FrameMessage(SampleResponse().Encode())).value();
+  StreamAssembler assembler;
+  assembler.set_limits(
+      {.max_ready_messages = 100, .max_ready_bytes = one.size()});
+  Bytes flood;
+  for (int i = 0; i < 3; ++i) flood.insert(flood.end(), one.begin(), one.end());
+  ASSERT_TRUE(assembler.Feed(flood).ok());
+  EXPECT_EQ(assembler.ready_messages(), 1u);
+  EXPECT_EQ(assembler.dropped_messages(), 2u);
+}
+
+// Regression (found by fuzz_framing): an error mid-buffer left consumed
+// frames in place, so a caller that kept feeding saw every already
+// delivered message again.
+TEST(Framing, AssemblerPoisonedAfterError) {
+  Bytes msg = std::move(FrameMessage(SampleResponse().Encode())).value();
+  Bytes stream = msg;
+  stream.push_back(0);  // zero-length frame
+  stream.push_back(0);
+
+  StreamAssembler assembler;
+  EXPECT_FALSE(assembler.Feed(stream).ok());
+  // The message completed before the error is delivered exactly once.
+  EXPECT_TRUE(assembler.NextMessage().has_value());
+  EXPECT_FALSE(assembler.NextMessage().has_value());
+  // Poisoned: further input keeps failing and never re-delivers.
+  EXPECT_FALSE(assembler.Feed(msg).ok());
+  EXPECT_FALSE(assembler.NextMessage().has_value());
+}
+
+// Regression: header counts promising more records than the message has
+// bytes must be rejected up front, not ground through 4x65535 decode
+// attempts.
+TEST(MessageDecode, RejectsCountsLargerThanMessage) {
+  Bytes wire = {0x00, 0x01, 0x00, 0x00, 0xff, 0xff,
+                0xff, 0xff, 0xff, 0xff, 0xff, 0xff};
+  auto msg = Message::Decode(wire);
+  ASSERT_FALSE(msg.ok());
+  EXPECT_EQ(msg.error().code(), ErrorCode::kTruncated);
+}
+
+TEST(MessageDecode, AcceptsCountsThatBarelyFit) {
+  // A real message close to the minimum per-record size still decodes.
+  Message msg = Message::MakeQuery(*Name::Parse("a.b"), RRType::kA, true);
+  EXPECT_TRUE(Message::Decode(msg.Encode()).ok());
+}
 
 }  // namespace
 }  // namespace ldp::dns

@@ -201,5 +201,24 @@ TEST(NameWire, CursorAdvancesPastPointer) {
   EXPECT_EQ(r.ReadU8().value(), 0xaa);
 }
 
+// Labels containing master-file structural characters must escape them in
+// presentation form and round-trip through Parse (fuzz_zone regression:
+// a bare leading '$' reparsed as a directive).
+TEST(NameEscaping, StructuralCharactersRoundTrip) {
+  for (const char* raw : {"$", "@", "a b", "a;b", "(x)", "a$b"}) {
+    Name name = *Name::FromLabels({raw, "example"});
+    std::string text = name.ToString();
+    // No raw structural characters may survive in the rendering.
+    EXPECT_EQ(text.find(' '), std::string::npos) << text;
+    EXPECT_EQ(text.find(';'), std::string::npos) << text;
+    EXPECT_EQ(text.find('('), std::string::npos) << text;
+    EXPECT_EQ(text.find(')'), std::string::npos) << text;
+    EXPECT_NE(text[0], '$') << text;
+    auto reparsed = Name::Parse(text);
+    ASSERT_TRUE(reparsed.ok()) << text;
+    EXPECT_EQ(*reparsed, name) << text;
+  }
+}
+
 }  // namespace
 }  // namespace ldp::dns

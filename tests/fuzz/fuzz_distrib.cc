@@ -1,0 +1,130 @@
+// Distrib wire-protocol fuzz target: FrameAssembler reassembly under
+// adversarial chunking, then every typed frame decoder over the frames the
+// assembler accepts. For each frame that decodes, the re-encoded form must
+// reassemble and be an encode→decode→encode fixed point — our own encoder
+// output is the canonical form, so a second pass through it may never
+// drift.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <span>
+
+#include "distrib/protocol.h"
+
+namespace {
+
+using namespace ldp;
+using namespace ldp::distrib;
+
+[[noreturn]] void Fail(const char* what) {
+  std::fprintf(stderr, "fuzz_distrib oracle violation: %s\n", what);
+  std::abort();
+}
+
+// Decodes per wire type; returns the canonical re-encoding when accepted.
+std::optional<Bytes> Reencode(const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kHello: {
+      auto v = DecodeHello(frame);
+      if (!v.ok()) return std::nullopt;
+      return EncodeHello(*v);
+    }
+    case FrameType::kHelloAck: {
+      auto v = DecodeHelloAck(frame);
+      if (!v.ok()) return std::nullopt;
+      return EncodeHelloAck(*v);
+    }
+    case FrameType::kClockPing: {
+      auto v = DecodeClockPing(frame);
+      if (!v.ok()) return std::nullopt;
+      return EncodeClockPing(*v);
+    }
+    case FrameType::kClockPong: {
+      auto v = DecodeClockPong(frame);
+      if (!v.ok()) return std::nullopt;
+      return EncodeClockPong(*v);
+    }
+    case FrameType::kStart: {
+      auto v = DecodeStart(frame);
+      if (!v.ok()) return std::nullopt;
+      return EncodeStart(*v);
+    }
+    case FrameType::kChunk: {
+      auto v = DecodeChunk(frame);
+      if (!v.ok()) return std::nullopt;
+      return EncodeChunk(*v);
+    }
+    case FrameType::kChunkAck: {
+      auto v = DecodeChunkAck(frame);
+      if (!v.ok()) return std::nullopt;
+      return EncodeChunkAck(*v);
+    }
+    case FrameType::kInputDone: {
+      auto v = DecodeInputDone(frame);
+      if (!v.ok()) return std::nullopt;
+      return EncodeInputDone(*v);
+    }
+    case FrameType::kStats: {
+      auto v = DecodeStats(frame);
+      if (!v.ok()) return std::nullopt;
+      return EncodeStats(*v);
+    }
+    case FrameType::kReport: {
+      auto v = DecodeReport(frame);
+      if (!v.ok()) return std::nullopt;
+      return EncodeReport(*v);
+    }
+    case FrameType::kError: {
+      auto v = DecodeError(frame);
+      if (!v.ok()) return std::nullopt;
+      return EncodeError(*v);
+    }
+    case FrameType::kBye:
+      return EncodeBye();
+  }
+  return std::nullopt;  // unknown type byte: no decoder to exercise
+}
+
+// Reassembles one sealed frame and checks encode→decode→encode stability.
+void CheckCanonical(const Bytes& sealed) {
+  FrameAssembler assembler;
+  if (!assembler.Feed(sealed).ok()) Fail("re-encoded frame rejected");
+  auto frame = assembler.Next();
+  if (!frame.has_value()) Fail("re-encoded frame did not reassemble");
+  if (assembler.Next().has_value()) Fail("re-encode produced extra frames");
+  auto again = Reencode(*frame);
+  if (!again.has_value()) Fail("canonical frame does not decode");
+  if (*again != sealed) Fail("re-encoding is not a fixed point");
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size < 1) return 0;
+  uint64_t rng = data[0] + 0x9e3779b9u;
+  std::span<const uint8_t> stream(data + 1, size - 1);
+
+  FrameAssembler assembler;
+  size_t offset = 0;
+  bool failed = false;
+  while (offset < stream.size()) {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    size_t chunk = std::min<size_t>(rng % 9 + 1, stream.size() - offset);
+    if (!assembler.Feed(stream.subspan(offset, chunk)).ok()) {
+      failed = true;
+      break;
+    }
+    offset += chunk;
+    while (auto frame = assembler.Next()) {
+      if (auto sealed = Reencode(*frame)) CheckCanonical(*sealed);
+    }
+  }
+  if (failed) {
+    const uint8_t more[] = {0, 0, 0, 1, 12};
+    if (assembler.Feed(more).ok()) Fail("Feed succeeded after poison");
+  }
+  return 0;
+}

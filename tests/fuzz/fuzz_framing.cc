@@ -1,0 +1,88 @@
+// TCP stream-framing fuzz target: StreamAssembler under adversarial chunk
+// boundaries. Three oracles:
+//   1. Byte-dribble equivalence — feeding the stream in arbitrary small
+//      chunks must yield exactly the messages (and final error status) of
+//      feeding it in one call.
+//   2. Sticky failure — after an error, further Feeds keep failing and no
+//      message is ever delivered twice.
+//   3. Conservation under backpressure — with tiny limits, every complete
+//      frame is either delivered or counted as dropped, never lost or
+//      duplicated.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "dns/framing.h"
+
+namespace {
+
+[[noreturn]] void Fail(const char* what) {
+  std::fprintf(stderr, "fuzz_framing oracle violation: %s\n", what);
+  std::abort();
+}
+
+void Drain(ldp::dns::StreamAssembler& assembler,
+           std::vector<ldp::Bytes>& out) {
+  while (auto message = assembler.NextMessage()) {
+    out.push_back(std::move(*message));
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size < 1) return 0;
+  // The first input byte seeds the chunk-size sequence so the corpus
+  // controls the dribble pattern too.
+  uint64_t rng = data[0] + 0x9e3779b9u;
+  std::span<const uint8_t> stream(data + 1, size - 1);
+
+  ldp::dns::StreamAssembler whole;
+  ldp::Status whole_status = whole.Feed(stream);
+  std::vector<ldp::Bytes> whole_messages;
+  Drain(whole, whole_messages);
+
+  ldp::dns::StreamAssembler dribble;
+  ldp::Status dribble_status = ldp::Status::Ok();
+  std::vector<ldp::Bytes> dribble_messages;
+  size_t offset = 0;
+  while (offset < stream.size() && dribble_status.ok()) {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    size_t chunk = std::min<size_t>(rng % 7 + 1, stream.size() - offset);
+    dribble_status = dribble.Feed(stream.subspan(offset, chunk));
+    offset += chunk;
+    Drain(dribble, dribble_messages);
+  }
+  Drain(dribble, dribble_messages);
+
+  if (whole_status.ok() != dribble_status.ok()) {
+    Fail("error status depends on chunk boundaries");
+  }
+  if (whole_messages != dribble_messages) {
+    Fail("delivered messages depend on chunk boundaries");
+  }
+
+  if (!whole_status.ok()) {
+    // Poisoned: more input must keep failing and deliver nothing new.
+    const uint8_t valid[] = {0, 1, 0xab};
+    if (whole.Feed(valid).ok()) Fail("Feed succeeded after error");
+    if (whole.NextMessage().has_value()) {
+      Fail("message delivered after poison drain");
+    }
+  }
+
+  ldp::dns::StreamAssembler bounded;
+  bounded.set_limits({.max_ready_messages = 2, .max_ready_bytes = 64});
+  (void)bounded.Feed(stream);
+  std::vector<ldp::Bytes> bounded_messages;
+  Drain(bounded, bounded_messages);
+  if (bounded_messages.size() + bounded.dropped_messages() !=
+      whole_messages.size()) {
+    Fail("frames lost under backpressure limits");
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Wire-format fuzz target: Message::Decode over arbitrary bytes (header
+// counts, name decompression, EDNS, rdata decoders), with a differential
+// idempotence oracle — any message we accept must survive
+// parse → encode → reparse → re-encode with a byte-identical second
+// encoding. A violation means the decoder and encoder disagree about what
+// the message *is*, which silently corrupts replayed traces.
+#include <cstdio>
+#include <cstdlib>
+
+#include "dns/message.h"
+
+namespace {
+
+[[noreturn]] void Fail(const char* what) {
+  std::fprintf(stderr, "fuzz_wire oracle violation: %s\n", what);
+  std::abort();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using ldp::dns::Message;
+  auto msg = Message::Decode({data, size});
+  if (!msg.ok()) return 0;  // rejection is fine; crashing is not
+
+  // Rendering must be total for anything the decoder accepts.
+  (void)msg->ToText();
+
+  ldp::Bytes first = msg->Encode();
+  auto reparsed = Message::Decode(first);
+  if (!reparsed.ok()) Fail("encoder output does not reparse");
+  ldp::Bytes second = reparsed->Encode();
+  if (second != first) Fail("re-encoding is not a fixed point");
+  return 0;
+}

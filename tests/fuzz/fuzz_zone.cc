@@ -1,0 +1,33 @@
+// Masterfile-loader fuzz target: ParseMasterFile over arbitrary text
+// (tokenizer, directives, RR text parsing), with a serialization
+// fixed-point oracle — any zone we accept must serialize, reparse, and
+// serialize again to identical text. Zones are canonically ordered maps,
+// so the serialized form is deterministic and the fixed point is exact.
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "zone/masterfile.h"
+
+namespace {
+
+[[noreturn]] void Fail(const char* what) {
+  std::fprintf(stderr, "fuzz_zone oracle violation: %s\n", what);
+  std::abort();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  ldp::zone::MasterFileOptions options;
+  auto zone = ldp::zone::ParseMasterFile(text, options);
+  if (!zone.ok()) return 0;
+
+  std::string first = ldp::zone::SerializeZone(*zone);
+  auto reparsed = ldp::zone::ParseMasterFile(first, options);
+  if (!reparsed.ok()) Fail("serialized zone does not reparse");
+  std::string second = ldp::zone::SerializeZone(*reparsed);
+  if (second != first) Fail("re-serialization is not a fixed point");
+  return 0;
+}

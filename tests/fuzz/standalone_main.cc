@@ -1,0 +1,177 @@
+// Standalone driver for the fuzz harnesses when the toolchain has no
+// libFuzzer (plain GCC + ASan). Speaks enough of the libFuzzer CLI that
+// verify.sh can invoke either interchangeably:
+//
+//   fuzz_wire corpus_dir [more dirs/files] -runs=20000 -max_len=4096
+//
+// It replays every corpus file through LLVMFuzzerTestOneInput, then runs a
+// bounded, fully deterministic mutation loop seeded from the corpus
+// (xorshift64 with a fixed seed — every CI run explores the same inputs, so
+// a failure here is reproducible by rerunning the same command). This is a
+// regression harness, not a coverage-guided explorer; use a clang build of
+// the same targets for real fuzzing campaigns.
+#include <algorithm>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+using Input = std::vector<uint8_t>;
+
+uint64_t g_rng = 0x9e3779b97f4a7c15ull;  // fixed seed: runs are reproducible
+
+uint64_t NextRand() {
+  g_rng ^= g_rng << 13;
+  g_rng ^= g_rng >> 7;
+  g_rng ^= g_rng << 17;
+  return g_rng;
+}
+
+std::vector<Input> g_corpus;
+Input g_current;
+std::string g_artifact = "crash-standalone";
+
+// Mirror libFuzzer: dump the input that killed us so it can be minimized
+// and landed as a regression corpus entry.
+void DumpArtifact(int sig) {
+  std::FILE* out = std::fopen(g_artifact.c_str(), "wb");
+  if (out != nullptr) {
+    std::fwrite(g_current.data(), 1, g_current.size(), out);
+    std::fclose(out);
+    std::fprintf(stderr, "artifact written to %s (%zu bytes)\n",
+                 g_artifact.c_str(), g_current.size());
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+int RunOne(const Input& input) {
+  g_current = input;
+  return LLVMFuzzerTestOneInput(input.data(), input.size());
+}
+
+void LoadFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read corpus file %s\n", path.c_str());
+    std::exit(1);
+  }
+  Input bytes((std::istreambuf_iterator<char>(in)),
+              std::istreambuf_iterator<char>());
+  g_corpus.push_back(std::move(bytes));
+}
+
+void LoadPath(const char* arg) {
+  std::filesystem::path path(arg);
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    // Sort for determinism: directory iteration order is unspecified.
+    std::vector<std::filesystem::path> files;
+    for (const auto& entry : std::filesystem::directory_iterator(path)) {
+      if (entry.is_regular_file()) files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& file : files) LoadFile(file);
+  } else if (std::filesystem::is_regular_file(path, ec)) {
+    LoadFile(path);
+  } else {
+    std::fprintf(stderr, "corpus path %s does not exist\n", arg);
+    std::exit(1);
+  }
+}
+
+void Mutate(Input& input, size_t max_len) {
+  switch (NextRand() % 6) {
+    case 0:  // flip one bit
+      if (!input.empty()) {
+        input[NextRand() % input.size()] ^= 1u << (NextRand() % 8);
+      }
+      break;
+    case 1:  // overwrite one byte
+      if (!input.empty()) {
+        input[NextRand() % input.size()] =
+            static_cast<uint8_t>(NextRand());
+      }
+      break;
+    case 2:  // truncate
+      if (!input.empty()) input.resize(NextRand() % input.size());
+      break;
+    case 3:  // append random bytes
+      for (size_t n = NextRand() % 8 + 1; n > 0 && input.size() < max_len;
+           --n) {
+        input.push_back(static_cast<uint8_t>(NextRand()));
+      }
+      break;
+    case 4:  // insert a byte
+      if (input.size() < max_len) {
+        input.insert(input.begin() +
+                         static_cast<ptrdiff_t>(
+                             input.empty() ? 0 : NextRand() % input.size()),
+                     static_cast<uint8_t>(NextRand()));
+      }
+      break;
+    case 5:  // splice a window from another corpus entry
+      if (!g_corpus.empty()) {
+        const Input& other = g_corpus[NextRand() % g_corpus.size()];
+        if (!other.empty() && !input.empty()) {
+          size_t src = NextRand() % other.size();
+          size_t dst = NextRand() % input.size();
+          size_t len = std::min({other.size() - src, input.size() - dst,
+                                 NextRand() % 32 + 1});
+          std::memcpy(input.data() + dst, other.data() + src, len);
+        }
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long runs = 0;
+  size_t max_len = 4096;
+  std::vector<const char*> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "-runs=", 6) == 0) {
+      runs = std::atol(argv[i] + 6);
+    } else if (std::strncmp(argv[i], "-max_len=", 9) == 0) {
+      max_len = static_cast<size_t>(std::atol(argv[i] + 9));
+    } else if (std::strncmp(argv[i], "-artifact_prefix=", 17) == 0) {
+      g_artifact = std::string(argv[i] + 17) + "crash-standalone";
+    } else if (argv[i][0] == '-') {
+      // Ignore other libFuzzer flags so shared invocations keep working.
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  for (const char* path : paths) LoadPath(path);
+  std::signal(SIGABRT, DumpArtifact);
+
+  for (const Input& input : g_corpus) {
+    RunOne(input);
+  }
+  std::fprintf(stderr, "replayed %zu corpus inputs\n", g_corpus.size());
+
+  Input scratch;
+  for (long i = 0; i < runs; ++i) {
+    if (g_corpus.empty()) {
+      scratch.clear();
+    } else {
+      scratch = g_corpus[NextRand() % g_corpus.size()];
+    }
+    for (size_t m = NextRand() % 4 + 1; m > 0; --m) Mutate(scratch, max_len);
+    if (scratch.size() > max_len) scratch.resize(max_len);
+    RunOne(scratch);
+  }
+  if (runs > 0) std::fprintf(stderr, "#%ld DONE\n", runs);
+  return 0;
+}

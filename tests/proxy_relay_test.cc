@@ -277,7 +277,8 @@ TEST(HierarchyProxyTest, TcpSpliceRewriteRoundTrip) {
   ASSERT_GE(fd, 0);
   sockaddr_in sa = SockAddr(kNsB, (*relay)->port());
   ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)), 0);
-  Bytes framed = dns::FrameMessage(MakeQueryWire("deep.www.b.test", 99));
+  Bytes framed =
+      std::move(dns::FrameMessage(MakeQueryWire("deep.www.b.test", 99))).value();
   ASSERT_EQ(::write(fd, framed.data(), framed.size()),
             static_cast<ssize_t>(framed.size()));
 

@@ -423,7 +423,8 @@ TEST(RealtimeTransport, TcpMidStreamCloseRequeuesAndRecovers) {
               if (!assembler->Feed(data).ok()) return;
               while (auto wire = assembler->NextMessage()) {
                 // Echo the query back; the client matches replies by ID.
-                auto sent = raw->Send(dns::FrameMessage(*wire));
+                auto sent =
+                    raw->Send(std::move(dns::FrameMessage(*wire)).value());
                 EXPECT_TRUE(sent.ok());
               }
             },

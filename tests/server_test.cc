@@ -200,7 +200,7 @@ TEST_F(SimServerTest, AnswersTcpAndTimesOutIdleConnections) {
   auto assembler = std::make_shared<dns::StreamAssembler>();
   sim::ConnCallbacks callbacks;
   callbacks.on_established = [&query](sim::SimTcpConnection& conn) {
-    conn.Send(dns::FrameMessage(query.Encode()));
+    conn.Send(std::move(dns::FrameMessage(query.Encode())).value());
   };
   callbacks.on_data = [&](sim::SimTcpConnection&,
                           std::span<const uint8_t> data) {
@@ -238,7 +238,7 @@ TEST_F(SimServerTest, AnswersTls) {
   auto assembler = std::make_shared<dns::StreamAssembler>();
   sim::ConnCallbacks callbacks;
   callbacks.on_established = [&query](sim::SimTcpConnection& conn) {
-    conn.Send(dns::FrameMessage(query.Encode()));
+    conn.Send(std::move(dns::FrameMessage(query.Encode())).value());
   };
   callbacks.on_data = [&](sim::SimTcpConnection&,
                           std::span<const uint8_t> data) {

@@ -586,5 +586,70 @@ TEST(ViewTable, RejectsAmbiguousSource) {
       table.AddView("b", {IpAddress(10, 0, 0, 1)}, std::move(b)).ok());
 }
 
+// --- adversarial master-file inputs (fuzz_zone regression targets) ---
+
+TEST(MasterFileAdversarial, TrailingBackslashAtEndOfLine) {
+  auto zone = ParseMasterFile(
+      "$ORIGIN example.com.\n@ IN SOA ns1 root 1 2 3 4 5\n"
+      "www IN A 192.0.2.1\\\n",
+      {});
+  ASSERT_FALSE(zone.ok());
+  EXPECT_EQ(zone.error().code(), ErrorCode::kParseError);
+}
+
+TEST(MasterFileAdversarial, UnterminatedQuotedString) {
+  auto zone = ParseMasterFile(
+      "$ORIGIN example.com.\n@ IN SOA ns1 root 1 2 3 4 5\n"
+      "t IN TXT \"no closing quote\n",
+      {});
+  ASSERT_FALSE(zone.ok());
+  EXPECT_EQ(zone.error().code(), ErrorCode::kParseError);
+}
+
+TEST(MasterFileAdversarial, BackslashAtEndOfQuotedString) {
+  auto zone = ParseMasterFile("t IN TXT \"dangling\\\n", {});
+  ASSERT_FALSE(zone.ok());
+  EXPECT_EQ(zone.error().code(), ErrorCode::kParseError);
+}
+
+TEST(MasterFileAdversarial, DirectiveWithJunkArguments) {
+  EXPECT_FALSE(ParseMasterFile("$ORIGIN one two\n", {}).ok());
+  EXPECT_FALSE(ParseMasterFile("$TTL soon\n@ IN A 192.0.2.1\n", {}).ok());
+  EXPECT_FALSE(ParseMasterFile("$GENERATE 1-10 host$ A 192.0.2.$\n", {}).ok());
+}
+
+TEST(MasterFileAdversarial, TtlOverflowRejected) {
+  auto by_directive = ParseMasterFile(
+      "$TTL 4294967296\n$ORIGIN example.com.\n@ IN A 192.0.2.1\n", {});
+  ASSERT_FALSE(by_directive.ok());
+  EXPECT_EQ(by_directive.error().code(), ErrorCode::kOutOfRange);
+
+  auto by_record = ParseMasterFile(
+      "$ORIGIN example.com.\n@ 4294967296 IN A 192.0.2.1\n", {});
+  ASSERT_FALSE(by_record.ok());
+  EXPECT_EQ(by_record.error().code(), ErrorCode::kOutOfRange);
+}
+
+TEST(MasterFileAdversarial, OversizedTokenRejected) {
+  std::string text = "$ORIGIN example.com.\n@ IN TXT \"";
+  text.append(300 * 1024, 'x');
+  text += "\"\n";
+  auto zone = ParseMasterFile(text, {});
+  ASSERT_FALSE(zone.ok());
+  EXPECT_EQ(zone.error().code(), ErrorCode::kParseError);
+}
+
+// Regression (found by fuzz_zone): an owner label "$" serialized bare and
+// the reparse rejected the line as an unknown $-directive. Serialized
+// names must re-tokenize as exactly one name token.
+TEST(MasterFileAdversarial, DollarOwnerRoundTrips) {
+  auto zone = ParseMasterFile("$ IN CNAME mp\n", {});
+  ASSERT_TRUE(zone.ok()) << zone.error().ToString();
+  std::string first = SerializeZone(*zone);
+  auto reparsed = ParseMasterFile(first, {});
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().ToString();
+  EXPECT_EQ(SerializeZone(*reparsed), first);
+}
+
 }  // namespace
 }  // namespace ldp::zone

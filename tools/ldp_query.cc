@@ -103,8 +103,14 @@ int main(int argc, char** argv) {
             (*loop)->Stop();
             return;
           }
-          Bytes framed = dns::FrameMessage(wire);
-          auto sent = tcp->Send(framed);
+          auto framed = dns::FrameMessage(wire);
+          if (!framed.ok()) {
+            std::fprintf(stderr, "%s\n",
+                         framed.error().ToString().c_str());
+            (*loop)->Stop();
+            return;
+          }
+          auto sent = tcp->Send(*framed);
           if (!sent.ok()) (*loop)->Stop();
         },
         [&, assembler](std::span<const uint8_t> data) {
