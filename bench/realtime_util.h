@@ -6,6 +6,7 @@
 #ifndef LDPLAYER_BENCH_REALTIME_UTIL_H
 #define LDPLAYER_BENCH_REALTIME_UTIL_H
 
+#include <cstdio>
 #include <memory>
 
 #include "replay/realtime.h"
@@ -22,6 +23,12 @@ struct LoopbackOptions {
   // AF_PACKET rings (needs CAP_NET_RAW — probe with net::ProbeAfPacket).
   net::DatapathKind datapath = net::DatapathKind::kEpoll;
   net::AfPacketOptions afpacket;
+  // Stream-lane knobs for the mass-connection benches (figs 13-15):
+  // serve DoT (requires OpenSSL — probe net::TlsAvailable()), idle-close
+  // timeout (0 = never), and the per-shard connection cap (0 = unbounded).
+  bool serve_tls = false;
+  NanoDuration tcp_idle_timeout = Seconds(20);
+  size_t max_tcp_connections = 0;
   // Optional live-metrics registry for the server side (must outlive it).
   stats::MetricsRegistry* metrics = nullptr;
 };
@@ -52,10 +59,17 @@ class LoopbackServer {
     config.udp_recv_buffer_bytes = options.udp_recv_buffer_bytes;
     config.datapath = options.datapath;
     config.afpacket = options.afpacket;
+    config.serve_tls = options.serve_tls;
+    config.tcp_idle_timeout = options.tcp_idle_timeout;
+    config.max_tcp_connections = options.max_tcp_connections;
     config.metrics = options.metrics;
     auto server = server::ShardedDnsServer::Start(
         std::make_shared<const zone::ViewTable>(std::move(views)), config);
-    if (!server.ok()) return nullptr;
+    if (!server.ok()) {
+      std::fprintf(stderr, "LoopbackServer: %s\n",
+                   server.error().ToString().c_str());
+      return nullptr;
+    }
 
     auto out = std::unique_ptr<LoopbackServer>(new LoopbackServer);
     out->server_ = std::move(*server);
@@ -63,8 +77,13 @@ class LoopbackServer {
   }
 
   Endpoint endpoint() const { return server_->endpoint(); }
+  Endpoint tls_endpoint() const { return server_->tls_endpoint(); }
   size_t n_shards() const { return server_->n_shards(); }
   server::EngineStats stats() const { return server_->TotalStats(); }
+  server::TcpStats tcp_stats() const { return server_->TotalTcpStats(); }
+  std::vector<server::TcpStats> shard_tcp_stats() const {
+    return server_->ShardTcpStats();
+  }
 
   // Points a trace at this server.
   void Target(std::vector<trace::QueryRecord>& records) const {

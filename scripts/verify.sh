@@ -3,9 +3,10 @@
 # smoke (ldp_serve + ldp_replay_trace with --metrics-out: snapshots must
 # parse and the final row must reconcile with the report), the threaded
 # subsystems (sharded server, batched sockets, realtime replay, response
-# cache) again under ThreadSanitizer (-DLDP_SANITIZE=thread), and the
-# connection-lifetime tests (TCP reconnect, destroy-in-callback, timer
-# wheel expiry) under AddressSanitizer (-DLDP_SANITIZE=address).
+# cache, TLS transport) again under ThreadSanitizer (-DLDP_SANITIZE=thread),
+# and the connection-lifetime tests (TCP reconnect, destroy-in-callback,
+# timer wheel expiry, TLS handshake/resumption, sharded TCP accept) under
+# AddressSanitizer (-DLDP_SANITIZE=address).
 #
 #   scripts/verify.sh [--skip-tsan]   # skips both sanitizer stages
 set -eu
@@ -226,6 +227,49 @@ else
   echo "datapath smoke: afpacket skipped ($(cat "$SMOKE/dp_probe.out"))"
 fi
 
+echo "== tls smoke: serve+replay over DoT, zero loss =="
+# Same shape as the datapath smoke, but the replay rides DNS-over-TLS to
+# the server's DoT listener (session resumption included: the querier
+# redials per source). Skips cleanly on builds without OpenSSL.
+if ./build/tools/ldp_datapath_probe --tls > "$SMOKE/tls_probe.out" 2>&1; then
+  ./build/tools/ldp_serve --listen 127.0.0.1:0 --tls --stats-interval-s 0 \
+    "$SMOKE/zone.db" > "$SMOKE/tls_serve.out" 2>&1 &
+  SERVE_PID=$!
+  i=0
+  while [ "$i" -lt 50 ]; do
+    grep -q "tls on" "$SMOKE/tls_serve.out" 2>/dev/null && break
+    sleep 0.1
+    i=$((i + 1))
+  done
+  PORT=$(sed -n 's/.*serving on [0-9.]*:\([0-9]*\).*/\1/p' \
+    "$SMOKE/tls_serve.out")
+  TLS_PORT=$(sed -n 's/^tls on [0-9.]*:\([0-9]*\).*/\1/p' \
+    "$SMOKE/tls_serve.out")
+  [ -n "$PORT" ] && [ -n "$TLS_PORT" ] || {
+    echo "tls smoke: server never published its DoT port"
+    cat "$SMOKE/tls_serve.out"; exit 1; }
+  ./build/tools/ldp_replay_trace --trace "$SMOKE/trace.txt" \
+    --server "127.0.0.1:$PORT" --tls --tls-port "$TLS_PORT" \
+    --timeout-ms 2000 \
+    --metrics-out "$SMOKE/tls_metrics.jsonl" \
+    > "$SMOKE/tls_replay.out" 2>&1
+  grep -q "reconcile: OK" "$SMOKE/tls_replay.out" || {
+    echo "tls smoke: replay reconcile failed"
+    cat "$SMOKE/tls_replay.out"; exit 1
+  }
+  SENT=$(sed -n 's/^sent \([0-9]*\), answered.*/\1/p' "$SMOKE/tls_replay.out")
+  ANSWERED=$(sed -n 's/^sent [0-9]*, answered \([0-9]*\).*/\1/p' \
+    "$SMOKE/tls_replay.out")
+  [ "$SENT" = "2000" ] && [ "$SENT" = "$ANSWERED" ] || {
+    echo "tls smoke: lost queries (sent=$SENT answered=$ANSWERED)"
+    cat "$SMOKE/tls_replay.out"; exit 1
+  }
+  kill -TERM "$SERVE_PID"; wait "$SERVE_PID"; SERVE_PID=""
+  echo "tls smoke: $SENT queries over DoT, all answered"
+else
+  echo "tls smoke: skipped ($(cat "$SMOKE/tls_probe.out"))"
+fi
+
 echo "== docs: EXPERIMENTS.md command lines match tool --help =="
 python3 - <<'EOF'
 import re, subprocess, sys
@@ -289,15 +333,16 @@ cmake -B build-tsan -S . -DLDP_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target \
   net_test sharded_server_test response_cache_test \
   server_test replay_realtime_test metrics_test stats_test proxy_relay_test \
-  distrib_test hashring_test packet_codec_test datapath_test
+  distrib_test hashring_test packet_codec_test datapath_test tls_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'net_test|sharded_server_test|response_cache_test|server_test|replay_realtime_test|metrics_test|stats_test|proxy_relay_test|distrib_test|hashring_test|packet_codec_test|datapath_test'
+  -R 'net_test|sharded_server_test|response_cache_test|server_test|replay_realtime_test|metrics_test|stats_test|proxy_relay_test|distrib_test|hashring_test|packet_codec_test|datapath_test|tls_test'
 
 echo "== asan: socket + replay lifetime paths =="
 cmake -B build-asan -S . -DLDP_SANITIZE=address >/dev/null
 cmake --build build-asan -j"$(nproc)" --target \
-  net_test replay_realtime_test packet_codec_test datapath_test
+  net_test replay_realtime_test packet_codec_test datapath_test \
+  tls_test sharded_server_test
 ctest --test-dir build-asan --output-on-failure \
-  -R 'net_test|replay_realtime_test|packet_codec_test|datapath_test'
+  -R 'net_test|replay_realtime_test|packet_codec_test|datapath_test|tls_test|sharded_server_test'
 
 echo "verify: OK"

@@ -79,6 +79,10 @@ replay::RealtimeConfig HelloFrame::ToRealtimeConfig() const {
   config.max_retransmits = max_retransmits;
   config.tcp_idle_timeout = tcp_idle_timeout;
   config.tcp_max_reconnects = tcp_max_reconnects;
+  config.datapath = datapath;
+  config.afpacket.interface = afpacket_interface;
+  config.afpacket.peer_mac = afpacket_peer_mac;
+  config.tls_port = tls_port;
   return config;
 }
 
@@ -102,6 +106,10 @@ HelloFrame HelloFrame::FromConfig(const replay::RealtimeConfig& config) {
   hello.tcp_idle_timeout = config.tcp_idle_timeout;
   hello.tcp_max_reconnects = static_cast<uint16_t>(
       std::max(config.tcp_max_reconnects, 0));
+  hello.datapath = config.datapath;
+  hello.afpacket_interface = config.afpacket.interface;
+  hello.afpacket_peer_mac = config.afpacket.peer_mac;
+  hello.tls_port = config.tls_port;
   return hello;
 }
 
@@ -130,6 +138,12 @@ Bytes EncodeHello(const HelloFrame& hello) {
   body.WriteU16(hello.max_retransmits);
   WriteDuration(body, hello.tcp_idle_timeout);
   body.WriteU16(hello.tcp_max_reconnects);
+  // v2 tail — appended after every v1 field so a v1 decoder's CheckDrained
+  // is the only thing that rejects it (and we accept tail-less frames).
+  body.WriteU8(static_cast<uint8_t>(hello.datapath));
+  WriteName(body, hello.afpacket_interface);
+  WriteName(body, hello.afpacket_peer_mac);
+  body.WriteU16(hello.tls_port);
   return Seal(FrameType::kHello, std::move(body));
 }
 
@@ -141,10 +155,11 @@ Result<HelloFrame> DecodeHello(const Frame& frame) {
     return Error(ErrorCode::kParseError, "HELLO magic mismatch");
   }
   LDP_ASSIGN_OR_RETURN(uint16_t version, reader.ReadU16());
-  if (version != kVersion) {
+  if (version == 0 || version > kVersion) {
     return Error(ErrorCode::kUnsupported,
                  "protocol version " + std::to_string(version) +
-                     " (expected " + std::to_string(kVersion) + ")");
+                     " (this build speaks up to " + std::to_string(kVersion) +
+                     ")");
   }
   HelloFrame hello;
   LDP_ASSIGN_OR_RETURN(hello.agent_id, reader.ReadU16());
@@ -168,6 +183,18 @@ Result<HelloFrame> DecodeHello(const Frame& frame) {
   LDP_ASSIGN_OR_RETURN(hello.max_retransmits, reader.ReadU16());
   LDP_ASSIGN_OR_RETURN(hello.tcp_idle_timeout, ReadDuration(reader));
   LDP_ASSIGN_OR_RETURN(hello.tcp_max_reconnects, reader.ReadU16());
+  if (reader.remaining() > 0) {
+    // v2 tail. An older controller sends a frame that ends here; the
+    // defaults above (epoll, "lo", no TLS port) then stand.
+    LDP_ASSIGN_OR_RETURN(uint8_t datapath, reader.ReadU8());
+    if (datapath > static_cast<uint8_t>(net::DatapathKind::kAfPacket)) {
+      return Error(ErrorCode::kParseError, "HELLO with unknown datapath");
+    }
+    hello.datapath = static_cast<net::DatapathKind>(datapath);
+    LDP_ASSIGN_OR_RETURN(hello.afpacket_interface, ReadName(reader));
+    LDP_ASSIGN_OR_RETURN(hello.afpacket_peer_mac, ReadName(reader));
+    LDP_ASSIGN_OR_RETURN(hello.tls_port, reader.ReadU16());
+  }
   LDP_RETURN_IF_ERROR(CheckDrained(reader, "HELLO"));
   if (hello.n_distributors == 0 || hello.queriers_per_distributor == 0 ||
       hello.credit_window == 0) {

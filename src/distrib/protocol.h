@@ -36,7 +36,10 @@
 namespace ldp::distrib {
 
 inline constexpr uint32_t kMagic = 0x4c445044;  // "LDPD"
-inline constexpr uint16_t kVersion = 1;
+// v2 appends the datapath/TLS tail to HELLO. Decoders accept any version
+// up to their own: the tail is optional on the wire, so a v1 HELLO (no
+// tail) decodes with the defaults and a v1 agent simply rejects v2.
+inline constexpr uint16_t kVersion = 2;
 // A frame larger than this is a corrupt stream, not a big chunk: even a
 // 4096-record chunk of maximal records stays well under it.
 inline constexpr uint32_t kMaxFramePayload = 8u << 20;
@@ -82,6 +85,16 @@ struct HelloFrame {
   uint16_t max_retransmits = 0;
   NanoDuration tcp_idle_timeout = 0;
   uint16_t tcp_max_reconnects = 3;
+
+  // --- v2 tail (optional on the wire; these defaults apply when a v1
+  // frame omits it) ---
+  // Querier datapath on the agent host: kernel sockets or AF_PACKET rings
+  // (plus the two options that must match the agent's interface).
+  net::DatapathKind datapath = net::DatapathKind::kEpoll;
+  std::string afpacket_interface = "lo";
+  std::string afpacket_peer_mac;
+  // DoT port for kTls records (0 = each record's own target port).
+  uint16_t tls_port = 0;
 
   // The agent-side RealtimeConfig (metrics pointers left unset).
   replay::RealtimeConfig ToRealtimeConfig() const;

@@ -453,19 +453,29 @@ void TcpConnection::HandleClose(Status reason) {
 // --- TcpListener ---
 
 Result<std::unique_ptr<TcpListener>> TcpListener::Listen(
-    EventLoop& loop, Endpoint local, AcceptHandler on_accept) {
+    EventLoop& loop, Endpoint local, AcceptHandler on_accept,
+    const TcpListenOptions& options) {
   Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
   if (!fd.valid()) return Errno("socket(TCP listener)");
 
   int one = 1;
   ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (options.reuse_port) {
+    if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one,
+                     sizeof(one)) != 0) {
+      return Errno("setsockopt(SO_REUSEPORT)");
+    }
+  }
 
   sockaddr_in addr = ToSockaddr(local);
   if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
       0) {
     return Errno(("bind " + local.ToString()).c_str());
   }
-  if (::listen(fd.get(), 1024) != 0) return Errno("listen");
+  // 4096: a mass-connection ramp (the fig13-15 bench opens tens of
+  // thousands of connections in seconds) overflows the old 1024 backlog on
+  // a single-core host; the kernel clamps to somaxconn either way.
+  if (::listen(fd.get(), 4096) != 0) return Errno("listen");
   LDP_ASSIGN_OR_RETURN(Endpoint bound, LocalEndpoint(fd.get()));
 
   auto listener = std::unique_ptr<TcpListener>(
@@ -480,8 +490,26 @@ TcpListener::~TcpListener() {
   if (fd_.valid()) loop_.Remove(fd_.get());
 }
 
+void TcpListener::Pause() {
+  if (paused_ || !fd_.valid()) return;
+  paused_ = true;
+  auto status = loop_.Modify(fd_.get(), /*want_read=*/false,
+                             /*want_write=*/false);
+  (void)status;
+}
+
+void TcpListener::Resume() {
+  if (!paused_ || !fd_.valid()) return;
+  paused_ = false;
+  auto status = loop_.Modify(fd_.get(), /*want_read=*/true,
+                             /*want_write=*/false);
+  (void)status;
+}
+
 void TcpListener::OnReadable() {
-  while (true) {
+  // on_accept_ may Pause() this listener (connection cap reached): stop the
+  // accept burst immediately and leave the rest in the kernel backlog.
+  while (!paused_) {
     sockaddr_in addr{};
     socklen_t len = sizeof(addr);
     int client = ::accept4(fd_.get(), reinterpret_cast<sockaddr*>(&addr),

@@ -112,7 +112,11 @@ struct TcpConnectOptions {
   Endpoint local;
 };
 
-class TcpConnection {
+// A bidirectional byte stream driven by the event loop. Plain TCP
+// (TcpConnection) and TLS-over-TCP (net::TlsConnection) both implement it,
+// so the DNS server and the replay querier hold either transport behind one
+// pointer — the same seam the datapath abstraction gives the UDP path.
+class StreamConn {
  public:
   using DataHandler = std::function<void(std::span<const uint8_t>)>;
   // Close reason: Ok() means a clean peer EOF (or hangup); an error status
@@ -122,27 +126,51 @@ class TcpConnection {
   using ConnectHandler = std::function<void(Status)>;
   using WatermarkHandler = std::function<void(bool paused)>;
 
+  virtual ~StreamConn() = default;
+
+  // Buffered write: queues what the transport cannot take immediately.
+  virtual Status Send(std::span<const uint8_t> data) = 0;
+
+  // Write-queue backpressure: once queued_bytes() reaches `high` the handler
+  // fires with paused=true; when the queue drains to `low` or below it fires
+  // with paused=false. Advisory, like the kernel's send buffer.
+  virtual void SetWriteWatermarks(size_t high, size_t low,
+                                  WatermarkHandler handler) = 0;
+
+  virtual bool connected() const = 0;
+  virtual Endpoint local() const = 0;
+  virtual Endpoint remote() const = 0;
+  virtual size_t queued_bytes() const = 0;
+};
+
+class TcpConnection : public StreamConn {
+ public:
+  using DataHandler = StreamConn::DataHandler;
+  using CloseHandler = StreamConn::CloseHandler;
+  using ConnectHandler = StreamConn::ConnectHandler;
+  using WatermarkHandler = StreamConn::WatermarkHandler;
   // Asynchronous connect; `on_connected` fires once with the outcome.
   static Result<std::unique_ptr<TcpConnection>> Connect(
       EventLoop& loop, Endpoint remote, ConnectHandler on_connected,
       DataHandler on_data, CloseHandler on_close,
       const TcpConnectOptions& options = TcpConnectOptions());
 
-  ~TcpConnection();
+  ~TcpConnection() override;
 
   // Buffered write: queues what the kernel will not take immediately.
-  Status Send(std::span<const uint8_t> data);
+  Status Send(std::span<const uint8_t> data) override;
 
   // Write-queue backpressure: once queued_bytes() reaches `high` the handler
   // fires with paused=true; when the queue drains to `low` or below it fires
   // with paused=false. A paused caller should stop calling Send (nothing is
   // enforced — watermarks are advisory, like the kernel's send buffer).
-  void SetWriteWatermarks(size_t high, size_t low, WatermarkHandler handler);
+  void SetWriteWatermarks(size_t high, size_t low,
+                          WatermarkHandler handler) override;
 
-  bool connected() const { return connected_; }
-  Endpoint local() const { return local_; }
-  Endpoint remote() const { return remote_; }
-  size_t queued_bytes() const;
+  bool connected() const override { return connected_; }
+  Endpoint local() const override { return local_; }
+  Endpoint remote() const override { return remote_; }
+  size_t queued_bytes() const override;
 
  private:
   friend class TcpListener;
@@ -176,18 +204,33 @@ class TcpConnection {
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
+struct TcpListenOptions {
+  // SO_REUSEPORT: lets every server shard bind its own listener on the same
+  // address, so the kernel spreads incoming connections across shards by
+  // 4-tuple hash — the TCP twin of the sharded UDP fast path.
+  bool reuse_port = false;
+};
+
 class TcpListener {
  public:
   using AcceptHandler = std::function<void(std::unique_ptr<TcpConnection>)>;
 
   // The accepted connection is delivered unregistered for data; the callee
   // assigns handlers via AdoptHandlers and the listener registers it.
-  static Result<std::unique_ptr<TcpListener>> Listen(EventLoop& loop,
-                                                     Endpoint local,
-                                                     AcceptHandler on_accept);
+  static Result<std::unique_ptr<TcpListener>> Listen(
+      EventLoop& loop, Endpoint local, AcceptHandler on_accept,
+      const TcpListenOptions& options = TcpListenOptions());
   ~TcpListener();
 
   Endpoint local() const { return local_; }
+
+  // Accept-pause flow control: Pause drops read interest so pending and new
+  // connections wait in the kernel backlog instead of being accepted; Resume
+  // re-arms it (level-triggered epoll re-fires if the backlog is non-empty).
+  // The server uses this to stop an accept flood at its connection cap.
+  void Pause();
+  void Resume();
+  bool paused() const { return paused_; }
 
   // Completes setup of an accepted connection: installs handlers and
   // registers it with the loop.
@@ -208,6 +251,7 @@ class TcpListener {
   Fd fd_;
   Endpoint local_;
   AcceptHandler on_accept_;
+  bool paused_ = false;
 };
 
 }  // namespace ldp::net

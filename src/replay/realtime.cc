@@ -8,6 +8,7 @@
 #include "common/log.h"
 #include "dns/framing.h"
 #include "net/sockets.h"
+#include "net/tls.h"
 #include "replay/queue.h"
 #include "replay/sticky.h"
 #include "replay/timing.h"
@@ -40,6 +41,9 @@ struct TransportCounters {
   stats::RelaxedCounter id_collisions;
   stats::RelaxedCounter tcp_reconnects;
   stats::RelaxedCounter tcp_idle_closes;
+  stats::RelaxedCounter tls_handshakes;
+  stats::RelaxedCounter tls_resumptions;
+  stats::RelaxedCounter tls_aborts;
 };
 
 void RegisterTransportMetrics(stats::MetricsRegistry* metrics,
@@ -57,6 +61,9 @@ void RegisterTransportMetrics(stats::MetricsRegistry* metrics,
   counter("replay.id_collisions", &TransportCounters::id_collisions);
   counter("replay.tcp_reconnects", &TransportCounters::tcp_reconnects);
   counter("replay.tcp_idle_closes", &TransportCounters::tcp_idle_closes);
+  counter("replay.tls_handshakes", &TransportCounters::tls_handshakes);
+  counter("replay.tls_resumptions", &TransportCounters::tls_resumptions);
+  counter("replay.tls_aborts", &TransportCounters::tls_aborts);
 }
 
 // Per-querier live-metric instances (all nullptr when metrics are off).
@@ -66,6 +73,7 @@ struct QuerierMetrics {
   stats::LogHistogram* latency = nullptr;    // send→answer, ns
   stats::Gauge* inflight = nullptr;          // non-terminal tracked queries
   stats::LogHistogram* wheel_occupancy = nullptr;  // entries per tick
+  stats::LogHistogram* tls_handshake = nullptr;    // client handshake, ns
 };
 
 // Timer-wheel keys: UDP entries are the bare 16-bit ID; TCP entries pack
@@ -76,11 +84,14 @@ struct QuerierMetrics {
 constexpr uint64_t kTcpKeyBit = 1ULL << 63;
 uint64_t UdpKey(uint16_t id) { return id; }
 
-// TCP connection identity. Without follow_trace_dst every target is
+// Stream connection identity. Without follow_trace_dst every target is
 // config.server, so this degenerates to the historical per-source keying.
+// `tls` separates a source's DoT connection from its plain-TCP one (a
+// mixed trace may carry both protocols for the same source).
 struct ConnKey {
   IpAddress source;
   Endpoint target;
+  bool tls = false;
   bool operator==(const ConnKey&) const = default;
 };
 
@@ -89,6 +100,7 @@ struct ConnKeyHash {
     uint64_t packed = (uint64_t{key.source.value()} << 32) |
                       (uint64_t{key.target.addr.value()} ^
                        (uint64_t{key.target.port} << 24));
+    if (key.tls) packed ^= 0x9e3779b97f4a7c15ULL;
     return std::hash<uint64_t>()(packed);
   }
 };
@@ -232,7 +244,10 @@ class Querier {
   struct TcpState {
     ConnKey key;
     uint32_t index = 0;  // packs into timer-wheel keys; see conn_index_
-    std::unique_ptr<net::TcpConnection> conn;
+    std::unique_ptr<net::StreamConn> conn;
+    // Non-owning view of `conn` when key.tls, for the post-handshake
+    // accessors (session_reused, handshake_duration); null otherwise.
+    net::TlsConnection* tls_conn = nullptr;
     dns::StreamAssembler assembler;
     bool connected = false;
     bool paused = false;   // write-watermark backpressure
@@ -451,7 +466,21 @@ class Querier {
   // TcpConnection whose callback is currently executing.
 
   void SendTcp(const QueryJob& job, dns::Message& query) {
-    ConnKey key{job.record.src, TargetFor(job.record)};
+    bool tls = job.record.protocol == trace::Protocol::kTls;
+    if (tls && !net::TlsAvailable()) {
+      if (!warned_no_tls_) {
+        warned_no_tls_ = true;
+        LDP_WARN << "trace carries TLS queries but this build has no "
+                    "OpenSSL; counting them as send_failed";
+      }
+      counters_.tls_aborts.Add();
+      Terminal(job.outcome, SendOutcome::State::kSendFailed);
+      MaybeIdle();
+      return;
+    }
+    Endpoint target = TargetFor(job.record);
+    if (tls && config_.tls_port != 0) target.port = config_.tls_port;
+    ConnKey key{job.record.src, target, tls};
     auto it = tcp_.find(key);
     if (it == tcp_.end()) {
       auto state = std::make_unique<TcpState>();
@@ -512,36 +541,73 @@ class Querier {
     state.connected = false;
     state.paused = false;
     state.assembler = dns::StreamAssembler();  // new stream, new framing
-    auto conn = net::TcpConnection::Connect(
-        loop_, key.target,
-        [this, key](Status status) {
-          OnTcpConnected(key, std::move(status));
-        },
-        [this, key](std::span<const uint8_t> data) {
-          auto it = tcp_.find(key);
-          if (it != tcp_.end()) OnTcpData(*it->second, data);
-        },
-        [this, key](Status reason) {
-          OnTcpClosed(key, std::move(reason));
-        });
-    if (!conn.ok()) {
-      RetryOrFail(state);
-      return;
+    auto on_ready = [this, key](Status status) {
+      OnTcpConnected(key, std::move(status));
+    };
+    auto on_data = [this, key](std::span<const uint8_t> data) {
+      auto it = tcp_.find(key);
+      if (it != tcp_.end()) OnTcpData(*it->second, data);
+    };
+    auto on_close = [this, key](Status reason) {
+      OnTcpClosed(key, std::move(reason));
+    };
+    if (key.tls) {
+      // One client context per querier: the session cache inside it makes
+      // every re-dial to an endpoint a resumption candidate, and sticky
+      // same-source assignment keeps a source's reconnects on this cache.
+      if (tls_ctx_ == nullptr) {
+        auto ctx = net::TlsContext::NewClient();
+        if (!ctx.ok()) {
+          RetryOrFail(state);
+          return;
+        }
+        tls_ctx_ = std::move(*ctx);
+      }
+      auto conn = net::TlsConnection::Connect(loop_, *tls_ctx_, key.target,
+                                              std::move(on_ready),
+                                              std::move(on_data),
+                                              std::move(on_close));
+      if (!conn.ok()) {
+        RetryOrFail(state);
+        return;
+      }
+      state.tls_conn = conn->get();
+      state.conn = std::move(*conn);
+    } else {
+      auto conn = net::TcpConnection::Connect(loop_, key.target,
+                                              std::move(on_ready),
+                                              std::move(on_data),
+                                              std::move(on_close));
+      if (!conn.ok()) {
+        RetryOrFail(state);
+        return;
+      }
+      state.conn = std::move(*conn);
     }
-    state.conn = std::move(*conn);
     state.conn->SetWriteWatermarks(
         config_.tcp_write_high_watermark, config_.tcp_write_low_watermark,
         [this, key](bool paused) { OnTcpWatermark(key, paused); });
   }
 
+  // For TLS connections this fires at handshake completion, not TCP
+  // establishment — `connected` means "ready to carry queries" either way.
   void OnTcpConnected(ConnKey key, Status status) {
     auto it = tcp_.find(key);
     if (it == tcp_.end()) return;
     TcpState& state = *it->second;
     if (!status.ok()) {
+      if (key.tls) counters_.tls_aborts.Add();
       BuryConn(state);
       RetryOrFail(state);
       return;
+    }
+    if (key.tls && state.tls_conn != nullptr) {
+      counters_.tls_handshakes.Add();
+      if (state.tls_conn->session_reused()) counters_.tls_resumptions.Add();
+      if (metrics_.tls_handshake != nullptr) {
+        metrics_.tls_handshake->Record(
+            static_cast<uint64_t>(state.tls_conn->handshake_duration()));
+      }
     }
     state.connected = true;
     state.last_activity = MonotonicNow();
@@ -634,6 +700,7 @@ class Querier {
 
   void BuryConn(TcpState& state) {
     if (state.conn == nullptr) return;
+    state.tls_conn = nullptr;
     graveyard_conns_.push_back(std::move(state.conn));
     ArmSweep();
   }
@@ -723,9 +790,13 @@ class Querier {
   // index -> key, for decoding timer-wheel expiries back to a connection.
   std::unordered_map<uint32_t, ConnKey> conn_index_;
   uint32_t next_conn_index_ = 1;
-  std::vector<std::unique_ptr<net::TcpConnection>> graveyard_conns_;
+  std::vector<std::unique_ptr<net::StreamConn>> graveyard_conns_;
   std::vector<std::unique_ptr<TcpState>> graveyard_states_;
   bool sweep_armed_ = false;
+  // Lazily created on the first kTls query this querier dials; holds the
+  // client session cache that makes reconnects resumption candidates.
+  std::unique_ptr<net::TlsContext> tls_ctx_;
+  bool warned_no_tls_ = false;
 
   NanoDuration tick_interval_;
   TimerWheel wheel_;
@@ -788,6 +859,8 @@ class Distributor {
         qm.inflight = config_.metrics->AddGauge("replay.inflight");
         qm.wheel_occupancy =
             config_.metrics->AddHistogram("replay.wheel_occupancy");
+        qm.tls_handshake =
+            config_.metrics->AddHistogram("replay.tls_handshake_ns");
       }
       queriers_.push_back(
           std::make_unique<Querier>(*loop_, config_, counters_, qm));
@@ -1116,6 +1189,9 @@ Result<RealtimeReport> ReplayPipeline::Finish() {
   report.id_collisions = impl.counters->id_collisions.Get();
   report.tcp_reconnects = impl.counters->tcp_reconnects.Get();
   report.tcp_idle_closes = impl.counters->tcp_idle_closes.Get();
+  report.tls_handshakes = impl.counters->tls_handshakes.Get();
+  report.tls_resumptions = impl.counters->tls_resumptions.Get();
+  report.tls_aborts = impl.counters->tls_aborts.Get();
   report.wall_duration = MonotonicNow() - impl.wall_start;
   // Final row after every distributor joined: cumulative counters are
   // settled, so this row reconciles exactly with the returned report.

@@ -89,6 +89,13 @@ struct RealtimeConfig {
   // with nothing inflight and no activity for this long is closed; the
   // next query for that source dials fresh. 0 = keep connections open.
   NanoDuration tcp_idle_timeout = 0;
+  // DoT port for kTls records (0 = the record's own target port). A kTls
+  // record dials DNS-over-TLS to its target with this port substituted —
+  // the server side binds DoT on a separate listener, so replaying an
+  // all-TLS trace against it needs the port redirected. Requires OpenSSL
+  // in the build (probe with net::TlsAvailable()); without it every kTls
+  // query ends send_failed.
+  uint16_t tls_port = 0;
   // Reconnect budget when a TCP connect fails or a stream dies with
   // queries still owed. Inflight frames are re-queued onto the new
   // connection; retry k waits tcp_reconnect_backoff << k. A successful
@@ -161,6 +168,9 @@ struct RealtimeReport {
   uint64_t id_collisions = 0;    // preferred 16-bit ID was still inflight
   uint64_t tcp_reconnects = 0;   // re-dials after connect failure / close
   uint64_t tcp_idle_closes = 0;  // client-side idle-timeout closures
+  uint64_t tls_handshakes = 0;   // completed client TLS handshakes
+  uint64_t tls_resumptions = 0;  // of which resumed a cached session
+  uint64_t tls_aborts = 0;       // handshakes that failed before completing
   NanoDuration wall_duration = 0;
 
   // Absolute-timing error (paper Fig 6): replayed (sent − first_sent)

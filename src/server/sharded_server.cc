@@ -32,6 +32,35 @@ void RegisterEngineMetrics(stats::MetricsRegistry* metrics,
   });
 }
 
+// Stream-lane counters, registered per shard under shared names (the
+// registry merges at snapshot time). The shared_ptr captures keep the
+// counters alive past server teardown, like the engine captures above.
+void RegisterTcpMetrics(stats::MetricsRegistry* metrics,
+                        std::shared_ptr<TcpCounters> counters, bool tls) {
+  auto counter = [&](const char* name,
+                     std::atomic<uint64_t> TcpCounters::*field) {
+    metrics->AddCounterFn(name, [counters, field] {
+      return (counters.get()->*field).load(std::memory_order_relaxed);
+    });
+  };
+  counter("server.tcp_accepted", &TcpCounters::accepted);
+  counter("server.tcp_accept_rejected", &TcpCounters::rejected);
+  counter("server.tcp_idle_closed", &TcpCounters::idle_closed);
+  metrics->AddGaugeFn("server.tcp_open", [counters] {
+    return static_cast<int64_t>(
+        counters->open.load(std::memory_order_relaxed));
+  });
+  if (tls) {
+    counter("tls.handshakes", &TcpCounters::tls_handshakes);
+    counter("tls.resumptions", &TcpCounters::tls_resumptions);
+    counter("tls.aborts", &TcpCounters::tls_aborts);
+    metrics->AddGaugeFn("tls.open_connections", [counters] {
+      return static_cast<int64_t>(
+          counters->tls_open.load(std::memory_order_relaxed));
+    });
+  }
+}
+
 }  // namespace
 
 Result<std::unique_ptr<ShardedDnsServer>> ShardedDnsServer::Start(
@@ -42,7 +71,14 @@ Result<std::unique_ptr<ShardedDnsServer>> ShardedDnsServer::Start(
   }
 
   auto sharded = std::unique_ptr<ShardedDnsServer>(new ShardedDnsServer);
+  if (config.serve_tls) {
+    // One context for every shard: one certificate, one ticket key, so a
+    // session issued by any shard resumes on whichever shard the kernel
+    // hashes the reconnect to.
+    LDP_ASSIGN_OR_RETURN(sharded->tls_ctx_, net::TlsContext::NewServer());
+  }
   Endpoint listen = config.listen;
+  uint16_t tls_port = config.tls_port;
   for (size_t i = 0; i < n_shards; ++i) {
     auto shard = std::make_unique<Shard>();
     LDP_ASSIGN_OR_RETURN(shard->loop, net::EventLoop::Create());
@@ -51,7 +87,14 @@ Result<std::unique_ptr<ShardedDnsServer>> ShardedDnsServer::Start(
 
     SocketDnsServer::Config shard_config;
     shard_config.listen = listen;
-    shard_config.serve_tcp = config.serve_tcp && i == 0;
+    shard_config.serve_tcp = config.serve_tcp;
+    shard_config.serve_tls = config.serve_tls;
+    shard_config.tls_port = tls_port;
+    shard_config.tls = sharded->tls_ctx_.get();
+    shard_config.max_tcp_connections = config.max_tcp_connections;
+    // With several shards the stream listeners must share their ports the
+    // way the UDP sockets do.
+    shard_config.tcp_reuse_port = n_shards > 1;
     shard_config.tcp_idle_timeout = config.tcp_idle_timeout;
     shard_config.datapath.kind = config.datapath;
     shard_config.datapath.udp.reuse_port = true;
@@ -66,11 +109,16 @@ Result<std::unique_ptr<ShardedDnsServer>> ShardedDnsServer::Start(
                               config.metrics->AddHistogram("server.epoll_batch"));
       shard_config.udp_batch_hist =
           config.metrics->AddHistogram("server.udp_batch");
+      if (config.serve_tls) {
+        shard_config.tls_handshake_hist =
+            config.metrics->AddHistogram("tls.handshake_ns");
+      }
     }
     LDP_ASSIGN_OR_RETURN(
         shard->server,
         SocketDnsServer::Start(*shard->loop, shard->engine, shard_config));
-    if (config.metrics != nullptr && shard_config.serve_tcp) {
+    if (config.metrics != nullptr &&
+        (shard_config.serve_tcp || shard_config.serve_tls)) {
       // TCP frames dropped by backlog backpressure; the shared_ptr capture
       // keeps the counter alive past server teardown.
       config.metrics->AddCounterFn(
@@ -78,12 +126,25 @@ Result<std::unique_ptr<ShardedDnsServer>> ShardedDnsServer::Start(
           [drops = shard->server->framing_drops()] {
             return drops->load(std::memory_order_relaxed);
           });
+      RegisterTcpMetrics(config.metrics, shard->server->tcp_counters(),
+                         config.serve_tls);
+      if (config.serve_tls && i == 0) {
+        // Process-wide OpenSSL live bytes (see TlsEnableMemoryAccounting);
+        // registered once, not per shard — it is already a global sum.
+        config.metrics->AddGaugeFn("tls.mem_bytes", [] {
+          return static_cast<int64_t>(net::TlsAllocatedBytes());
+        });
+      }
     }
     if (i == 0) {
-      // Shard 0 resolves port 0; the rest bind the concrete port so
-      // SO_REUSEPORT groups them onto the same address.
+      // Shard 0 resolves port 0; the rest bind the concrete ports so
+      // SO_REUSEPORT groups them onto the same addresses.
       listen = Endpoint{config.listen.addr, shard->server->endpoint().port};
       sharded->endpoint_ = shard->server->endpoint();
+      if (config.serve_tls) {
+        sharded->tls_endpoint_ = shard->server->tls_endpoint();
+        tls_port = sharded->tls_endpoint_.port;
+      }
     }
     sharded->shards_.push_back(std::move(shard));
   }
@@ -117,6 +178,19 @@ std::vector<EngineStats> ShardedDnsServer::ShardStats() const {
   std::vector<EngineStats> stats;
   stats.reserve(shards_.size());
   for (const auto& shard : shards_) stats.push_back(shard->engine->stats());
+  return stats;
+}
+
+TcpStats ShardedDnsServer::TotalTcpStats() const {
+  TcpStats total;
+  for (const auto& shard : shards_) total += shard->server->tcp_stats();
+  return total;
+}
+
+std::vector<TcpStats> ShardedDnsServer::ShardTcpStats() const {
+  std::vector<TcpStats> stats;
+  stats.reserve(shards_.size());
+  for (const auto& shard : shards_) stats.push_back(shard->server->tcp_stats());
   return stats;
 }
 

@@ -5,9 +5,11 @@
 // the hot path shares no mutable state between workers at all; aggregate
 // counters come from per-shard snapshots (relaxed atomics, no locks).
 //
-// TCP (including AXFR) stays on shard 0: the resource experiments that
-// exercise TCP at scale run on the simulator, and the real-socket TCP lane
-// only needs correctness, not multi-core throughput.
+// The stream lanes (TCP, and DNS-over-TLS with serve_tls) shard the same
+// way: every shard binds its own SO_REUSEPORT listener and the kernel
+// spreads incoming connections across shards by 4-tuple hash, so the
+// mass-connection workloads of the all-TCP/all-TLS root study (figs 13-15)
+// use every core. The TLS context (certificate, ticket key) is shared.
 #ifndef LDPLAYER_SERVER_SHARDED_SERVER_H
 #define LDPLAYER_SERVER_SHARDED_SERVER_H
 
@@ -24,7 +26,15 @@ class ShardedDnsServer {
   struct Config {
     Endpoint listen;        // port 0 picks an ephemeral port (tests)
     size_t n_shards = 0;    // 0 = hardware_concurrency
-    bool serve_tcp = true;  // accepted on shard 0 only
+    bool serve_tcp = true;  // every shard accepts (SO_REUSEPORT listeners)
+    // DNS-over-TLS listeners on every shard; requires OpenSSL in the build
+    // (Start fails otherwise — probe with net::TlsAvailable()). tls_port 0
+    // picks an ephemeral port, resolved via tls_endpoint().
+    bool serve_tls = false;
+    uint16_t tls_port = 0;
+    // Per-shard cap on concurrent stream connections (0 = unbounded); see
+    // SocketDnsServer::Config::max_tcp_connections for the semantics.
+    size_t max_tcp_connections = 0;
     NanoDuration tcp_idle_timeout = Seconds(20);
     // Per-shard UDP SO_RCVBUF (0 = kernel default): the fast path raises
     // it so query bursts queue in the kernel while a worker drains a batch.
@@ -57,11 +67,17 @@ class ShardedDnsServer {
 
   // The actually-bound endpoint (same for all shards).
   Endpoint endpoint() const { return endpoint_; }
+  // Bound DoT endpoint (same for all shards); meaningful with serve_tls.
+  Endpoint tls_endpoint() const { return tls_endpoint_; }
   size_t n_shards() const { return shards_.size(); }
 
   // Lock-free aggregate of the per-shard counter snapshots.
   EngineStats TotalStats() const;
   std::vector<EngineStats> ShardStats() const;
+  // Per-shard stream-connection counters; the cross-shard accept
+  // distribution test and the fig13-15 bench assert every entry is nonzero.
+  TcpStats TotalTcpStats() const;
+  std::vector<TcpStats> ShardTcpStats() const;
 
  private:
   ShardedDnsServer() = default;
@@ -74,6 +90,9 @@ class ShardedDnsServer {
   };
 
   Endpoint endpoint_;
+  Endpoint tls_endpoint_;
+  // Shared across shards; must outlive every shard's SocketDnsServer.
+  std::unique_ptr<net::TlsContext> tls_ctx_;
   std::vector<std::unique_ptr<Shard>> shards_;
   bool stopped_ = false;
 };

@@ -7,6 +7,10 @@ namespace ldp::server {
 Result<std::unique_ptr<SocketDnsServer>> SocketDnsServer::Start(
     net::EventLoop& loop, std::shared_ptr<AuthServerEngine> engine,
     const Config& config) {
+  if (config.serve_tls && config.tls == nullptr) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "serve_tls requires a server TlsContext");
+  }
   auto server = std::unique_ptr<SocketDnsServer>(
       new SocketDnsServer(loop, std::move(engine), config));
   SocketDnsServer* raw = server.get();
@@ -19,6 +23,8 @@ Result<std::unique_ptr<SocketDnsServer>> SocketDnsServer::Start(
             raw->OnUdpBatch(batch);
           },
           config.datapath));
+  net::TcpListenOptions listen_options;
+  listen_options.reuse_port = config.tcp_reuse_port;
   if (config.serve_tcp) {
     // TCP binds the same port the UDP socket got (matters for port 0).
     Endpoint tcp_endpoint{config.listen.addr, server->udp_->local().port};
@@ -27,10 +33,39 @@ Result<std::unique_ptr<SocketDnsServer>> SocketDnsServer::Start(
         net::TcpListener::Listen(
             loop, tcp_endpoint,
             [raw](std::unique_ptr<net::TcpConnection> conn) {
-              raw->OnAccept(std::move(conn));
-            }));
+              raw->OnAccept(std::move(conn), /*tls=*/false);
+            },
+            listen_options));
+  }
+  if (config.serve_tls) {
+    Endpoint tls_endpoint{config.listen.addr, config.tls_port};
+    LDP_ASSIGN_OR_RETURN(
+        server->tls_listener_,
+        net::TcpListener::Listen(
+            loop, tls_endpoint,
+            [raw](std::unique_ptr<net::TcpConnection> conn) {
+              raw->OnAccept(std::move(conn), /*tls=*/true);
+            },
+            listen_options));
   }
   return server;
+}
+
+TcpStats SocketDnsServer::tcp_stats() const {
+  TcpStats stats;
+  stats.accepted = tcp_counters_->accepted.load(std::memory_order_relaxed);
+  stats.rejected = tcp_counters_->rejected.load(std::memory_order_relaxed);
+  stats.idle_closed =
+      tcp_counters_->idle_closed.load(std::memory_order_relaxed);
+  stats.open = tcp_counters_->open.load(std::memory_order_relaxed);
+  stats.tls_open = tcp_counters_->tls_open.load(std::memory_order_relaxed);
+  stats.tls_handshakes =
+      tcp_counters_->tls_handshakes.load(std::memory_order_relaxed);
+  stats.tls_resumptions =
+      tcp_counters_->tls_resumptions.load(std::memory_order_relaxed);
+  stats.tls_aborts =
+      tcp_counters_->tls_aborts.load(std::memory_order_relaxed);
+  return stats;
 }
 
 void SocketDnsServer::OnUdpBatch(
@@ -60,32 +95,85 @@ void SocketDnsServer::OnUdpBatch(
   }
 }
 
-void SocketDnsServer::OnAccept(std::unique_ptr<net::TcpConnection> conn) {
-  net::TcpConnection* key = conn.get();
-  ConnState& state = conns_[key];
-  state.conn = std::move(conn);
-  state.last_activity = MonotonicNow();
-  state.assembler.set_limits(config_.stream_limits);
-  state.assembler.set_drop_counter(framing_drops_.get());
-
-  auto status = net::TcpListener::AdoptHandlers(
-      *key,
-      [this, key](std::span<const uint8_t> data) { OnTcpData(key, data); },
-      [this, key](Status) {
-        auto it = conns_.find(key);
-        if (it != conns_.end()) {
-          it->second.idle_timer.Cancel();
-          conns_.erase(it);
-        }
-      });
-  if (!status.ok()) {
-    conns_.erase(key);
-    return;
+void SocketDnsServer::OnAccept(std::unique_ptr<net::TcpConnection> conn,
+                               bool tls) {
+  if (config_.max_tcp_connections > 0 &&
+      conns_.size() >= config_.max_tcp_connections) {
+    // At the cap: close this connection (the client sees an immediate EOF
+    // and can back off) and stop accepting until evictions make room.
+    tcp_counters_->rejected.fetch_add(1, std::memory_order_relaxed);
+    PauseAccept();
+    return;  // `conn` destroyed: active close
   }
+
+  net::StreamConn* key = nullptr;
+  if (tls) {
+    auto tls_conn = net::TlsConnection::Accept(*config_.tls, std::move(conn));
+    if (!tls_conn.ok()) {
+      tcp_counters_->tls_aborts.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    key = tls_conn->get();
+    ConnState& state = conns_[key];
+    state.conn = std::move(*tls_conn);
+    state.tls = true;
+    state.last_activity = MonotonicNow();
+    state.assembler.set_limits(config_.stream_limits);
+    state.assembler.set_drop_counter(framing_drops_.get());
+    auto status = static_cast<net::TlsConnection*>(key)->Start(
+        [this, key](Status ready) { OnTlsReady(key, std::move(ready)); },
+        [this, key](std::span<const uint8_t> data) { OnTcpData(key, data); },
+        [this, key](Status) { CloseConn(key); });
+    if (!status.ok()) {
+      tcp_counters_->tls_aborts.fetch_add(1, std::memory_order_relaxed);
+      conns_.erase(key);
+      return;
+    }
+    tcp_counters_->tls_open.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    key = conn.get();
+    ConnState& state = conns_[key];
+    state.conn = std::move(conn);
+    state.last_activity = MonotonicNow();
+    state.assembler.set_limits(config_.stream_limits);
+    state.assembler.set_drop_counter(framing_drops_.get());
+    auto status = net::TcpListener::AdoptHandlers(
+        static_cast<net::TcpConnection&>(*key),
+        [this, key](std::span<const uint8_t> data) { OnTcpData(key, data); },
+        [this, key](Status) { CloseConn(key); });
+    if (!status.ok()) {
+      conns_.erase(key);
+      return;
+    }
+  }
+  tcp_counters_->accepted.fetch_add(1, std::memory_order_relaxed);
+  tcp_counters_->open.store(conns_.size(), std::memory_order_relaxed);
+  // The idle timer also reaps connections whose TLS handshake never
+  // completes (last_activity only advances on decrypted query bytes).
   if (config_.tcp_idle_timeout > 0) ArmIdleTimer(key);
 }
 
-void SocketDnsServer::OnTcpData(net::TcpConnection* key,
+void SocketDnsServer::OnTlsReady(net::StreamConn* key, Status status) {
+  auto it = conns_.find(key);
+  if (it == conns_.end()) return;
+  if (!status.ok()) {
+    tcp_counters_->tls_aborts.fetch_add(1, std::memory_order_relaxed);
+    CloseConn(key);
+    return;
+  }
+  auto* tls = static_cast<net::TlsConnection*>(key);
+  tcp_counters_->tls_handshakes.fetch_add(1, std::memory_order_relaxed);
+  if (tls->session_reused()) {
+    tcp_counters_->tls_resumptions.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (config_.tls_handshake_hist != nullptr) {
+    config_.tls_handshake_hist->Record(
+        static_cast<uint64_t>(tls->handshake_duration()));
+  }
+  it->second.last_activity = MonotonicNow();
+}
+
+void SocketDnsServer::OnTcpData(net::StreamConn* key,
                                 std::span<const uint8_t> data) {
   auto it = conns_.find(key);
   if (it == conns_.end()) return;
@@ -111,7 +199,7 @@ void SocketDnsServer::OnTcpData(net::TcpConnection* key,
   }
 }
 
-void SocketDnsServer::ArmIdleTimer(net::TcpConnection* key) {
+void SocketDnsServer::ArmIdleTimer(net::StreamConn* key) {
   auto it = conns_.find(key);
   if (it == conns_.end()) return;
   it->second.idle_timer = loop_.ScheduleAfter(
@@ -121,6 +209,7 @@ void SocketDnsServer::ArmIdleTimer(net::TcpConnection* key) {
         NanoTime deadline =
             conn_it->second.last_activity + config_.tcp_idle_timeout;
         if (MonotonicNow() >= deadline) {
+          tcp_counters_->idle_closed.fetch_add(1, std::memory_order_relaxed);
           CloseConn(key);
         } else {
           ArmIdleTimer(key);  // activity since arming: re-check later
@@ -128,11 +217,37 @@ void SocketDnsServer::ArmIdleTimer(net::TcpConnection* key) {
       });
 }
 
-void SocketDnsServer::CloseConn(net::TcpConnection* key) {
+void SocketDnsServer::CloseConn(net::StreamConn* key) {
   auto it = conns_.find(key);
   if (it == conns_.end()) return;
+  RemoveConn(it);  // destroys the connection (active close)
+}
+
+void SocketDnsServer::RemoveConn(
+    std::unordered_map<net::StreamConn*, ConnState>::iterator it) {
   it->second.idle_timer.Cancel();
-  conns_.erase(it);  // destroys the connection (active close)
+  if (it->second.tls) {
+    tcp_counters_->tls_open.fetch_sub(1, std::memory_order_relaxed);
+  }
+  // Detach first and let `node` destroy the connection after the counters
+  // are updated: destroying it closes the socket, and a client that sees
+  // that EOF must not be able to read a stale `open` gauge.
+  auto node = conns_.extract(it);
+  tcp_counters_->open.store(conns_.size(), std::memory_order_relaxed);
+  MaybeResumeAccept();
+}
+
+void SocketDnsServer::PauseAccept() {
+  if (listener_ != nullptr) listener_->Pause();
+  if (tls_listener_ != nullptr) tls_listener_->Pause();
+}
+
+void SocketDnsServer::MaybeResumeAccept() {
+  if (config_.max_tcp_connections == 0) return;
+  if (conns_.size() >= config_.max_tcp_connections) return;
+  // Resume is a no-op on a listener that never paused.
+  if (listener_ != nullptr) listener_->Resume();
+  if (tls_listener_ != nullptr) tls_listener_->Resume();
 }
 
 }  // namespace ldp::server

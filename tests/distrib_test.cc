@@ -68,6 +68,10 @@ TEST(ProtocolTest, HelloRoundTripsThroughFragmentedStream) {
   hello.max_retransmits = 2;
   hello.tcp_idle_timeout = Seconds(9);
   hello.tcp_max_reconnects = 7;
+  hello.datapath = net::DatapathKind::kAfPacket;
+  hello.afpacket_interface = "veth0";
+  hello.afpacket_peer_mac = "aa:bb:cc:dd:ee:ff";
+  hello.tls_port = 8853;
 
   Bytes wire = EncodeHello(hello);
   // Byte-at-a-time reassembly must produce the identical frame.
@@ -95,6 +99,10 @@ TEST(ProtocolTest, HelloRoundTripsThroughFragmentedStream) {
   EXPECT_EQ(decoded->max_retransmits, hello.max_retransmits);
   EXPECT_EQ(decoded->tcp_idle_timeout, hello.tcp_idle_timeout);
   EXPECT_EQ(decoded->tcp_max_reconnects, hello.tcp_max_reconnects);
+  EXPECT_EQ(decoded->datapath, hello.datapath);
+  EXPECT_EQ(decoded->afpacket_interface, hello.afpacket_interface);
+  EXPECT_EQ(decoded->afpacket_peer_mac, hello.afpacket_peer_mac);
+  EXPECT_EQ(decoded->tls_port, hello.tls_port);
 
   // And the RealtimeConfig round trip preserves the replay parameters.
   replay::RealtimeConfig config = decoded->ToRealtimeConfig();
@@ -103,6 +111,46 @@ TEST(ProtocolTest, HelloRoundTripsThroughFragmentedStream) {
   EXPECT_EQ(again.lookahead, hello.lookahead);
   EXPECT_EQ(again.fast_mode, hello.fast_mode);
   EXPECT_EQ(again.n_distributors, hello.n_distributors);
+  EXPECT_EQ(again.datapath, hello.datapath);
+  EXPECT_EQ(again.afpacket_interface, hello.afpacket_interface);
+  EXPECT_EQ(again.afpacket_peer_mac, hello.afpacket_peer_mac);
+  EXPECT_EQ(again.tls_port, hello.tls_port);
+}
+
+TEST(ProtocolTest, HelloFromOlderPeerDecodesWithTailDefaults) {
+  // A v1 controller sends a HELLO that ends at tcp_max_reconnects: no
+  // datapath/TLS tail. The decode must still succeed, with the documented
+  // defaults standing in for the missing fields.
+  HelloFrame hello;
+  hello.agent_id = 12;
+  hello.datapath = net::DatapathKind::kAfPacket;  // must NOT survive
+  hello.afpacket_interface = "veth9";
+  hello.tls_port = 1234;
+  Bytes wire = EncodeHello(hello);
+  auto frames = Reassemble(wire, 1);
+  ASSERT_EQ(frames.size(), 1u);
+
+  // Strip the tail (u8 datapath | name interface | name mac | u16 port)
+  // and stamp the version a v1 sender would have written.
+  size_t tail = 1 + (2 + hello.afpacket_interface.size()) +
+                (2 + hello.afpacket_peer_mac.size()) + 2;
+  Frame v1 = frames[0];
+  ASSERT_GT(v1.body.size(), tail);
+  v1.body.resize(v1.body.size() - tail);
+  v1.body[4] = 0;  // version u16 sits after the u32 magic
+  v1.body[5] = 1;
+  auto decoded = DecodeHello(v1);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().ToString();
+  EXPECT_EQ(decoded->agent_id, 12);
+  EXPECT_EQ(decoded->datapath, net::DatapathKind::kEpoll);
+  EXPECT_EQ(decoded->afpacket_interface, "lo");
+  EXPECT_EQ(decoded->afpacket_peer_mac, "");
+  EXPECT_EQ(decoded->tls_port, 0);
+
+  // A version beyond ours is still rejected outright.
+  Frame future = frames[0];
+  future.body[5] = static_cast<uint8_t>(kVersion + 1);
+  EXPECT_FALSE(DecodeHello(future).ok());
 }
 
 TEST(ProtocolTest, ChunkRoundTripPreservesRecords) {

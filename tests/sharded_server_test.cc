@@ -104,6 +104,150 @@ TEST(ShardedServer, AnswersAcrossShardsAndAggregatesStats) {
   EXPECT_EQ((*server)->TotalStats().queries, total.queries);
 }
 
+// A blocking TCP client holding its connection open; one framed query
+// exchange per call.
+class TcpClient {
+ public:
+  explicit TcpClient(Endpoint server) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    timeval tv{.tv_sec = 5, .tv_usec = 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port);
+    addr.sin_addr.s_addr = htonl(server.addr.value());
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~TcpClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return fd_ >= 0; }
+
+  // Sends one length-framed query and reads one length-framed reply;
+  // empty on EOF or timeout.
+  Bytes Exchange(const Bytes& query) {
+    Bytes framed;
+    framed.push_back(static_cast<uint8_t>(query.size() >> 8));
+    framed.push_back(static_cast<uint8_t>(query.size()));
+    framed.insert(framed.end(), query.begin(), query.end());
+    if (::send(fd_, framed.data(), framed.size(), MSG_NOSIGNAL) !=
+        static_cast<ssize_t>(framed.size())) {
+      return {};
+    }
+    uint8_t len_buf[2];
+    if (!ReadExact(len_buf, 2)) return {};
+    size_t len = (static_cast<size_t>(len_buf[0]) << 8) | len_buf[1];
+    Bytes reply(len);
+    if (!ReadExact(reply.data(), len)) return {};
+    return reply;
+  }
+
+  // True when the server has closed this connection (EOF observed).
+  bool WaitForEof() {
+    uint8_t byte;
+    ssize_t got = ::recv(fd_, &byte, 1, 0);
+    return got == 0;
+  }
+
+ private:
+  bool ReadExact(uint8_t* out, size_t n) {
+    size_t have = 0;
+    while (have < n) {
+      ssize_t got = ::recv(fd_, out + have, n - have, 0);
+      if (got <= 0) return false;
+      have += static_cast<size_t>(got);
+    }
+    return true;
+  }
+
+  int fd_ = -1;
+};
+
+TEST(ShardedServer, TcpAcceptsSpreadAcrossShards) {
+  ShardedDnsServer::Config config;
+  config.listen = Endpoint{IpAddress::Loopback(), 0};
+  config.n_shards = 2;
+  auto server = ShardedDnsServer::Start(MakeViews(), config);
+  ASSERT_TRUE(server.ok()) << server.error().ToString();
+
+  // 64 concurrent connections from distinct ephemeral ports: the kernel's
+  // 4-tuple hash puts some on each SO_REUSEPORT listener. (The chance of
+  // 64 independent picks all landing on one of two shards is 2^-63.)
+  const size_t kConns = 64;
+  std::vector<std::unique_ptr<TcpClient>> clients;
+  for (size_t i = 0; i < kConns; ++i) {
+    auto client = std::make_unique<TcpClient>((*server)->endpoint());
+    ASSERT_TRUE(client->connected());
+    auto query = dns::Message::MakeQuery(
+        *dns::Name::Parse("www.example.com"), dns::RRType::kA, false);
+    query.id = static_cast<uint16_t>(i + 1);
+    Bytes reply = client->Exchange(query.Encode());
+    ASSERT_FALSE(reply.empty());
+    clients.push_back(std::move(client));
+  }
+
+  TcpStats total = (*server)->TotalTcpStats();
+  EXPECT_EQ(total.accepted, kConns);
+  EXPECT_EQ(total.open, kConns);
+  EXPECT_EQ(total.rejected, 0u);
+  std::vector<TcpStats> per_shard = (*server)->ShardTcpStats();
+  ASSERT_EQ(per_shard.size(), 2u);
+  for (size_t i = 0; i < per_shard.size(); ++i) {
+    EXPECT_GT(per_shard[i].accepted, 0u)
+        << "shard " << i << " accepted nothing: TCP accept is pinned";
+  }
+}
+
+TEST(ShardedServer, ConnectionCapRejectsThenIdleEvictionReadmits) {
+  ShardedDnsServer::Config config;
+  config.listen = Endpoint{IpAddress::Loopback(), 0};
+  config.n_shards = 1;
+  config.max_tcp_connections = 4;
+  config.tcp_idle_timeout = Millis(200);
+  auto server = ShardedDnsServer::Start(MakeViews(), config);
+  ASSERT_TRUE(server.ok()) << server.error().ToString();
+
+  // Fill the table. Each exchange proves the connection was admitted.
+  std::vector<std::unique_ptr<TcpClient>> held;
+  for (size_t i = 0; i < 4; ++i) {
+    auto client = std::make_unique<TcpClient>((*server)->endpoint());
+    ASSERT_TRUE(client->connected());
+    auto query = dns::Message::MakeQuery(
+        *dns::Name::Parse("www.example.com"), dns::RRType::kA, false);
+    query.id = static_cast<uint16_t>(i + 1);
+    ASSERT_FALSE(client->Exchange(query.Encode()).empty());
+    held.push_back(std::move(client));
+  }
+
+  // One over the cap: the TCP connect completes (kernel backlog), but the
+  // server closes it on accept — the client observes an immediate EOF.
+  TcpClient over((*server)->endpoint());
+  ASSERT_TRUE(over.connected());
+  EXPECT_TRUE(over.WaitForEof());
+  EXPECT_GE((*server)->TotalTcpStats().rejected, 1u);
+
+  // Idle eviction drains the table (nothing inflight, 200ms timeout) and
+  // resumes the paused listener.
+  for (auto& client : held) EXPECT_TRUE(client->WaitForEof());
+  held.clear();
+  TcpStats after = (*server)->TotalTcpStats();
+  EXPECT_EQ(after.idle_closed, 4u);
+  EXPECT_EQ(after.open, 0u);
+
+  // Below the cap again: a fresh connection is served end to end.
+  TcpClient fresh((*server)->endpoint());
+  ASSERT_TRUE(fresh.connected());
+  auto query = dns::Message::MakeQuery(*dns::Name::Parse("ns1.example.com"),
+                                       dns::RRType::kA, false);
+  query.id = 99;
+  EXPECT_FALSE(fresh.Exchange(query.Encode()).empty());
+}
+
 TEST(ShardedServer, SingleShardServesTcpAndUdp) {
   ShardedDnsServer::Config config;
   config.listen = Endpoint{IpAddress::Loopback(), 0};

@@ -1,0 +1,321 @@
+// DNS-over-TLS transport (paper §5, the all-TLS root study): the
+// TlsConnection layer itself (handshake, echo, session resumption over a
+// reconnect), DoT replay end to end against the sharded server, and the
+// connection-lifecycle accounting (idle-timeout close + resumed redial
+// keeping `sent == answered + timed_out + send_failed`).
+//
+// Every TLS test probes net::TlsAvailable() and GTEST_SKIPs cleanly when
+// the build has no OpenSSL; the *WithoutOpenssl tests run only then and
+// pin down the stub's behavior.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "mutate/mutate.h"
+#include "net/sockets.h"
+#include "net/tls.h"
+#include "replay/realtime.h"
+#include "server/sharded_server.h"
+#include "workload/traces.h"
+#include "zone/masterfile.h"
+
+namespace ldp {
+namespace {
+
+// Wildcard zone so every replayed query gets an answer.
+std::shared_ptr<const zone::ViewTable> MakeViews() {
+  auto zone = zone::ParseMasterFile(
+      "$ORIGIN example.com.\n"
+      "@ 3600 IN SOA ns1 admin 1 2 3 4 300\n"
+      "@ IN NS ns1\n"
+      "ns1 IN A 192.0.2.53\n"
+      "* IN A 192.0.2.200\n",
+      zone::MasterFileOptions{});
+  EXPECT_TRUE(zone.ok());
+  zone::ZoneSet set;
+  EXPECT_TRUE(
+      set.AddZone(std::make_shared<zone::Zone>(std::move(*zone))).ok());
+  zone::ViewTable views;
+  views.SetDefaultView(std::move(set));
+  return std::make_shared<const zone::ViewTable>(std::move(views));
+}
+
+std::vector<trace::QueryRecord> MakeTlsTrace(Endpoint server, size_t n,
+                                             NanoDuration gap,
+                                             size_t n_clients) {
+  workload::FixedIntervalConfig config;
+  config.interarrival = gap;
+  config.duration = gap * static_cast<int64_t>(n);
+  config.n_clients = n_clients;
+  auto records = workload::MakeFixedIntervalTrace(config);
+  for (auto& r : records) {
+    r.dst = server.addr;
+    r.dst_port = server.port;
+  }
+  mutate::MutationPipeline pipeline;
+  pipeline.Add(mutate::ForceProtocol(trace::Protocol::kTls));
+  pipeline.Apply(records);
+  return records;
+}
+
+void ExpectTerminalAccounting(const replay::RealtimeReport& report) {
+  EXPECT_EQ(report.queries_sent,
+            report.answered + report.timed_out + report.send_failed);
+  uint64_t pending = 0;
+  for (const auto& send : report.sends) {
+    if (send.state == replay::SendOutcome::State::kPending) ++pending;
+  }
+  EXPECT_EQ(pending, 0u) << "records left without a terminal outcome";
+}
+
+// --- the TlsConnection layer itself ---
+
+// One event loop, a TLS echo listener, and two sequential client
+// connections from one TlsContext: the first full handshake's session
+// ticket must make the second connection resume.
+TEST(TlsNet, HandshakeEchoThenResumedReconnect) {
+  if (!net::TlsAvailable()) GTEST_SKIP() << "built without OpenSSL";
+  auto loop = net::EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+  auto server_ctx = net::TlsContext::NewServer();
+  ASSERT_TRUE(server_ctx.ok()) << server_ctx.error().ToString();
+  auto client_ctx = net::TlsContext::NewClient();
+  ASSERT_TRUE(client_ctx.ok());
+
+  // Server: accept, handshake, echo every decrypted byte back.
+  std::vector<std::unique_ptr<net::StreamConn>> server_conns;
+  auto listener = net::TcpListener::Listen(
+      **loop, Endpoint{IpAddress::Loopback(), 0},
+      [&](std::unique_ptr<net::TcpConnection> conn) {
+        auto tls = net::TlsConnection::Accept(**server_ctx, std::move(conn));
+        ASSERT_TRUE(tls.ok());
+        net::TlsConnection* raw = tls->get();
+        server_conns.push_back(std::move(*tls));
+        ASSERT_TRUE(raw->Start(
+                           [](Status) {},
+                           [raw](std::span<const uint8_t> data) {
+                             EXPECT_TRUE(raw->Send(data).ok());
+                           },
+                           [](Status) {})
+                        .ok());
+      });
+  ASSERT_TRUE(listener.ok()) << listener.error().ToString();
+  Endpoint server_ep = (*listener)->local();
+
+  const Bytes kPing = {'p', 'i', 'n', 'g'};
+  std::unique_ptr<net::TlsConnection> client;
+  bool first_reused = true, second_reused = false, second_done = false;
+  Status failure = Status::Ok();
+
+  // Second connection: expect a resumed (abbreviated) handshake.
+  auto start_second = [&]() {
+    auto conn = net::TlsConnection::Connect(
+        **loop, **client_ctx, server_ep,
+        [&](Status status) {
+          if (!status.ok()) {
+            failure = status;
+          } else {
+            second_reused = client->session_reused();
+            EXPECT_GT(client->handshake_duration(), 0);
+          }
+          second_done = true;
+          (*loop)->RequestStop();
+        },
+        [](std::span<const uint8_t>) {}, [](Status) {});
+    ASSERT_TRUE(conn.ok());
+    client = std::move(*conn);
+  };
+
+  // First connection: full handshake, echo round trip, then close and
+  // redial. The close is deferred a few ms so the server's session
+  // tickets (sent after the TLS 1.3 handshake) reach our cache.
+  auto conn = net::TlsConnection::Connect(
+      **loop, **client_ctx, server_ep,
+      [&](Status status) {
+        if (!status.ok()) {
+          failure = status;
+          (*loop)->RequestStop();
+          return;
+        }
+        first_reused = client->session_reused();
+        EXPECT_GT(client->handshake_duration(), 0);
+        EXPECT_TRUE(client->Send(kPing).ok());
+      },
+      [&](std::span<const uint8_t> data) {
+        EXPECT_EQ(Bytes(data.begin(), data.end()), kPing);
+        (*loop)->ScheduleAfter(Millis(20), [&]() {
+          client.reset();  // close the first connection
+          start_second();
+        });
+      },
+      [](Status) {});
+  ASSERT_TRUE(conn.ok()) << conn.error().ToString();
+  client = std::move(*conn);
+
+  // Failsafe so a wedged handshake fails the test instead of hanging it.
+  (*loop)->ScheduleAfter(Seconds(10), [&]() { (*loop)->RequestStop(); });
+  (*loop)->Run();
+
+  EXPECT_TRUE(failure.ok()) << failure.error().ToString();
+  ASSERT_TRUE(second_done) << "second handshake never completed";
+  EXPECT_FALSE(first_reused) << "first connection cannot resume";
+  EXPECT_TRUE(second_reused) << "reconnect did not resume the session";
+  EXPECT_EQ((*client_ctx)->cached_sessions(), 1u);
+  client.reset();
+  server_conns.clear();
+}
+
+TEST(TlsNet, ContextCreationFailsCleanlyWithoutOpenssl) {
+  if (net::TlsAvailable()) GTEST_SKIP() << "this build has OpenSSL";
+  auto server_ctx = net::TlsContext::NewServer();
+  EXPECT_FALSE(server_ctx.ok());
+  auto client_ctx = net::TlsContext::NewClient();
+  EXPECT_FALSE(client_ctx.ok());
+  EXPECT_EQ(net::TlsAllocatedBytes(), 0u);
+}
+
+// --- DoT replay end to end ---
+
+TEST(TlsReplay, DotReplayAnswersEveryQueryAcrossShards) {
+  if (!net::TlsAvailable()) GTEST_SKIP() << "built without OpenSSL";
+  server::ShardedDnsServer::Config server_config;
+  server_config.listen = Endpoint{IpAddress::Loopback(), 0};
+  server_config.n_shards = 2;
+  server_config.serve_tls = true;
+  auto server = server::ShardedDnsServer::Start(MakeViews(), server_config);
+  ASSERT_TRUE(server.ok()) << server.error().ToString();
+  ASSERT_NE((*server)->tls_endpoint().port, 0);
+
+  const size_t kQueries = 200;
+  auto records =
+      MakeTlsTrace((*server)->endpoint(), kQueries, Millis(1), 64);
+
+  replay::RealtimeConfig config;
+  config.server = (*server)->endpoint();
+  config.tls_port = (*server)->tls_endpoint().port;
+  config.n_distributors = 2;
+  config.queriers_per_distributor = 2;
+  config.fast_mode = true;
+  auto report = replay::RunRealtimeReplay(records, config);
+  ASSERT_TRUE(report.ok()) << report.error().ToString();
+  ExpectTerminalAccounting(*report);
+  EXPECT_EQ(report->queries_sent, records.size());
+  EXPECT_EQ(report->answered, records.size());
+  EXPECT_GT(report->tls_handshakes, 0u);
+  EXPECT_EQ(report->tls_aborts, 0u);
+
+  (*server)->Stop();
+  server::TcpStats total = (*server)->TotalTcpStats();
+  EXPECT_EQ(total.tls_handshakes, report->tls_handshakes);
+  EXPECT_EQ(total.tls_aborts, 0u);
+  // Per-shard SO_REUSEPORT listeners: both shards must have accepted.
+  for (const server::TcpStats& shard : (*server)->ShardTcpStats()) {
+    EXPECT_GT(shard.accepted, 0u) << "a shard accepted no DoT connections";
+  }
+}
+
+// Server-side idle timeout closes the connection between two queries of
+// one source; the querier redials with a cached session and the
+// accounting still ties out: 2 sent, 2 answered, 2 handshakes, the second
+// resumed.
+TEST(TlsReplay, IdleTimeoutRedialResumesAndAccountingHolds) {
+  if (!net::TlsAvailable()) GTEST_SKIP() << "built without OpenSSL";
+  server::ShardedDnsServer::Config server_config;
+  server_config.listen = Endpoint{IpAddress::Loopback(), 0};
+  server_config.n_shards = 1;
+  server_config.serve_tls = true;
+  server_config.tcp_idle_timeout = Millis(150);
+  auto server = server::ShardedDnsServer::Start(MakeViews(), server_config);
+  ASSERT_TRUE(server.ok()) << server.error().ToString();
+
+  // One client, two queries 500 ms apart: the 150 ms server idle timeout
+  // fires between them.
+  auto records = MakeTlsTrace((*server)->endpoint(), 2, Millis(500), 1);
+  ASSERT_EQ(records.size(), 2u);
+
+  replay::RealtimeConfig config;
+  config.server = (*server)->endpoint();
+  config.tls_port = (*server)->tls_endpoint().port;
+  config.n_distributors = 1;
+  config.queriers_per_distributor = 1;
+  auto report = replay::RunRealtimeReplay(records, config);
+  ASSERT_TRUE(report.ok()) << report.error().ToString();
+  ExpectTerminalAccounting(*report);
+  EXPECT_EQ(report->queries_sent, 2u);
+  EXPECT_EQ(report->answered, 2u);
+  EXPECT_EQ(report->tls_handshakes, 2u);
+  EXPECT_GE(report->tls_resumptions, 1u)
+      << "the redial after the idle close did not resume the session";
+  EXPECT_EQ(report->tls_aborts, 0u);
+
+  (*server)->Stop();
+  server::TcpStats stats = (*server)->TotalTcpStats();
+  EXPECT_GE(stats.idle_closed, 1u);
+  EXPECT_GE(stats.tls_resumptions, 1u);
+}
+
+// A few hundred concurrent long-lived DoT connections through the full
+// stack — the test-sized version of the fig 13-15 mass-connection bench.
+TEST(TlsReplay, MassConnectionLifecycle) {
+  if (!net::TlsAvailable()) GTEST_SKIP() << "built without OpenSSL";
+  server::ShardedDnsServer::Config server_config;
+  server_config.listen = Endpoint{IpAddress::Loopback(), 0};
+  server_config.n_shards = 2;
+  server_config.serve_tls = true;
+  auto server = server::ShardedDnsServer::Start(MakeViews(), server_config);
+  ASSERT_TRUE(server.ok()) << server.error().ToString();
+
+  // 256 sources, one query each: every source holds its own connection,
+  // so 256 concurrent TLS sessions exist before the replay drains.
+  const size_t kSources = 256;
+  auto records =
+      MakeTlsTrace((*server)->endpoint(), kSources, Millis(1), kSources);
+
+  replay::RealtimeConfig config;
+  config.server = (*server)->endpoint();
+  config.tls_port = (*server)->tls_endpoint().port;
+  config.n_distributors = 2;
+  config.queriers_per_distributor = 2;
+  config.fast_mode = true;
+  auto report = replay::RunRealtimeReplay(records, config);
+  ASSERT_TRUE(report.ok()) << report.error().ToString();
+  ExpectTerminalAccounting(*report);
+  EXPECT_EQ(report->answered, records.size());
+  EXPECT_GT(net::TlsAllocatedBytes(), 0u);  // accounting hook is live
+
+  (*server)->Stop();
+  server::TcpStats total = (*server)->TotalTcpStats();
+  EXPECT_EQ(total.tls_handshakes, report->tls_handshakes);
+  EXPECT_EQ(total.rejected, 0u);
+}
+
+// Without OpenSSL a TLS trace must fail loudly but cleanly: every kTls
+// query ends send_failed and the terminal-outcome invariant still holds.
+TEST(TlsReplay, TlsTraceFailsCleanlyWithoutOpenssl) {
+  if (net::TlsAvailable()) GTEST_SKIP() << "this build has OpenSSL";
+  server::ShardedDnsServer::Config server_config;
+  server_config.listen = Endpoint{IpAddress::Loopback(), 0};
+  server_config.n_shards = 1;
+  auto server = server::ShardedDnsServer::Start(MakeViews(), server_config);
+  ASSERT_TRUE(server.ok()) << server.error().ToString();
+
+  auto records = MakeTlsTrace((*server)->endpoint(), 20, Millis(1), 4);
+  replay::RealtimeConfig config;
+  config.server = (*server)->endpoint();
+  config.fast_mode = true;
+  auto report = replay::RunRealtimeReplay(records, config);
+  ASSERT_TRUE(report.ok()) << report.error().ToString();
+  ExpectTerminalAccounting(*report);
+  EXPECT_EQ(report->send_failed, records.size());
+  EXPECT_EQ(report->tls_aborts, records.size());
+
+  // And a server asked to serve DoT refuses to start.
+  server_config.serve_tls = true;
+  EXPECT_FALSE(
+      server::ShardedDnsServer::Start(MakeViews(), server_config).ok());
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,15 +1,17 @@
-// ldp_datapath_probe: answers "can the afpacket datapath run here?" for
-// scripts. Exit 0 and print "ok" when AF_PACKET rings are usable with the
-// given options; exit 1 and print the reason otherwise (missing
-// CAP_NET_RAW, no such interface, kernel without TPACKET_V3/V2 rings).
-// verify.sh and the benches use this to detect-and-skip honestly instead
-// of failing.
+// ldp_datapath_probe: answers "can the afpacket datapath run here?" (and,
+// with --tls, "does this build speak TLS?") for scripts. Exit 0 and print
+// "ok" when the probed capability is usable; exit 1 and print the reason
+// otherwise (missing CAP_NET_RAW, no such interface, kernel without
+// TPACKET_V3/V2 rings, a build without OpenSSL). verify.sh and the benches
+// use this to detect-and-skip honestly instead of failing.
 //
 //   ldp_datapath_probe [--afpacket-if IFACE] [--afpacket-peer-mac MAC]
+//   ldp_datapath_probe --tls
 #include <cstdio>
 
 #include "common/flags.h"
 #include "net/datapath.h"
+#include "net/tls.h"
 
 using namespace ldp;
 
@@ -19,19 +21,20 @@ constexpr const char* kUsage =
     R"(usage: ldp_datapath_probe [options]
   --afpacket-if IFACE      interface to probe (lo)
   --afpacket-peer-mac MAC  peer MAC to validate (optional)
-Prints "ok" and exits 0 when the afpacket datapath is usable.)";
+  --tls                    probe the TLS transport instead of afpacket
+Prints "ok" and exits 0 when the probed capability is usable.)";
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto flags_result = Flags::Parse(argc, argv, {});
+  auto flags_result = Flags::Parse(argc, argv, {"tls"});
   if (!flags_result.ok()) {
     std::fprintf(stderr, "%s\n", flags_result.error().ToString().c_str());
     return 2;
   }
   const Flags& flags = *flags_result;
   if (auto s = flags.RequireKnown({"afpacket-if", "afpacket-peer-mac",
-                                   "help"});
+                                   "tls", "help"});
       !s.ok()) {
     std::fprintf(stderr, "%s\n%s\n", s.error().ToString().c_str(), kUsage);
     return 2;
@@ -39,6 +42,15 @@ int main(int argc, char** argv) {
   if (flags.GetBool("help", false)) {
     std::fprintf(stderr, "%s\n", kUsage);
     return 2;
+  }
+
+  if (flags.GetBool("tls", false)) {
+    if (!net::TlsAvailable()) {
+      std::printf("built without OpenSSL (no TLS)\n");
+      return 1;
+    }
+    std::printf("ok\n");
+    return 0;
   }
 
   net::AfPacketOptions options;

@@ -10,6 +10,7 @@
 #include "common/strings.h"
 #include "distrib/controller.h"
 #include "distrib/spawn.h"
+#include "net/tls.h"
 #include "replay/realtime.h"
 #include "stats/summary.h"
 #include "datapath_flags.h"
@@ -39,8 +40,13 @@ constexpr const char* kUsage =
                         exponential backoff (0)
   --tcp-idle-timeout-ms N  close idle TCP connections after N ms (0 = keep)
   --tcp-reconnects N    reconnect budget per TCP connection (3)
-  --datapath MODE       querier transport: epoll (default) or afpacket
-                        (in-process replay; spawned agents stay on epoll)
+  --tls                 replay every query over DNS-over-TLS (rewrites the
+                        records' protocol to TLS; needs an OpenSSL build)
+  --tls-port N          DoT port on the server (0 = the --server/record
+                        port; ldp_serve --tls prints its "tls on" port)
+  --datapath MODE       querier transport: epoll (default) or afpacket;
+                        carried to agents in the HELLO frame, so spawned
+                        and remote agents honor it too
   --afpacket-if IFACE   interface for afpacket rings (lo)
   --afpacket-peer-mac MAC  afpacket fallback destination MAC
   --metrics-out FILE    append JSONL metric snapshots to FILE during replay
@@ -184,7 +190,8 @@ int RunDistributed(const Flags& flags,
 
 int main(int argc, char** argv) {
   auto flags_result = Flags::Parse(
-      argc, argv, {"fast", "rewrite-target", "follow-dst", "loopback-dst"});
+      argc, argv,
+      {"fast", "rewrite-target", "follow-dst", "loopback-dst", "tls"});
   if (!flags_result.ok()) {
     std::fprintf(stderr, "%s\n", flags_result.error().ToString().c_str());
     return 2;
@@ -195,6 +202,7 @@ int main(int argc, char** argv) {
                                    "follow-dst", "dst-port", "loopback-dst",
                                    "timeout-ms", "retransmits",
                                    "tcp-idle-timeout-ms", "tcp-reconnects",
+                                   "tls", "tls-port",
                                    "datapath", "afpacket-if",
                                    "afpacket-peer-mac",
                                    "metrics-out", "metrics-interval-ms",
@@ -241,6 +249,17 @@ int main(int argc, char** argv) {
       record.dst_port = server->port;
     }
   }
+  bool all_tls = flags.GetBool("tls", false);
+  if (all_tls) {
+    if (!net::TlsAvailable()) {
+      std::fprintf(stderr,
+                   "--tls: this build has no OpenSSL (probe with "
+                   "ldp_datapath_probe --tls)\n");
+      return 1;
+    }
+    // The all-TLS study (paper §5, figs 13-15): every query rides DoT.
+    for (auto& record : *records) record.protocol = trace::Protocol::kTls;
+  }
 
   replay::RealtimeConfig config;
   config.server = *server;
@@ -263,6 +282,8 @@ int main(int argc, char** argv) {
       Millis(flags.GetInt("tcp-idle-timeout-ms", 0).value_or(0));
   config.tcp_max_reconnects =
       static_cast<int>(flags.GetInt("tcp-reconnects", 3).value_or(3));
+  config.tls_port =
+      static_cast<uint16_t>(flags.GetInt("tls-port", 0).value_or(0));
   auto datapath = tools::ParseDatapathFlags(flags);
   if (!datapath.ok()) {
     std::fprintf(stderr, "%s\n", datapath.error().ToString().c_str());
@@ -329,6 +350,12 @@ int main(int argc, char** argv) {
     std::printf("tcp: reconnects %llu, idle_closes %llu\n",
                 static_cast<unsigned long long>(report->tcp_reconnects),
                 static_cast<unsigned long long>(report->tcp_idle_closes));
+  }
+  if (report->tls_handshakes != 0 || report->tls_aborts != 0) {
+    std::printf("tls: handshakes %llu, resumptions %llu, aborts %llu\n",
+                static_cast<unsigned long long>(report->tls_handshakes),
+                static_cast<unsigned long long>(report->tls_resumptions),
+                static_cast<unsigned long long>(report->tls_aborts));
   }
 
   if (!config.fast_mode) {

@@ -33,6 +33,12 @@ constexpr const char* kUsage =
   --afpacket-peer-mac MAC  afpacket fallback destination MAC
   --tcp-idle-timeout-s N   close idle TCP connections after N seconds (20)
   --no-tcp                 UDP only
+  --tls                    also serve DNS-over-TLS (needs an OpenSSL build;
+                           probe with ldp_datapath_probe --tls)
+  --tls-port N             DoT listener port (0 = ephemeral, printed)
+  --max-tcp-conns N        per-shard cap on open TCP+TLS connections; at the
+                           cap new accepts are closed and counted
+                           (server.tcp_accept_rejected). 0 = unbounded
   --sign                   DNSSEC-sign zones with synthetic keys
   --zsk-bits N             ZSK size when signing (1024)
   --stats-interval-s N     print server stats every N seconds (10; 0=off)
@@ -50,7 +56,7 @@ void HandleSignal(int) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto flags_result = Flags::Parse(argc, argv, {"no-tcp", "sign"});
+  auto flags_result = Flags::Parse(argc, argv, {"no-tcp", "sign", "tls"});
   if (!flags_result.ok()) {
     std::fprintf(stderr, "%s\n", flags_result.error().ToString().c_str());
     return 2;
@@ -60,7 +66,8 @@ int main(int argc, char** argv) {
                                    "response-cache", "udp-rcvbuf-bytes",
                                    "datapath", "afpacket-if",
                                    "afpacket-peer-mac",
-                                   "tcp-idle-timeout-s", "no-tcp", "sign",
+                                   "tcp-idle-timeout-s", "no-tcp", "tls",
+                                   "tls-port", "max-tcp-conns", "sign",
                                    "zsk-bits", "stats-interval-s",
                                    "metrics-out", "metrics-interval-ms",
                                    "help"});
@@ -104,6 +111,17 @@ int main(int argc, char** argv) {
   if (!datapath.ok()) {
     std::fprintf(stderr, "%s\n", datapath.error().ToString().c_str());
     return 1;
+  }
+  auto tls_port = flags.GetInt("tls-port", 0);
+  auto max_tcp_conns = flags.GetInt("max-tcp-conns", 0);
+  if (!tls_port.ok() || *tls_port < 0 || *tls_port > 65535) {
+    std::fprintf(stderr, "--tls-port: expected a port number\n");
+    return 2;
+  }
+  if (!max_tcp_conns.ok() || *max_tcp_conns < 0) {
+    std::fprintf(stderr,
+                 "--max-tcp-conns: expected a non-negative integer\n");
+    return 2;
   }
 
   std::shared_ptr<const zone::ViewTable> shared_views;
@@ -199,6 +217,9 @@ int main(int argc, char** argv) {
   config.listen = *listen;
   config.n_shards = static_cast<size_t>(*threads);
   config.serve_tcp = !flags.GetBool("no-tcp", false);
+  config.serve_tls = flags.GetBool("tls", false);
+  config.tls_port = static_cast<uint16_t>(*tls_port);
+  config.max_tcp_connections = static_cast<size_t>(*max_tcp_conns);
   config.tcp_idle_timeout =
       Seconds(flags.GetInt("tcp-idle-timeout-s", 20).value_or(20));
   config.engine.response_cache_entries =
@@ -212,15 +233,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", server.error().ToString().c_str());
     return 1;
   }
-  std::printf("serving on %s (udp%s, %zu shard%s, cache %zu/shard, "
+  std::printf("serving on %s (udp%s%s, %zu shard%s, cache %zu/shard, "
               "datapath %s), ^C to stop\n",
               (*server)->endpoint().ToString().c_str(),
-              config.serve_tcp ? "+tcp" : "", (*server)->n_shards(),
+              config.serve_tcp ? "+tcp" : "",
+              config.serve_tls ? "+tls" : "", (*server)->n_shards(),
               (*server)->n_shards() == 1 ? "" : "s",
               config.engine.response_cache_entries,
               std::string(net::DatapathKindName(config.datapath)).c_str());
-  // The port line is what drives scripted runs (verify.sh parses it), so
-  // push it out even when stdout is a pipe.
+  if (config.serve_tls) {
+    std::printf("tls on %s\n", (*server)->tls_endpoint().ToString().c_str());
+  }
+  // The port lines are what drive scripted runs (verify.sh parses them),
+  // so push them out even when stdout is a pipe.
   std::fflush(stdout);
 
   int64_t stats_interval =
