@@ -8,51 +8,14 @@
 // timed replay + server meters); the paper proposes it without running it,
 // so there is no paper number to match — the harness demonstrates the
 // capability and prints the observed behaviour.
-#include <unordered_set>
-
 #include "bench/bench_util.h"
+#include "mutate/attack.h"
 #include "mutate/mutate.h"
 #include "replay/sim_engine.h"
 
 using namespace ldp;
 
 namespace {
-
-// A random-subdomain flood: spoofed sources, unique junk qnames (cache-
-// busting NXDOMAIN at the root), constant rate.
-std::vector<trace::QueryRecord> MakeAttack(double rate_qps,
-                                           NanoDuration duration,
-                                           trace::Protocol protocol,
-                                           IpAddress server, uint64_t seed) {
-  Rng rng(seed);
-  std::vector<trace::QueryRecord> records;
-  size_t n = static_cast<size_t>(rate_qps * ToSeconds(duration));
-  records.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    trace::QueryRecord r;
-    r.timestamp = static_cast<NanoTime>(ToSeconds(duration) * 1e9 *
-                                        static_cast<double>(i) /
-                                        static_cast<double>(n));
-    // Spoofed sources across a /8.
-    r.src = IpAddress(static_cast<uint32_t>(0x0b000000 + rng.NextU64() % (1 << 24)));
-    r.src_port = static_cast<uint16_t>(1024 + rng.NextBelow(60000));
-    r.dst = server;
-    r.protocol = protocol;
-    r.id = static_cast<uint16_t>(rng.NextU64());
-    std::string label = "atk";
-    for (int c = 0; c < 10; ++c) {
-      label.push_back(static_cast<char>('a' + rng.NextBelow(26)));
-    }
-    auto qname = dns::Name::Root().Child(label);
-    r.qname = qname.ok() ? *qname : dns::Name::Root();
-    r.qtype = dns::RRType::kA;
-    r.edns = true;
-    r.do_bit = true;  // amplification-friendly
-    r.udp_payload_size = 4096;
-    records.push_back(std::move(r));
-  }
-  return records;
-}
 
 struct DosResult {
   double legit_median_ms = 0;
@@ -74,16 +37,23 @@ DosResult Run(double attack_qps, trace::Protocol attack_protocol) {
   auto records = workload::MakeBRootTrace(legit_config);
   size_t legit_count = records.size();
 
-  auto attack = MakeAttack(attack_qps, duration, attack_protocol,
-                           world.address, 0xa77ac);
-  records.insert(records.end(), attack.begin(), attack.end());
-  std::stable_sort(records.begin(), records.end(),
-                   [](const auto& a, const auto& b) {
-                     return a.timestamp < b.timestamp;
-                   });
-  // Track which records are legitimate after the merge.
-  std::unordered_set<uint32_t> attack_sources;
-  for (const auto& r : attack) attack_sources.insert(r.src.value());
+  // Random-subdomain flood from src/mutate/attack.h (the shared attack
+  // source of truth) with DO + EDNS forced on: signed NXDOMAIN responses
+  // are what amplify.
+  if (attack_qps > 0) {
+    mutate::AttackConfig attack_config;
+    attack_config.kind = mutate::AttackKind::kNxdomainFlood;
+    attack_config.rate_qps = attack_qps;
+    attack_config.duration = duration;
+    attack_config.server = world.address;
+    attack_config.protocol = attack_protocol;
+    attack_config.seed = 0xa77ac;
+    auto attack = mutate::MakeAttackTrace(attack_config);
+    mutate::MutationPipeline dnssec;
+    dnssec.Add(mutate::SetDnssecOk(1.0)).Add(mutate::SetEdnsSize(4096));
+    dnssec.Apply(attack);
+    mutate::OverlayAttack(records, std::move(attack));
+  }
 
   replay::SimReplayConfig replay_config;
   replay_config.server = Endpoint{world.address, 53};
@@ -97,7 +67,9 @@ DosResult Run(double attack_qps, trace::Protocol attack_protocol) {
   stats::Summary legit_latency;
   size_t legit_answered = 0, legit_seen = 0;
   for (const auto& outcome : report.outcomes) {
-    if (attack_sources.count(outcome.source.value())) continue;
+    // Attack sources live in their own /8, so the class split is a prefix
+    // test — no need to remember individual spoofed addresses.
+    if (mutate::IsSpoofedSource(outcome.source)) continue;
     ++legit_seen;
     if (outcome.answered()) {
       ++legit_answered;

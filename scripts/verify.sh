@@ -22,9 +22,11 @@ echo "== metrics smoke: live JSONL snapshots reconcile =="
 SMOKE=$(mktemp -d)
 SERVE_PID=""
 PROXY_PID=""
+ATTACK_PID=""
 cleanup() {
   [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
   [ -n "$PROXY_PID" ] && kill "$PROXY_PID" 2>/dev/null || true
+  [ -n "$ATTACK_PID" ] && kill "$ATTACK_PID" 2>/dev/null || true
   rm -rf "$SMOKE"
 }
 trap cleanup EXIT
@@ -130,6 +132,92 @@ ANSWERED=$(sed -n 's/^sent [0-9]*, answered \([0-9]*\).*/\1/p' \
 kill -TERM "$PROXY_PID"; wait "$PROXY_PID"; PROXY_PID=""
 kill -TERM "$SERVE_PID"; wait "$SERVE_PID"; SERVE_PID=""
 echo "hierarchy smoke: $SENT queries proxied, all answered"
+
+echo "== scenario smoke: attack overlay + anycast catchment =="
+# Same hierarchy testbed, but the proxy emulates two anycast sites: the
+# catchment map routes the legit client group (127.77/16) to "far" (25 ms
+# injected RTT) and everything else — including the attack replay from
+# 127.0.0.1 — to "near". A bounded NXDOMAIN flood rides alongside; at
+# smoke rates the legit traffic must still see zero loss, and the per-site
+# split must be visible offline via ldp_trace_stats --by-site.
+./build/tools/ldp_serve --listen 127.0.0.1:0 --views "$SMOKE/hier/views.txt" \
+  --threads 1 --stats-interval-s 0 > "$SMOKE/sc_serve.out" 2>&1 &
+SERVE_PID=$!
+i=0
+while [ "$i" -lt 50 ]; do
+  grep -q "serving on" "$SMOKE/sc_serve.out" 2>/dev/null && break
+  sleep 0.1
+  i=$((i + 1))
+done
+META_PORT=$(sed -n 's/.*serving on [0-9.]*:\([0-9]*\).*/\1/p' \
+  "$SMOKE/sc_serve.out")
+[ -n "$META_PORT" ] || { echo "scenario smoke: meta server never came up"
+  cat "$SMOKE/sc_serve.out"; exit 1; }
+cat > "$SMOKE/catchment.txt" <<'EOF'
+route 127.77.0.0/16 far
+default near
+EOF
+./build/tools/ldp_proxy --meta "127.0.0.1:$META_PORT" \
+  --views "$SMOKE/hier/views.txt" --loopback-alias \
+  --sites near:0,far:25 --catchment "$SMOKE/catchment.txt" \
+  --metrics-out "$SMOKE/sc_proxy.jsonl" --metrics-interval-ms 200 \
+  --stats-interval-s 0 > "$SMOKE/sc_proxy.out" 2>&1 &
+PROXY_PID=$!
+i=0
+while [ "$i" -lt 50 ]; do
+  grep -q "proxying" "$SMOKE/sc_proxy.out" 2>/dev/null && break
+  sleep 0.1
+  i=$((i + 1))
+done
+RELAY_PORT=$(sed -n 's/.*on port \([0-9]*\).*/\1/p' "$SMOKE/sc_proxy.out")
+[ -n "$RELAY_PORT" ] || { echo "scenario smoke: proxy never came up"
+  cat "$SMOKE/sc_proxy.out"; exit 1; }
+grep -q "anycast sites" "$SMOKE/sc_proxy.out" || {
+  echo "scenario smoke: proxy did not announce its anycast sites"
+  cat "$SMOKE/sc_proxy.out"; exit 1; }
+# Attack-only trace (--sample 0): a bounded random-subdomain flood shaped
+# against the same testbed, replayed in the background as a second client.
+./build/tools/ldp_mutate_trace --in "$SMOKE/hier/queries.txt" \
+  --out "$SMOKE/attack.txt" --sample 0 \
+  --attack nxdomain --attack-qps 500 --attack-duration-s 1 \
+  > "$SMOKE/sc_mutate.out" 2>&1 || {
+  echo "scenario smoke: attack trace generation failed"
+  cat "$SMOKE/sc_mutate.out"; exit 1; }
+./build/tools/ldp_replay_trace --trace "$SMOKE/attack.txt" \
+  --server "127.0.0.1:$META_PORT" --follow-dst --loopback-dst \
+  --dst-port "$RELAY_PORT" --distributors 1 --queriers 1 \
+  --timeout-ms 2000 --retransmits 2 > "$SMOKE/sc_attack.out" 2>&1 &
+ATTACK_PID=$!
+./build/tools/ldp_replay_trace --trace "$SMOKE/hier/queries.txt" \
+  --server "127.0.0.1:$META_PORT" --follow-dst --loopback-dst \
+  --dst-port "$RELAY_PORT" --local-addr 127.77.0.9 \
+  --distributors 1 --queriers 1 --timeout-ms 2000 --retransmits 2 \
+  > "$SMOKE/sc_legit.out" 2>&1
+wait "$ATTACK_PID" || { ATTACK_PID=""; echo "scenario smoke: attack replay failed"
+  cat "$SMOKE/sc_attack.out"; exit 1; }
+ATTACK_PID=""
+SENT=$(sed -n 's/^sent \([0-9]*\), answered.*/\1/p' "$SMOKE/sc_legit.out")
+ANSWERED=$(sed -n 's/^sent [0-9]*, answered \([0-9]*\).*/\1/p' \
+  "$SMOKE/sc_legit.out")
+[ -n "$SENT" ] && [ "$SENT" = "$ANSWERED" ] || {
+  echo "scenario smoke: legit traffic lost under bounded flood" \
+       "(sent=$SENT answered=$ANSWERED)"
+  cat "$SMOKE/sc_legit.out" "$SMOKE/sc_proxy.out"; exit 1
+}
+kill -TERM "$PROXY_PID"; wait "$PROXY_PID"; PROXY_PID=""
+kill -TERM "$SERVE_PID"; wait "$SERVE_PID"; SERVE_PID=""
+./build/tools/ldp_trace_stats --by-site "$SMOKE/sc_proxy.jsonl" \
+  > "$SMOKE/sc_bysite.out" 2>&1 || {
+  echo "scenario smoke: --by-site failed"; cat "$SMOKE/sc_bysite.out"; exit 1; }
+# Both sites must have caught traffic: far = the legit group the catchment
+# routed there, near = the attack replay under the default route.
+awk '/site (near|far)/ { if ($4 + 0 > 0) seen++ } END { exit seen == 2 ? 0 : 1 }' \
+  "$SMOKE/sc_bysite.out" || {
+  echo "scenario smoke: per-site load split not visible"
+  cat "$SMOKE/sc_bysite.out"; exit 1
+}
+echo "scenario smoke: $SENT legit queries answered under flood," \
+     "both sites caught traffic"
 
 echo "== distrib smoke: 2-agent replay, zero loss, merged metrics =="
 ./build/tools/ldp_serve --listen 127.0.0.1:0 --stats-interval-s 0 \
@@ -292,6 +380,14 @@ for line in text.splitlines():
         if flag not in known[tool]:
             failures.append("%s: %s not in --help (line: %s)"
                             % (tool, flag, line.strip()))
+# The scenario cookbook must keep exercising the attack/anycast surface:
+# if these flags disappear from EXPERIMENTS.md the cookbook has gone stale
+# (the generic check above only validates lines that exist).
+for needed in ["--attack", "--sites", "--catchment", "--by-site",
+               "--local-addr"]:
+    if needed not in text:
+        failures.append("EXPERIMENTS.md: scenario cookbook no longer uses "
+                        + needed)
 if failures:
     print("\n".join(failures))
     sys.exit(1)
@@ -333,9 +429,10 @@ cmake -B build-tsan -S . -DLDP_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target \
   net_test sharded_server_test response_cache_test \
   server_test replay_realtime_test metrics_test stats_test proxy_relay_test \
-  distrib_test hashring_test packet_codec_test datapath_test tls_test
+  distrib_test hashring_test packet_codec_test datapath_test tls_test \
+  scenario_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'net_test|sharded_server_test|response_cache_test|server_test|replay_realtime_test|metrics_test|stats_test|proxy_relay_test|distrib_test|hashring_test|packet_codec_test|datapath_test|tls_test'
+  -R 'net_test|sharded_server_test|response_cache_test|server_test|replay_realtime_test|metrics_test|stats_test|proxy_relay_test|distrib_test|hashring_test|packet_codec_test|datapath_test|tls_test|scenario_test'
 
 echo "== asan: socket + replay lifetime paths =="
 cmake -B build-asan -S . -DLDP_SANITIZE=address >/dev/null

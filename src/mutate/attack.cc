@@ -1,0 +1,146 @@
+#include "mutate/attack.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+#include "dns/types.h"
+
+namespace ldp::mutate {
+
+IpAddress SpoofedSource(Rng& rng) {
+  constexpr uint32_t span = 1u << (32 - kSpoofedSourcePrefixBits);
+  // Skip offset 0 so the network address is never a "client".
+  uint32_t offset = 1 + static_cast<uint32_t>(rng.NextBelow(span - 1));
+  return IpAddress(kSpoofedSourceBase.value() + offset);
+}
+
+std::string_view AttackKindName(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kNxdomainFlood:
+      return "nxdomain";
+    case AttackKind::kAmplification:
+      return "amplification";
+    case AttackKind::kSpoofedFlood:
+      return "spoofed";
+  }
+  return "unknown";
+}
+
+Result<AttackKind> AttackKindFromString(std::string_view text) {
+  if (text == "nxdomain") return AttackKind::kNxdomainFlood;
+  if (text == "amplification") return AttackKind::kAmplification;
+  if (text == "spoofed") return AttackKind::kSpoofedFlood;
+  return Error(ErrorCode::kInvalidArgument,
+               "unknown attack kind '" + std::string(text) +
+                   "' (expected nxdomain, amplification, or spoofed)");
+}
+
+namespace {
+
+// A junk label carrying the record index keeps every NXDOMAIN-flood qname
+// unique by construction: random tails alone collide at flood volumes
+// (birthday bound ~1.2M for 5 base32 chars), and a collision would be a
+// cache hit — silently weakening the cache-bypass property under test.
+std::string JunkLabel(size_t index, Rng& rng) {
+  char buf[32];
+  uint64_t tail = rng.NextU64();
+  int n = std::snprintf(buf, sizeof buf, "a%zx-%05llx", index,
+                        static_cast<unsigned long long>(tail & 0xfffff));
+  return std::string(buf, static_cast<size_t>(n));
+}
+
+}  // namespace
+
+std::vector<trace::QueryRecord> MakeAttackTrace(const AttackConfig& config) {
+  assert(config.rate_qps > 0 && config.duration > 0);
+  Rng rng(config.seed);
+  const auto count = static_cast<size_t>(
+      std::ceil(config.rate_qps * ToSeconds(config.duration)));
+  const double interval_ns =
+      static_cast<double>(config.duration) / static_cast<double>(count);
+
+  // Pre-draw the source pool for the spoofed flood so the flood cycles
+  // through exactly n_sources distinct endpoints (each new endpoint is one
+  // proxy flow; cycling beyond flow capacity is what forces LRU churn).
+  std::vector<IpAddress> pool;
+  if (config.kind == AttackKind::kSpoofedFlood) {
+    pool.reserve(config.n_sources);
+    for (size_t i = 0; i < config.n_sources; ++i)
+      pool.push_back(SpoofedSource(rng));
+  }
+
+  std::vector<trace::QueryRecord> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    trace::QueryRecord r;
+    r.timestamp =
+        config.start + static_cast<NanoTime>(interval_ns * static_cast<double>(i));
+    r.dst = config.server;
+    r.dst_port = config.dst_port;
+    r.protocol = config.protocol;
+    r.id = static_cast<uint16_t>(rng.NextU64());
+    r.src_port = static_cast<uint16_t>(1024 + rng.NextBelow(64512));
+    switch (config.kind) {
+      case AttackKind::kNxdomainFlood: {
+        r.src = SpoofedSource(rng);
+        auto child = config.apex.Child(JunkLabel(i, rng));
+        assert(child.ok());  // junk labels are short hex, always valid
+        r.qname = std::move(child).value();
+        r.qtype = dns::RRType::kA;
+        break;
+      }
+      case AttackKind::kAmplification: {
+        r.src = SpoofedSource(rng);
+        r.qname = config.apex;
+        // ANY harvests every apex RRset; DNSKEY alone is the next-best
+        // amplifier where ANY is refused (RFC 8482). Alternate so the
+        // trace exercises both shapes.
+        r.qtype = (i % 2 == 0) ? dns::RRType::kANY : dns::RRType::kDNSKEY;
+        r.edns = true;
+        r.udp_payload_size = 4096;
+        r.do_bit = true;
+        break;
+      }
+      case AttackKind::kSpoofedFlood: {
+        r.src = pool[i % pool.size()];
+        // One fixed, cacheable question: the server answers from its
+        // response cache for free, isolating the middlebox (flow table)
+        // as the component under stress.
+        r.qname = config.apex;
+        r.qtype = dns::RRType::kNS;
+        break;
+      }
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<bool> OverlayAttack(std::vector<trace::QueryRecord>& base,
+                                std::vector<trace::QueryRecord> attack) {
+  struct Tagged {
+    trace::QueryRecord record;
+    bool is_attack;
+  };
+  std::vector<Tagged> merged;
+  merged.reserve(base.size() + attack.size());
+  for (auto& r : base) merged.push_back({std::move(r), false});
+  for (auto& r : attack) merged.push_back({std::move(r), true});
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Tagged& a, const Tagged& b) {
+                     return a.record.timestamp < b.record.timestamp;
+                   });
+  base.clear();
+  base.reserve(merged.size());
+  std::vector<bool> mask;
+  mask.reserve(merged.size());
+  for (auto& t : merged) {
+    base.push_back(std::move(t.record));
+    mask.push_back(t.is_attack);
+  }
+  return mask;
+}
+
+}  // namespace ldp::mutate

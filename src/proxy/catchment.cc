@@ -1,0 +1,145 @@
+#include "proxy/catchment.h"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace ldp::proxy {
+
+namespace {
+
+constexpr uint32_t MaskForBits(int bits) {
+  return bits == 0 ? 0u : ~0u << (32 - bits);
+}
+
+Result<size_t> SiteIndex(std::string_view name,
+                         const std::vector<SiteSpec>& sites) {
+  for (size_t i = 0; i < sites.size(); ++i)
+    if (sites[i].name == name) return i;
+  return Error(ErrorCode::kNotFound,
+               "unknown site '" + std::string(name) + "'");
+}
+
+}  // namespace
+
+Result<std::vector<SiteSpec>> ParseSiteSpecs(std::string_view text) {
+  std::vector<SiteSpec> sites;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string_view::npos) comma = text.size();
+    std::string_view item = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    size_t colon = item.find(':');
+    if (colon == std::string_view::npos || colon == 0)
+      return Error(ErrorCode::kParseError,
+                   "site spec '" + std::string(item) +
+                       "' is not name:rtt_ms");
+    std::string name(item.substr(0, colon));
+    std::string_view rtt_text = item.substr(colon + 1);
+    double rtt_ms = 0;
+    auto [p, ec] = std::from_chars(rtt_text.data(),
+                                   rtt_text.data() + rtt_text.size(), rtt_ms);
+    if (ec != std::errc() || p != rtt_text.data() + rtt_text.size() ||
+        rtt_ms < 0)
+      return Error(ErrorCode::kParseError,
+                   "bad rtt_ms in site spec '" + std::string(item) + "'");
+    for (const auto& s : sites)
+      if (s.name == name)
+        return Error(ErrorCode::kAlreadyExists,
+                     "duplicate site name '" + name + "'");
+    sites.push_back({std::move(name), SecondsF(rtt_ms / 1000.0)});
+  }
+  if (sites.empty())
+    return Error(ErrorCode::kInvalidArgument, "no sites in spec");
+  return sites;
+}
+
+Status CatchmentMap::AddRoute(IpAddress prefix, int prefix_bits,
+                                    size_t site) {
+  if (prefix_bits < 0 || prefix_bits > 32)
+    return Error(ErrorCode::kOutOfRange, "prefix length must be in [0,32]");
+  Route route;
+  route.bits = prefix_bits;
+  route.mask = MaskForBits(prefix_bits);
+  route.prefix = prefix.value() & route.mask;
+  route.site = site;
+  // Keep descending-length order so Lookup's first hit is the longest match.
+  auto at = std::upper_bound(routes_.begin(), routes_.end(), route,
+                             [](const Route& a, const Route& b) {
+                               return a.bits > b.bits;
+                             });
+  routes_.insert(at, route);
+  return {};
+}
+
+size_t CatchmentMap::Lookup(IpAddress client) const {
+  for (const auto& route : routes_)
+    if ((client.value() & route.mask) == route.prefix) return route.site;
+  return default_site_;
+}
+
+Result<CatchmentMap> CatchmentMap::Parse(std::string_view text,
+                                         const std::vector<SiteSpec>& sites) {
+  CatchmentMap map;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  size_t lineno = 0;
+  auto fail = [&](const std::string& why) {
+    return Error(ErrorCode::kParseError,
+                 "catchment line " + std::to_string(lineno) + ": " + why);
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (auto hash = line.find('#'); hash != std::string::npos)
+      line.erase(hash);
+    std::istringstream fields(line);
+    std::string keyword;
+    if (!(fields >> keyword)) continue;  // blank / comment-only line
+    if (keyword == "route") {
+      std::string cidr, site_name;
+      if (!(fields >> cidr >> site_name))
+        return fail("expected: route PREFIX/LEN SITE");
+      size_t slash = cidr.find('/');
+      if (slash == std::string::npos) return fail("missing /LEN in " + cidr);
+      auto addr = IpAddress::Parse(cidr.substr(0, slash));
+      if (!addr.ok()) return fail(addr.error().message());
+      int bits = -1;
+      std::string_view bits_text(cidr);
+      bits_text.remove_prefix(slash + 1);
+      auto [p, ec] = std::from_chars(
+          bits_text.data(), bits_text.data() + bits_text.size(), bits);
+      if (ec != std::errc() || p != bits_text.data() + bits_text.size())
+        return fail("bad prefix length in " + cidr);
+      auto site = SiteIndex(site_name, sites);
+      if (!site.ok()) return fail(site.error().message());
+      auto added = map.AddRoute(addr.value(), bits, site.value());
+      if (!added.ok()) return fail(added.error().message());
+    } else if (keyword == "default") {
+      std::string site_name;
+      if (!(fields >> site_name)) return fail("expected: default SITE");
+      auto site = SiteIndex(site_name, sites);
+      if (!site.ok()) return fail(site.error().message());
+      map.SetDefaultSite(site.value());
+    } else {
+      return fail("unknown directive '" + keyword + "'");
+    }
+    std::string extra;
+    if (fields >> extra) return fail("trailing field '" + extra + "'");
+  }
+  return map;
+}
+
+Result<CatchmentMap> CatchmentMap::Load(const std::string& path,
+                                        const std::vector<SiteSpec>& sites) {
+  std::ifstream in(path);
+  if (!in)
+    return Error(ErrorCode::kIoError, "cannot open catchment file " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Parse(buf.str(), sites);
+}
+
+}  // namespace ldp::proxy

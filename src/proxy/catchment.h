@@ -1,0 +1,71 @@
+// Anycast catchment emulation ("Anycast Performance in Context",
+// PAPERS.md): the hierarchy proxy models a meta-server replicated at
+// multiple "sites". Sites are virtual — one real server backs them all —
+// but each client is mapped to exactly one site by a static catchment map
+// (longest-prefix match on the client source address, the stand-in for
+// BGP's route selection), each site injects its own client↔site RTT on
+// the reply path, and per-site `proxy.site.*` counters expose the load
+// split so experiments can measure catchment skew.
+#ifndef LDPLAYER_PROXY_CATCHMENT_H
+#define LDPLAYER_PROXY_CATCHMENT_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ip.h"
+#include "common/result.h"
+
+namespace ldp::proxy {
+
+struct SiteSpec {
+  std::string name;
+  // One-way client→site delay injected on each UDP reply (0 = co-located).
+  NanoDuration rtt = 0;
+};
+
+// Parses "lax:0,mia:25,ams:80" (name:rtt_ms pairs). Names must be unique.
+Result<std::vector<SiteSpec>> ParseSiteSpecs(std::string_view text);
+
+// Maps client source prefixes to site indexes, longest prefix wins.
+// Lookups are exact-interval scans over ≤33 prefix lengths — fine for the
+// handful of routes an experiment declares; swap in an LC-trie if
+// catchment maps ever grow to BGP scale.
+class CatchmentMap {
+ public:
+  // `site` indexes the SiteSpec vector the proxy was configured with.
+  Status AddRoute(IpAddress prefix, int prefix_bits, size_t site);
+
+  // Site for clients no route covers (default: site 0).
+  void SetDefaultSite(size_t site) { default_site_ = site; }
+  size_t default_site() const { return default_site_; }
+
+  // Longest-prefix match; falls back to the default site.
+  size_t Lookup(IpAddress client) const;
+
+  size_t route_count() const { return routes_.size(); }
+
+  // Parses catchment text, one directive per line:
+  //   route 127.10.0.0/16 lax
+  //   default ams
+  // '#' starts a comment. Site names resolve against `sites`.
+  static Result<CatchmentMap> Parse(std::string_view text,
+                                    const std::vector<SiteSpec>& sites);
+  static Result<CatchmentMap> Load(const std::string& path,
+                                   const std::vector<SiteSpec>& sites);
+
+ private:
+  struct Route {
+    uint32_t prefix = 0;  // host order, masked
+    uint32_t mask = 0;
+    int bits = 0;
+    size_t site = 0;
+  };
+  std::vector<Route> routes_;  // sorted by descending prefix length
+  size_t default_site_ = 0;
+};
+
+}  // namespace ldp::proxy
+
+#endif  // LDPLAYER_PROXY_CATCHMENT_H

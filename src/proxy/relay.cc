@@ -42,6 +42,15 @@ struct FlowKeyHash {
 // still reads the final totals (same pattern as replay's
 // TransportCounters).
 struct ShardCounters {
+  // Per-site attribution; deque because RelaxedCounter is pinned in place.
+  // Sized once at Start (before any metric lambda captures the pointer),
+  // immutable after.
+  struct SiteCounters {
+    stats::RelaxedCounter queries_in;
+    stats::RelaxedCounter responses_out;
+  };
+  std::deque<SiteCounters> sites;
+
   stats::RelaxedCounter rewritten;
   stats::RelaxedCounter passed_through;
   stats::RelaxedCounter queries_in;
@@ -62,7 +71,18 @@ struct ShardCounters {
 };
 
 void RegisterRelayMetrics(stats::MetricsRegistry* metrics,
-                          std::shared_ptr<ShardCounters> counters) {
+                          std::shared_ptr<ShardCounters> counters,
+                          const std::vector<SiteSpec>& sites) {
+  for (size_t i = 0; i < sites.size(); ++i) {
+    metrics->AddCounterFn("proxy.site." + sites[i].name + ".queries",
+                          [counters, i] {
+                            return counters->sites[i].queries_in.Get();
+                          });
+    metrics->AddCounterFn("proxy.site." + sites[i].name + ".responses",
+                          [counters, i] {
+                            return counters->sites[i].responses_out.Get();
+                          });
+  }
   auto counter = [&](const char* name,
                      stats::RelaxedCounter ShardCounters::*field) {
     metrics->AddCounterFn(
@@ -110,6 +130,7 @@ struct HierarchyProxy::Shard {
     FlowKey key;
     std::unique_ptr<net::UdpSocket> sock;
     bool draining = false;
+    size_t site = 0;  // catchment assignment, fixed for the flow's life
     std::list<uint64_t>::iterator lru_it;
   };
 
@@ -225,6 +246,9 @@ struct HierarchyProxy::Shard {
     flow.id = id;
     flow.key = key;
     flow.sock = std::move(*sock);
+    if (!config.sites.empty()) {
+      flow.site = config.catchment.Lookup(client.addr);
+    }
     flow.lru_it = lru.insert(lru.end(), id);
     auto emplaced = flows.emplace(id, std::move(flow));
     flows_by_key.emplace(key, id);
@@ -285,6 +309,9 @@ struct HierarchyProxy::Shard {
         counters->meta_send_errors.Add();
         continue;
       }
+      if (flow->site < counters->sites.size()) {
+        counters->sites[flow->site].queries_in.Add();
+      }
       auto status = flow->sock->SendTo(item.payload, config.meta_server);
       if (status.ok()) {
         counters->rewritten.Add();
@@ -321,15 +348,50 @@ struct HierarchyProxy::Shard {
     // an epoll path (already bound to the OQDA), load-bearing on the
     // wildcard afpacket ring, which writes it into the IPv4 header.
     Endpoint reply_source{flow.key.oqda, listener->second->local().port};
-    reply_items.clear();
-    for (const auto& item : items) {
-      reply_items.push_back(net::DatagramPath::SendItem{
-          item.payload, flow.key.client, reply_source});
+    NanoDuration rtt =
+        flow.site < config.sites.size() ? config.sites[flow.site].rtt : 0;
+    if (rtt > 0) {
+      // Anycast RTT injection: hold the reply for the flow's site delay.
+      // Payloads are copied (the recv spans die with this batch) and the
+      // send runs on this same loop thread, so the shared reply_items
+      // staging and counters stay single-writer.
+      std::vector<Bytes> held;
+      held.reserve(items.size());
+      for (const auto& item : items) {
+        held.emplace_back(item.payload.begin(), item.payload.end());
+      }
+      net::DatagramPath* path = listener->second;
+      Endpoint client = flow.key.client;
+      size_t site = flow.site;
+      loop->ScheduleAfter(
+          rtt, [this, path, client, reply_source, site,
+                held = std::move(held)]() {
+            reply_items.clear();
+            for (const auto& payload : held) {
+              reply_items.push_back(
+                  net::DatagramPath::SendItem{payload, client, reply_source});
+            }
+            SendReplies(*path, site);
+          });
+    } else {
+      reply_items.clear();
+      for (const auto& item : items) {
+        reply_items.push_back(net::DatagramPath::SendItem{
+            item.payload, flow.key.client, reply_source});
+      }
+      SendReplies(*listener->second, flow.site);
     }
-    size_t accepted = listener->second->SendBatch(reply_items);
+    Touch(flow);
+  }
+
+  // Flushes reply_items through `path`, attributing to `site`.
+  void SendReplies(net::DatagramPath& path, size_t site) {
+    size_t accepted = path.SendBatch(reply_items);
     counters->responses_out.Add(accepted);
     counters->rewritten.Add(accepted);
-    Touch(flow);
+    if (site < counters->sites.size()) {
+      counters->sites[site].responses_out.Add(accepted);
+    }
   }
 
   // --- TCP splice (shard 0) ---
@@ -555,6 +617,11 @@ Result<std::unique_ptr<HierarchyProxy>> HierarchyProxy::Start(
       config.meta_server.port == 0) {
     return Error(ErrorCode::kInvalidArgument, "meta server endpoint unset");
   }
+  if (!config.sites.empty() &&
+      config.catchment.default_site() >= config.sites.size()) {
+    return Error(ErrorCode::kOutOfRange,
+                 "catchment default site out of range");
+  }
   auto proxy = std::unique_ptr<HierarchyProxy>(new HierarchyProxy());
   size_t n_shards = config.n_shards > 0 ? config.n_shards : 1;
   uint16_t port = config.port;
@@ -566,9 +633,12 @@ Result<std::unique_ptr<HierarchyProxy>> HierarchyProxy::Start(
     shard->tick_interval = RelayTickFor(config);
     shard->wheel = replay::TimerWheel(shard->tick_interval, 512);
     LDP_ASSIGN_OR_RETURN(shard->loop, net::EventLoop::Create());
+    for (size_t s = 0; s < config.sites.size(); ++s) {
+      shard->counters->sites.emplace_back();
+    }
 
     if (config.metrics != nullptr) {
-      RegisterRelayMetrics(config.metrics, shard->counters);
+      RegisterRelayMetrics(config.metrics, shard->counters, config.sites);
       shard->rewrite_ns = config.metrics->AddHistogram("proxy.rewrite_ns");
       shard->udp_batch = config.metrics->AddHistogram("proxy.udp_batch");
       shard->loop->SetMetrics(
@@ -650,6 +720,11 @@ void HierarchyProxy::Stop() {
 
 RelayStats HierarchyProxy::TotalStats() const {
   RelayStats total;
+  if (!shards_.empty()) {
+    for (const auto& site : shards_.front()->config.sites) {
+      total.sites.push_back({site.name, 0, 0});
+    }
+  }
   for (const auto& shard : shards_) {
     const ShardCounters& c = *shard->counters;
     total.rewritten += c.rewritten.Get();
@@ -670,6 +745,10 @@ RelayStats HierarchyProxy::TotalStats() const {
     total.tcp_failed += c.tcp_failed.Get();
     total.active_flows +=
         c.active_flows.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < c.sites.size() && i < total.sites.size(); ++i) {
+      total.sites[i].queries_in += c.sites[i].queries_in.Get();
+      total.sites[i].responses_out += c.sites[i].responses_out.Get();
+    }
   }
   return total;
 }

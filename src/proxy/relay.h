@@ -32,17 +32,28 @@
 // Sharding mirrors ShardedDnsServer: n_shards worker threads, each with
 // its own EventLoop, SO_REUSEPORT listener set, flow table, wheel, and
 // metric instances (merged by name at snapshot). TCP stays on shard 0.
+//
+// Anycast emulation (catchment.h): when `sites` is configured, each flow
+// is pinned to a site by catchment lookup on the client address, UDP
+// replies are delayed by the site's RTT, and per-site proxy.site.*
+// counters expose the load split. Sites are virtual — all catchments
+// reach the same meta server — which is exactly the paper's meta-server
+// move applied to anycast: one real server plays every replica, and the
+// catchment map plays BGP. (TCP splices are not RTT-delayed; the anycast
+// experiments are UDP-first, like root traffic.)
 #ifndef LDPLAYER_PROXY_RELAY_H
 #define LDPLAYER_PROXY_RELAY_H
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/ip.h"
 #include "common/result.h"
 #include "net/datapath.h"
+#include "proxy/catchment.h"
 #include "stats/metrics.h"
 
 namespace ldp::proxy {
@@ -80,6 +91,13 @@ struct RelayConfig {
   int tcp_max_reconnects = 3;
   NanoDuration tcp_reconnect_backoff = Millis(50);
 
+  // Anycast sites (empty = single-site, no catchment logic on the hot
+  // path). Flows are assigned a site at creation by catchment lookup on
+  // the client source address; each site's RTT is injected on the UDP
+  // reply path.
+  std::vector<SiteSpec> sites;
+  CatchmentMap catchment;
+
   // Optional live metrics: proxy.* counters, flow-table occupancy gauge,
   // rewrite-latency and ingress-batch histograms. The registry must
   // outlive the proxy; polled-counter lambdas keep the counter cells
@@ -106,6 +124,14 @@ struct RelayStats {
   uint64_t tcp_reconnects = 0;
   uint64_t tcp_failed = 0;      // splices torn down with queries still owed
   int64_t active_flows = 0;     // current flow-table occupancy (gauge)
+
+  // Per-site load split (empty unless RelayConfig::sites was set).
+  struct SiteLoad {
+    std::string name;
+    uint64_t queries_in = 0;
+    uint64_t responses_out = 0;
+  };
+  std::vector<SiteLoad> sites;
 };
 
 class HierarchyProxy {

@@ -8,6 +8,7 @@
 
 #include "common/flags.h"
 #include "common/strings.h"
+#include "mutate/attack.h"
 #include "mutate/mutate.h"
 #include "trace/binary.h"
 #include "trace/text.h"
@@ -27,7 +28,15 @@ constexpr const char* kUsage =
   --rebase                       shift so the first query is at t=0
   --sample F                     keep a deterministic fraction F
   --keep-protocol udp|tcp|tls    drop queries on other transports
-Passes apply in the order listed above. Formats by extension (.txt/.bin).)";
+Attack overlay (after the passes; see src/mutate/attack.h):
+  --attack KIND                  overlay nxdomain|amplification|spoofed
+  --attack-qps N                 attack rate, queries/sec (1000)
+  --attack-duration-s S          attack length, seconds (trace span or 10)
+  --attack-server IP             victim address (default: first record's dst)
+  --attack-base NAME             zone under attack (default: root)
+  --attack-seed N                attack RNG seed (0xa77ac)
+Passes apply in the order listed above; --sample 0 --attack KIND emits an
+attack-only trace. Formats by extension (.txt/.bin).)";
 
 Result<std::vector<trace::QueryRecord>> Load(const std::string& path) {
   if (EndsWith(path, ".txt")) return trace::ReadTextTraceFile(path);
@@ -52,7 +61,9 @@ int main(int argc, char** argv) {
   if (auto s = flags.RequireKnown(
           {"in", "out", "force-protocol", "do-fraction", "edns-size",
            "unique-prefix", "time-scale", "time-shift-s", "rebase", "sample",
-           "keep-protocol", "seed", "help"});
+           "keep-protocol", "seed", "attack", "attack-qps",
+           "attack-duration-s", "attack-server", "attack-base",
+           "attack-seed", "help"});
       !s.ok()) {
     std::fprintf(stderr, "%s\n%s\n", s.error().ToString().c_str(), kUsage);
     return 2;
@@ -116,11 +127,79 @@ int main(int argc, char** argv) {
     pipeline.Add(
         mutate::Sample(flags.GetDouble("sample", 1.0).value_or(1.0), seed));
   }
-  if (pipeline.pass_count() == 0) {
+  if (pipeline.pass_count() == 0 && !flags.Has("attack")) {
     std::fprintf(stderr, "no mutation passes given\n%s\n", kUsage);
     return 2;
   }
+  // `--sample 0 --attack KIND` empties the trace before the attack block
+  // runs, but the attack should still default its victim and window to the
+  // input it was shaped against — keep the pre-mutation endpoints.
+  const bool had_input = !records->empty();
+  trace::QueryRecord input_front;
+  trace::QueryRecord input_back;
+  if (had_input) {
+    input_front = records->front();
+    input_back = records->back();
+  }
   pipeline.Apply(*records);
+
+  // Attack overlay: generated against the (already-mutated) trace and
+  // merged by timestamp, so `--sample 0 --attack KIND` yields a pure
+  // attack trace and any other combination rides alongside the original
+  // queries.
+  size_t attack_count = 0;
+  if (flags.Has("attack")) {
+    auto kind = mutate::AttackKindFromString(flags.GetString("attack", ""));
+    if (!kind.ok()) {
+      std::fprintf(stderr, "--attack: %s\n", kind.error().ToString().c_str());
+      return 2;
+    }
+    mutate::AttackConfig attack_config;
+    attack_config.kind = *kind;
+    attack_config.rate_qps = flags.GetDouble("attack-qps", 1000).value_or(1000);
+    // Default the attack window to the trace span, so the overlay covers
+    // the legitimate traffic it is meant to degrade. Fall back to the
+    // pre-mutation span when sampling dropped every record.
+    const trace::QueryRecord* front =
+        !records->empty() ? &records->front() : (had_input ? &input_front : nullptr);
+    const trace::QueryRecord* back =
+        !records->empty() ? &records->back() : (had_input ? &input_back : nullptr);
+    double span_s =
+        front ? ToSeconds(back->timestamp - front->timestamp) : 10.0;
+    if (span_s <= 0) span_s = 10.0;
+    attack_config.duration = SecondsF(
+        flags.GetDouble("attack-duration-s", span_s).value_or(span_s));
+    attack_config.start = front ? front->timestamp : 0;
+    if (flags.Has("attack-server")) {
+      auto server = IpAddress::Parse(flags.GetString("attack-server", ""));
+      if (!server.ok()) {
+        std::fprintf(stderr, "--attack-server: %s\n",
+                     server.error().ToString().c_str());
+        return 2;
+      }
+      attack_config.server = *server;
+    } else if (front) {
+      attack_config.server = front->dst;
+    }
+    if (flags.Has("attack-base")) {
+      auto base = dns::Name::Parse(flags.GetString("attack-base", "."));
+      if (!base.ok()) {
+        std::fprintf(stderr, "--attack-base: %s\n",
+                     base.error().ToString().c_str());
+        return 2;
+      }
+      attack_config.apex = *base;
+    }
+    attack_config.seed = static_cast<uint64_t>(
+        flags.GetInt("attack-seed", 0xa77ac).value_or(0xa77ac));
+    if (attack_config.rate_qps <= 0 || attack_config.duration <= 0) {
+      std::fprintf(stderr, "--attack-qps/--attack-duration-s must be > 0\n");
+      return 2;
+    }
+    auto attack = mutate::MakeAttackTrace(attack_config);
+    attack_count = attack.size();
+    mutate::OverlayAttack(*records, std::move(attack));
+  }
 
   std::string out = flags.GetString("out", "");
   Status saved = EndsWith(out, ".txt")
@@ -130,7 +209,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", saved.error().ToString().c_str());
     return 1;
   }
-  std::printf("%zu -> %zu queries through %zu passes -> %s\n", before,
-              records->size(), pipeline.pass_count(), out.c_str());
+  if (attack_count > 0) {
+    std::printf("%zu -> %zu queries through %zu passes "
+                "(+%zu %s attack) -> %s\n",
+                before, records->size(), pipeline.pass_count(), attack_count,
+                flags.GetString("attack", "").c_str(), out.c_str());
+  } else {
+    std::printf("%zu -> %zu queries through %zu passes -> %s\n", before,
+                records->size(), pipeline.pass_count(), out.c_str());
+  }
   return 0;
 }

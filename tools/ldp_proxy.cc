@@ -36,6 +36,11 @@ constexpr const char* kUsage =
   --flow-idle-timeout-s N  expire idle flows after N seconds (30)
   --flow-linger-ms N       draining window for late replies, ms (1000)
   --no-tcp                 UDP only (no TCP splice)
+  --sites NAME:RTT,...     emulate anycast sites (e.g. lax:0,ams:80); each
+                           site delays UDP replies by RTT ms and counts its
+                           load under proxy.site.NAME.* metrics
+  --catchment FILE         client-prefix -> site map ("route P/LEN SITE",
+                           "default SITE" lines); requires --sites
   --udp-rcvbuf-bytes N     SO_RCVBUF per relay listener (0 = kernel default)
   --datapath MODE          epoll listeners per address (default) or one
                            wildcard afpacket ring per shard
@@ -65,8 +70,9 @@ int main(int argc, char** argv) {
   if (auto s = flags.RequireKnown(
           {"meta", "views", "addresses", "loopback-alias", "port", "threads",
            "flow-capacity", "flow-idle-timeout-s", "flow-linger-ms", "no-tcp",
-           "udp-rcvbuf-bytes", "datapath", "afpacket-if", "afpacket-peer-mac",
-           "stats-interval-s", "metrics-out", "metrics-interval-ms", "help"});
+           "sites", "catchment", "udp-rcvbuf-bytes", "datapath",
+           "afpacket-if", "afpacket-peer-mac", "stats-interval-s",
+           "metrics-out", "metrics-interval-ms", "help"});
       !s.ok()) {
     std::fprintf(stderr, "%s\n%s\n", s.error().ToString().c_str(), kUsage);
     return 2;
@@ -176,6 +182,27 @@ int main(int argc, char** argv) {
   config.flow_linger =
       Millis(flags.GetInt("flow-linger-ms", 1000).value_or(1000));
   config.splice_tcp = !flags.GetBool("no-tcp", false);
+  if (flags.Has("sites")) {
+    auto sites = proxy::ParseSiteSpecs(flags.GetString("sites", ""));
+    if (!sites.ok()) {
+      std::fprintf(stderr, "--sites: %s\n", sites.error().ToString().c_str());
+      return 2;
+    }
+    config.sites = std::move(*sites);
+    if (flags.Has("catchment")) {
+      auto catchment = proxy::CatchmentMap::Load(
+          flags.GetString("catchment", ""), config.sites);
+      if (!catchment.ok()) {
+        std::fprintf(stderr, "--catchment: %s\n",
+                     catchment.error().ToString().c_str());
+        return 2;
+      }
+      config.catchment = std::move(*catchment);
+    }
+  } else if (flags.Has("catchment")) {
+    std::fprintf(stderr, "--catchment requires --sites\n");
+    return 2;
+  }
   config.datapath = datapath->kind;
   config.afpacket = datapath->afpacket;
   if (snapshotter != nullptr) config.metrics = &metrics;
@@ -191,6 +218,14 @@ int main(int argc, char** argv) {
               meta->ToString().c_str(), config.splice_tcp ? "+tcp" : "",
               (*relay)->n_shards(), (*relay)->n_shards() == 1 ? "" : "s",
               std::string(net::DatapathKindName(config.datapath)).c_str());
+  if (!config.sites.empty()) {
+    std::printf("anycast sites:");
+    for (const auto& site : config.sites) {
+      std::printf(" %s(rtt %.1fms)", site.name.c_str(), ToMillis(site.rtt));
+    }
+    std::printf(" — %zu catchment route%s\n", config.catchment.route_count(),
+                config.catchment.route_count() == 1 ? "" : "s");
+  }
   // The port line drives scripted runs (verify.sh parses it), so push it
   // out even when stdout is a pipe.
   std::fflush(stdout);
@@ -233,5 +268,10 @@ int main(int argc, char** argv) {
   std::printf("\nshutting down after %llu queries (%llu responses relayed)\n",
               static_cast<unsigned long long>(stats.queries_in),
               static_cast<unsigned long long>(stats.responses_out));
+  for (const auto& site : stats.sites) {
+    std::printf("site %s: queries=%llu responses=%llu\n", site.name.c_str(),
+                static_cast<unsigned long long>(site.queries_in),
+                static_cast<unsigned long long>(site.responses_out));
+  }
   return 0;
 }

@@ -34,6 +34,10 @@ constexpr const char* kUsage =
                         each record's dst_port (the proxy's service port)
   --loopback-dst        with --follow-dst: remap destinations into 127/8
                         via LoopbackAlias (match the proxy's flag)
+  --local-addr IP       bind querier sockets to this source address
+                        (default 127.0.0.1); distinct 127.x.y.z values per
+                        replay process give each client group its own
+                        source prefix — what a proxy catchment map routes on
   --timeout-ms N        age out inflight queries after N ms (2000;
                         0 = legacy: loss is invisible, wait drain grace)
   --retransmits N       UDP retransmits before timing out, with
@@ -200,7 +204,7 @@ int main(int argc, char** argv) {
   if (auto s = flags.RequireKnown({"trace", "server", "distributors",
                                    "queriers", "fast", "rewrite-target",
                                    "follow-dst", "dst-port", "loopback-dst",
-                                   "timeout-ms", "retransmits",
+                                   "local-addr", "timeout-ms", "retransmits",
                                    "tcp-idle-timeout-ms", "tcp-reconnects",
                                    "tls", "tls-port",
                                    "datapath", "afpacket-if",
@@ -268,6 +272,15 @@ int main(int argc, char** argv) {
     config.dst_port_override = static_cast<uint16_t>(
         flags.GetInt("dst-port", 0).value_or(0));
     config.loopback_alias_dst = flags.GetBool("loopback-dst", false);
+  }
+  if (flags.Has("local-addr")) {
+    auto local = IpAddress::Parse(flags.GetString("local-addr", ""));
+    if (!local.ok()) {
+      std::fprintf(stderr, "--local-addr: %s\n",
+                   local.error().ToString().c_str());
+      return 2;
+    }
+    config.local_addr = *local;
   }
   config.n_distributors = static_cast<size_t>(
       flags.GetInt("distributors", 2).value_or(2));

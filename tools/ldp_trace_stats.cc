@@ -5,6 +5,7 @@
 //   ldp_trace_stats queries.bin
 //   ldp_trace_stats --per-client queries.txt
 //   ldp_trace_stats merge --out merged.jsonl agent0.jsonl agent1.jsonl
+//   ldp_trace_stats --by-site proxy_metrics.jsonl
 #include <algorithm>
 #include <cstdio>
 #include <unordered_map>
@@ -62,16 +63,91 @@ int RunMerge(const Flags& flags) {
   return 0;
 }
 
+// `--by-site` mode: read a proxy metrics JSONL stream and break the final
+// cumulative totals down by anycast site (the proxy.site.NAME.* counters
+// RegisterRelayMetrics emits when `ldp_proxy --sites` is set) — the
+// offline view of a catchment-skew run.
+int RunBySite(const std::string& path) {
+  auto rows = stats::ReadJsonlFile(path);
+  if (!rows.ok()) {
+    std::fprintf(stderr, "%s\n", rows.error().ToString().c_str());
+    return 1;
+  }
+  if (rows->empty()) {
+    std::fprintf(stderr, "%s: no snapshot rows\n", path.c_str());
+    return 1;
+  }
+  // Counters are cumulative totals; the last row is the run's final state.
+  const stats::JsonlRow& last = rows->back();
+  struct SiteRow {
+    std::string name;
+    uint64_t queries = 0;
+    uint64_t responses = 0;
+  };
+  std::vector<SiteRow> sites;
+  uint64_t total_queries = 0;
+  constexpr std::string_view kPrefix = "proxy.site.";
+  for (const auto& [name, cell] : last.counters) {
+    if (name.size() <= kPrefix.size() || name.compare(0, kPrefix.size(), kPrefix) != 0) {
+      continue;
+    }
+    std::string_view rest(name);
+    rest.remove_prefix(kPrefix.size());
+    size_t dot = rest.rfind('.');
+    if (dot == std::string_view::npos) continue;
+    std::string site(rest.substr(0, dot));
+    std::string_view field = rest.substr(dot + 1);
+    auto row = std::find_if(sites.begin(), sites.end(), [&](const SiteRow& s) {
+      return s.name == site;
+    });
+    if (row == sites.end()) {
+      sites.push_back({site, 0, 0});
+      row = std::prev(sites.end());
+    }
+    if (field == "queries") {
+      row->queries = cell.total;
+      total_queries += cell.total;
+    } else if (field == "responses") {
+      row->responses = cell.total;
+    }
+  }
+  if (sites.empty()) {
+    std::fprintf(stderr,
+                 "%s: no proxy.site.* counters (was the proxy run with "
+                 "--sites?)\n",
+                 path.c_str());
+    return 1;
+  }
+  std::sort(sites.begin(), sites.end(),
+            [](const SiteRow& a, const SiteRow& b) {
+              return a.queries > b.queries;
+            });
+  std::printf("%s — per-site load (%zu rows, final totals)\n", path.c_str(),
+              rows->size());
+  for (const auto& site : sites) {
+    double share = total_queries == 0
+                       ? 0.0
+                       : 100.0 * static_cast<double>(site.queries) /
+                             static_cast<double>(total_queries);
+    std::printf("  site %-12s queries %10llu (%5.1f%%)  responses %10llu\n",
+                site.name.c_str(),
+                static_cast<unsigned long long>(site.queries), share,
+                static_cast<unsigned long long>(site.responses));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto flags_result = Flags::Parse(argc, argv, {"per-client"});
+  auto flags_result = Flags::Parse(argc, argv, {"per-client", "by-site"});
   if (!flags_result.ok()) {
     std::fprintf(stderr, "%s\n", flags_result.error().ToString().c_str());
     return 2;
   }
   const Flags& flags = *flags_result;
-  if (auto s = flags.RequireKnown({"per-client", "out", "help"}); !s.ok()) {
+  if (auto s = flags.RequireKnown({"per-client", "by-site", "out", "help"});
+      !s.ok()) {
     std::fprintf(stderr, "%s\n", s.error().ToString().c_str());
     return 2;
   }
@@ -81,8 +157,12 @@ int main(int argc, char** argv) {
   if (flags.GetBool("help", false) || flags.positional().empty()) {
     std::fprintf(stderr,
                  "usage: ldp_trace_stats [--per-client] FILE(.txt|.bin)\n"
-                 "       ldp_trace_stats merge [--out FILE] A.jsonl ...\n");
+                 "       ldp_trace_stats merge [--out FILE] A.jsonl ...\n"
+                 "       ldp_trace_stats --by-site METRICS.jsonl\n");
     return 2;
+  }
+  if (flags.GetBool("by-site", false)) {
+    return RunBySite(flags.positional()[0]);
   }
   const std::string& path = flags.positional()[0];
 
